@@ -1,0 +1,222 @@
+//! The three attacks of §2: crash, ideal lotus-eater, trade lotus-eater.
+//!
+//! All three attacks are parameterised by the fraction of nodes the
+//! attacker controls; the two lotus-eater variants additionally target a
+//! *satiated set* — the paper satiates 70 % of the system (counting the
+//! attacker's own nodes), chosen to balance limiting the isolated nodes'
+//! trade opportunities against isolating as many nodes as possible.
+//!
+//! * **Crash** — attacker nodes provide no service at all (equivalently,
+//!   Byzantine nodes that initiate but never complete exchanges). The
+//!   baseline: the paper needs ≈ 42 % of nodes for this to break the 93 %
+//!   usability bar.
+//! * **Ideal lotus-eater** — attacker nodes never trade; they instantly
+//!   forward everything the broadcaster seeds to them to every node in the
+//!   satiated set, exploiting some out-of-protocol delivery channel.
+//!   Breaks the system at ≈ 4 % control (holding only ≈ 39 % of updates —
+//!   *partial* satiation suffices).
+//! * **Trade lotus-eater** — attacker nodes may only use
+//!   protocol-scheduled interactions, but within them give satiated-set
+//!   partners every update they have (and nothing to isolated nodes).
+//!   Breaks the system at ≈ 22 % control.
+
+/// Which attack is mounted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttackKind {
+    /// No attacker nodes at all.
+    None,
+    /// Attacker nodes crash (provide no service).
+    Crash,
+    /// Out-of-band instant forwarding to the satiated set; never trades.
+    IdealLotusEater,
+    /// In-protocol give-everything to the satiated set.
+    TradeLotusEater,
+}
+
+impl AttackKind {
+    /// Label used in figure legends (matches the paper's).
+    pub fn label(self) -> &'static str {
+        match self {
+            AttackKind::None => "No attack",
+            AttackKind::Crash => "Crash attack",
+            AttackKind::IdealLotusEater => "Ideal lotus-eater attack",
+            AttackKind::TradeLotusEater => "Trade lotus-eater attack",
+        }
+    }
+
+    /// Whether this attack designates a satiated set.
+    pub fn satiates(self) -> bool {
+        matches!(self, AttackKind::IdealLotusEater | AttackKind::TradeLotusEater)
+    }
+}
+
+impl std::fmt::Display for AttackKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A fully specified attack: kind, attacker size and satiation target.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AttackPlan {
+    /// The attack being mounted.
+    pub kind: AttackKind,
+    /// Fraction of all nodes the attacker controls (clamped to `[0, 1]`).
+    pub attacker_fraction: f64,
+    /// Fraction of the *whole system* (attacker nodes included) the
+    /// attacker tries to satiate. The paper uses 0.70.
+    pub satiate_fraction: f64,
+    /// Rotate the satiated set every this many rounds (§2: "By changing
+    /// who is satiated over time, the attacker could even make the
+    /// service intermittently unusable for all nodes"). `None` keeps the
+    /// set fixed, as in Figures 1-3.
+    pub rotation_period: Option<u64>,
+}
+
+impl AttackPlan {
+    /// The paper's satiation target.
+    pub const PAPER_SATIATE_FRACTION: f64 = 0.70;
+
+    /// No attack at all.
+    pub fn none() -> Self {
+        AttackPlan {
+            kind: AttackKind::None,
+            attacker_fraction: 0.0,
+            satiate_fraction: 0.0,
+            rotation_period: None,
+        }
+    }
+
+    /// A crash attack controlling `attacker_fraction` of nodes.
+    pub fn crash(attacker_fraction: f64) -> Self {
+        AttackPlan {
+            kind: AttackKind::Crash,
+            attacker_fraction: attacker_fraction.clamp(0.0, 1.0),
+            satiate_fraction: 0.0,
+            rotation_period: None,
+        }
+    }
+
+    /// An ideal lotus-eater attack.
+    pub fn ideal_lotus_eater(attacker_fraction: f64, satiate_fraction: f64) -> Self {
+        AttackPlan {
+            kind: AttackKind::IdealLotusEater,
+            attacker_fraction: attacker_fraction.clamp(0.0, 1.0),
+            satiate_fraction: satiate_fraction.clamp(0.0, 1.0),
+            rotation_period: None,
+        }
+    }
+
+    /// A trade lotus-eater attack.
+    pub fn trade_lotus_eater(attacker_fraction: f64, satiate_fraction: f64) -> Self {
+        AttackPlan {
+            kind: AttackKind::TradeLotusEater,
+            attacker_fraction: attacker_fraction.clamp(0.0, 1.0),
+            satiate_fraction: satiate_fraction.clamp(0.0, 1.0),
+            rotation_period: None,
+        }
+    }
+
+    /// Rotate the satiated set every `period` rounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period == 0`.
+    pub fn with_rotation(mut self, period: u64) -> Self {
+        assert!(period > 0, "rotation period must be positive");
+        self.rotation_period = Some(period);
+        self
+    }
+
+    /// Attacker node count in a system of `n` nodes.
+    pub fn attacker_count(&self, n: u32) -> u32 {
+        if self.kind == AttackKind::None {
+            return 0;
+        }
+        ((f64::from(n) * self.attacker_fraction).round() as u32).min(n)
+    }
+
+    /// Honest nodes targeted for satiation in a system of `n` nodes: the
+    /// satiated set is `satiate_fraction * n` nodes *including* the
+    /// attacker's own.
+    pub fn satiated_honest_count(&self, n: u32) -> u32 {
+        if !self.kind.satiates() {
+            return 0;
+        }
+        let total_target = (f64::from(n) * self.satiate_fraction).round() as u32;
+        total_target.saturating_sub(self.attacker_count(n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper_legends() {
+        assert_eq!(AttackKind::Crash.label(), "Crash attack");
+        assert_eq!(AttackKind::IdealLotusEater.label(), "Ideal lotus-eater attack");
+        assert_eq!(AttackKind::TradeLotusEater.label(), "Trade lotus-eater attack");
+        assert_eq!(format!("{}", AttackKind::None), "No attack");
+    }
+
+    #[test]
+    fn only_lotus_eaters_satiate() {
+        assert!(!AttackKind::None.satiates());
+        assert!(!AttackKind::Crash.satiates());
+        assert!(AttackKind::IdealLotusEater.satiates());
+        assert!(AttackKind::TradeLotusEater.satiates());
+    }
+
+    #[test]
+    fn counts_match_paper_arithmetic() {
+        // 250 nodes, 4% attacker, satiate 70%: 10 attacker nodes,
+        // 175 - 10 = 165 satiated honest nodes.
+        let plan = AttackPlan::ideal_lotus_eater(0.04, 0.70);
+        assert_eq!(plan.attacker_count(250), 10);
+        assert_eq!(plan.satiated_honest_count(250), 165);
+    }
+
+    #[test]
+    fn satiated_count_saturates() {
+        // Attacker bigger than the satiation target: no honest targets.
+        let plan = AttackPlan::trade_lotus_eater(0.8, 0.70);
+        assert_eq!(plan.satiated_honest_count(100), 0);
+    }
+
+    #[test]
+    fn crash_has_no_satiated_set() {
+        let plan = AttackPlan::crash(0.42);
+        assert_eq!(plan.attacker_count(250), 105);
+        assert_eq!(plan.satiated_honest_count(250), 0);
+    }
+
+    #[test]
+    fn none_plan_is_inert() {
+        let plan = AttackPlan::none();
+        assert_eq!(plan.attacker_count(250), 0);
+        assert_eq!(plan.satiated_honest_count(250), 0);
+    }
+
+    #[test]
+    fn rotation_builder() {
+        let plan = AttackPlan::trade_lotus_eater(0.3, 0.7).with_rotation(10);
+        assert_eq!(plan.rotation_period, Some(10));
+        assert_eq!(AttackPlan::none().rotation_period, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be positive")]
+    fn zero_rotation_rejected() {
+        let _ = AttackPlan::trade_lotus_eater(0.3, 0.7).with_rotation(0);
+    }
+
+    #[test]
+    fn fractions_clamp() {
+        let plan = AttackPlan::crash(1.7);
+        assert_eq!(plan.attacker_fraction, 1.0);
+        let plan = AttackPlan::ideal_lotus_eater(-0.2, 2.0);
+        assert_eq!(plan.attacker_fraction, 0.0);
+        assert_eq!(plan.satiate_fraction, 1.0);
+    }
+}

@@ -1,0 +1,519 @@
+//! Scrip-mediated gossip: the paper's §4 suggestion, built.
+//!
+//! "This suggests that scrip could be the basis for an incentive-
+//! compatible gossip system that is robust against lotus-eater attacks."
+//!
+//! The idea: replace the balanced exchange's *double coincidence of
+//! wants* with money. A node **buys** the updates it is missing at one
+//! scrip each; a node **sells** whenever its balance is below its
+//! threshold. Satiation splits into two independent conditions:
+//!
+//! * *update-satiated* — holds every live update → stops **buying**, but
+//!   keeps **selling** (it still wants income for future rounds);
+//! * *money-satiated* — balance at threshold → stops **selling**, but
+//!   spends its hoard buying, putting scrip back into circulation.
+//!
+//! The BAR-Gossip-style lotus-eater attack (gift updates to a satiated
+//! set) therefore no longer silences its targets: update-satiated targets
+//! still sell to isolated nodes. To silence a node the attacker must
+//! *money*-satiate it — and the fixed money supply caps how many nodes he
+//! can hold at threshold simultaneously (exactly the X4 argument from the
+//! `scrip-economy` crate, now inside a gossip protocol).
+//!
+//! The simulator reuses the BAR Gossip substrate (windows, seeding,
+//! partner schedule, expiry-based delivery metrics) and mounts the same
+//! trade-style attack so the two protocols' attack curves are directly
+//! comparable (experiment X12).
+
+use crate::attack::{AttackKind, AttackPlan};
+use crate::config::BarGossipConfig;
+use crate::update::WindowSet;
+use netsim::partner::{PartnerSchedule, Protocol};
+use netsim::rng::DetRng;
+use netsim::round::RoundSim;
+use netsim::{NodeId, Round};
+
+/// Configuration of a scrip-gossip run: the gossip substrate plus the
+/// monetary parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScripGossipConfig {
+    /// The gossip substrate (nodes, batches, lifetimes, seeding, horizon).
+    /// `defenses` and `attacker_receives` are ignored — the monetary
+    /// mechanism replaces them.
+    pub base: BarGossipConfig,
+    /// Initial scrip per node (the fixed supply is `nodes x this`).
+    pub money_per_node: u32,
+    /// Sell only while the balance is below this threshold.
+    pub threshold: u32,
+}
+
+impl ScripGossipConfig {
+    /// Gossip substrate with a monetary system sized so the unattacked
+    /// economy never blocks on money: one live window's worth of scrip per
+    /// node (`updates_per_round x lifetime`), with the sell-threshold at
+    /// three times that (calibrated in the X12 experiment; see
+    /// EXPERIMENTS.md).
+    pub fn new(base: BarGossipConfig) -> Self {
+        let window = base.updates_per_round * base.update_lifetime;
+        ScripGossipConfig {
+            money_per_node: window,
+            threshold: window * 3,
+            base,
+        }
+    }
+
+    /// Total scrip in circulation.
+    pub fn total_supply(&self) -> u64 {
+        u64::from(self.base.nodes) * u64::from(self.money_per_node)
+    }
+
+    /// Validate the substrate and monetary parameters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates substrate validation failures; rejects a zero threshold
+    /// (nobody would ever sell).
+    pub fn validate(&self) -> Result<(), crate::config::ConfigError> {
+        self.base.validate()?;
+        if self.threshold == 0 {
+            return Err(crate::config::ConfigError::BadReportConfig(
+                "scrip-gossip threshold of 0 means nobody ever sells".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Final report of a scrip-gossip run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScripGossipReport {
+    /// Rounds executed.
+    pub rounds: Round,
+    /// Delivery to isolated honest nodes (comparable to
+    /// [`crate::BarGossipReport::isolated_delivery`]).
+    pub isolated_delivery: f64,
+    /// Delivery to the attacker's satiated-set nodes.
+    pub satiated_delivery: f64,
+    /// Delivery over all honest nodes.
+    pub overall_delivery: f64,
+    /// Sales refused because the seller was money-satiated, as a fraction
+    /// of attempted purchases.
+    pub refusal_rate: f64,
+    /// Purchases that failed because the buyer was broke.
+    pub broke_rate: f64,
+    /// Total scrip at the end (conserved: equals the initial supply).
+    pub total_money: u64,
+}
+
+impl ScripGossipReport {
+    /// Whether isolated nodes clear the 93 % usability bar.
+    pub fn isolated_usable(&self, threshold: f64) -> bool {
+        self.isolated_delivery > threshold
+    }
+}
+
+#[derive(Debug, Clone)]
+struct ScripNode {
+    window: WindowSet,
+    money: u64,
+    attacker: bool,
+    target: bool,
+}
+
+/// The scrip-gossip simulator.
+///
+/// ```
+/// use bar_gossip::scrip_gossip::{ScripGossipConfig, ScripGossipSim};
+/// use bar_gossip::{AttackPlan, BarGossipConfig};
+///
+/// let base = BarGossipConfig::builder()
+///     .nodes(60)
+///     .updates_per_round(4)
+///     .copies_seeded(6)
+///     .rounds(20)
+///     .build()?;
+/// let cfg = ScripGossipConfig::new(base);
+/// let report = ScripGossipSim::new(cfg, AttackPlan::none(), 7).run_to_report();
+/// assert!(report.overall_delivery > 0.9, "scrip gossip delivers");
+/// # Ok::<(), bar_gossip::config::ConfigError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ScripGossipSim {
+    cfg: ScripGossipConfig,
+    plan: AttackPlan,
+    nodes: Vec<ScripNode>,
+    full: WindowSet,
+    schedule: PartnerSchedule,
+    rng: DetRng,
+    round: Round,
+    delivered: [u64; 3], // isolated, satiated, attacker
+    totals: [u64; 3],
+    purchases_attempted: u64,
+    purchases_refused: u64,
+    purchases_broke: u64,
+    served_this_round: Vec<u32>,
+}
+
+impl ScripGossipSim {
+    /// Build a simulator, deterministic in `seed`.
+    ///
+    /// The attack plan is interpreted as in BAR Gossip: `Crash` attackers
+    /// do nothing; `TradeLotusEater` attackers gift their holdings free of
+    /// charge to the satiated set; `IdealLotusEater` forwards all attacker
+    /// seeds out-of-band to the satiated set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config fails validation.
+    pub fn new(cfg: ScripGossipConfig, plan: AttackPlan, seed: u64) -> Self {
+        cfg.validate().expect("invalid ScripGossipConfig");
+        let n = cfg.base.nodes;
+        let rng = DetRng::seed_from(seed).fork("scrip-gossip");
+        let mut assign_rng = rng.fork("assignment");
+        let attacker_count = plan.attacker_count(n) as usize;
+        let mut attacker = vec![false; n as usize];
+        for i in assign_rng.sample_indices(n as usize, attacker_count) {
+            attacker[i] = true;
+        }
+        let honest: Vec<usize> = (0..n as usize).filter(|&i| !attacker[i]).collect();
+        let satiated_count = (plan.satiated_honest_count(n) as usize).min(honest.len());
+        let mut target = vec![false; n as usize];
+        for &hi in assign_rng.sample_indices(honest.len(), satiated_count).iter() {
+            target[honest[hi]] = true;
+        }
+        let window = WindowSet::new(cfg.base.updates_per_round, cfg.base.update_lifetime);
+        let nodes = (0..n as usize)
+            .map(|i| ScripNode {
+                window: window.clone(),
+                money: u64::from(cfg.money_per_node),
+                attacker: attacker[i],
+                target: target[i],
+            })
+            .collect();
+        ScripGossipSim {
+            full: window,
+            schedule: PartnerSchedule::new(rng.fork("schedule").next_u64(), n),
+            served_this_round: vec![0; n as usize],
+            cfg,
+            plan,
+            nodes,
+            rng,
+            round: 0,
+            delivered: [0; 3],
+            totals: [0; 3],
+            purchases_attempted: 0,
+            purchases_refused: 0,
+            purchases_broke: 0,
+        }
+    }
+
+    fn class_of(&self, i: usize) -> usize {
+        if self.nodes[i].attacker {
+            2
+        } else if self.nodes[i].target {
+            1
+        } else {
+            0
+        }
+    }
+
+    /// Total scrip across all nodes (conserved).
+    pub fn total_money(&self) -> u64 {
+        self.nodes.iter().map(|n| n.money).sum()
+    }
+
+    /// Current balance of `node`.
+    pub fn money(&self, node: NodeId) -> u64 {
+        self.nodes[node.index()].money
+    }
+
+    fn advance_windows(&mut self, t: Round) {
+        let popped_full = self.full.advance(t);
+        if let Some((expired_round, full_mask)) = popped_full {
+            let measured = self.cfg.base.is_measured_round(expired_round);
+            let total = u64::from(full_mask.count_ones());
+            for i in 0..self.nodes.len() {
+                let popped = self.nodes[i].window.advance(t);
+                if !measured {
+                    continue;
+                }
+                let (_, mask) = popped.expect("lockstep windows");
+                let ci = self.class_of(i);
+                self.delivered[ci] += u64::from((mask & full_mask).count_ones());
+                self.totals[ci] += total;
+            }
+        } else {
+            for node in self.nodes.iter_mut() {
+                let _ = node.window.advance(t);
+            }
+        }
+    }
+
+    fn seed_round(&mut self, t: Round) {
+        let n = self.nodes.len();
+        let copies = (self.cfg.base.copies_seeded as usize).min(n);
+        let mut seed_rng = self.rng.fork_idx("seeding", t);
+        for slot in 0..self.cfg.base.updates_per_round {
+            let id = crate::update::UpdateId { round: t, slot };
+            self.full.insert(id);
+            for pick in seed_rng.sample_indices(n, copies) {
+                self.nodes[pick].window.insert(id);
+            }
+        }
+    }
+
+    /// Ideal-attack forwarding: every attacker holding reaches every
+    /// target instantly (out of band, free).
+    fn ideal_forwarding(&mut self) {
+        if self.plan.kind != AttackKind::IdealLotusEater {
+            return;
+        }
+        // An empty window aligned with the live ones, then the union of
+        // all attacker holdings.
+        let mut pool = WindowSet::new(
+            self.cfg.base.updates_per_round,
+            self.cfg.base.update_lifetime,
+        );
+        for t in 0..=self.round {
+            let _ = pool.advance(t);
+        }
+        for node in &self.nodes {
+            if node.attacker {
+                pool.union_with(&node.window);
+            }
+        }
+        for node in self.nodes.iter_mut() {
+            if node.target && !node.attacker {
+                node.window.union_with(&pool);
+            }
+        }
+    }
+
+    /// A purchase: `buyer` buys everything it can afford that `seller`
+    /// has. The seller refuses while money-satiated. Attackers gift free
+    /// updates to targets instead of selling, and never buy.
+    fn interaction(&mut self, buyer: NodeId, seller: NodeId, now: Round, cap: u32) {
+        let (b, s) = (buyer.index(), seller.index());
+        if self.nodes[s].attacker {
+            // Attacker seller: gift everything, free, to targets only.
+            if self.plan.kind == AttackKind::TradeLotusEater && self.nodes[b].target {
+                let gift = self.nodes[b].window.wanted_from(
+                    &self.nodes[s].window,
+                    now,
+                    usize::MAX,
+                    0,
+                    u32::MAX,
+                );
+                for &id in &gift {
+                    self.nodes[b].window.insert(id);
+                }
+            }
+            return;
+        }
+        if self.nodes[b].attacker {
+            // Trade attackers replenish their stock by buying like anyone
+            // else would — but they pay with their own scrip, which the
+            // supply bounds. (They start with the same endowment.)
+            if self.plan.kind != AttackKind::TradeLotusEater {
+                return;
+            }
+        }
+        // Honest (or attacker-buyer) purchase.
+        let wants = self.nodes[b].window.missing_from(&self.nodes[s].window) as u64;
+        if wants == 0 {
+            return;
+        }
+        self.purchases_attempted += 1;
+        if self.served_this_round[s] >= cap {
+            return; // seller busy (responder cap)
+        }
+        if self.nodes[s].money >= u64::from(self.cfg.threshold) {
+            self.purchases_refused += 1;
+            return; // money-satiated seller refuses to work
+        }
+        if self.nodes[b].money == 0 {
+            self.purchases_broke += 1;
+            return;
+        }
+        let afford = self.nodes[b].money.min(wants) as usize;
+        let bought = self.nodes[b].window.wanted_from(
+            &self.nodes[s].window,
+            now,
+            afford,
+            0,
+            u32::MAX,
+        );
+        if bought.is_empty() {
+            return;
+        }
+        for &id in &bought {
+            self.nodes[b].window.insert(id);
+        }
+        let price = bought.len() as u64;
+        self.nodes[b].money -= price;
+        self.nodes[s].money += price;
+        self.served_this_round[s] += 1;
+    }
+
+    /// Run the configured horizon and produce the report.
+    pub fn run_to_report(mut self) -> ScripGossipReport {
+        let total = self.cfg.base.total_rounds();
+        while self.round < total {
+            let t = self.round;
+            self.round(t);
+        }
+        self.report()
+    }
+
+    /// Snapshot the report so far.
+    pub fn report(&self) -> ScripGossipReport {
+        let frac = |ci: usize| {
+            if self.totals[ci] == 0 {
+                0.0
+            } else {
+                self.delivered[ci] as f64 / self.totals[ci] as f64
+            }
+        };
+        let honest_delivered = self.delivered[0] + self.delivered[1];
+        let honest_total = self.totals[0] + self.totals[1];
+        let attempted = self.purchases_attempted.max(1) as f64;
+        ScripGossipReport {
+            rounds: self.round,
+            isolated_delivery: frac(0),
+            satiated_delivery: frac(1),
+            overall_delivery: if honest_total == 0 {
+                0.0
+            } else {
+                honest_delivered as f64 / honest_total as f64
+            },
+            refusal_rate: self.purchases_refused as f64 / attempted,
+            broke_rate: self.purchases_broke as f64 / attempted,
+            total_money: self.total_money(),
+        }
+    }
+}
+
+impl RoundSim for ScripGossipSim {
+    fn round(&mut self, t: Round) {
+        debug_assert_eq!(t, self.round, "rounds must be sequential");
+        self.advance_windows(t);
+        self.seed_round(t);
+        self.ideal_forwarding();
+        let cap = self.cfg.base.responder_cap.unwrap_or(u32::MAX);
+        self.served_this_round.fill(0);
+        // Two purchase opportunities per node per round, mirroring BAR
+        // Gossip's two sub-protocols.
+        for proto in [Protocol::BalancedExchange, Protocol::OptimisticPush] {
+            let mut order: Vec<NodeId> = NodeId::all(self.nodes.len() as u32).collect();
+            let proto_tag = match proto {
+                Protocol::BalancedExchange => 1u64,
+                Protocol::OptimisticPush => 2,
+                Protocol::Other(k) => 0x1_0000 + u64::from(k),
+            };
+            self.rng
+                .fork_idx("order", t.wrapping_mul(4).wrapping_add(proto_tag))
+                .shuffle(&mut order);
+            for v in order {
+                if self.nodes[v.index()].attacker && self.plan.kind != AttackKind::TradeLotusEater
+                {
+                    continue; // crash/ideal attackers never interact
+                }
+                let p = self.schedule.partner_of(v, t, proto);
+                self.interaction(v, p, t, cap);
+            }
+        }
+        self.round = t + 1;
+    }
+
+    fn rounds_run(&self) -> Round {
+        self.round
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> BarGossipConfig {
+        BarGossipConfig::builder()
+            .nodes(80)
+            .updates_per_round(5)
+            .update_lifetime(10)
+            .copies_seeded(8)
+            .rounds(20)
+            .warmup_rounds(10)
+            .build()
+            .unwrap()
+    }
+
+    fn cfg() -> ScripGossipConfig {
+        ScripGossipConfig::new(base())
+    }
+
+    #[test]
+    fn healthy_scrip_gossip_delivers() {
+        let report = ScripGossipSim::new(cfg(), AttackPlan::none(), 1).run_to_report();
+        assert!(
+            report.overall_delivery > 0.95,
+            "unattacked delivery {}",
+            report.overall_delivery
+        );
+    }
+
+    #[test]
+    fn money_is_conserved() {
+        let mut sim = ScripGossipSim::new(cfg(), AttackPlan::trade_lotus_eater(0.3, 0.7), 2);
+        let supply = sim.total_money();
+        for t in 0..30 {
+            sim.round(t);
+            assert_eq!(sim.total_money(), supply, "supply must never change");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = ScripGossipSim::new(cfg(), AttackPlan::trade_lotus_eater(0.2, 0.7), 9)
+            .run_to_report();
+        let b = ScripGossipSim::new(cfg(), AttackPlan::trade_lotus_eater(0.2, 0.7), 9)
+            .run_to_report();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn update_satiated_nodes_keep_selling() {
+        // The crux of the defense: under the trade attack, satiated-set
+        // nodes still sell to isolated nodes, so isolated delivery holds
+        // far better than in vanilla BAR Gossip at the same attack size.
+        let attack = AttackPlan::trade_lotus_eater(0.30, 0.70);
+        let scrip = ScripGossipSim::new(cfg(), attack, 5).run_to_report();
+        let vanilla = crate::BarGossipSim::new(base(), attack, 5).run_to_report();
+        assert!(
+            scrip.isolated_delivery > vanilla.isolated_delivery(),
+            "scrip gossip must resist the gift attack: {} vs vanilla {}",
+            scrip.isolated_delivery,
+            vanilla.isolated_delivery()
+        );
+    }
+
+    #[test]
+    fn refusals_happen_only_at_threshold() {
+        // With a huge threshold nobody is ever money-satiated: no refusals.
+        let mut c = cfg();
+        c.threshold = 100_000;
+        let report = ScripGossipSim::new(c, AttackPlan::none(), 3).run_to_report();
+        assert_eq!(report.refusal_rate, 0.0);
+        // With a threshold at the starting balance, sellers refuse until
+        // they have spent below it.
+        let mut c = cfg();
+        c.threshold = c.money_per_node; // everyone starts money-satiated
+        let report = ScripGossipSim::new(c, AttackPlan::none(), 3).run_to_report();
+        assert!(report.refusal_rate > 0.0, "got {}", report.refusal_rate);
+    }
+
+    #[test]
+    fn zero_threshold_rejected() {
+        let mut c = cfg();
+        c.threshold = 0;
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,1202 @@
+//! The round-based BAR Gossip simulator with attack orchestration.
+//!
+//! Each round:
+//!
+//! 1. every window slides forward one round; updates released `lifetime`
+//!    rounds ago expire, and their delivery is recorded per node class;
+//! 2. the broadcaster releases a fresh batch, seeding each update to
+//!    `copies_seeded` random live nodes;
+//! 3. under the *ideal* attack, attacker nodes instantly forward their
+//!    pooled broadcaster seeds to every satiated-set node (the
+//!    out-of-protocol channel the paper postulates);
+//! 4. every node initiates one balanced exchange with its
+//!    schedule-assigned partner (honest responders serve at most
+//!    `responder_cap` incoming exchanges per protocol per round — BAR
+//!    Gossip bounds per-round exchanges to limit Byzantine damage);
+//! 5. every node missing old updates initiates one optimistic push
+//!    likewise; trade-attack nodes use both slots to shower satiated-set
+//!    partners with everything *they individually hold* (and give isolated
+//!    nodes nothing) — attacker nodes synchronise their holdings only when
+//!    the schedule pairs two of them, which is why the trade attack needs
+//!    far more nodes than the ideal one;
+//! 6. excess-service reports are processed and evictions applied (when the
+//!    report-and-evict defense is on).
+//!
+//! Delivery is measured at expiry: an update counts as delivered to a node
+//! iff the node holds it when it leaves the window, i.e. it was received
+//! within its lifetime — exactly the streaming-usability notion the paper
+//! evaluates.
+
+use crate::attack::{AttackKind, AttackPlan};
+use crate::config::BarGossipConfig;
+use crate::exchange::{balanced_exchange, is_excessive_service, optimistic_push, wants_push};
+use crate::update::{UpdateId, WindowSet};
+use netsim::bandwidth::{BandwidthMeter, MsgClass};
+use netsim::partner::{PartnerSchedule, Protocol};
+use netsim::rng::DetRng;
+use netsim::round::RoundSim;
+use netsim::sign::Authority;
+use netsim::trace::{EventKind, TraceBuffer};
+use netsim::{NodeId, Round};
+
+/// Metric class of a node under the running attack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeClass {
+    /// Honest node outside the attacker's satiated set (the paper's
+    /// figures report *these* nodes' delivery).
+    Isolated,
+    /// Honest node the attacker tries to satiate.
+    Satiated,
+    /// Attacker-controlled node.
+    Attacker,
+}
+
+#[derive(Debug, Clone)]
+struct NodeState {
+    window: WindowSet,
+    /// Metric class fixed at assignment time (isolated vs satiated).
+    class: NodeClass,
+    /// Whether the attacker currently tries to satiate this node. Equals
+    /// `class == Satiated` for the static attacks of Figures 1-3; rotates
+    /// under [`AttackPlan::rotation_period`].
+    target: bool,
+    obedient: bool,
+    evicted: bool,
+}
+
+/// Per-class delivery fractions measured at expiry.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ClassDelivery {
+    /// Delivery to isolated honest nodes.
+    pub isolated: f64,
+    /// Delivery to satiated-set honest nodes.
+    pub satiated: f64,
+    /// Delivery over all honest nodes.
+    pub overall: f64,
+}
+
+/// Node-class sizes of a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ClassCounts {
+    /// Honest nodes outside the satiated set.
+    pub isolated: u32,
+    /// Honest nodes inside the satiated set.
+    pub satiated: u32,
+    /// Attacker nodes.
+    pub attacker: u32,
+}
+
+/// Final report of a BAR Gossip run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BarGossipReport {
+    /// Rounds executed (warm-up + measured + drain).
+    pub rounds: Round,
+    /// Delivery fractions by class.
+    pub delivery: ClassDelivery,
+    /// Fraction of measured updates the attacker (union over its nodes)
+    /// held at expiry — the paper notes an ideal attacker at 4 % holds only
+    /// ≈ 39 %, showing partial satiation suffices.
+    pub attacker_coverage: f64,
+    /// Class sizes.
+    pub counts: ClassCounts,
+    /// Attacker nodes evicted by the report defense.
+    pub evictions: u32,
+    /// Junk fraction of all metered traffic.
+    pub junk_fraction: f64,
+    /// Mean units uploaded per attacker node (the bandwidth cost the paper
+    /// notes the trade attack pays and the crash attack does not).
+    pub mean_attacker_upload: f64,
+    /// Mean units uploaded per honest node.
+    pub mean_honest_upload: f64,
+    /// Per-expired-measured-round isolated delivery series.
+    pub isolated_series: Vec<(Round, f64)>,
+    /// The usability threshold the run was configured with.
+    pub usability_threshold: f64,
+    /// Lowest whole-run delivery over honest nodes.
+    pub min_node_delivery: f64,
+    /// Fraction of honest nodes that experienced at least one measured
+    /// round below the usability threshold (under rotation this tends to
+    /// 1.0 — everyone suffers intermittently).
+    pub nodes_ever_unusable: f64,
+    /// Fraction of honest (node, measured round) samples below the
+    /// usability threshold.
+    pub unusable_node_rounds: f64,
+}
+
+impl BarGossipReport {
+    /// Delivery fraction for isolated nodes (the paper's y-axis).
+    pub fn isolated_delivery(&self) -> f64 {
+        self.delivery.isolated
+    }
+
+    /// Delivery fraction for satiated-set nodes.
+    pub fn satiated_delivery(&self) -> f64 {
+        self.delivery.satiated
+    }
+
+    /// Delivery fraction over all honest nodes.
+    pub fn overall_delivery(&self) -> f64 {
+        self.delivery.overall
+    }
+
+    /// Whether isolated nodes find the stream usable (> threshold).
+    pub fn isolated_usable(&self) -> bool {
+        self.delivery.isolated > self.usability_threshold
+    }
+}
+
+/// The BAR Gossip simulator.
+///
+/// ```
+/// use bar_gossip::{AttackPlan, BarGossipConfig, BarGossipSim};
+///
+/// let cfg = BarGossipConfig::builder()
+///     .nodes(60)
+///     .updates_per_round(4)
+///     .copies_seeded(6)
+///     .rounds(20)
+///     .build()?;
+/// let report = BarGossipSim::new(cfg, AttackPlan::none(), 7).run_to_report();
+/// assert!(report.overall_delivery() > 0.9, "healthy system delivers");
+/// # Ok::<(), bar_gossip::config::ConfigError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct BarGossipSim {
+    cfg: BarGossipConfig,
+    plan: AttackPlan,
+    nodes: Vec<NodeState>,
+    /// Every update released (the reference window).
+    full: WindowSet,
+    /// Ideal-attack pooled seeds (the out-of-band channel).
+    pool: WindowSet,
+    schedule: PartnerSchedule,
+    rng: DetRng,
+    authority: Authority,
+    meter: BandwidthMeter,
+    trace: TraceBuffer,
+    round: Round,
+    /// delivered[class] / totals[class] over expired measured rounds.
+    delivered: [u64; 3],
+    totals: [u64; 3],
+    attacker_union_delivered: u64,
+    attacker_union_total: u64,
+    /// Distinct reporters per node (report-and-evict defense).
+    reporters: Vec<std::collections::BTreeSet<NodeId>>,
+    evictions: u32,
+    isolated_series: Vec<(Round, f64)>,
+    /// Incoming interactions served this round, per node, per protocol.
+    served_balanced: Vec<u32>,
+    served_push: Vec<u32>,
+    /// Nodes being fed "sufficiently rapidly" by the Observation 3.1
+    /// harness: they receive each new batch the instant it is released.
+    fed: std::collections::BTreeSet<NodeId>,
+    /// Per-node delivered updates over measured expired rounds.
+    node_delivered: Vec<u64>,
+    /// Per-node count of measured rounds below the usability threshold.
+    node_unusable_rounds: Vec<u32>,
+    /// Measured expired rounds so far.
+    measured_rounds: u32,
+}
+
+fn class_idx(class: NodeClass) -> usize {
+    match class {
+        NodeClass::Isolated => 0,
+        NodeClass::Satiated => 1,
+        NodeClass::Attacker => 2,
+    }
+}
+
+impl BarGossipSim {
+    /// Build a simulator for `cfg` under `plan`, deterministic in `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails validation (use the builder, which validates).
+    pub fn new(cfg: BarGossipConfig, plan: AttackPlan, seed: u64) -> Self {
+        cfg.validate().expect("invalid BarGossipConfig");
+        let n = cfg.nodes;
+        let rng = DetRng::seed_from(seed).fork("bar-gossip");
+
+        // Assign attacker nodes, then satiated targets among the honest.
+        let mut assign_rng = rng.fork("assignment");
+        let attacker_count = plan.attacker_count(n) as usize;
+        let mut classes = vec![NodeClass::Isolated; n as usize];
+        let attacker_picks = assign_rng.sample_indices(n as usize, attacker_count);
+        for &i in &attacker_picks {
+            classes[i] = NodeClass::Attacker;
+        }
+        let honest: Vec<usize> = (0..n as usize)
+            .filter(|&i| classes[i] != NodeClass::Attacker)
+            .collect();
+        let satiated_count = (plan.satiated_honest_count(n) as usize).min(honest.len());
+        for &hi in assign_rng
+            .sample_indices(honest.len(), satiated_count)
+            .iter()
+        {
+            classes[honest[hi]] = NodeClass::Satiated;
+        }
+
+        // Obedient reporters among honest nodes (only used by the report
+        // defense, but assigned unconditionally for determinism).
+        let mut obedient = vec![false; n as usize];
+        if let Some(report) = &cfg.defenses.report {
+            let k = ((honest.len() as f64) * report.obedient_fraction).round() as usize;
+            for &hi in assign_rng.sample_indices(honest.len(), k.min(honest.len())).iter() {
+                obedient[honest[hi]] = true;
+            }
+        }
+
+        let window = WindowSet::new(cfg.updates_per_round, cfg.update_lifetime);
+        let nodes: Vec<NodeState> = (0..n as usize)
+            .map(|i| NodeState {
+                window: window.clone(),
+                class: classes[i],
+                target: classes[i] == NodeClass::Satiated,
+                obedient: obedient[i],
+                evicted: false,
+            })
+            .collect();
+
+        BarGossipSim {
+            full: window.clone(),
+            pool: window,
+            schedule: PartnerSchedule::new(rng.fork("schedule").next_u64(), n),
+            authority: Authority::new(rng.fork("authority").next_u64(), n),
+            meter: BandwidthMeter::new(n),
+            trace: TraceBuffer::disabled(),
+            round: 0,
+            delivered: [0; 3],
+            totals: [0; 3],
+            attacker_union_delivered: 0,
+            attacker_union_total: 0,
+            reporters: vec![std::collections::BTreeSet::new(); n as usize],
+            evictions: 0,
+            isolated_series: Vec::new(),
+            served_balanced: vec![0; n as usize],
+            served_push: vec![0; n as usize],
+            fed: std::collections::BTreeSet::new(),
+            node_delivered: vec![0; n as usize],
+            node_unusable_rounds: vec![0; n as usize],
+            measured_rounds: 0,
+            cfg,
+            plan,
+            nodes,
+            rng,
+        }
+    }
+
+    /// Enable event tracing with the given buffer capacity.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = TraceBuffer::new(capacity);
+    }
+
+    /// The trace buffer (disabled by default).
+    pub fn trace(&self) -> &TraceBuffer {
+        &self.trace
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &BarGossipConfig {
+        &self.cfg
+    }
+
+    /// The attack plan in force.
+    pub fn plan(&self) -> &AttackPlan {
+        &self.plan
+    }
+
+    /// Metric class of `node`.
+    pub fn class_of(&self, node: NodeId) -> NodeClass {
+        self.nodes[node.index()].class
+    }
+
+    /// Whether `node` has been evicted by the report defense.
+    pub fn is_evicted(&self, node: NodeId) -> bool {
+        self.nodes[node.index()].evicted
+    }
+
+    /// Bandwidth meter (units = updates/junk items).
+    pub fn meter(&self) -> &BandwidthMeter {
+        &self.meter
+    }
+
+    fn is_attacker(&self, node: NodeId) -> bool {
+        self.nodes[node.index()].class == NodeClass::Attacker
+    }
+
+    fn alive(&self, node: NodeId) -> bool {
+        !self.nodes[node.index()].evicted
+    }
+
+    /// Honest responders serve at most `responder_cap` incoming
+    /// interactions per protocol per round; attackers accept everything.
+    fn responder_accepts(&mut self, node: NodeId, push: bool) -> bool {
+        if self.is_attacker(node) {
+            return true;
+        }
+        let cap = self.cfg.responder_cap.map_or(u32::MAX, |c| c);
+        let served = if push {
+            &mut self.served_push[node.index()]
+        } else {
+            &mut self.served_balanced[node.index()]
+        };
+        if *served >= cap {
+            false
+        } else {
+            *served += 1;
+            true
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Round phases.
+    // ------------------------------------------------------------------
+
+    /// Phase 0: account attacker union coverage for the round about to
+    /// expire (must run before the windows slide).
+    fn account_attacker_coverage(&mut self, t: Round) {
+        if !self.plan.kind.satiates() || t < u64::from(self.cfg.update_lifetime) {
+            return;
+        }
+        let r = t - u64::from(self.cfg.update_lifetime);
+        if !self.cfg.is_measured_round(r) {
+            return;
+        }
+        let mut union = 0u64;
+        for node in &self.nodes {
+            if node.class == NodeClass::Attacker {
+                union |= node.window.mask(r).unwrap_or(0);
+            }
+        }
+        // The ideal attack's pool also counts (it is what gets forwarded).
+        if self.plan.kind == AttackKind::IdealLotusEater {
+            union |= self.pool.mask(r).unwrap_or(0);
+        }
+        self.attacker_union_delivered += u64::from(union.count_ones());
+        self.attacker_union_total += u64::from(self.cfg.updates_per_round);
+    }
+
+    /// Phase 1: slide windows; account expired (measured) rounds.
+    fn advance_windows(&mut self, t: Round) {
+        let popped_full = self.full.advance(t);
+        let _ = self.pool.advance(t);
+        if let Some((expired_round, full_mask)) = popped_full {
+            let measured = self.cfg.is_measured_round(expired_round);
+            let total = u64::from(full_mask.count_ones());
+            let mut class_delivered = [0u64; 3];
+            let mut class_nodes = [0u64; 3];
+            let usable_floor = self.cfg.usability_threshold;
+            for (i, node) in self.nodes.iter_mut().enumerate() {
+                let popped = node.window.advance(t);
+                if !measured {
+                    continue;
+                }
+                let (r, mask) = popped.expect("all windows advance in lockstep");
+                debug_assert_eq!(r, expired_round);
+                let ci = class_idx(node.class);
+                let got = u64::from((mask & full_mask).count_ones());
+                class_delivered[ci] += got;
+                class_nodes[ci] += 1;
+                if node.class != NodeClass::Attacker {
+                    self.node_delivered[i] += got;
+                    if total > 0 && (got as f64 / total as f64) <= usable_floor {
+                        self.node_unusable_rounds[i] += 1;
+                    }
+                }
+            }
+            if measured {
+                self.measured_rounds += 1;
+                for ci in 0..3 {
+                    self.delivered[ci] += class_delivered[ci];
+                    self.totals[ci] += total * class_nodes[ci];
+                }
+                let iso = if class_nodes[0] * total > 0 {
+                    class_delivered[0] as f64 / (class_nodes[0] * total) as f64
+                } else {
+                    0.0
+                };
+                self.isolated_series.push((expired_round, iso));
+            }
+            return;
+        }
+        // No expiry yet: still advance node windows in lockstep.
+        for node in &mut self.nodes {
+            let _ = node.window.advance(t);
+        }
+    }
+
+    /// Phase 2: broadcaster releases and seeds the new batch.
+    fn seed_round(&mut self, t: Round) {
+        let alive: Vec<usize> = (0..self.nodes.len())
+            .filter(|&i| !self.nodes[i].evicted)
+            .collect();
+        let copies = (self.cfg.copies_seeded as usize).min(alive.len());
+        let mut seed_rng = self.rng.fork_idx("seeding", t);
+        for slot in 0..self.cfg.updates_per_round {
+            let id = UpdateId { round: t, slot };
+            self.full.insert(id);
+            for pick in seed_rng.sample_indices(alive.len(), copies) {
+                let i = alive[pick];
+                self.nodes[i].window.insert(id);
+                if self.nodes[i].class == NodeClass::Attacker
+                    && self.plan.kind == AttackKind::IdealLotusEater
+                {
+                    self.pool.insert(id);
+                }
+            }
+        }
+    }
+
+    /// Phase 3 (ideal attack only): instant out-of-band forwarding of the
+    /// attacker pool to every satiated-set node.
+    fn ideal_forwarding(&mut self) {
+        if self.plan.kind != AttackKind::IdealLotusEater {
+            return;
+        }
+        // Representative attacker for bandwidth attribution.
+        let Some(rep) = (0..self.nodes.len())
+            .find(|&i| self.nodes[i].class == NodeClass::Attacker && !self.nodes[i].evicted)
+        else {
+            return;
+        };
+        let pool = self.pool.clone();
+        for i in 0..self.nodes.len() {
+            let node = &mut self.nodes[i];
+            if !node.target || node.evicted {
+                continue;
+            }
+            let gained = node.window.missing_from(&pool) as u64;
+            if gained > 0 {
+                node.window.union_with(&pool);
+                self.meter
+                    .transfer(NodeId(rep as u32), NodeId(i as u32), MsgClass::Payload, gained);
+            }
+        }
+    }
+
+    /// A trade-attack gift: `attacker` gives `target` everything *it*
+    /// holds that the target lacks (rate limit permitting); the target
+    /// reciprocates protocol-style with up to the same number of updates
+    /// when `attacker_receives` is on. Obedient targets detect the
+    /// excessive service and file a signed report.
+    ///
+    /// `push_slot` selects the excess bound: in a push interaction service
+    /// up to `push_size` is protocol-legal.
+    fn attacker_gift(&mut self, attacker: NodeId, target: NodeId, now: Round, push_slot: bool) {
+        let cap = self
+            .cfg
+            .defenses
+            .rate_limit
+            .map_or(usize::MAX, |c| c as usize);
+        let gift = self.nodes[target.index()].window.wanted_from(
+            &self.nodes[attacker.index()].window,
+            now,
+            cap,
+            0,
+            u32::MAX,
+        );
+        if gift.is_empty() {
+            return;
+        }
+        let returned = if self.cfg.attacker_receives {
+            self.nodes[attacker.index()].window.wanted_from(
+                &self.nodes[target.index()].window,
+                now,
+                gift.len(),
+                0,
+                u32::MAX,
+            )
+        } else {
+            Vec::new()
+        };
+        for &id in &gift {
+            self.nodes[target.index()].window.insert(id);
+        }
+        for &id in &returned {
+            self.nodes[attacker.index()].window.insert(id);
+        }
+        self.meter
+            .transfer(attacker, target, MsgClass::Payload, gift.len() as u64);
+        self.meter
+            .transfer(target, attacker, MsgClass::Payload, returned.len() as u64);
+        self.trace.emit(
+            now,
+            target,
+            EventKind::Attack,
+            format!("gift of {} from {attacker}", gift.len()),
+        );
+
+        if let Some(report) = self.cfg.defenses.report {
+            // In a push slot, service up to push_size is protocol-legal;
+            // in a balanced slot only reciprocity (+slack) is.
+            let effective_received = if push_slot {
+                returned.len().max(self.cfg.push_size as usize)
+            } else {
+                returned.len()
+            };
+            if is_excessive_service(gift.len(), effective_received, report.excess_slack)
+                && self.nodes[target.index()].obedient
+            {
+                self.file_report(target, attacker, now, gift.len() as u64);
+            }
+        }
+    }
+
+    /// Colluding attacker nodes synchronise fully when the schedule pairs
+    /// them — the only in-protocol pooling the trade attack gets.
+    fn attacker_sync(&mut self, a: NodeId, b: NodeId) {
+        let wa = self.nodes[a.index()].window.clone();
+        let gained_b = self.nodes[b.index()].window.missing_from(&wa) as u64;
+        let wb = self.nodes[b.index()].window.clone();
+        let gained_a = self.nodes[a.index()].window.missing_from(&wb) as u64;
+        self.nodes[b.index()].window.union_with(&wa);
+        self.nodes[a.index()].window.union_with(&wb);
+        if gained_b > 0 {
+            self.meter.transfer(a, b, MsgClass::Payload, gained_b);
+        }
+        if gained_a > 0 {
+            self.meter.transfer(b, a, MsgClass::Payload, gained_a);
+        }
+    }
+
+    /// File a signed excess-service report; evict on quorum.
+    fn file_report(&mut self, reporter: NodeId, reported: NodeId, now: Round, amount: u64) {
+        let report_cfg = self
+            .cfg
+            .defenses
+            .report
+            .expect("file_report requires the report defense");
+        // Evidence: the reporter signs (reported, round, amount); the
+        // tracker verifies before accepting. With the simulated authority
+        // this always verifies, but the flow matches the real protocol.
+        let evidence = self.authority.sign(reporter, (reported, now, amount));
+        if self.authority.verify(&evidence).is_err() {
+            return; // forged evidence is dropped
+        }
+        self.trace.emit(
+            now,
+            reported,
+            EventKind::Report,
+            format!("excess service reported by {reporter}"),
+        );
+        let set = &mut self.reporters[reported.index()];
+        set.insert(reporter);
+        if set.len() as u32 >= report_cfg.quorum && !self.nodes[reported.index()].evicted {
+            self.nodes[reported.index()].evicted = true;
+            self.evictions += 1;
+            self.trace
+                .emit(now, reported, EventKind::Evict, "evicted on report quorum");
+        }
+    }
+
+    /// Rotate the satiated target set (when the plan asks for it): the
+    /// target window slides over the honest population so every node takes
+    /// turns being satiated — and, in between, isolated.
+    fn rotate_targets(&mut self, t: Round) {
+        let Some(period) = self.plan.rotation_period else {
+            return;
+        };
+        if !self.plan.kind.satiates() || !t.is_multiple_of(period) {
+            return;
+        }
+        let honest: Vec<usize> = (0..self.nodes.len())
+            .filter(|&i| self.nodes[i].class != NodeClass::Attacker)
+            .collect();
+        if honest.is_empty() {
+            return;
+        }
+        let count = (self.plan.satiated_honest_count(self.nodes.len() as u32) as usize)
+            .min(honest.len());
+        let offset = ((t / period) as usize).wrapping_mul(count) % honest.len();
+        for node in self.nodes.iter_mut() {
+            node.target = false;
+        }
+        for k in 0..count {
+            let idx = honest[(offset + k) % honest.len()];
+            self.nodes[idx].target = true;
+        }
+    }
+
+    /// Interaction order for a round: all nodes, shuffled so responder
+    /// capacity is not biased toward low node ids.
+    fn round_order(&mut self, t: Round, label: &str) -> Vec<NodeId> {
+        let mut order: Vec<NodeId> = NodeId::all(self.nodes.len() as u32).collect();
+        self.rng.fork_idx(label, t).shuffle(&mut order);
+        order
+    }
+
+    /// Phase 4: balanced exchanges.
+    fn balanced_phase(&mut self, t: Round) {
+        self.served_balanced.fill(0);
+        for v in self.round_order(t, "balanced-order") {
+            if !self.alive(v) {
+                continue;
+            }
+            let p = self.schedule.partner_of(v, t, Protocol::BalancedExchange);
+            if !self.alive(p) {
+                continue;
+            }
+            match (self.nodes[v.index()].class, self.nodes[p.index()].class) {
+                (NodeClass::Attacker, NodeClass::Attacker) => {
+                    if self.plan.kind == AttackKind::TradeLotusEater {
+                        self.attacker_sync(v, p);
+                    }
+                }
+                (NodeClass::Attacker, _) => {
+                    if self.plan.kind == AttackKind::TradeLotusEater
+                        && self.nodes[p.index()].target
+                        && self.responder_accepts(p, false)
+                    {
+                        self.attacker_gift(v, p, t, false);
+                    }
+                    // Crash/ideal attackers never initiate.
+                }
+                (_, NodeClass::Attacker) => {
+                    if self.plan.kind == AttackKind::TradeLotusEater
+                        && self.nodes[v.index()].target
+                    {
+                        // The scheduled exchange gives the attacker an
+                        // interaction; it responds by gifting.
+                        self.attacker_gift(p, v, t, false);
+                    }
+                    // Otherwise the exchange fails: the initiator's slot is
+                    // wasted (exactly the crash attack's damage).
+                }
+                (_, _) => {
+                    if !self.responder_accepts(p, false) {
+                        continue; // responder at capacity: initiation wasted
+                    }
+                    let out = balanced_exchange(
+                        &self.nodes[v.index()].window,
+                        &self.nodes[p.index()].window,
+                        t,
+                        self.cfg.defenses.unbalanced_exchanges,
+                        self.cfg.defenses.rate_limit,
+                    );
+                    for &id in &out.to_initiator {
+                        self.nodes[v.index()].window.insert(id);
+                    }
+                    for &id in &out.to_responder {
+                        self.nodes[p.index()].window.insert(id);
+                    }
+                    self.meter
+                        .transfer(p, v, MsgClass::Payload, out.to_initiator.len() as u64);
+                    self.meter
+                        .transfer(v, p, MsgClass::Payload, out.to_responder.len() as u64);
+                }
+            }
+        }
+    }
+
+    /// Phase 5: optimistic pushes.
+    fn push_phase(&mut self, t: Round) {
+        self.served_push.fill(0);
+        for v in self.round_order(t, "push-order") {
+            if !self.alive(v) {
+                continue;
+            }
+            if self.is_attacker(v) {
+                if self.plan.kind == AttackKind::TradeLotusEater {
+                    let p = self.schedule.partner_of(v, t, Protocol::OptimisticPush);
+                    if self.alive(p) {
+                        if self.nodes[p.index()].class == NodeClass::Attacker {
+                            self.attacker_sync(v, p);
+                        } else if self.nodes[p.index()].target
+                            && self.responder_accepts(p, true)
+                        {
+                            self.attacker_gift(v, p, t, true);
+                        }
+                    }
+                }
+                continue;
+            }
+            // Rational initiation condition: only when missing old updates.
+            if !wants_push(&self.nodes[v.index()].window, &self.full, t, self.cfg.old_age) {
+                continue;
+            }
+            let p = self.schedule.partner_of(v, t, Protocol::OptimisticPush);
+            if !self.alive(p) {
+                continue;
+            }
+            if self.is_attacker(p) {
+                if self.plan.kind == AttackKind::TradeLotusEater
+                    && self.nodes[v.index()].target
+                {
+                    self.attacker_gift(p, v, t, true);
+                }
+                continue;
+            }
+            if !self.responder_accepts(p, true) {
+                continue;
+            }
+            let out = optimistic_push(
+                &self.nodes[v.index()].window,
+                &self.nodes[p.index()].window,
+                t,
+                self.cfg.push_size,
+                self.cfg.old_age,
+                self.cfg.recent_age,
+                self.cfg.defenses.rate_limit,
+            );
+            if out.is_empty() {
+                continue;
+            }
+            for &id in &out.to_responder {
+                self.nodes[p.index()].window.insert(id);
+            }
+            for &id in &out.useful_to_initiator {
+                self.nodes[v.index()].window.insert(id);
+            }
+            self.meter
+                .transfer(v, p, MsgClass::Payload, out.to_responder.len() as u64);
+            self.meter
+                .transfer(p, v, MsgClass::Payload, out.useful_to_initiator.len() as u64);
+            if out.junk_to_initiator > 0 {
+                self.meter
+                    .transfer(p, v, MsgClass::Junk, u64::from(out.junk_to_initiator));
+            }
+        }
+    }
+
+    /// Run the configured horizon and produce the report.
+    pub fn run_to_report(mut self) -> BarGossipReport {
+        let total = self.cfg.total_rounds();
+        while self.round < total {
+            let t = self.round;
+            self.round(t);
+        }
+        self.report()
+    }
+
+    /// Snapshot the report for the rounds executed so far.
+    pub fn report(&self) -> BarGossipReport {
+        let frac = |ci: usize| -> f64 {
+            if self.totals[ci] == 0 {
+                0.0
+            } else {
+                self.delivered[ci] as f64 / self.totals[ci] as f64
+            }
+        };
+        let honest_delivered = self.delivered[0] + self.delivered[1];
+        let honest_total = self.totals[0] + self.totals[1];
+        let mut counts = ClassCounts::default();
+        for node in &self.nodes {
+            match node.class {
+                NodeClass::Isolated => counts.isolated += 1,
+                NodeClass::Satiated => counts.satiated += 1,
+                NodeClass::Attacker => counts.attacker += 1,
+            }
+        }
+        let attacker_nodes: Vec<NodeId> = NodeId::all(self.nodes.len() as u32)
+            .filter(|&v| self.is_attacker(v))
+            .collect();
+        let honest_nodes: Vec<NodeId> = NodeId::all(self.nodes.len() as u32)
+            .filter(|&v| !self.is_attacker(v))
+            .collect();
+        BarGossipReport {
+            rounds: self.round,
+            delivery: ClassDelivery {
+                isolated: frac(0),
+                satiated: frac(1),
+                overall: if honest_total == 0 {
+                    0.0
+                } else {
+                    honest_delivered as f64 / honest_total as f64
+                },
+            },
+            attacker_coverage: if self.attacker_union_total == 0 {
+                0.0
+            } else {
+                self.attacker_union_delivered as f64 / self.attacker_union_total as f64
+            },
+            counts,
+            evictions: self.evictions,
+            junk_fraction: self.meter.junk_fraction(),
+            mean_attacker_upload: self.meter.mean_uploaded(attacker_nodes.iter().copied()),
+            mean_honest_upload: self.meter.mean_uploaded(honest_nodes.iter().copied()),
+            isolated_series: self.isolated_series.clone(),
+            usability_threshold: self.cfg.usability_threshold,
+            min_node_delivery: {
+                let per_round_total =
+                    u64::from(self.cfg.updates_per_round) * u64::from(self.measured_rounds);
+                if per_round_total == 0 {
+                    0.0
+                } else {
+                    honest_nodes
+                        .iter()
+                        .map(|v| self.node_delivered[v.index()] as f64 / per_round_total as f64)
+                        .fold(f64::INFINITY, f64::min)
+                        .min(1.0)
+                }
+            },
+            nodes_ever_unusable: {
+                if honest_nodes.is_empty() {
+                    0.0
+                } else {
+                    honest_nodes
+                        .iter()
+                        .filter(|v| self.node_unusable_rounds[v.index()] > 0)
+                        .count() as f64
+                        / honest_nodes.len() as f64
+                }
+            },
+            unusable_node_rounds: {
+                let samples = honest_nodes.len() as u64 * u64::from(self.measured_rounds);
+                if samples == 0 {
+                    0.0
+                } else {
+                    honest_nodes
+                        .iter()
+                        .map(|v| u64::from(self.node_unusable_rounds[v.index()]))
+                        .sum::<u64>() as f64
+                        / samples as f64
+                }
+            },
+        }
+    }
+}
+
+impl RoundSim for BarGossipSim {
+    fn round(&mut self, t: Round) {
+        debug_assert_eq!(t, self.round, "rounds must be sequential");
+        self.account_attacker_coverage(t);
+        self.rotate_targets(t);
+        self.advance_windows(t);
+        self.seed_round(t);
+        // Observation 3.1 harness: fed nodes receive the new batch the
+        // moment it is released — "sufficiently rapidly" taken literally.
+        if !self.fed.is_empty() {
+            let full = self.full.clone();
+            let fed = std::mem::take(&mut self.fed);
+            for node in fed {
+                self.nodes[node.index()].window.union_with(&full);
+            }
+        }
+        self.ideal_forwarding();
+        self.balanced_phase(t);
+        self.push_phase(t);
+        self.round = t + 1;
+    }
+
+    fn rounds_run(&self) -> Round {
+        self.round
+    }
+}
+
+impl lotus_core::satiation::Feedable for BarGossipSim {
+    /// Hand the node every live update instantly, *including* the batch
+    /// the broadcaster will release in the coming round (the attacker's
+    /// power in the limit, as Observation 3.1 assumes).
+    fn feed_fully(&mut self, node: NodeId) {
+        let full = self.full.clone();
+        self.nodes[node.index()].window.union_with(&full);
+        self.fed.insert(node);
+    }
+
+    fn step(&mut self) {
+        let t = self.round;
+        self.round(t);
+    }
+}
+
+impl lotus_core::satiation::Satiable for BarGossipSim {
+    fn node_count(&self) -> u32 {
+        self.nodes.len() as u32
+    }
+
+    /// A node is satiated when it holds every live update.
+    fn is_satiated(&self, node: NodeId) -> bool {
+        self.nodes[node.index()].window.missing_from(&self.full) == 0
+    }
+
+    fn service_provided(&self, node: NodeId) -> u64 {
+        self.meter.uploaded_class(node, MsgClass::Payload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lotus_core::satiation::Satiable;
+
+    fn small_cfg() -> BarGossipConfig {
+        BarGossipConfig::builder()
+            .nodes(60)
+            .updates_per_round(4)
+            .update_lifetime(8)
+            .copies_seeded(6)
+            .rounds(20)
+            .warmup_rounds(8)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn healthy_system_delivers_nearly_everything() {
+        let report = BarGossipSim::new(small_cfg(), AttackPlan::none(), 1).run_to_report();
+        assert!(
+            report.overall_delivery() > 0.95,
+            "unattacked delivery was {}",
+            report.overall_delivery()
+        );
+        assert_eq!(report.counts.attacker, 0);
+        assert_eq!(report.counts.satiated, 0);
+        assert!(report.isolated_usable());
+        assert_eq!(report.evictions, 0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = BarGossipSim::new(small_cfg(), AttackPlan::crash(0.2), 5).run_to_report();
+        let b = BarGossipSim::new(small_cfg(), AttackPlan::crash(0.2), 5).run_to_report();
+        assert_eq!(a, b);
+        let c = BarGossipSim::new(small_cfg(), AttackPlan::crash(0.2), 6).run_to_report();
+        assert_ne!(a.delivery, c.delivery);
+    }
+
+    #[test]
+    fn crash_attack_degrades_delivery_monotonically_ish() {
+        let d0 = BarGossipSim::new(small_cfg(), AttackPlan::none(), 3)
+            .run_to_report()
+            .overall_delivery();
+        let d50 = BarGossipSim::new(small_cfg(), AttackPlan::crash(0.5), 3)
+            .run_to_report()
+            .isolated_delivery();
+        let d90 = BarGossipSim::new(small_cfg(), AttackPlan::crash(0.9), 3)
+            .run_to_report()
+            .isolated_delivery();
+        assert!(d50 < d0, "50% crash must hurt: {d50} vs {d0}");
+        assert!(d90 < d50, "90% crash must hurt more: {d90} vs {d50}");
+        assert!(d90 < 0.5, "90% crash should cripple the system");
+    }
+
+    #[test]
+    fn trade_attack_starves_isolated_and_feeds_satiated() {
+        let report =
+            BarGossipSim::new(small_cfg(), AttackPlan::trade_lotus_eater(0.3, 0.7), 4)
+                .run_to_report();
+        assert!(
+            report.satiated_delivery() > 0.9,
+            "satiated nodes get near-perfect service, got {}",
+            report.satiated_delivery()
+        );
+        assert!(
+            report.isolated_delivery() < report.satiated_delivery(),
+            "isolated starve relative to satiated"
+        );
+        assert!(report.mean_attacker_upload > 0.0, "trade attack costs bandwidth");
+    }
+
+    #[test]
+    fn ideal_attack_beats_trade_when_attacker_is_small() {
+        // The ideal attack's edge is at *low* attacker fractions: the trade
+        // attacker is starved of scheduled interactions while the ideal
+        // attacker forwards out-of-band to everyone (paper Figure 1: ideal
+        // breaks the system at ~4%, trade needs ~22%).
+        let ideal =
+            BarGossipSim::new(small_cfg(), AttackPlan::ideal_lotus_eater(0.05, 0.7), 4)
+                .run_to_report();
+        let trade =
+            BarGossipSim::new(small_cfg(), AttackPlan::trade_lotus_eater(0.05, 0.7), 4)
+                .run_to_report();
+        assert!(
+            ideal.isolated_delivery() <= trade.isolated_delivery() + 0.02,
+            "ideal ({}) should hit at least as hard as trade ({}) at 5%",
+            ideal.isolated_delivery(),
+            trade.isolated_delivery()
+        );
+    }
+
+    #[test]
+    fn ideal_attacker_holds_partial_coverage() {
+        let report =
+            BarGossipSim::new(small_cfg(), AttackPlan::ideal_lotus_eater(0.05, 0.7), 2)
+                .run_to_report();
+        assert!(
+            report.attacker_coverage > 0.05 && report.attacker_coverage < 0.9,
+            "a small attacker holds partial coverage, got {}",
+            report.attacker_coverage
+        );
+    }
+
+    #[test]
+    fn crash_attack_needs_no_bandwidth() {
+        let report = BarGossipSim::new(small_cfg(), AttackPlan::crash(0.3), 2).run_to_report();
+        assert_eq!(report.mean_attacker_upload, 0.0);
+        assert_eq!(report.attacker_coverage, 0.0, "crash attack has no coverage metric");
+    }
+
+    #[test]
+    fn satiable_interface_reports_satiated_nodes() {
+        let mut sim =
+            BarGossipSim::new(small_cfg(), AttackPlan::ideal_lotus_eater(0.2, 0.7), 9);
+        for t in 0..20 {
+            sim.round(t);
+        }
+        // Some satiated-class node should hold every live update.
+        let n = sim.node_count();
+        let full_holders = NodeId::all(n)
+            .filter(|&v| sim.class_of(v) == NodeClass::Satiated && sim.is_satiated(v))
+            .count();
+        assert!(full_holders > 0, "ideal attack satiates targets");
+    }
+
+    #[test]
+    fn report_defense_evicts_trade_attackers() {
+        let cfg = BarGossipConfig::builder()
+            .nodes(60)
+            .updates_per_round(4)
+            .update_lifetime(8)
+            .copies_seeded(6)
+            .rounds(20)
+            .warmup_rounds(8)
+            .report_defense(crate::config::ReportConfig {
+                obedient_fraction: 1.0,
+                quorum: 2,
+                excess_slack: 1,
+            })
+            .build()
+            .unwrap();
+        let report =
+            BarGossipSim::new(cfg, AttackPlan::trade_lotus_eater(0.2, 0.7), 3).run_to_report();
+        assert!(report.evictions > 0, "attackers should be evicted");
+    }
+
+    #[test]
+    fn report_defense_never_evicts_honest_nodes() {
+        let cfg = BarGossipConfig::builder()
+            .nodes(50)
+            .updates_per_round(4)
+            .update_lifetime(8)
+            .copies_seeded(6)
+            .rounds(15)
+            .warmup_rounds(8)
+            .unbalanced_exchanges(true)
+            .report_defense(crate::config::ReportConfig {
+                obedient_fraction: 1.0,
+                quorum: 1,
+                excess_slack: 1,
+            })
+            .build()
+            .unwrap();
+        let report = BarGossipSim::new(cfg, AttackPlan::none(), 3).run_to_report();
+        assert_eq!(report.evictions, 0, "honest protocol traffic is never excessive");
+    }
+
+    #[test]
+    fn rate_limit_blunts_trade_attack() {
+        let attack = AttackPlan::trade_lotus_eater(0.25, 0.7);
+        let open = BarGossipSim::new(small_cfg(), attack, 6).run_to_report();
+        let mut limited_cfg = small_cfg();
+        limited_cfg.defenses.rate_limit = Some(2);
+        let limited = BarGossipSim::new(limited_cfg, attack, 6).run_to_report();
+        assert!(
+            limited.isolated_delivery() >= open.isolated_delivery() - 0.02,
+            "rate limiting should not make isolated nodes worse off: {} vs {}",
+            limited.isolated_delivery(),
+            open.isolated_delivery()
+        );
+        assert!(
+            limited.satiated_delivery() <= open.satiated_delivery() + 1e-9,
+            "rate limiting slows satiation"
+        );
+    }
+
+    #[test]
+    fn series_covers_measured_rounds() {
+        let cfg = small_cfg();
+        let expected = cfg.rounds as usize;
+        let report = BarGossipSim::new(cfg, AttackPlan::none(), 1).run_to_report();
+        assert_eq!(report.isolated_series.len(), expected);
+        for (r, frac) in &report.isolated_series {
+            assert!(*frac >= 0.0 && *frac <= 1.0);
+            assert!(*r >= 8, "warmup rounds excluded");
+        }
+    }
+
+    #[test]
+    fn trace_records_attack_events() {
+        let mut sim =
+            BarGossipSim::new(small_cfg(), AttackPlan::trade_lotus_eater(0.3, 0.7), 8);
+        sim.enable_trace(10_000);
+        for t in 0..10 {
+            sim.round(t);
+        }
+        assert!(sim.trace().of_kind(EventKind::Attack).count() > 0);
+    }
+
+    #[test]
+    fn attacker_receives_flag_controls_pool_growth() {
+        let mut cfg = small_cfg();
+        cfg.attacker_receives = false;
+        let no_recv =
+            BarGossipSim::new(cfg, AttackPlan::trade_lotus_eater(0.2, 0.7), 5).run_to_report();
+        let recv = BarGossipSim::new(small_cfg(), AttackPlan::trade_lotus_eater(0.2, 0.7), 5)
+            .run_to_report();
+        assert!(
+            recv.attacker_coverage >= no_recv.attacker_coverage,
+            "receiving can only grow attacker coverage: {} vs {}",
+            recv.attacker_coverage,
+            no_recv.attacker_coverage
+        );
+    }
+
+    #[test]
+    fn slow_rotation_spreads_the_pain() {
+        // Rotation periods comparable to the update lifetime spread the
+        // outage across the population (X11). Fast rotation backfires:
+        // the attacker refills rotated-in nodes before their missed
+        // updates expire, effectively healing them.
+        let static_plan = AttackPlan::trade_lotus_eater(0.3, 0.7);
+        let rotating = static_plan.with_rotation(16); // 2x the lifetime
+        let fixed = BarGossipSim::new(small_cfg(), static_plan, 12).run_to_report();
+        let rotated = BarGossipSim::new(small_cfg(), rotating, 12).run_to_report();
+        assert!(
+            rotated.nodes_ever_unusable >= fixed.nodes_ever_unusable,
+            "slow rotation must touch at least as many nodes: {} vs {}",
+            rotated.nodes_ever_unusable,
+            fixed.nodes_ever_unusable
+        );
+    }
+
+    #[test]
+    fn per_node_metrics_are_sane() {
+        let report =
+            BarGossipSim::new(small_cfg(), AttackPlan::trade_lotus_eater(0.3, 0.7), 3)
+                .run_to_report();
+        assert!(report.min_node_delivery >= 0.0 && report.min_node_delivery <= 1.0);
+        assert!(report.min_node_delivery <= report.overall_delivery() + 1e-9);
+        assert!(report.nodes_ever_unusable >= 0.0 && report.nodes_ever_unusable <= 1.0);
+        assert!(report.unusable_node_rounds <= report.nodes_ever_unusable + 1e-9,
+            "a node-round sample fraction cannot exceed the ever-unusable fraction");
+    }
+
+    #[test]
+    fn clean_run_has_no_unusable_nodes() {
+        let report = BarGossipSim::new(small_cfg(), AttackPlan::none(), 2).run_to_report();
+        assert!(
+            report.unusable_node_rounds < 0.2,
+            "healthy system rarely dips below threshold, got {}",
+            report.unusable_node_rounds
+        );
+        assert!(report.min_node_delivery > 0.8);
+    }
+
+    #[test]
+    fn responder_cap_bounds_incoming_service() {
+        // With a cap of 1 an honest node serves at most one incoming
+        // balanced exchange per round; with no cap it may serve several.
+        let mut capped_cfg = small_cfg();
+        capped_cfg.responder_cap = Some(1);
+        let mut open_cfg = small_cfg();
+        open_cfg.responder_cap = None;
+        let capped = BarGossipSim::new(capped_cfg, AttackPlan::none(), 11).run_to_report();
+        let open = BarGossipSim::new(open_cfg, AttackPlan::none(), 11).run_to_report();
+        assert!(
+            open.mean_honest_upload >= capped.mean_honest_upload,
+            "uncapped responders serve at least as much: {} vs {}",
+            open.mean_honest_upload,
+            capped.mean_honest_upload
+        );
+    }
+}

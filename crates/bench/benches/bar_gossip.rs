@@ -1,0 +1,47 @@
+//! Criterion benchmarks for the BAR Gossip simulator: per-round cost at
+//! Table-1 scale and full-run cost per attack kind (the unit of work
+//! behind every point of Figures 1-3).
+
+use bar_gossip::{AttackPlan, BarGossipConfig, BarGossipSim};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use netsim::round::RoundSim;
+use std::time::Duration;
+
+fn bench_round(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bar_gossip_round");
+    g.sample_size(20).measurement_time(Duration::from_secs(3));
+    let cfg = BarGossipConfig::default();
+    g.bench_function("table1_round", |b| {
+        b.iter_batched(
+            || BarGossipSim::new(cfg.clone(), AttackPlan::none(), 1),
+            |mut sim| {
+                for t in 0..5 {
+                    sim.round(t);
+                }
+                sim
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_full_runs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bar_gossip_full_run");
+    g.sample_size(10).measurement_time(Duration::from_secs(5));
+    let cfg = BarGossipConfig::default();
+    for (name, plan) in [
+        ("none", AttackPlan::none()),
+        ("crash_30", AttackPlan::crash(0.30)),
+        ("ideal_10", AttackPlan::ideal_lotus_eater(0.10, 0.70)),
+        ("trade_30", AttackPlan::trade_lotus_eater(0.30, 0.70)),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| BarGossipSim::new(cfg.clone(), plan, 1).run_to_report())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_round, bench_full_runs);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion benchmarks for the scrip economy: the unit of work behind
+//! experiments X4 and X5.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scrip_economy::{ScripAttack, ScripConfig, ScripSim};
+use std::time::Duration;
+
+fn bench_economy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scrip_economy");
+    g.sample_size(20).measurement_time(Duration::from_secs(3));
+    let base = ScripConfig::builder()
+        .agents(200)
+        .rounds(5_000)
+        .warmup(500)
+        .build()
+        .expect("valid config");
+    g.bench_function("healthy_5500_rounds", |b| {
+        b.iter(|| ScripSim::new(base.clone(), ScripAttack::None, 1).run_to_report())
+    });
+    g.bench_function("lotus_eater_5500_rounds", |b| {
+        b.iter(|| {
+            ScripSim::new(base.clone(), ScripAttack::lotus_eater(0.3, 0.5), 1).run_to_report()
+        })
+    });
+    let adaptive = ScripConfig::builder()
+        .agents(200)
+        .altruists(50)
+        .adaptive(true)
+        .rounds(5_000)
+        .warmup(500)
+        .build()
+        .expect("valid config");
+    g.bench_function("adaptive_altruists_5500_rounds", |b| {
+        b.iter(|| ScripSim::new(adaptive.clone(), ScripAttack::None, 1).run_to_report())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_economy);
+criterion_main!(benches);

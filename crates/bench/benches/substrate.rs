@@ -1,0 +1,121 @@
+//! Criterion benchmarks for the shared substrate: bitsets, update
+//! windows, graph construction, partner schedules and simulated
+//! signatures — the inner loops of every simulator.
+
+use bar_gossip::update::{UpdateId, WindowSet};
+use criterion::{criterion_group, criterion_main, Criterion};
+use lotus_core::bitset::BitSet;
+use netsim::graph::Graph;
+use netsim::partner::{PartnerSchedule, Protocol};
+use netsim::rng::DetRng;
+use netsim::sign::Authority;
+use netsim::NodeId;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_bitset(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bitset");
+    g.sample_size(50).measurement_time(Duration::from_secs(2));
+    let mut rng = DetRng::seed_from(1);
+    let a = BitSet::from_iter_with(4096, (0..2000).map(|_| rng.index(4096)));
+    let b = BitSet::from_iter_with(4096, (0..2000).map(|_| rng.index(4096)));
+    g.bench_function("union_4096", |bch| {
+        bch.iter(|| {
+            let mut x = a.clone();
+            x.union_with(black_box(&b));
+            x
+        })
+    });
+    g.bench_function("difference_count_4096", |bch| {
+        bch.iter(|| black_box(&a).difference_count(black_box(&b)))
+    });
+    g.bench_function("difference_first_n_4096", |bch| {
+        bch.iter(|| black_box(&a).difference_first_n(black_box(&b), 32))
+    });
+    g.finish();
+}
+
+fn bench_window(c: &mut Criterion) {
+    let mut g = c.benchmark_group("window");
+    g.sample_size(50).measurement_time(Duration::from_secs(2));
+    let mut w1 = WindowSet::new(10, 10);
+    let mut w2 = WindowSet::new(10, 10);
+    for t in 0..10 {
+        w1.advance(t);
+        w2.advance(t);
+    }
+    let mut rng = DetRng::seed_from(2);
+    for _ in 0..60 {
+        let id = UpdateId {
+            round: rng.range(10),
+            slot: rng.range(10) as u32,
+        };
+        if rng.chance(0.5) {
+            w1.insert(id);
+        } else {
+            w2.insert(id);
+        }
+    }
+    g.bench_function("wanted_from", |bch| {
+        bch.iter(|| black_box(&w1).wanted_from(black_box(&w2), 9, 16, 0, u32::MAX))
+    });
+    g.bench_function("missing_from", |bch| {
+        bch.iter(|| black_box(&w1).missing_from(black_box(&w2)))
+    });
+    g.finish();
+}
+
+fn bench_graph(c: &mut Criterion) {
+    let mut g = c.benchmark_group("graph");
+    g.sample_size(20).measurement_time(Duration::from_secs(3));
+    g.bench_function("erdos_renyi_500", |bch| {
+        bch.iter(|| {
+            let mut rng = DetRng::seed_from(3);
+            Graph::erdos_renyi(500, 0.02, &mut rng)
+        })
+    });
+    g.bench_function("barabasi_albert_500", |bch| {
+        bch.iter(|| {
+            let mut rng = DetRng::seed_from(4);
+            Graph::barabasi_albert(500, 3, &mut rng)
+        })
+    });
+    let mut rng = DetRng::seed_from(5);
+    let graph = Graph::erdos_renyi(500, 0.02, &mut rng);
+    g.bench_function("bfs_500", |bch| {
+        bch.iter(|| black_box(&graph).bfs_distances(NodeId(0)))
+    });
+    g.finish();
+}
+
+fn bench_partner_and_sign(c: &mut Criterion) {
+    let mut g = c.benchmark_group("partner_sign");
+    g.sample_size(50).measurement_time(Duration::from_secs(2));
+    let sched = PartnerSchedule::new(1, 250);
+    g.bench_function("partner_round_250", |bch| {
+        bch.iter(|| {
+            let mut acc = 0u64;
+            for (a, b) in sched.round_pairs(7, Protocol::BalancedExchange) {
+                acc = acc.wrapping_add(u64::from(a.0) ^ u64::from(b.0));
+            }
+            acc
+        })
+    });
+    let auth = Authority::new(9, 250);
+    g.bench_function("sign_verify", |bch| {
+        bch.iter(|| {
+            let s = auth.sign(NodeId(3), (NodeId(7), 12345u64));
+            auth.verify(black_box(&s))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_bitset,
+    bench_window,
+    bench_graph,
+    bench_partner_and_sign
+);
+criterion_main!(benches);

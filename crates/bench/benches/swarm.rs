@@ -1,0 +1,42 @@
+//! Criterion benchmarks for the BitTorrent swarm: the unit of work behind
+//! experiments X6 and X7.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use torrent_sim::{PiecePolicy, SwarmAttack, SwarmConfig, SwarmSim, TargetPolicy};
+
+fn bench_swarm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("swarm");
+    g.sample_size(15).measurement_time(Duration::from_secs(4));
+    let cfg = SwarmConfig::builder()
+        .leechers(40)
+        .pieces(64)
+        .build()
+        .expect("valid config");
+    g.bench_function("clean_swarm_to_completion", |b| {
+        b.iter(|| SwarmSim::new(cfg.clone(), SwarmAttack::none(), 1).run_to_report())
+    });
+    g.bench_function("satiation_attack_to_completion", |b| {
+        b.iter(|| {
+            SwarmSim::new(
+                cfg.clone(),
+                SwarmAttack::satiate(4, 8, 0.3, TargetPolicy::TopUploaders),
+                1,
+            )
+            .run_to_report()
+        })
+    });
+    let random = SwarmConfig::builder()
+        .leechers(40)
+        .pieces(64)
+        .piece_policy(PiecePolicy::Random)
+        .build()
+        .expect("valid config");
+    g.bench_function("random_policy_to_completion", |b| {
+        b.iter(|| SwarmSim::new(random.clone(), SwarmAttack::none(), 1).run_to_report())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_swarm);
+criterion_main!(benches);

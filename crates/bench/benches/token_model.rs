@@ -1,0 +1,52 @@
+//! Criterion benchmarks for the abstract token-collecting model (§3):
+//! the unit of work behind experiments X1-X3 and X10.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use lotus_core::attack::{NoAttack, SatiateCut, SatiateRandomFraction};
+use lotus_core::token::{TokenSystem, TokenSystemConfig};
+use netsim::graph::Graph;
+use std::time::Duration;
+
+fn system(graph: Graph, seed: u64) -> TokenSystem {
+    let cfg = TokenSystemConfig::builder(graph)
+        .tokens(32)
+        .altruism(0.05)
+        .build()
+        .expect("valid config");
+    TokenSystem::new(cfg, seed)
+}
+
+fn bench_rounds(c: &mut Criterion) {
+    let mut g = c.benchmark_group("token_model");
+    g.sample_size(20).measurement_time(Duration::from_secs(3));
+    g.bench_function("complete_250_no_attack_50_rounds", |b| {
+        b.iter_batched(
+            || system(Graph::complete(250), 1),
+            |mut sys| sys.run(&mut NoAttack, 50),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("grid_16x16_cut_attack_50_rounds", |b| {
+        b.iter_batched(
+            || {
+                (
+                    system(Graph::grid(16, 16, false), 1),
+                    SatiateCut::grid_column(16, 16, 8),
+                )
+            },
+            |(mut sys, mut attack)| sys.run(&mut attack, 50),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("complete_250_mass_satiation_50_rounds", |b| {
+        b.iter_batched(
+            || (system(Graph::complete(250), 1), SatiateRandomFraction::new(0.5)),
+            |(mut sys, mut attack)| sys.run(&mut attack, 50),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_rounds);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! X9 — §4/§5: rate-limiting service prevents rapid satiation.
+//!
+//! The paper's §5 open problem: "design a system that limits the rate at
+//! which nodes can provide service", so no attacker can satiate targets
+//! "sufficiently rapidly". We enforce the *naive* version — a flat cap on
+//! useful updates per interaction — and sweep it. The result is a
+//! negative one that explains why the paper calls this open: the flat cap
+//! throttles honest balanced exchanges (which legitimately move many
+//! updates at once) far more than it throttles the attacker (who gets
+//! many small scheduled interactions), so tight caps make isolated nodes
+//! *worse* off under attack, and the out-of-band ideal attack is
+//! untouched by any protocol-level cap. Rate limiting must be targeted at
+//! excess service (see `ext_reporting`) rather than all service.
+
+use bar_gossip::{AttackPlan, BarGossipConfig, BarGossipSim};
+use lotus_bench::{print_series_table, Fidelity};
+use netsim::metrics::Series;
+
+fn delivery(cap: Option<u32>, plan: AttackPlan, seed: u64) -> f64 {
+    let cfg = BarGossipConfig::builder()
+        .rate_limit(cap)
+        .build()
+        .expect("valid config");
+    BarGossipSim::new(cfg, plan, seed)
+        .run_to_report()
+        .isolated_delivery()
+}
+
+fn main() {
+    let fidelity = Fidelity::from_args();
+    let seeds: Vec<u64> = (1..=fidelity.seeds() as u64).collect();
+    let caps: [(Option<u32>, f64); 7] = [
+        (Some(1), 1.0),
+        (Some(2), 2.0),
+        (Some(3), 3.0),
+        (Some(5), 5.0),
+        (Some(8), 8.0),
+        (Some(16), 16.0),
+        (None, 32.0), // unbounded, plotted at 32
+    ];
+
+    let mut series: Vec<Series> = Vec::new();
+    for (plan, label) in [
+        (AttackPlan::none(), "no attack (defense cost)"),
+        (
+            AttackPlan::trade_lotus_eater(0.30, 0.70),
+            "trade attack at 30%",
+        ),
+        (
+            AttackPlan::ideal_lotus_eater(0.10, 0.70),
+            "ideal attack at 10% (bypasses protocol)",
+        ),
+    ] {
+        let mut s = Series::new(label);
+        for &(cap, x) in &caps {
+            let mut sum = 0.0;
+            for &seed in &seeds {
+                sum += delivery(cap, plan, seed);
+            }
+            s.push(x, sum / seeds.len() as f64);
+        }
+        series.push(s);
+    }
+
+    print_series_table(
+        "X9 — Per-interaction rate limit vs attacks (cap in updates/exchange)",
+        &series,
+        "rate limit (updates per interaction; 32 = unbounded)",
+        "isolated delivery",
+    );
+    println!("Negative result, as the paper anticipates (§5 open problem): a flat");
+    println!("per-interaction cap hurts honest exchanges more than the attacker, and");
+    println!("cannot touch the out-of-band ideal attack. Effective rate limiting must");
+    println!("discriminate excess service — which is what report-and-evict (X8) does.");
+}

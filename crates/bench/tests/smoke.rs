@@ -1,0 +1,58 @@
+//! Smoke tests: the figure binaries run end-to-end in `--quick` mode and
+//! print the blocks the harness promises (CSV, chart, conclusions).
+//!
+//! Only the light binaries are exercised here — the full sweeps live in
+//! `results/` and EXPERIMENTS.md.
+
+use std::process::Command;
+
+fn run_quick(bin: &str) -> String {
+    let out = Command::new(bin)
+        .arg("--quick")
+        .output()
+        .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+    assert!(
+        out.status.success(),
+        "{bin} exited with {:?}: {}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("binaries print UTF-8")
+}
+
+#[test]
+fn table1_prints_the_paper_parameters() {
+    let out = run_quick(env!("CARGO_BIN_EXE_table1"));
+    for needle in [
+        "TABLE 1",
+        "Number of Nodes       | 250",
+        "Updates per Round     | 10",
+        "Update Lifetime (rds) | 10",
+        "Copies Seeded         | 12",
+        "Opt. Push Size (upd)  | 2",
+    ] {
+        assert!(out.contains(needle), "missing {needle:?} in:\n{out}");
+    }
+}
+
+#[test]
+fn ext_rare_prints_series_and_conclusion() {
+    let out = run_quick(env!("CARGO_BIN_EXE_ext_rare"));
+    assert!(out.contains("series,x,y"), "CSV block missing");
+    assert!(out.contains("no attack"), "clean series missing");
+    assert!(
+        out.contains("rare-holder satiation attack"),
+        "attack series missing"
+    );
+    assert!(out.contains("spreading"), "conclusion missing");
+}
+
+#[test]
+fn ext_coding_shows_the_collapse_at_zero_redundancy() {
+    let out = run_quick(env!("CARGO_BIN_EXE_ext_coding"));
+    assert!(
+        out.contains("rare-token attack,0.0000,0.0000"),
+        "collect-all must be fully denied:\n{out}"
+    );
+    assert!(out.contains("Avalanche"), "conclusion missing");
+}

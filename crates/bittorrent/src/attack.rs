@@ -1,0 +1,108 @@
+//! Lotus-eater attacks on a BitTorrent swarm.
+//!
+//! The attacker controls peers that already hold the whole file (he is an
+//! insider, or downloaded it beforehand) and showers *targeted* leechers
+//! with pieces so they finish early and leave — satiation by generosity.
+//! The paper's argument (§1) is that this usually backfires: the attacker
+//! "must contribute significant bandwidth of his own", and because most
+//! leechers download more than they upload, removing them while adding
+//! attacker capacity "is often actually a net benefit to the torrent". The
+//! one interesting variant is targeting **rare-piece holders** to
+//! manufacture a last-pieces problem — which rarest-first then defuses
+//! (§4, experiment X7).
+
+/// Who the attacker satiates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TargetPolicy {
+    /// The leechers that uploaded the most recently (remove the strongest
+    /// contributors).
+    TopUploaders,
+    /// Holders of the currently rarest pieces (manufacture a last-pieces
+    /// problem).
+    RarePieceHolders,
+    /// A fixed random set of leechers.
+    Random,
+}
+
+/// An attack on the swarm.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SwarmAttack {
+    /// Attacker peers added to the swarm (each holds the full file).
+    pub attacker_peers: u32,
+    /// Upload slots per attacker peer (his bandwidth commitment).
+    pub attacker_slots: u32,
+    /// Fraction of leechers targeted for satiation.
+    pub target_fraction: f64,
+    /// How targets are chosen (re-evaluated every round for
+    /// [`TargetPolicy::RarePieceHolders`] and
+    /// [`TargetPolicy::TopUploaders`]).
+    pub target_policy: TargetPolicy,
+}
+
+impl SwarmAttack {
+    /// No attacker at all.
+    pub fn none() -> Self {
+        SwarmAttack {
+            attacker_peers: 0,
+            attacker_slots: 0,
+            target_fraction: 0.0,
+            target_policy: TargetPolicy::Random,
+        }
+    }
+
+    /// A generosity attack with `peers` attacker peers of `slots` upload
+    /// slots each, satiating `target_fraction` of leechers under `policy`.
+    pub fn satiate(peers: u32, slots: u32, target_fraction: f64, policy: TargetPolicy) -> Self {
+        SwarmAttack {
+            attacker_peers: peers,
+            attacker_slots: slots,
+            target_fraction: target_fraction.clamp(0.0, 1.0),
+            target_policy: policy,
+        }
+    }
+
+    /// Whether any attack is configured.
+    pub fn is_active(&self) -> bool {
+        self.attacker_peers > 0 && self.target_fraction > 0.0
+    }
+
+    /// Number of leechers targeted out of `leechers`.
+    pub fn target_count(&self, leechers: u32) -> u32 {
+        ((f64::from(leechers) * self.target_fraction).round() as u32).min(leechers)
+    }
+}
+
+impl Default for SwarmAttack {
+    fn default() -> Self {
+        SwarmAttack::none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_inactive() {
+        let a = SwarmAttack::none();
+        assert!(!a.is_active());
+        assert_eq!(a.target_count(50), 0);
+        assert_eq!(SwarmAttack::default(), a);
+    }
+
+    #[test]
+    fn satiate_clamps_and_counts() {
+        let a = SwarmAttack::satiate(5, 8, 0.4, TargetPolicy::TopUploaders);
+        assert!(a.is_active());
+        assert_eq!(a.target_count(50), 20);
+        let b = SwarmAttack::satiate(5, 8, 1.7, TargetPolicy::Random);
+        assert_eq!(b.target_fraction, 1.0);
+        assert_eq!(b.target_count(10), 10);
+    }
+
+    #[test]
+    fn zero_peers_is_inactive() {
+        let a = SwarmAttack::satiate(0, 8, 0.5, TargetPolicy::Random);
+        assert!(!a.is_active());
+    }
+}

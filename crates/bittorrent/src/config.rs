@@ -1,0 +1,266 @@
+//! Swarm configuration and piece-selection policy.
+//!
+//! The lotus-eater paper argues (§1, §4) that BitTorrent, while satiable,
+//! suffers far less from the attack than BAR Gossip: satiated leechers
+//! leave, but the attacker's own upload capacity compensates, and the
+//! *rarest-first* piece policy prevents the attacker from manufacturing a
+//! "last pieces problem". This crate's simulator keeps exactly the
+//! mechanisms those claims rest on: tit-for-tat choking with optimistic
+//! unchokes, rarest-first / random-first / endgame piece selection, origin
+//! seeds and post-completion seeding.
+
+/// How a downloader picks the next piece to request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PiecePolicy {
+    /// Random pieces until `random_first` are held, then rarest-first,
+    /// then endgame (BitTorrent's actual ladder).
+    RarestFirst,
+    /// Uniformly random among needed pieces (the ablation the paper's
+    /// rare-piece argument is judged against).
+    Random,
+}
+
+/// Configuration of a swarm run.
+///
+/// Construct via [`SwarmConfig::builder`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SwarmConfig {
+    /// Leechers starting with nothing (flash crowd at round 0).
+    pub leechers: u32,
+    /// Origin seeds; they hold everything and never leave.
+    pub seeds: u32,
+    /// Pieces in the file.
+    pub pieces: u32,
+    /// Upload slots per leecher (`slots - 1` reciprocal + 1 optimistic).
+    pub unchoke_slots: u32,
+    /// Rounds an optimistic unchoke is held before rotating.
+    pub optimistic_period: u32,
+    /// Pieces a newcomer grabs at random before rarest-first applies.
+    pub random_first: u32,
+    /// With at most this many pieces missing, request any missing piece
+    /// (endgame mode).
+    pub endgame_threshold: u32,
+    /// The piece-selection policy.
+    pub piece_policy: PiecePolicy,
+    /// Rounds a finished leecher stays to seed before departing.
+    pub seed_after_completion: u32,
+    /// Hard stop for the simulation.
+    pub max_rounds: u64,
+}
+
+impl Default for SwarmConfig {
+    fn default() -> Self {
+        SwarmConfig {
+            leechers: 50,
+            seeds: 1,
+            pieces: 64,
+            unchoke_slots: 4,
+            optimistic_period: 3,
+            random_first: 4,
+            endgame_threshold: 2,
+            piece_policy: PiecePolicy::RarestFirst,
+            seed_after_completion: 0,
+            max_rounds: 2_000,
+        }
+    }
+}
+
+/// Errors from [`SwarmConfig::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// Need at least one leecher.
+    NoLeechers,
+    /// Need at least one origin seed (otherwise the file may be lost).
+    NoSeeds,
+    /// Need at least one piece.
+    NoPieces,
+    /// Need at least one unchoke slot.
+    NoSlots,
+    /// `optimistic_period` must be positive.
+    ZeroOptimisticPeriod,
+    /// `max_rounds` must be positive.
+    ZeroMaxRounds,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::NoLeechers => write!(f, "need at least one leecher"),
+            ConfigError::NoSeeds => write!(f, "need at least one origin seed"),
+            ConfigError::NoPieces => write!(f, "need at least one piece"),
+            ConfigError::NoSlots => write!(f, "need at least one unchoke slot"),
+            ConfigError::ZeroOptimisticPeriod => {
+                write!(f, "optimistic period must be positive")
+            }
+            ConfigError::ZeroMaxRounds => write!(f, "max rounds must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl SwarmConfig {
+    /// Start building from the defaults.
+    pub fn builder() -> SwarmConfigBuilder {
+        SwarmConfigBuilder {
+            cfg: SwarmConfig::default(),
+        }
+    }
+
+    /// Check internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint as a [`ConfigError`].
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.leechers == 0 {
+            return Err(ConfigError::NoLeechers);
+        }
+        if self.seeds == 0 {
+            return Err(ConfigError::NoSeeds);
+        }
+        if self.pieces == 0 {
+            return Err(ConfigError::NoPieces);
+        }
+        if self.unchoke_slots == 0 {
+            return Err(ConfigError::NoSlots);
+        }
+        if self.optimistic_period == 0 {
+            return Err(ConfigError::ZeroOptimisticPeriod);
+        }
+        if self.max_rounds == 0 {
+            return Err(ConfigError::ZeroMaxRounds);
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`SwarmConfig`].
+#[derive(Debug, Clone)]
+pub struct SwarmConfigBuilder {
+    cfg: SwarmConfig,
+}
+
+impl SwarmConfigBuilder {
+    /// Set the leecher count.
+    pub fn leechers(mut self, n: u32) -> Self {
+        self.cfg.leechers = n;
+        self
+    }
+
+    /// Set the origin-seed count.
+    pub fn seeds(mut self, s: u32) -> Self {
+        self.cfg.seeds = s;
+        self
+    }
+
+    /// Set the piece count.
+    pub fn pieces(mut self, p: u32) -> Self {
+        self.cfg.pieces = p;
+        self
+    }
+
+    /// Set upload slots per leecher.
+    pub fn unchoke_slots(mut self, s: u32) -> Self {
+        self.cfg.unchoke_slots = s;
+        self
+    }
+
+    /// Set the piece-selection policy.
+    pub fn piece_policy(mut self, p: PiecePolicy) -> Self {
+        self.cfg.piece_policy = p;
+        self
+    }
+
+    /// Set post-completion seeding rounds.
+    pub fn seed_after_completion(mut self, rounds: u32) -> Self {
+        self.cfg.seed_after_completion = rounds;
+        self
+    }
+
+    /// Set the hard round limit.
+    pub fn max_rounds(mut self, r: u64) -> Self {
+        self.cfg.max_rounds = r;
+        self
+    }
+
+    /// Validate and build.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SwarmConfig::validate`] failures.
+    pub fn build(self) -> Result<SwarmConfig, ConfigError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        assert!(SwarmConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn builder_sets_fields() {
+        let cfg = SwarmConfig::builder()
+            .leechers(20)
+            .seeds(2)
+            .pieces(32)
+            .unchoke_slots(5)
+            .piece_policy(PiecePolicy::Random)
+            .seed_after_completion(10)
+            .max_rounds(500)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.leechers, 20);
+        assert_eq!(cfg.piece_policy, PiecePolicy::Random);
+        assert_eq!(cfg.seed_after_completion, 10);
+    }
+
+    #[test]
+    fn validation_failures() {
+        assert_eq!(
+            SwarmConfig::builder().leechers(0).build(),
+            Err(ConfigError::NoLeechers)
+        );
+        assert_eq!(
+            SwarmConfig::builder().seeds(0).build(),
+            Err(ConfigError::NoSeeds)
+        );
+        assert_eq!(
+            SwarmConfig::builder().pieces(0).build(),
+            Err(ConfigError::NoPieces)
+        );
+        assert_eq!(
+            SwarmConfig::builder().unchoke_slots(0).build(),
+            Err(ConfigError::NoSlots)
+        );
+        assert_eq!(
+            SwarmConfig::builder().max_rounds(0).build(),
+            Err(ConfigError::ZeroMaxRounds)
+        );
+        let cfg = SwarmConfig {
+            optimistic_period: 0,
+            ..SwarmConfig::default()
+        };
+        assert_eq!(cfg.validate(), Err(ConfigError::ZeroOptimisticPeriod));
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        for e in [
+            ConfigError::NoLeechers,
+            ConfigError::NoSeeds,
+            ConfigError::NoPieces,
+            ConfigError::NoSlots,
+            ConfigError::ZeroOptimisticPeriod,
+            ConfigError::ZeroMaxRounds,
+        ] {
+            assert!(!format!("{e}").is_empty());
+        }
+    }
+}

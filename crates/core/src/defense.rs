@@ -1,0 +1,187 @@
+//! Defense principles from §4 of the paper, as typed descriptors.
+//!
+//! The paper examines four design principles for tolerating lotus-eater
+//! attacks. Each principle maps to concrete mechanisms implemented by the
+//! protocol simulators in this workspace; this module gives the principles
+//! and mechanisms a shared vocabulary so experiments can be labelled,
+//! composed and reported uniformly (the `defense_playbook` example walks
+//! through all four).
+
+/// The four defense principles of §4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Principle {
+    /// Choose `G` and `f` so no cheap cut or rare holder exists — the
+    /// traditional, best-studied principle.
+    NonRandomFailureResilience,
+    /// Make satiation hard: scrip/reputation indirection, rarest-first,
+    /// network coding.
+    MakeSatiationHard,
+    /// Leverage obedient nodes: report-and-evict excessive service,
+    /// slightly unbalanced exchanges.
+    LeverageObedience,
+    /// Encourage altruism: bigger optimistic pushes, optimistic unchokes,
+    /// seeding, responding while satiated.
+    EncourageAltruism,
+}
+
+impl Principle {
+    /// Short human-readable name used in experiment output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Principle::NonRandomFailureResilience => "resilience to non-random failures",
+            Principle::MakeSatiationHard => "making satiation hard",
+            Principle::LeverageObedience => "leveraging obedience",
+            Principle::EncourageAltruism => "encouraging altruism",
+        }
+    }
+
+    /// All four principles in paper order.
+    pub fn all() -> [Principle; 4] {
+        [
+            Principle::NonRandomFailureResilience,
+            Principle::MakeSatiationHard,
+            Principle::LeverageObedience,
+            Principle::EncourageAltruism,
+        ]
+    }
+}
+
+impl std::fmt::Display for Principle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A concrete defense mechanism, each implementing one principle.
+///
+/// The numeric payloads are the knobs the experiments sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Mechanism {
+    /// Respond to requests while satiated with this probability (token
+    /// model `a`; BitTorrent seeding is its protocol-level cousin).
+    Altruism(f64),
+    /// Raise the optimistic push size (BAR Gossip; Figure 2).
+    PushSize(u32),
+    /// Obedient nodes give one extra update in balanced exchanges
+    /// (BAR Gossip; Figure 3).
+    UnbalancedExchange,
+    /// Cap the number of useful updates any single peer may hand a node
+    /// per round; prevents "sufficiently rapid" satiation (§5 open
+    /// problem).
+    RateLimit(u32),
+    /// Obedient nodes report peers that provide excessive service; a
+    /// quorum of distinct reports evicts the peer.
+    ReportAndEvict {
+        /// Fraction of honest nodes that are obedient reporters.
+        obedient_fraction: f64,
+        /// Distinct reports needed to evict.
+        quorum: u32,
+    },
+    /// Satiation requires any `k` of the `n` coded tokens (Avalanche-style
+    /// network coding).
+    Coding {
+        /// Tokens needed to reconstruct.
+        need: usize,
+    },
+    /// Indirect reciprocity through a fixed money supply (scrip): satiating
+    /// many nodes needs more money than exists.
+    ScripIndirection {
+        /// Average money per agent.
+        money_per_agent: f64,
+    },
+}
+
+impl Mechanism {
+    /// The §4 principle this mechanism implements.
+    pub fn principle(self) -> Principle {
+        match self {
+            Mechanism::Altruism(_) | Mechanism::PushSize(_) => Principle::EncourageAltruism,
+            Mechanism::UnbalancedExchange | Mechanism::ReportAndEvict { .. } => {
+                Principle::LeverageObedience
+            }
+            Mechanism::RateLimit(_) => Principle::LeverageObedience,
+            Mechanism::Coding { .. } | Mechanism::ScripIndirection { .. } => {
+                Principle::MakeSatiationHard
+            }
+        }
+    }
+
+    /// Short label for tables and figure legends.
+    pub fn label(self) -> String {
+        match self {
+            Mechanism::Altruism(a) => format!("altruism a={a}"),
+            Mechanism::PushSize(s) => format!("push size {s}"),
+            Mechanism::UnbalancedExchange => "unbalanced exchanges".to_string(),
+            Mechanism::RateLimit(cap) => format!("rate limit {cap}/exchange"),
+            Mechanism::ReportAndEvict {
+                obedient_fraction,
+                quorum,
+            } => format!("report-and-evict (obedient {obedient_fraction}, quorum {quorum})"),
+            Mechanism::Coding { need } => format!("coding (need {need})"),
+            Mechanism::ScripIndirection { money_per_agent } => {
+                format!("scrip (m={money_per_agent})")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_principles_in_order() {
+        let all = Principle::all();
+        assert_eq!(all.len(), 4);
+        assert_eq!(all[0], Principle::NonRandomFailureResilience);
+        assert_eq!(all[3], Principle::EncourageAltruism);
+    }
+
+    #[test]
+    fn display_matches_name() {
+        for p in Principle::all() {
+            assert_eq!(format!("{p}"), p.name());
+            assert!(!p.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn mechanisms_map_to_principles() {
+        assert_eq!(
+            Mechanism::Altruism(0.1).principle(),
+            Principle::EncourageAltruism
+        );
+        assert_eq!(
+            Mechanism::PushSize(10).principle(),
+            Principle::EncourageAltruism
+        );
+        assert_eq!(
+            Mechanism::UnbalancedExchange.principle(),
+            Principle::LeverageObedience
+        );
+        assert_eq!(
+            Mechanism::RateLimit(2).principle(),
+            Principle::LeverageObedience
+        );
+        assert_eq!(
+            Mechanism::Coding { need: 8 }.principle(),
+            Principle::MakeSatiationHard
+        );
+        assert_eq!(
+            Mechanism::ScripIndirection { money_per_agent: 2.0 }.principle(),
+            Principle::MakeSatiationHard
+        );
+    }
+
+    #[test]
+    fn labels_are_informative() {
+        assert!(Mechanism::PushSize(10).label().contains("10"));
+        assert!(Mechanism::RateLimit(3).label().contains('3'));
+        assert!(Mechanism::ReportAndEvict {
+            obedient_fraction: 0.5,
+            quorum: 3
+        }
+        .label()
+        .contains("quorum 3"));
+    }
+}

@@ -1,0 +1,53 @@
+//! `lotus-core` — the lotus-eater attack model.
+//!
+//! This crate holds the paper's primary intellectual contribution in
+//! executable form:
+//!
+//! * [`token`] — the §3 abstract token-collecting system
+//!   `(G, T, sat, f, c, a)`: graph, token set, satiation function, initial
+//!   allocation, contact budget and altruism probability;
+//! * [`satiation`] — the [`Satiable`](satiation::Satiable) interface every
+//!   protocol simulator implements, and an executable
+//!   [Observation 3.1](satiation::observation_3_1): *in a
+//!   satiation-compatible system, an attacker that can provide tokens
+//!   sufficiently rapidly prevents a node from ever providing service*;
+//! * [`attack`] — the attacker strategies §3 analyses (graph cuts, rare
+//!   tokens, mass satiation, rotation, budgets);
+//! * [`defense`] — the four §4 defense principles and their mechanisms;
+//! * [`sweep`] — the multi-seed parameter-sweep harness behind every
+//!   figure;
+//! * [`report`] — usability thresholds (the 93 % rule) and
+//!   paper-vs-measured crossover records;
+//! * [`bitset`] — the dense set representation all simulators share.
+//!
+//! Protocol-specific machinery lives in sibling crates (`bar-gossip`,
+//! `scrip-economy`, `torrent-sim`), all built on [`netsim`].
+//!
+//! # Example: a cut attack on a grid
+//!
+//! ```
+//! use lotus_core::attack::SatiateCut;
+//! use lotus_core::token::{TokenSystem, TokenSystemConfig};
+//! use netsim::graph::Graph;
+//!
+//! let cfg = TokenSystemConfig::builder(Graph::grid(4, 8, false))
+//!     .tokens(6)
+//!     .build()?;
+//! let mut sys = TokenSystem::new(cfg, 42);
+//! let mut attack = SatiateCut::grid_column(4, 8, 4);
+//! let report = sys.run(&mut attack, 100);
+//! // Satiating one grid column (4 of 32 nodes) can starve a whole side.
+//! assert!(report.mean_coverage() <= 1.0);
+//! # Ok::<(), lotus_core::token::ConfigError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attack;
+pub mod bitset;
+pub mod defense;
+pub mod report;
+pub mod satiation;
+pub mod sweep;
+pub mod token;

@@ -1,0 +1,275 @@
+//! Parameter sweeps with multi-seed replication.
+//!
+//! Every figure in the paper is a sweep: "fraction of nodes controlled by
+//! the attacker" on the x-axis, a delivered-service metric on the y-axis.
+//! [`sweep_fraction`] evaluates a measurement closure over a grid of x
+//! values, replicated across seeds, in parallel across OS threads
+//! (`std::thread::scope` — no external dependency), and returns a
+//! [`Series`] ready for crossover extraction and plotting.
+
+use netsim::metrics::{Running, Series};
+
+/// Replication and parallelism settings for a sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepConfig {
+    /// Seeds to average over (one simulation per seed per x value).
+    pub seeds: Vec<u64>,
+    /// Worker threads (1 = sequential).
+    pub threads: usize,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            seeds: vec![1, 2, 3],
+            threads: default_threads(),
+        }
+    }
+}
+
+impl SweepConfig {
+    /// `n` consecutive seeds starting at 1, default parallelism.
+    pub fn with_seeds(n: usize) -> Self {
+        SweepConfig {
+            seeds: (1..=n as u64).collect(),
+            threads: default_threads(),
+        }
+    }
+
+    /// Override the worker-thread count (clamped to at least 1).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Evaluate `measure(x, seed)` over every `(x, seed)` pair and average the
+/// results per x value into a labelled [`Series`].
+///
+/// `measure` must be pure given its arguments (it runs concurrently on
+/// multiple threads). Points are returned in the input x order.
+///
+/// ```
+/// use lotus_core::sweep::{sweep_fraction, SweepConfig};
+///
+/// let cfg = SweepConfig { seeds: vec![1, 2], threads: 2 };
+/// let s = sweep_fraction("line", &[0.0, 0.5, 1.0], &cfg, |x, _seed| 1.0 - x);
+/// assert_eq!(s.points, vec![(0.0, 1.0), (0.5, 0.5), (1.0, 0.0)]);
+/// ```
+pub fn sweep_fraction<F>(
+    label: impl Into<String>,
+    xs: &[f64],
+    cfg: &SweepConfig,
+    measure: F,
+) -> Series
+where
+    F: Fn(f64, u64) -> f64 + Sync,
+{
+    let stats = sweep_stats(xs, cfg, &measure);
+    let mut series = Series::new(label);
+    for (&x, stat) in xs.iter().zip(&stats) {
+        series.push(x, stat.mean());
+    }
+    series
+}
+
+/// Like [`sweep_fraction`] but returns the full per-x statistics
+/// (mean/min/max/std-dev across seeds) for error reporting.
+pub fn sweep_stats<F>(xs: &[f64], cfg: &SweepConfig, measure: &F) -> Vec<Running>
+where
+    F: Fn(f64, u64) -> f64 + Sync,
+{
+    let seeds = &cfg.seeds;
+    let jobs: Vec<(usize, f64, u64)> = xs
+        .iter()
+        .enumerate()
+        .flat_map(|(i, &x)| seeds.iter().map(move |&s| (i, x, s)))
+        .collect();
+    let threads = cfg.threads.max(1).min(jobs.len().max(1));
+
+    let results = std::sync::Mutex::new(vec![Running::new(); xs.len()]);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let j = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let Some(&(i, x, seed)) = jobs.get(j) else {
+                    break;
+                };
+                let y = measure(x, seed);
+                results
+                    .lock()
+                    .expect("sweep worker panicked while holding results lock")[i]
+                    .push(y);
+            });
+        }
+    });
+    results.into_inner().expect("sweep results lock poisoned")
+}
+
+/// An evenly spaced grid of `points` values covering `[lo, hi]` inclusive.
+///
+/// # Panics
+///
+/// Panics if `points < 2` or `lo > hi`.
+pub fn grid(lo: f64, hi: f64, points: usize) -> Vec<f64> {
+    assert!(points >= 2, "a grid needs at least two points");
+    assert!(lo <= hi, "grid bounds out of order");
+    (0..points)
+        .map(|i| lo + (hi - lo) * i as f64 / (points - 1) as f64)
+        .collect()
+}
+
+/// Refine the crossover of a (monotone-decreasing in expectation) metric
+/// with `threshold` by bisection, averaging `measure` over the sweep seeds
+/// at each probe.
+///
+/// Returns the midpoint of the final bracket after `iters` bisections, or
+/// `None` if the metric does not bracket the threshold on `[lo, hi]`.
+pub fn refine_crossover<F>(
+    lo: f64,
+    hi: f64,
+    threshold: f64,
+    iters: u32,
+    cfg: &SweepConfig,
+    measure: F,
+) -> Option<f64>
+where
+    F: Fn(f64, u64) -> f64 + Sync,
+{
+    let eval = |x: f64| -> f64 {
+        let stats = sweep_stats(&[x], cfg, &measure);
+        stats[0].mean()
+    };
+    let (mut lo, mut hi) = (lo, hi);
+    let (y_lo, y_hi) = (eval(lo), eval(hi));
+    if y_lo < threshold || y_hi >= threshold {
+        return None;
+    }
+    for _ in 0..iters {
+        let mid = (lo + hi) / 2.0;
+        if eval(mid) >= threshold {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Some((lo + hi) / 2.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_is_inclusive_and_even() {
+        let g = grid(0.0, 1.0, 5);
+        assert_eq!(g, vec![0.0, 0.25, 0.5, 0.75, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two points")]
+    fn grid_needs_two_points() {
+        grid(0.0, 1.0, 1);
+    }
+
+    #[test]
+    fn sweep_averages_over_seeds() {
+        let cfg = SweepConfig {
+            seeds: vec![0, 10],
+            threads: 2,
+        };
+        // measure = x + seed/10 → mean = x + 0.5
+        let s = sweep_fraction("avg", &[0.0, 1.0], &cfg, |x, seed| x + seed as f64 / 20.0);
+        assert_eq!(s.points.len(), 2);
+        assert!((s.points[0].1 - 0.25).abs() < 1e-12);
+        assert!((s.points[1].1 - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sweep_preserves_x_order() {
+        let cfg = SweepConfig {
+            seeds: vec![1],
+            threads: 4,
+        };
+        let xs = [0.9, 0.1, 0.5];
+        let s = sweep_fraction("order", &xs, &cfg, |x, _| x);
+        let got: Vec<f64> = s.points.iter().map(|p| p.0).collect();
+        assert_eq!(got, xs.to_vec());
+    }
+
+    #[test]
+    fn sweep_parallel_equals_sequential() {
+        let xs = grid(0.0, 1.0, 7);
+        let f = |x: f64, seed: u64| (x * 10.0 + seed as f64).sin();
+        let seq = sweep_fraction(
+            "s",
+            &xs,
+            &SweepConfig {
+                seeds: vec![1, 2, 3],
+                threads: 1,
+            },
+            f,
+        );
+        let par = sweep_fraction(
+            "p",
+            &xs,
+            &SweepConfig {
+                seeds: vec![1, 2, 3],
+                threads: 8,
+            },
+            f,
+        );
+        for (a, b) in seq.points.iter().zip(&par.points) {
+            assert!((a.1 - b.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sweep_stats_exposes_spread() {
+        let cfg = SweepConfig {
+            seeds: vec![0, 2],
+            threads: 1,
+        };
+        let stats = sweep_stats(&[1.0], &cfg, &|_, seed| seed as f64);
+        assert_eq!(stats[0].len(), 2);
+        assert_eq!(stats[0].min(), 0.0);
+        assert_eq!(stats[0].max(), 2.0);
+        assert_eq!(stats[0].mean(), 1.0);
+    }
+
+    #[test]
+    fn refine_crossover_finds_linear_root() {
+        let cfg = SweepConfig {
+            seeds: vec![1],
+            threads: 1,
+        };
+        // y = 1 - x crosses 0.93 at x = 0.07.
+        let x = refine_crossover(0.0, 1.0, 0.93, 20, &cfg, |x, _| 1.0 - x).unwrap();
+        assert!((x - 0.07).abs() < 1e-4, "got {x}");
+    }
+
+    #[test]
+    fn refine_crossover_unbracketed_is_none() {
+        let cfg = SweepConfig {
+            seeds: vec![1],
+            threads: 1,
+        };
+        assert!(refine_crossover(0.0, 1.0, 0.93, 5, &cfg, |_, _| 1.0).is_none());
+        assert!(refine_crossover(0.0, 1.0, 0.93, 5, &cfg, |_, _| 0.0).is_none());
+    }
+
+    #[test]
+    fn with_seeds_and_threads_builders() {
+        let cfg = SweepConfig::with_seeds(5).threads(0);
+        assert_eq!(cfg.seeds, vec![1, 2, 3, 4, 5]);
+        assert_eq!(cfg.threads, 1, "threads clamps to >= 1");
+        assert!(SweepConfig::default().threads >= 1);
+    }
+}

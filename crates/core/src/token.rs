@@ -1,0 +1,826 @@
+//! The paper's §3 abstract token-collecting model `(G, T, sat, f, c, a)`.
+//!
+//! A system is a connected graph `G` of nodes, a finite token set `T`, a
+//! satiation function `sat`, an initial allocation `f` of tokens to nodes,
+//! a per-round contact budget `c`, and an altruism probability `a`. Each
+//! round every *unsatiated* node contacts up to `c` random neighbours and
+//! the pair exchange copies of everything they hold; a *satiated* node
+//! stops initiating and responds to requests only with probability `a`.
+//! The attacker may, at the start of every round, hand a chosen subset of
+//! nodes *all* the tokens (deliberately over-approximating attacker power,
+//! as the paper does).
+//!
+//! This model deliberately strips away protocol detail so the structural
+//! questions stand out: which graphs admit cheap cuts, what rare tokens
+//! cost to deny, and how much a little altruism `a > 0` buys.
+
+use crate::bitset::BitSet;
+use crate::satiation::Satiable;
+use netsim::graph::Graph;
+use netsim::rng::DetRng;
+use netsim::round::RoundSim;
+use netsim::{NodeId, Round};
+
+/// The satiation function `sat` — when does a node stop wanting tokens?
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SatFunction {
+    /// Satiated only with every token (`sat(i, t, T') = true` iff `T' = T`);
+    /// the paper's baseline.
+    CollectAll,
+    /// Satiated with any `k` distinct tokens — models network-coding-style
+    /// designs (Avalanche) where any `k` of `n` coded blocks reconstruct
+    /// the content. Used by the X10 coding-defense experiment.
+    AnyK(usize),
+}
+
+impl SatFunction {
+    /// Evaluate the satiation function on a holding set.
+    pub fn is_satiated(&self, holdings: &BitSet) -> bool {
+        match *self {
+            SatFunction::CollectAll => holdings.is_full(),
+            SatFunction::AnyK(k) => holdings.len() >= k,
+        }
+    }
+
+    /// The number of tokens a node still benefits from acquiring.
+    pub fn deficit(&self, holdings: &BitSet) -> usize {
+        match *self {
+            SatFunction::CollectAll => holdings.universe() - holdings.len(),
+            SatFunction::AnyK(k) => k.saturating_sub(holdings.len()),
+        }
+    }
+}
+
+/// The initial allocation `f` of tokens to nodes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Allocation {
+    /// Each token starts at `copies` uniformly chosen distinct nodes.
+    UniformCopies {
+        /// Number of initial holders per token.
+        copies: usize,
+    },
+    /// Token 0 starts at exactly one designated holder; every other token
+    /// starts at `copies` uniform nodes. The rare-token attack scenario.
+    RareToken {
+        /// The unique initial holder of token 0.
+        holder: NodeId,
+        /// Copies for every other token.
+        copies: usize,
+    },
+    /// Explicit per-token holder lists (index = token id).
+    Explicit(Vec<Vec<NodeId>>),
+}
+
+/// Configuration of a token-collecting system.
+///
+/// Use [`TokenSystemConfig::builder`] unless constructing directly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TokenSystemConfig {
+    /// The communication graph `G`.
+    pub graph: Graph,
+    /// `|T|` — number of distinct tokens.
+    pub tokens: usize,
+    /// The satiation function `sat`.
+    pub sat: SatFunction,
+    /// The initial allocation `f`.
+    pub allocation: Allocation,
+    /// `c` — max partners an unsatiated node contacts per round.
+    pub contacts_per_round: usize,
+    /// `a` — probability a satiated node still responds to a request.
+    pub altruism: f64,
+}
+
+/// Errors from [`TokenSystemConfig::validate`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// The graph has fewer than two nodes.
+    GraphTooSmall,
+    /// The graph must be connected for the model's guarantees to apply.
+    GraphDisconnected,
+    /// `tokens` was zero.
+    NoTokens,
+    /// `contacts_per_round` was zero.
+    NoContacts,
+    /// The altruism probability was outside `[0, 1]`.
+    BadAltruism(f64),
+    /// An allocation referenced a token or node out of range.
+    BadAllocation(String),
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::GraphTooSmall => write!(f, "graph needs at least two nodes"),
+            ConfigError::GraphDisconnected => write!(f, "graph must be connected"),
+            ConfigError::NoTokens => write!(f, "token set must be non-empty"),
+            ConfigError::NoContacts => write!(f, "contacts per round must be at least 1"),
+            ConfigError::BadAltruism(a) => write!(f, "altruism {a} outside [0, 1]"),
+            ConfigError::BadAllocation(why) => write!(f, "bad allocation: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl TokenSystemConfig {
+    /// Start building a config on the given graph.
+    pub fn builder(graph: Graph) -> TokenSystemConfigBuilder {
+        TokenSystemConfigBuilder {
+            graph,
+            tokens: 16,
+            sat: SatFunction::CollectAll,
+            allocation: Allocation::UniformCopies { copies: 3 },
+            contacts_per_round: 1,
+            altruism: 0.0,
+        }
+    }
+
+    /// Check internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] describing the first violated constraint.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.graph.len() < 2 {
+            return Err(ConfigError::GraphTooSmall);
+        }
+        if !self.graph.is_connected() {
+            return Err(ConfigError::GraphDisconnected);
+        }
+        if self.tokens == 0 {
+            return Err(ConfigError::NoTokens);
+        }
+        if self.contacts_per_round == 0 {
+            return Err(ConfigError::NoContacts);
+        }
+        if !(0.0..=1.0).contains(&self.altruism) {
+            return Err(ConfigError::BadAltruism(self.altruism));
+        }
+        let n = self.graph.len();
+        match &self.allocation {
+            Allocation::UniformCopies { copies } => {
+                if *copies == 0 || *copies > n as usize {
+                    return Err(ConfigError::BadAllocation(format!(
+                        "copies {copies} not in 1..={n}"
+                    )));
+                }
+            }
+            Allocation::RareToken { holder, copies } => {
+                if holder.0 >= n {
+                    return Err(ConfigError::BadAllocation(format!(
+                        "holder {holder} out of range"
+                    )));
+                }
+                if *copies == 0 || *copies > n as usize {
+                    return Err(ConfigError::BadAllocation(format!(
+                        "copies {copies} not in 1..={n}"
+                    )));
+                }
+            }
+            Allocation::Explicit(lists) => {
+                if lists.len() != self.tokens {
+                    return Err(ConfigError::BadAllocation(format!(
+                        "expected {} holder lists, got {}",
+                        self.tokens,
+                        lists.len()
+                    )));
+                }
+                for (tok, holders) in lists.iter().enumerate() {
+                    if holders.is_empty() {
+                        return Err(ConfigError::BadAllocation(format!(
+                            "token {tok} has no initial holder"
+                        )));
+                    }
+                    if holders.iter().any(|h| h.0 >= n) {
+                        return Err(ConfigError::BadAllocation(format!(
+                            "token {tok} has an out-of-range holder"
+                        )));
+                    }
+                }
+            }
+        }
+        if let SatFunction::AnyK(k) = self.sat {
+            if k == 0 || k > self.tokens {
+                return Err(ConfigError::BadAllocation(format!(
+                    "AnyK({k}) not in 1..={}",
+                    self.tokens
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`TokenSystemConfig`].
+#[derive(Debug, Clone)]
+pub struct TokenSystemConfigBuilder {
+    graph: Graph,
+    tokens: usize,
+    sat: SatFunction,
+    allocation: Allocation,
+    contacts_per_round: usize,
+    altruism: f64,
+}
+
+impl TokenSystemConfigBuilder {
+    /// Set `|T|`.
+    pub fn tokens(mut self, tokens: usize) -> Self {
+        self.tokens = tokens;
+        self
+    }
+
+    /// Set the satiation function.
+    pub fn sat(mut self, sat: SatFunction) -> Self {
+        self.sat = sat;
+        self
+    }
+
+    /// Set the initial allocation.
+    pub fn allocation(mut self, allocation: Allocation) -> Self {
+        self.allocation = allocation;
+        self
+    }
+
+    /// Set `c`, the per-round contact budget.
+    pub fn contacts_per_round(mut self, c: usize) -> Self {
+        self.contacts_per_round = c;
+        self
+    }
+
+    /// Set `a`, the altruism probability.
+    pub fn altruism(mut self, a: f64) -> Self {
+        self.altruism = a;
+        self
+    }
+
+    /// Validate and build.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TokenSystemConfig::validate`] failures.
+    pub fn build(self) -> Result<TokenSystemConfig, ConfigError> {
+        let cfg = TokenSystemConfig {
+            graph: self.graph,
+            tokens: self.tokens,
+            sat: self.sat,
+            allocation: self.allocation,
+            contacts_per_round: self.contacts_per_round,
+            altruism: self.altruism,
+        };
+        cfg.validate()?;
+        Ok(cfg)
+    }
+}
+
+/// A read-only view of the running system handed to attackers.
+#[derive(Debug)]
+pub struct SystemView<'a> {
+    /// Current round (the one about to execute).
+    pub round: Round,
+    /// Per-node holdings.
+    pub holdings: &'a [BitSet],
+    /// The communication graph.
+    pub graph: &'a Graph,
+    /// The satiation function in force.
+    pub sat: SatFunction,
+}
+
+impl SystemView<'_> {
+    /// Whether `node` is satiated under the system's satiation function.
+    pub fn is_satiated(&self, node: NodeId) -> bool {
+        self.sat.is_satiated(&self.holdings[node.index()])
+    }
+
+    /// All current holders of `token`.
+    pub fn holders_of(&self, token: usize) -> Vec<NodeId> {
+        self.holdings
+            .iter()
+            .enumerate()
+            .filter(|(_, h)| h.contains(token))
+            .map(|(i, _)| NodeId(i as u32))
+            .collect()
+    }
+
+    /// Fraction of the token universe held by `node`.
+    pub fn coverage(&self, node: NodeId) -> f64 {
+        let h = &self.holdings[node.index()];
+        if h.universe() == 0 {
+            1.0
+        } else {
+            h.len() as f64 / h.universe() as f64
+        }
+    }
+}
+
+/// Final report of a token-system run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TokenReport {
+    /// Rounds executed.
+    pub rounds: Round,
+    /// `(round, satiated fraction)` samples, one per executed round.
+    pub satiated_series: Vec<(Round, f64)>,
+    /// First round at the *end* of which every node was satiated.
+    pub all_satiated_at: Option<Round>,
+    /// Final per-node coverage (fraction of tokens held).
+    pub coverage: Vec<f64>,
+    /// Total tokens served (copies provided to others) per node.
+    pub served: Vec<u64>,
+    /// Nodes the attacker satiated at least once.
+    pub attacked_nodes: Vec<NodeId>,
+}
+
+impl TokenReport {
+    /// Mean final coverage over all nodes.
+    pub fn mean_coverage(&self) -> f64 {
+        if self.coverage.is_empty() {
+            return 0.0;
+        }
+        self.coverage.iter().sum::<f64>() / self.coverage.len() as f64
+    }
+
+    /// Mean final coverage over nodes the attacker never touched.
+    pub fn untouched_mean_coverage(&self) -> f64 {
+        let attacked: std::collections::HashSet<NodeId> =
+            self.attacked_nodes.iter().copied().collect();
+        let vals: Vec<f64> = self
+            .coverage
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !attacked.contains(&NodeId(*i as u32)))
+            .map(|(_, &c)| c)
+            .collect();
+        if vals.is_empty() {
+            return 0.0;
+        }
+        vals.iter().sum::<f64>() / vals.len() as f64
+    }
+
+    /// Lowest final coverage over all nodes.
+    pub fn min_coverage(&self) -> f64 {
+        self.coverage.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+}
+
+/// The running token-collecting system.
+///
+/// ```
+/// use lotus_core::token::{SatFunction, TokenSystemConfig};
+/// use lotus_core::attack::NoAttack;
+/// use netsim::graph::Graph;
+///
+/// let cfg = TokenSystemConfig::builder(Graph::complete(20))
+///     .tokens(8)
+///     .contacts_per_round(1)
+///     .altruism(0.5) // a > 0 guarantees eventual global satiation (§3)
+///     .build()?;
+/// let mut sys = lotus_core::token::TokenSystem::new(cfg, 7);
+/// let report = sys.run(&mut NoAttack, 200);
+/// assert!(report.all_satiated_at.is_some(), "gossip completes unattacked");
+/// # Ok::<(), lotus_core::token::ConfigError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct TokenSystem {
+    cfg: TokenSystemConfig,
+    holdings: Vec<BitSet>,
+    served: Vec<u64>,
+    round: Round,
+    rng: DetRng,
+    satiated_series: Vec<(Round, f64)>,
+    all_satiated_at: Option<Round>,
+    attacked: std::collections::BTreeSet<NodeId>,
+}
+
+impl TokenSystem {
+    /// Create a system in its initial allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config fails [`TokenSystemConfig::validate`]; prefer
+    /// building configs through the builder, which validates.
+    pub fn new(cfg: TokenSystemConfig, seed: u64) -> Self {
+        cfg.validate().expect("invalid TokenSystemConfig");
+        let n = cfg.graph.len() as usize;
+        let mut rng = DetRng::seed_from(seed).fork("token-system");
+        let mut holdings = vec![BitSet::new(cfg.tokens); n];
+        let mut alloc_rng = rng.fork("allocation");
+        match &cfg.allocation {
+            Allocation::UniformCopies { copies } => {
+                for tok in 0..cfg.tokens {
+                    for i in alloc_rng.sample_indices(n, *copies) {
+                        holdings[i].insert(tok);
+                    }
+                }
+            }
+            Allocation::RareToken { holder, copies } => {
+                holdings[holder.index()].insert(0);
+                for tok in 1..cfg.tokens {
+                    for i in alloc_rng.sample_indices(n, *copies) {
+                        holdings[i].insert(tok);
+                    }
+                }
+            }
+            Allocation::Explicit(lists) => {
+                for (tok, holders) in lists.iter().enumerate() {
+                    for h in holders {
+                        holdings[h.index()].insert(tok);
+                    }
+                }
+            }
+        }
+        let _ = rng.next_u64(); // decouple run stream from allocation stream
+        TokenSystem {
+            cfg,
+            holdings,
+            served: vec![0; n],
+            round: 0,
+            rng,
+            satiated_series: Vec::new(),
+            all_satiated_at: None,
+            attacked: std::collections::BTreeSet::new(),
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &TokenSystemConfig {
+        &self.cfg
+    }
+
+    /// Read-only view for attackers and assertions.
+    pub fn view(&self) -> SystemView<'_> {
+        SystemView {
+            round: self.round,
+            holdings: &self.holdings,
+            graph: &self.cfg.graph,
+            sat: self.cfg.sat,
+        }
+    }
+
+    /// Grant `node` the full token set (the attacker's power).
+    pub fn satiate(&mut self, node: NodeId) {
+        self.holdings[node.index()] = BitSet::full(self.cfg.tokens);
+        self.attacked.insert(node);
+    }
+
+    /// Current holdings of `node`.
+    pub fn holdings(&self, node: NodeId) -> &BitSet {
+        &self.holdings[node.index()]
+    }
+
+    /// Cumulative tokens `node` has provided to others.
+    pub fn served(&self, node: NodeId) -> u64 {
+        self.served[node.index()]
+    }
+
+    /// Fraction of nodes currently satiated.
+    pub fn satiated_fraction(&self) -> f64 {
+        let n = self.holdings.len();
+        let sat = self
+            .holdings
+            .iter()
+            .filter(|h| self.cfg.sat.is_satiated(h))
+            .count();
+        sat as f64 / n as f64
+    }
+
+    /// Execute one gossip round (without any attacker action).
+    fn gossip_round(&mut self) {
+        let n = self.holdings.len();
+        let snapshot = self.holdings.clone();
+        let satiated: Vec<bool> = snapshot
+            .iter()
+            .map(|h| self.cfg.sat.is_satiated(h))
+            .collect();
+        let mut round_rng = self.rng.fork_idx("round", self.round);
+        for i in 0..n {
+            if satiated[i] {
+                continue; // satiated nodes stop initiating
+            }
+            let neighbors = self.cfg.graph.neighbors(NodeId(i as u32));
+            if neighbors.is_empty() {
+                continue;
+            }
+            let c = self.cfg.contacts_per_round.min(neighbors.len());
+            let picks = round_rng.sample_indices(neighbors.len(), c);
+            for p in picks {
+                let j = neighbors[p] as usize;
+                if satiated[j] && !round_rng.chance(self.cfg.altruism) {
+                    continue; // satiated partner declined (insufficient altruism)
+                }
+                // Bidirectional copy of start-of-round holdings.
+                self.served[j] += snapshot[j].difference_count(&snapshot[i]) as u64;
+                self.served[i] += snapshot[i].difference_count(&snapshot[j]) as u64;
+                let (a, b) = (&snapshot[j], &snapshot[i]);
+                self.holdings[i].union_with(a);
+                self.holdings[j].union_with(b);
+            }
+        }
+        self.round += 1;
+        let frac = self.satiated_fraction();
+        self.satiated_series.push((self.round, frac));
+        if self.all_satiated_at.is_none() && frac >= 1.0 {
+            self.all_satiated_at = Some(self.round);
+        }
+    }
+
+    /// Run `rounds` rounds under `attacker`, returning the report.
+    ///
+    /// Each round the attacker is consulted first (it sees the
+    /// start-of-round state) and its chosen targets are satiated before any
+    /// gossip happens, exactly as in the paper's model.
+    pub fn run(&mut self, attacker: &mut dyn crate::attack::Attacker, rounds: Round) -> TokenReport {
+        let mut attack_rng = self.rng.fork("attacker");
+        for _ in 0..rounds {
+            let targets = attacker.targets(&self.view(), &mut attack_rng);
+            for t in targets {
+                self.satiate(t);
+            }
+            self.gossip_round();
+        }
+        self.report()
+    }
+
+    /// Snapshot the report without running further.
+    pub fn report(&self) -> TokenReport {
+        TokenReport {
+            rounds: self.round,
+            satiated_series: self.satiated_series.clone(),
+            all_satiated_at: self.all_satiated_at,
+            coverage: self
+                .holdings
+                .iter()
+                .map(|h| {
+                    if h.universe() == 0 {
+                        1.0
+                    } else {
+                        h.len() as f64 / h.universe() as f64
+                    }
+                })
+                .collect(),
+            served: self.served.clone(),
+            attacked_nodes: self.attacked.iter().copied().collect(),
+        }
+    }
+}
+
+impl RoundSim for TokenSystem {
+    fn round(&mut self, t: Round) {
+        debug_assert_eq!(t, self.round, "TokenSystem rounds must be sequential");
+        self.gossip_round();
+    }
+
+    fn rounds_run(&self) -> Round {
+        self.round
+    }
+}
+
+impl Satiable for TokenSystem {
+    fn node_count(&self) -> u32 {
+        self.cfg.graph.len()
+    }
+
+    fn is_satiated(&self, node: NodeId) -> bool {
+        self.cfg.sat.is_satiated(&self.holdings[node.index()])
+    }
+
+    fn service_provided(&self, node: NodeId) -> u64 {
+        self.served[node.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attack::{NoAttack, SatiateRandomFraction};
+
+    fn small_cfg(n: u32, tokens: usize) -> TokenSystemConfig {
+        TokenSystemConfig::builder(Graph::complete(n))
+            .tokens(tokens)
+            .allocation(Allocation::UniformCopies { copies: 2 })
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_validates() {
+        assert!(matches!(
+            TokenSystemConfig::builder(Graph::complete(1)).build(),
+            Err(ConfigError::GraphTooSmall)
+        ));
+        assert!(matches!(
+            TokenSystemConfig::builder(Graph::from_edges(4, &[(0, 1), (2, 3)])).build(),
+            Err(ConfigError::GraphDisconnected)
+        ));
+        assert!(matches!(
+            TokenSystemConfig::builder(Graph::complete(4)).tokens(0).build(),
+            Err(ConfigError::NoTokens)
+        ));
+        assert!(matches!(
+            TokenSystemConfig::builder(Graph::complete(4))
+                .contacts_per_round(0)
+                .build(),
+            Err(ConfigError::NoContacts)
+        ));
+        assert!(matches!(
+            TokenSystemConfig::builder(Graph::complete(4)).altruism(1.5).build(),
+            Err(ConfigError::BadAltruism(_))
+        ));
+    }
+
+    #[test]
+    fn explicit_allocation_validated() {
+        let r = TokenSystemConfig::builder(Graph::complete(4))
+            .tokens(2)
+            .allocation(Allocation::Explicit(vec![vec![NodeId(0)]]))
+            .build();
+        assert!(matches!(r, Err(ConfigError::BadAllocation(_))));
+
+        let r = TokenSystemConfig::builder(Graph::complete(4))
+            .tokens(1)
+            .allocation(Allocation::Explicit(vec![vec![]]))
+            .build();
+        assert!(matches!(r, Err(ConfigError::BadAllocation(_))));
+
+        let r = TokenSystemConfig::builder(Graph::complete(4))
+            .tokens(1)
+            .allocation(Allocation::Explicit(vec![vec![NodeId(9)]]))
+            .build();
+        assert!(matches!(r, Err(ConfigError::BadAllocation(_))));
+    }
+
+    #[test]
+    fn any_k_validated() {
+        let r = TokenSystemConfig::builder(Graph::complete(4))
+            .tokens(4)
+            .sat(SatFunction::AnyK(5))
+            .build();
+        assert!(matches!(r, Err(ConfigError::BadAllocation(_))));
+    }
+
+    #[test]
+    fn config_error_display_nonempty() {
+        for e in [
+            ConfigError::GraphTooSmall,
+            ConfigError::GraphDisconnected,
+            ConfigError::NoTokens,
+            ConfigError::NoContacts,
+            ConfigError::BadAltruism(2.0),
+            ConfigError::BadAllocation("x".into()),
+        ] {
+            assert!(!format!("{e}").is_empty());
+        }
+    }
+
+    #[test]
+    fn unattacked_system_converges_with_altruism() {
+        // §3: "any system with a > 0 will eventually end up with all nodes
+        // satiated".
+        let cfg = TokenSystemConfig::builder(Graph::complete(20))
+            .tokens(10)
+            .allocation(Allocation::UniformCopies { copies: 2 })
+            .altruism(0.25)
+            .build()
+            .unwrap();
+        let mut sys = TokenSystem::new(cfg, 1);
+        let report = sys.run(&mut NoAttack, 300);
+        assert!(report.all_satiated_at.is_some());
+        assert!(report.mean_coverage() >= 1.0 - 1e-12);
+    }
+
+    #[test]
+    fn zero_altruism_can_strand_stragglers() {
+        // With a = 0 the system is satiation-compatible, and the paper
+        // notes such systems "may experience difficulties even without an
+        // attack if key nodes happen to become satiated": the last
+        // collectors can be stranded by unresponsive satiated peers. The
+        // run still reaches high coverage.
+        let mut sys = TokenSystem::new(small_cfg(20, 10), 1);
+        let report = sys.run(&mut NoAttack, 100);
+        assert!(report.mean_coverage() > 0.9);
+        if report.all_satiated_at.is_none() {
+            let stranded = report.coverage.iter().filter(|&&c| c < 1.0).count();
+            assert!(stranded > 0);
+        }
+    }
+
+    #[test]
+    fn holdings_are_monotone() {
+        let mut sys = TokenSystem::new(small_cfg(12, 8), 3);
+        let mut prev: Vec<BitSet> = (0..12).map(|i| sys.holdings(NodeId(i)).clone()).collect();
+        for _ in 0..10 {
+            sys.gossip_round();
+            for i in 0..12u32 {
+                let cur = sys.holdings(NodeId(i));
+                assert!(
+                    prev[i as usize].is_subset(cur),
+                    "holdings of {i} shrank"
+                );
+                prev[i as usize] = cur.clone();
+            }
+        }
+    }
+
+    #[test]
+    fn satiated_nodes_stop_serving_without_altruism() {
+        // Complete graph, one node pre-satiated, a = 0: that node's served
+        // count only grows while *it* was being contacted... with a = 0 it
+        // never responds, and it never initiates, so served stays 0.
+        let cfg = small_cfg(10, 4);
+        let mut sys = TokenSystem::new(cfg, 5);
+        sys.satiate(NodeId(0));
+        let before = sys.served(NodeId(0));
+        for _ in 0..20 {
+            sys.gossip_round();
+        }
+        assert_eq!(sys.served(NodeId(0)), before, "satiated node served others");
+    }
+
+    #[test]
+    fn altruistic_satiated_nodes_do_serve() {
+        let cfg = TokenSystemConfig::builder(Graph::complete(10))
+            .tokens(4)
+            .allocation(Allocation::Explicit(vec![
+                vec![NodeId(0)],
+                vec![NodeId(0)],
+                vec![NodeId(0)],
+                vec![NodeId(0)],
+            ]))
+            .altruism(1.0)
+            .build()
+            .unwrap();
+        let mut sys = TokenSystem::new(cfg, 5);
+        // Node 0 holds everything => satiated. With a = 1 it still responds.
+        assert!(sys.is_satiated(NodeId(0)));
+        for _ in 0..30 {
+            sys.gossip_round();
+        }
+        assert!(sys.served(NodeId(0)) > 0);
+        assert!(sys.satiated_fraction() > 0.9, "everyone eventually satiated");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let r1 = TokenSystem::new(small_cfg(15, 6), 9).run(&mut NoAttack, 30);
+        let r2 = TokenSystem::new(small_cfg(15, 6), 9).run(&mut NoAttack, 30);
+        assert_eq!(r1, r2);
+        let r3 = TokenSystem::new(small_cfg(15, 6), 10).run(&mut NoAttack, 30);
+        assert!(r1.satiated_series != r3.satiated_series || r1.coverage != r3.coverage);
+    }
+
+    #[test]
+    fn attack_marks_attacked_nodes() {
+        let mut sys = TokenSystem::new(small_cfg(10, 6), 2);
+        let mut att = SatiateRandomFraction::new(0.3);
+        let report = sys.run(&mut att, 5);
+        assert_eq!(report.attacked_nodes.len(), 3);
+        for n in &report.attacked_nodes {
+            assert!((report.coverage[n.index()] - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn rare_token_allocation() {
+        let cfg = TokenSystemConfig::builder(Graph::complete(10))
+            .tokens(5)
+            .allocation(Allocation::RareToken {
+                holder: NodeId(3),
+                copies: 4,
+            })
+            .build()
+            .unwrap();
+        let sys = TokenSystem::new(cfg, 1);
+        let holders = sys.view().holders_of(0);
+        assert_eq!(holders, vec![NodeId(3)]);
+        for tok in 1..5 {
+            assert_eq!(sys.view().holders_of(tok).len(), 4);
+        }
+    }
+
+    #[test]
+    fn view_coverage_and_satiated() {
+        let mut sys = TokenSystem::new(small_cfg(6, 4), 0);
+        sys.satiate(NodeId(2));
+        let v = sys.view();
+        assert!(v.is_satiated(NodeId(2)));
+        assert!((v.coverage(NodeId(2)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn any_k_satiation() {
+        let mut h = BitSet::new(10);
+        let f = SatFunction::AnyK(3);
+        assert!(!f.is_satiated(&h));
+        assert_eq!(f.deficit(&h), 3);
+        h.insert(0);
+        h.insert(5);
+        h.insert(9);
+        assert!(f.is_satiated(&h));
+        assert_eq!(f.deficit(&h), 0);
+    }
+
+    #[test]
+    fn round_sim_trait_drives_system() {
+        let mut sys = TokenSystem::new(small_cfg(8, 4), 4);
+        netsim::round::run(&mut sys, 5);
+        assert_eq!(sys.rounds_run(), 5);
+    }
+}

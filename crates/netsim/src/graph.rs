@@ -1,0 +1,693 @@
+//! Compact undirected graphs and standard topology builders.
+//!
+//! The lotus-eater paper's abstract model (§3) characterises a system by a
+//! graph `G = (V, E)` of potential communication pairs. Cut-based satiation
+//! attacks exploit graph structure (grids, sensor networks), while random
+//! graphs resist them; this module provides both kinds of topology plus the
+//! traversal helpers the attack planners need.
+//!
+//! Graphs are stored in CSR (compressed sparse row) form: cache-friendly,
+//! immutable after construction, `O(1)` neighbour slices.
+
+use crate::rng::DetRng;
+use crate::NodeId;
+
+/// An immutable simple undirected graph in CSR form.
+///
+/// Self-loops and parallel edges are removed at construction time.
+///
+/// ```
+/// use netsim::graph::Graph;
+/// let g = Graph::cycle(5);
+/// assert_eq!(g.len(), 5);
+/// assert_eq!(g.degree(netsim::NodeId(0)), 2);
+/// assert!(g.is_connected());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Graph {
+    offsets: Vec<u32>,
+    adjacency: Vec<u32>,
+}
+
+impl Graph {
+    /// Build a graph with `n` vertices from an edge list.
+    ///
+    /// Self-loops are dropped; duplicate edges are merged. Endpoints must be
+    /// `< n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any endpoint is out of range.
+    pub fn from_edges(n: u32, edges: &[(u32, u32)]) -> Self {
+        let mut pairs: Vec<(u32, u32)> = Vec::with_capacity(edges.len() * 2);
+        for &(a, b) in edges {
+            assert!(a < n && b < n, "edge ({a}, {b}) out of range for n = {n}");
+            if a == b {
+                continue;
+            }
+            pairs.push((a, b));
+            pairs.push((b, a));
+        }
+        pairs.sort_unstable();
+        pairs.dedup();
+
+        let mut offsets = vec![0u32; n as usize + 1];
+        for &(a, _) in &pairs {
+            offsets[a as usize + 1] += 1;
+        }
+        for i in 0..n as usize {
+            offsets[i + 1] += offsets[i];
+        }
+        let adjacency = pairs.into_iter().map(|(_, b)| b).collect();
+        Graph { offsets, adjacency }
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> u32 {
+        (self.offsets.len() - 1) as u32
+    }
+
+    /// `true` if the graph has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of (undirected) edges.
+    pub fn edge_count(&self) -> usize {
+        self.adjacency.len() / 2
+    }
+
+    /// Neighbours of `v` as a sorted slice of raw vertex indices.
+    pub fn neighbors(&self, v: NodeId) -> &[u32] {
+        let lo = self.offsets[v.index()] as usize;
+        let hi = self.offsets[v.index() + 1] as usize;
+        &self.adjacency[lo..hi]
+    }
+
+    /// Degree of `v`.
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.neighbors(v).len()
+    }
+
+    /// `true` if `{a, b}` is an edge.
+    pub fn contains_edge(&self, a: NodeId, b: NodeId) -> bool {
+        self.neighbors(a).binary_search(&b.0).is_ok()
+    }
+
+    /// All node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        NodeId::all(self.len())
+    }
+
+    /// BFS hop distances from `src`; `None` for unreachable vertices.
+    pub fn bfs_distances(&self, src: NodeId) -> Vec<Option<u32>> {
+        let mut dist = vec![None; self.len() as usize];
+        let mut queue = std::collections::VecDeque::new();
+        dist[src.index()] = Some(0);
+        queue.push_back(src.0);
+        while let Some(u) = queue.pop_front() {
+            let du = dist[u as usize].expect("queued vertices have distances");
+            for &w in self.neighbors(NodeId(u)) {
+                if dist[w as usize].is_none() {
+                    dist[w as usize] = Some(du + 1);
+                    queue.push_back(w);
+                }
+            }
+        }
+        dist
+    }
+
+    /// `true` if every vertex is reachable from every other.
+    ///
+    /// The empty graph is considered connected.
+    pub fn is_connected(&self) -> bool {
+        if self.is_empty() {
+            return true;
+        }
+        self.bfs_distances(NodeId(0)).iter().all(Option::is_some)
+    }
+
+    /// Connected-component label for every vertex (labels are dense from 0).
+    pub fn components(&self) -> Vec<u32> {
+        let n = self.len() as usize;
+        let mut comp = vec![u32::MAX; n];
+        let mut next = 0;
+        for s in 0..n {
+            if comp[s] != u32::MAX {
+                continue;
+            }
+            let mut queue = std::collections::VecDeque::new();
+            comp[s] = next;
+            queue.push_back(s as u32);
+            while let Some(u) = queue.pop_front() {
+                for &w in self.neighbors(NodeId(u)) {
+                    if comp[w as usize] == u32::MAX {
+                        comp[w as usize] = next;
+                        queue.push_back(w);
+                    }
+                }
+            }
+            next += 1;
+        }
+        comp
+    }
+
+    /// Component labels of the graph after removing `removed` vertices.
+    ///
+    /// Removed vertices get label `u32::MAX`. Used by the cut-attack
+    /// planner: if the survivors split into more than one component, the
+    /// removed set was a vertex cut.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `removed.len() != self.len()`.
+    pub fn components_without(&self, removed: &[bool]) -> Vec<u32> {
+        assert_eq!(removed.len(), self.len() as usize);
+        let n = self.len() as usize;
+        let mut comp = vec![u32::MAX; n];
+        let mut next = 0;
+        for s in 0..n {
+            if removed[s] || comp[s] != u32::MAX {
+                continue;
+            }
+            let mut queue = std::collections::VecDeque::new();
+            comp[s] = next;
+            queue.push_back(s as u32);
+            while let Some(u) = queue.pop_front() {
+                for &w in self.neighbors(NodeId(u)) {
+                    if !removed[w as usize] && comp[w as usize] == u32::MAX {
+                        comp[w as usize] = next;
+                        queue.push_back(w);
+                    }
+                }
+            }
+            next += 1;
+        }
+        comp
+    }
+
+    /// `true` if removing `removed` disconnects the surviving vertices.
+    pub fn is_vertex_cut(&self, removed: &[bool]) -> bool {
+        let comp = self.components_without(removed);
+        let mut seen = std::collections::HashSet::new();
+        for (i, &c) in comp.iter().enumerate() {
+            if !removed[i] {
+                seen.insert(c);
+            }
+        }
+        seen.len() > 1
+    }
+
+    // ----------------------------------------------------------------
+    // Builders.
+    // ----------------------------------------------------------------
+
+    /// The complete graph `K_n`.
+    pub fn complete(n: u32) -> Self {
+        let mut edges = Vec::new();
+        for a in 0..n {
+            for b in (a + 1)..n {
+                edges.push((a, b));
+            }
+        }
+        Graph::from_edges(n, &edges)
+    }
+
+    /// A simple path `0 — 1 — … — (n-1)`.
+    pub fn path(n: u32) -> Self {
+        let edges: Vec<_> = (1..n).map(|i| (i - 1, i)).collect();
+        Graph::from_edges(n, &edges)
+    }
+
+    /// A cycle of `n` vertices (`n >= 3` to be a proper cycle; smaller `n`
+    /// degenerates to a path/edge).
+    pub fn cycle(n: u32) -> Self {
+        let mut edges: Vec<_> = (1..n).map(|i| (i - 1, i)).collect();
+        if n >= 3 {
+            edges.push((n - 1, 0));
+        }
+        Graph::from_edges(n, &edges)
+    }
+
+    /// A `rows × cols` 2-D grid; `torus` wraps both dimensions.
+    ///
+    /// Vertex `(r, c)` has index `r * cols + c`.
+    pub fn grid(rows: u32, cols: u32, torus: bool) -> Self {
+        let n = rows * cols;
+        let idx = |r: u32, c: u32| r * cols + c;
+        let mut edges = Vec::new();
+        for r in 0..rows {
+            for c in 0..cols {
+                if c + 1 < cols {
+                    edges.push((idx(r, c), idx(r, c + 1)));
+                } else if torus && cols > 2 {
+                    edges.push((idx(r, c), idx(r, 0)));
+                }
+                if r + 1 < rows {
+                    edges.push((idx(r, c), idx(r + 1, c)));
+                } else if torus && rows > 2 {
+                    edges.push((idx(r, c), idx(0, c)));
+                }
+            }
+        }
+        Graph::from_edges(n, &edges)
+    }
+
+    /// Erdős–Rényi `G(n, p)`: each pair is an edge independently with
+    /// probability `p`.
+    pub fn erdos_renyi(n: u32, p: f64, rng: &mut DetRng) -> Self {
+        let mut edges = Vec::new();
+        for a in 0..n {
+            for b in (a + 1)..n {
+                if rng.chance(p) {
+                    edges.push((a, b));
+                }
+            }
+        }
+        Graph::from_edges(n, &edges)
+    }
+
+    /// Watts–Strogatz small world: ring lattice with `k` nearest neighbours
+    /// per side, each edge rewired with probability `beta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `2 * k >= n` (the lattice would not be simple).
+    pub fn watts_strogatz(n: u32, k: u32, beta: f64, rng: &mut DetRng) -> Self {
+        assert!(2 * k < n, "watts_strogatz requires 2k < n (got k={k}, n={n})");
+        let mut edges: Vec<(u32, u32)> = Vec::new();
+        for v in 0..n {
+            for j in 1..=k {
+                edges.push((v, (v + j) % n));
+            }
+        }
+        let mut set: std::collections::HashSet<(u32, u32)> = edges
+            .iter()
+            .map(|&(a, b)| (a.min(b), a.max(b)))
+            .collect();
+        for e in edges.iter_mut() {
+            if rng.chance(beta) {
+                let (a, old_b) = *e;
+                // Try a few times to find a fresh endpoint.
+                for _ in 0..16 {
+                    let nb = rng.range(u64::from(n)) as u32;
+                    let key = (a.min(nb), a.max(nb));
+                    if nb != a && !set.contains(&key) {
+                        set.remove(&(a.min(old_b), a.max(old_b)));
+                        set.insert(key);
+                        *e = (a, nb);
+                        break;
+                    }
+                }
+            }
+        }
+        let final_edges: Vec<_> = set.into_iter().collect();
+        Graph::from_edges(n, &final_edges)
+    }
+
+    /// Random geometric graph: `n` points uniform in the unit square,
+    /// edges between pairs within `radius` — the standard model of a
+    /// sensor-network radio topology. The paper (§3) observes that such
+    /// inherent spatial structure gives an attacker cheap cuts that random
+    /// graphs lack.
+    pub fn random_geometric(n: u32, radius: f64, rng: &mut DetRng) -> Self {
+        let points: Vec<(f64, f64)> = (0..n).map(|_| (rng.f64(), rng.f64())).collect();
+        let r2 = radius * radius;
+        let mut edges = Vec::new();
+        for a in 0..n as usize {
+            for b in (a + 1)..n as usize {
+                let dx = points[a].0 - points[b].0;
+                let dy = points[a].1 - points[b].1;
+                if dx * dx + dy * dy <= r2 {
+                    edges.push((a as u32, b as u32));
+                }
+            }
+        }
+        Graph::from_edges(n, &edges)
+    }
+
+    /// Barabási–Albert preferential attachment: start from a clique of
+    /// `m + 1` vertices, then attach each new vertex to `m` existing ones
+    /// chosen proportionally to degree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n <= m` or `m == 0`.
+    pub fn barabasi_albert(n: u32, m: u32, rng: &mut DetRng) -> Self {
+        assert!(m > 0 && n > m, "barabasi_albert requires 0 < m < n");
+        let mut edges: Vec<(u32, u32)> = Vec::new();
+        // Repeated-endpoint list: sampling uniformly from it is sampling
+        // proportionally to degree.
+        let mut endpoints: Vec<u32> = Vec::new();
+        for a in 0..=m {
+            for b in (a + 1)..=m {
+                edges.push((a, b));
+                endpoints.push(a);
+                endpoints.push(b);
+            }
+        }
+        for v in (m + 1)..n {
+            let mut targets = std::collections::HashSet::new();
+            while (targets.len() as u32) < m {
+                let t = endpoints[rng.index(endpoints.len())];
+                targets.insert(t);
+            }
+            for &t in &targets {
+                edges.push((v, t));
+                endpoints.push(v);
+                endpoints.push(t);
+            }
+        }
+        Graph::from_edges(n, &edges)
+    }
+
+    /// BFS layers from `src`: `layers[d]` holds all vertices at hop
+    /// distance `d`. Unreachable vertices are omitted.
+    pub fn bfs_layers(&self, src: NodeId) -> Vec<Vec<NodeId>> {
+        let dist = self.bfs_distances(src);
+        let mut layers: Vec<Vec<NodeId>> = Vec::new();
+        for (i, d) in dist.iter().enumerate() {
+            if let Some(d) = d {
+                let d = *d as usize;
+                while layers.len() <= d {
+                    layers.push(Vec::new());
+                }
+                layers[d].push(NodeId(i as u32));
+            }
+        }
+        layers
+    }
+
+    /// A cheap vertex cut found by the BFS-layer heuristic: grow layers
+    /// from `src` and return the smallest intermediate layer that actually
+    /// separates the graph (both sides non-empty). This is how an attacker
+    /// without global knowledge plans a cut-satiation attack — "finding
+    /// inexpensive cuts depends on the structure of G" (§3).
+    ///
+    /// Returns `None` when no intermediate layer is a cut (e.g. complete
+    /// graphs, or graphs with fewer than three BFS layers).
+    pub fn layered_cut(&self, src: NodeId) -> Option<Vec<NodeId>> {
+        let layers = self.bfs_layers(src);
+        if layers.len() < 3 {
+            return None;
+        }
+        let mut best: Option<&Vec<NodeId>> = None;
+        for layer in &layers[1..layers.len() - 1] {
+            let mut removed = vec![false; self.len() as usize];
+            for v in layer {
+                removed[v.index()] = true;
+            }
+            if self.is_vertex_cut(&removed)
+                && best.is_none_or(|b| layer.len() < b.len())
+            {
+                best = Some(layer);
+            }
+        }
+        best.cloned()
+    }
+
+    /// Graph diameter (longest shortest path), or `None` if disconnected
+    /// or empty. `O(V * E)` — fine at simulation scale.
+    pub fn diameter(&self) -> Option<u32> {
+        if self.is_empty() {
+            return None;
+        }
+        let mut best = 0;
+        for v in self.nodes() {
+            for d in self.bfs_distances(v) {
+                best = best.max(d?);
+            }
+        }
+        Some(best)
+    }
+
+    /// Mean degree over all vertices (0 for the empty graph).
+    pub fn mean_degree(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        self.adjacency.len() as f64 / f64::from(self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_edges_dedups_and_drops_loops() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 0), (1, 1), (1, 2)]);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.neighbors(NodeId(1)), &[0, 2]);
+        assert!(!g.contains_edge(NodeId(1), NodeId(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_edges_validates_endpoints() {
+        Graph::from_edges(2, &[(0, 2)]);
+    }
+
+    #[test]
+    fn complete_graph_shape() {
+        let g = Graph::complete(6);
+        assert_eq!(g.edge_count(), 15);
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 5);
+        }
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn path_and_cycle_shape() {
+        let p = Graph::path(5);
+        assert_eq!(p.edge_count(), 4);
+        assert_eq!(p.degree(NodeId(0)), 1);
+        assert_eq!(p.degree(NodeId(2)), 2);
+
+        let c = Graph::cycle(5);
+        assert_eq!(c.edge_count(), 5);
+        for v in c.nodes() {
+            assert_eq!(c.degree(v), 2);
+        }
+    }
+
+    #[test]
+    fn grid_shape_and_torus() {
+        let g = Graph::grid(4, 5, false);
+        assert_eq!(g.len(), 20);
+        // Corner has degree 2, interior 4.
+        assert_eq!(g.degree(NodeId(0)), 2);
+        assert_eq!(g.degree(NodeId(6)), 4);
+        assert!(g.is_connected());
+
+        let t = Graph::grid(4, 5, true);
+        for v in t.nodes() {
+            assert_eq!(t.degree(v), 4, "torus is 4-regular");
+        }
+    }
+
+    #[test]
+    fn bfs_distances_on_path() {
+        let g = Graph::path(4);
+        let d = g.bfs_distances(NodeId(0));
+        assert_eq!(d, vec![Some(0), Some(1), Some(2), Some(3)]);
+    }
+
+    #[test]
+    fn disconnected_components() {
+        let g = Graph::from_edges(5, &[(0, 1), (2, 3)]);
+        assert!(!g.is_connected());
+        let comp = g.components();
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[2], comp[3]);
+        assert_ne!(comp[0], comp[2]);
+        assert_ne!(comp[4], comp[0]);
+        assert_ne!(comp[4], comp[2]);
+    }
+
+    #[test]
+    fn grid_column_is_a_cut() {
+        // Removing a full column of a 5x5 grid splits it in two.
+        let g = Graph::grid(5, 5, false);
+        let mut removed = vec![false; 25];
+        for r in 0..5 {
+            removed[r * 5 + 2] = true;
+        }
+        assert!(g.is_vertex_cut(&removed));
+        let comp = g.components_without(&removed);
+        assert_eq!(comp[0], comp[1]); // left side together
+        assert_ne!(comp[0], comp[4]); // right side separate
+        assert_eq!(comp[2], u32::MAX); // removed marker
+    }
+
+    #[test]
+    fn complete_graph_has_no_small_cut() {
+        let g = Graph::complete(6);
+        let mut removed = vec![false; 6];
+        removed[0] = true;
+        removed[1] = true;
+        assert!(!g.is_vertex_cut(&removed));
+    }
+
+    #[test]
+    fn erdos_renyi_extremes() {
+        let mut rng = DetRng::seed_from(1);
+        let empty = Graph::erdos_renyi(10, 0.0, &mut rng);
+        assert_eq!(empty.edge_count(), 0);
+        let full = Graph::erdos_renyi(10, 1.0, &mut rng);
+        assert_eq!(full.edge_count(), 45);
+    }
+
+    #[test]
+    fn erdos_renyi_density_tracks_p() {
+        let mut rng = DetRng::seed_from(2);
+        let g = Graph::erdos_renyi(60, 0.25, &mut rng);
+        let expected = 0.25 * (60.0 * 59.0 / 2.0);
+        let got = g.edge_count() as f64;
+        assert!((got - expected).abs() < expected * 0.25, "got {got} edges");
+    }
+
+    #[test]
+    fn watts_strogatz_preserves_edge_count_at_beta_zero() {
+        let mut rng = DetRng::seed_from(3);
+        let g = Graph::watts_strogatz(20, 2, 0.0, &mut rng);
+        assert_eq!(g.edge_count(), 40);
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 4);
+        }
+    }
+
+    #[test]
+    fn watts_strogatz_rewiring_keeps_graph_simple() {
+        let mut rng = DetRng::seed_from(4);
+        let g = Graph::watts_strogatz(50, 3, 0.5, &mut rng);
+        for v in g.nodes() {
+            let nb = g.neighbors(v);
+            for w in nb.windows(2) {
+                assert!(w[0] < w[1], "neighbour lists sorted & deduped");
+            }
+            assert!(!nb.contains(&v.0), "no self loops");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "2k < n")]
+    fn watts_strogatz_validates_k() {
+        let mut rng = DetRng::seed_from(0);
+        Graph::watts_strogatz(6, 3, 0.1, &mut rng);
+    }
+
+    #[test]
+    fn barabasi_albert_shape() {
+        let mut rng = DetRng::seed_from(5);
+        let g = Graph::barabasi_albert(100, 3, &mut rng);
+        assert_eq!(g.len(), 100);
+        assert!(g.is_connected());
+        // Initial clique of 4 contributes 6 edges; each of the 96 newcomers 3.
+        assert_eq!(g.edge_count(), 6 + 96 * 3);
+    }
+
+    #[test]
+    fn barabasi_albert_is_skewed() {
+        let mut rng = DetRng::seed_from(6);
+        let g = Graph::barabasi_albert(200, 2, &mut rng);
+        let max_deg = g.nodes().map(|v| g.degree(v)).max().unwrap();
+        assert!(
+            max_deg as f64 > 3.0 * g.mean_degree(),
+            "hubs should emerge (max {max_deg}, mean {})",
+            g.mean_degree()
+        );
+    }
+
+    #[test]
+    fn bfs_layers_partition_reachable_vertices() {
+        let g = Graph::grid(3, 4, false);
+        let layers = g.bfs_layers(NodeId(0));
+        let total: usize = layers.iter().map(Vec::len).sum();
+        assert_eq!(total, 12, "connected: all vertices appear");
+        assert_eq!(layers[0], vec![NodeId(0)]);
+        // Manhattan distance layering on the grid.
+        assert_eq!(layers[1].len(), 2);
+    }
+
+    #[test]
+    fn layered_cut_finds_grid_separators() {
+        let g = Graph::grid(5, 9, false);
+        let cut = g.layered_cut(NodeId(0)).expect("grids have cheap cuts");
+        let mut removed = vec![false; g.len() as usize];
+        for v in &cut {
+            removed[v.index()] = true;
+        }
+        assert!(g.is_vertex_cut(&removed), "returned set must be a cut");
+        assert!(
+            cut.len() <= 9,
+            "heuristic cut should be small on a grid, got {}",
+            cut.len()
+        );
+    }
+
+    #[test]
+    fn layered_cut_none_on_complete_graphs() {
+        let g = Graph::complete(8);
+        assert!(g.layered_cut(NodeId(0)).is_none());
+    }
+
+    #[test]
+    fn path_layered_cut_is_single_vertex() {
+        let g = Graph::path(9);
+        let cut = g.layered_cut(NodeId(0)).unwrap();
+        assert_eq!(cut.len(), 1, "any interior path vertex is a cut");
+    }
+
+    #[test]
+    fn diameter_values() {
+        assert_eq!(Graph::path(5).diameter(), Some(4));
+        assert_eq!(Graph::complete(6).diameter(), Some(1));
+        assert_eq!(Graph::cycle(8).diameter(), Some(4));
+        assert_eq!(Graph::from_edges(4, &[(0, 1)]).diameter(), None);
+        assert_eq!(Graph::from_edges(0, &[]).diameter(), None);
+    }
+
+    #[test]
+    fn random_geometric_shape() {
+        let mut rng = DetRng::seed_from(8);
+        let sparse = Graph::random_geometric(100, 0.05, &mut rng);
+        let dense = Graph::random_geometric(100, 0.5, &mut rng);
+        assert!(dense.edge_count() > sparse.edge_count());
+        // Radius sqrt(2) covers the whole unit square: complete graph.
+        let full = Graph::random_geometric(20, 1.5, &mut rng);
+        assert_eq!(full.edge_count(), 190);
+        // Degenerate radius: no edges.
+        let empty = Graph::random_geometric(20, 0.0, &mut rng);
+        assert_eq!(empty.edge_count(), 0);
+    }
+
+    #[test]
+    fn random_geometric_graphs_have_spatial_cuts() {
+        // At moderate density a geometric graph almost always admits a
+        // cheap layered cut — the §3 sensor-network observation.
+        let mut rng = DetRng::seed_from(9);
+        let mut found = 0;
+        for _ in 0..5 {
+            let g = Graph::random_geometric(120, 0.16, &mut rng);
+            if !g.is_connected() {
+                continue;
+            }
+            if let Some(cut) = g.layered_cut(NodeId(0)) {
+                if cut.len() < 30 {
+                    found += 1;
+                }
+            }
+        }
+        assert!(found >= 1, "geometric graphs should expose cheap cuts");
+    }
+
+    #[test]
+    fn mean_degree_empty() {
+        let g = Graph::from_edges(0, &[]);
+        assert_eq!(g.mean_degree(), 0.0);
+        assert!(g.is_empty());
+        assert!(g.is_connected());
+    }
+}

@@ -1,0 +1,420 @@
+//! Running statistics, histograms and time series.
+//!
+//! Every experiment reports aggregates — mean delivery fractions, crossover
+//! points, percentiles of completion times. This module provides the small
+//! numeric toolkit those reports are built from, with numerically stable
+//! accumulators (Welford) and fixed-bucket histograms.
+
+/// Numerically stable running mean/variance/min/max accumulator
+/// (Welford's algorithm).
+///
+/// ```
+/// use netsim::metrics::Running;
+/// let mut r = Running::new();
+/// for x in [1.0, 2.0, 3.0] { r.push(x); }
+/// assert_eq!(r.mean(), 2.0);
+/// assert_eq!(r.len(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Running {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Running {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Running {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Add an observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> u64 {
+        self.n
+    }
+
+    /// `true` if no observations were added.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Arithmetic mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 with fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (`+inf` if empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`-inf` if empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merge another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &Running) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.n + other.n;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.n as f64 / total as f64;
+        let m2 = self.m2
+            + other.m2
+            + delta * delta * (self.n as f64 * other.n as f64) / total as f64;
+        self.n = total;
+        self.mean = mean;
+        self.m2 = m2;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// A histogram with `buckets` equal-width buckets over `[lo, hi)`.
+///
+/// Out-of-range observations clamp into the first/last bucket, so totals
+/// are conserved (important when histogramming ratios that can hit 1.0).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Create a histogram over `[lo, hi)` with `buckets` buckets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buckets == 0` or `lo >= hi`.
+    pub fn new(lo: f64, hi: f64, buckets: usize) -> Self {
+        assert!(buckets > 0, "histogram needs at least one bucket");
+        assert!(lo < hi, "histogram range must be non-empty");
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0; buckets],
+            total: 0,
+        }
+    }
+
+    /// Add an observation (clamped into range).
+    pub fn push(&mut self, x: f64) {
+        let b = ((x - self.lo) / (self.hi - self.lo) * self.counts.len() as f64)
+            .floor()
+            .clamp(0.0, (self.counts.len() - 1) as f64) as usize;
+        self.counts[b] += 1;
+        self.total += 1;
+    }
+
+    /// Raw bucket counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) estimated from bucket midpoints.
+    ///
+    /// Returns `None` for an empty histogram.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.total == 0 {
+            return None;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.total as f64).ceil().max(1.0) as u64;
+        let mut acc = 0;
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            acc += c;
+            if acc >= target {
+                return Some(self.lo + (i as f64 + 0.5) * width);
+            }
+        }
+        Some(self.hi)
+    }
+}
+
+/// Exact quantile of a data set (interpolated, like numpy's `linear`).
+///
+/// Returns `None` on empty input. Sorts a copy: `O(n log n)`.
+pub fn quantile_exact(data: &[f64], q: f64) -> Option<f64> {
+    if data.is_empty() {
+        return None;
+    }
+    let mut v: Vec<f64> = data.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("quantile data must not contain NaN"));
+    let q = q.clamp(0.0, 1.0);
+    let pos = q * (v.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        Some(v[lo])
+    } else {
+        let frac = pos - lo as f64;
+        Some(v[lo] * (1.0 - frac) + v[hi] * frac)
+    }
+}
+
+/// A labelled series of `(x, y)` points — one experiment curve.
+///
+/// This is the exchange format between simulators, the sweep harness and
+/// the figure printers.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Series {
+    /// Curve label, e.g. `"Crash attack"`.
+    pub label: String,
+    /// The `(x, y)` points in x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// A new, empty series.
+    pub fn new(label: impl Into<String>) -> Self {
+        Series {
+            label: label.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Append a point.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push((x, y));
+    }
+
+    /// Linear interpolation of `y` at `x` (clamped to the range covered).
+    ///
+    /// Returns `None` if the series is empty.
+    pub fn interpolate(&self, x: f64) -> Option<f64> {
+        let pts = &self.points;
+        if pts.is_empty() {
+            return None;
+        }
+        if x <= pts[0].0 {
+            return Some(pts[0].1);
+        }
+        if x >= pts[pts.len() - 1].0 {
+            return Some(pts[pts.len() - 1].1);
+        }
+        for w in pts.windows(2) {
+            let ((x0, y0), (x1, y1)) = (w[0], w[1]);
+            if (x0..=x1).contains(&x) {
+                if x1 == x0 {
+                    return Some(y0);
+                }
+                let t = (x - x0) / (x1 - x0);
+                return Some(y0 + t * (y1 - y0));
+            }
+        }
+        None
+    }
+
+    /// Smallest `x` at which the (assumed monotone-decreasing) curve first
+    /// drops below `threshold`, linearly interpolated between samples.
+    ///
+    /// This is how we extract the paper's headline numbers ("the attacker
+    /// needs to control 22 % of the nodes"): the crossover of the
+    /// delivered-fraction curve with the 93 % usability line.
+    ///
+    /// Returns `None` if the curve never drops below the threshold.
+    pub fn crossover_below(&self, threshold: f64) -> Option<f64> {
+        let pts = &self.points;
+        if pts.is_empty() {
+            return None;
+        }
+        if pts[0].1 < threshold {
+            return Some(pts[0].0);
+        }
+        for w in pts.windows(2) {
+            let ((x0, y0), (x1, y1)) = (w[0], w[1]);
+            if y0 >= threshold && y1 < threshold {
+                if (y0 - y1).abs() < f64::EPSILON {
+                    return Some(x1);
+                }
+                let t = (y0 - threshold) / (y0 - y1);
+                return Some(x0 + t * (x1 - x0));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn running_basic_stats() {
+        let mut r = Running::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            r.push(x);
+        }
+        assert!((r.mean() - 5.0).abs() < 1e-12);
+        assert!((r.variance() - 4.0).abs() < 1e-12);
+        assert_eq!(r.std_dev(), 2.0);
+        assert_eq!(r.min(), 2.0);
+        assert_eq!(r.max(), 9.0);
+        assert_eq!(r.len(), 8);
+    }
+
+    #[test]
+    fn running_empty_defaults() {
+        let r = Running::new();
+        assert!(r.is_empty());
+        assert_eq!(r.mean(), 0.0);
+        assert_eq!(r.variance(), 0.0);
+    }
+
+    #[test]
+    fn running_merge_matches_sequential() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = Running::new();
+        data.iter().for_each(|&x| whole.push(x));
+
+        let mut a = Running::new();
+        let mut b = Running::new();
+        data[..37].iter().for_each(|&x| a.push(x));
+        data[37..].iter().for_each(|&x| b.push(x));
+        a.merge(&b);
+
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.variance() - whole.variance()).abs() < 1e-9);
+        assert_eq!(a.len(), whole.len());
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+    }
+
+    #[test]
+    fn running_merge_with_empty() {
+        let mut a = Running::new();
+        a.push(1.0);
+        let b = Running::new();
+        let snapshot = a;
+        a.merge(&b);
+        assert_eq!(a, snapshot);
+
+        let mut e = Running::new();
+        e.merge(&snapshot);
+        assert_eq!(e, snapshot);
+    }
+
+    #[test]
+    fn histogram_buckets_and_clamping() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        for x in [0.1, 0.3, 0.6, 0.9, -5.0, 5.0] {
+            h.push(x);
+        }
+        assert_eq!(h.total(), 6);
+        assert_eq!(h.counts(), &[2, 1, 1, 2]); // clamped extremes at ends
+    }
+
+    #[test]
+    fn histogram_quantile() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for i in 0..100 {
+            h.push(f64::from(i) / 10.0);
+        }
+        let median = h.quantile(0.5).unwrap();
+        assert!((median - 5.0).abs() < 1.0, "median was {median}");
+        assert!(Histogram::new(0.0, 1.0, 2).quantile(0.5).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bucket")]
+    fn histogram_zero_buckets_panics() {
+        Histogram::new(0.0, 1.0, 0);
+    }
+
+    #[test]
+    fn quantile_exact_interpolates() {
+        let data = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile_exact(&data, 0.0), Some(1.0));
+        assert_eq!(quantile_exact(&data, 1.0), Some(4.0));
+        assert_eq!(quantile_exact(&data, 0.5), Some(2.5));
+        assert_eq!(quantile_exact(&[], 0.5), None);
+    }
+
+    #[test]
+    fn series_interpolation() {
+        let mut s = Series::new("test");
+        s.push(0.0, 1.0);
+        s.push(1.0, 0.0);
+        assert_eq!(s.interpolate(0.5), Some(0.5));
+        assert_eq!(s.interpolate(-1.0), Some(1.0));
+        assert_eq!(s.interpolate(2.0), Some(0.0));
+        assert_eq!(Series::new("e").interpolate(0.0), None);
+    }
+
+    #[test]
+    fn series_crossover() {
+        let mut s = Series::new("delivery");
+        s.push(0.0, 1.0);
+        s.push(0.2, 0.98);
+        s.push(0.4, 0.90);
+        s.push(0.6, 0.50);
+        // Crosses 0.93 between x = 0.2 and x = 0.4.
+        let x = s.crossover_below(0.93).unwrap();
+        assert!((0.2..0.4).contains(&x), "crossover at {x}");
+        // Never drops below 0.1.
+        assert_eq!(s.crossover_below(0.1), None);
+        // Already below at x = 0.
+        let mut low = Series::new("low");
+        low.push(0.0, 0.5);
+        assert_eq!(low.crossover_below(0.93), Some(0.0));
+    }
+
+    #[test]
+    fn series_crossover_flat_segment() {
+        let mut s = Series::new("flat");
+        s.push(0.0, 0.95);
+        s.push(0.5, 0.95);
+        s.push(1.0, 0.0);
+        let x = s.crossover_below(0.93).unwrap();
+        assert!(x > 0.5 && x < 1.0);
+    }
+}

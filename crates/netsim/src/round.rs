@@ -1,0 +1,94 @@
+//! A minimal round-driven simulation engine.
+//!
+//! All simulators in the workspace advance in synchronous rounds (the
+//! paper's model is round-based, as is BAR Gossip). [`RoundSim`] is the
+//! common trait; [`run`] and [`run_while`] drive a simulator while keeping
+//! the round counter honest in one place.
+
+use crate::Round;
+
+/// A synchronous round-based simulation.
+pub trait RoundSim {
+    /// Execute round `t` (starting from 0, strictly increasing).
+    fn round(&mut self, t: Round);
+
+    /// Rounds executed so far (i.e. the next round index).
+    fn rounds_run(&self) -> Round;
+}
+
+/// Drive `sim` for `rounds` additional rounds.
+pub fn run<S: RoundSim>(sim: &mut S, rounds: Round) {
+    let start = sim.rounds_run();
+    for t in start..start + rounds {
+        sim.round(t);
+    }
+}
+
+/// Drive `sim` until `stop` returns `true` or `max_rounds` total rounds
+/// have run. Returns the number of rounds executed by this call.
+pub fn run_while<S: RoundSim>(
+    sim: &mut S,
+    max_rounds: Round,
+    mut stop: impl FnMut(&S) -> bool,
+) -> Round {
+    let start = sim.rounds_run();
+    let mut executed = 0;
+    while sim.rounds_run() < max_rounds && !stop(sim) {
+        let t = sim.rounds_run();
+        sim.round(t);
+        executed = sim.rounds_run() - start;
+    }
+    executed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter {
+        t: Round,
+        history: Vec<Round>,
+    }
+
+    impl RoundSim for Counter {
+        fn round(&mut self, t: Round) {
+            assert_eq!(t, self.t, "rounds must be strictly sequential");
+            self.history.push(t);
+            self.t += 1;
+        }
+        fn rounds_run(&self) -> Round {
+            self.t
+        }
+    }
+
+    #[test]
+    fn run_advances_sequentially() {
+        let mut c = Counter { t: 0, history: vec![] };
+        run(&mut c, 5);
+        assert_eq!(c.history, vec![0, 1, 2, 3, 4]);
+        run(&mut c, 2);
+        assert_eq!(c.rounds_run(), 7);
+    }
+
+    #[test]
+    fn run_while_stops_on_predicate() {
+        let mut c = Counter { t: 0, history: vec![] };
+        let executed = run_while(&mut c, 100, |s| s.rounds_run() >= 3);
+        assert_eq!(executed, 3);
+        assert_eq!(c.rounds_run(), 3);
+    }
+
+    #[test]
+    fn run_while_respects_max() {
+        let mut c = Counter { t: 0, history: vec![] };
+        let executed = run_while(&mut c, 4, |_| false);
+        assert_eq!(executed, 4);
+    }
+
+    #[test]
+    fn run_while_zero_if_already_stopped() {
+        let mut c = Counter { t: 0, history: vec![] };
+        let executed = run_while(&mut c, 10, |_| true);
+        assert_eq!(executed, 0);
+    }
+}

@@ -1,0 +1,198 @@
+//! Bounded structured event tracing.
+//!
+//! Simulators emit [`Event`]s (exchange completed, node satiated, report
+//! filed, node evicted…) into a [`TraceBuffer`]. Tests assert on traces;
+//! debugging sessions print them. The buffer is bounded so multi-thousand
+//! round sweeps do not accumulate unbounded memory — tracing can also be
+//! disabled entirely, which reduces it to a no-op.
+
+use crate::{NodeId, Round};
+
+/// Category of a traced event; kept coarse so filtering is cheap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    /// An exchange/interaction completed.
+    Exchange,
+    /// A node became satiated.
+    Satiated,
+    /// A node left the satiated state.
+    Unsatiated,
+    /// An attacker action (out-of-band delivery, money injection…).
+    Attack,
+    /// A misbehaviour report was filed.
+    Report,
+    /// A node was evicted.
+    Evict,
+    /// Anything else.
+    Other,
+}
+
+/// One traced event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Round the event occurred in.
+    pub round: Round,
+    /// Primary node involved.
+    pub node: NodeId,
+    /// Event category.
+    pub kind: EventKind,
+    /// Free-form detail (kept short by convention).
+    pub detail: String,
+}
+
+/// A bounded ring buffer of [`Event`]s.
+///
+/// ```
+/// use netsim::trace::{TraceBuffer, EventKind};
+/// use netsim::NodeId;
+///
+/// let mut t = TraceBuffer::new(2);
+/// t.emit(0, NodeId(1), EventKind::Satiated, "attacker fed 10 tokens");
+/// assert_eq!(t.len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceBuffer {
+    events: std::collections::VecDeque<Event>,
+    capacity: usize,
+    enabled: bool,
+    dropped: u64,
+}
+
+impl TraceBuffer {
+    /// A buffer holding at most `capacity` events (oldest evicted first).
+    pub fn new(capacity: usize) -> Self {
+        TraceBuffer {
+            events: std::collections::VecDeque::with_capacity(capacity.min(1024)),
+            capacity,
+            enabled: true,
+            dropped: 0,
+        }
+    }
+
+    /// A disabled buffer: `emit` is a no-op. Use in hot sweeps.
+    pub fn disabled() -> Self {
+        let mut t = TraceBuffer::new(0);
+        t.enabled = false;
+        t
+    }
+
+    /// Whether events are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record an event (no-op when disabled; evicts oldest when full).
+    pub fn emit(&mut self, round: Round, node: NodeId, kind: EventKind, detail: impl Into<String>) {
+        if !self.enabled {
+            return;
+        }
+        if self.events.len() == self.capacity && self.events.pop_front().is_some() {
+            self.dropped += 1;
+        }
+        if self.capacity > 0 {
+            self.events.push_back(Event {
+                round,
+                node,
+                kind,
+                detail: detail.into(),
+            });
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// Events currently held, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &Event> {
+        self.events.iter()
+    }
+
+    /// Events of one kind.
+    pub fn of_kind(&self, kind: EventKind) -> impl Iterator<Item = &Event> {
+        self.events.iter().filter(move |e| e.kind == kind)
+    }
+
+    /// Number of events held.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` if no events are held.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events evicted or suppressed because of the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Clear all held events (dropped count is preserved).
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emits_and_iterates_in_order() {
+        let mut t = TraceBuffer::new(10);
+        t.emit(0, NodeId(0), EventKind::Exchange, "a");
+        t.emit(1, NodeId(1), EventKind::Satiated, "b");
+        let rounds: Vec<Round> = t.iter().map(|e| e.round).collect();
+        assert_eq!(rounds, vec![0, 1]);
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let mut t = TraceBuffer::new(2);
+        for i in 0..5 {
+            t.emit(i, NodeId(0), EventKind::Other, format!("e{i}"));
+        }
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.dropped(), 3);
+        let details: Vec<&str> = t.iter().map(|e| e.detail.as_str()).collect();
+        assert_eq!(details, vec!["e3", "e4"]);
+    }
+
+    #[test]
+    fn disabled_buffer_is_noop() {
+        let mut t = TraceBuffer::disabled();
+        t.emit(0, NodeId(0), EventKind::Attack, "ignored");
+        assert!(t.is_empty());
+        assert!(!t.is_enabled());
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn filter_by_kind() {
+        let mut t = TraceBuffer::new(10);
+        t.emit(0, NodeId(0), EventKind::Report, "r1");
+        t.emit(0, NodeId(1), EventKind::Evict, "e1");
+        t.emit(1, NodeId(2), EventKind::Report, "r2");
+        assert_eq!(t.of_kind(EventKind::Report).count(), 2);
+        assert_eq!(t.of_kind(EventKind::Evict).count(), 1);
+        assert_eq!(t.of_kind(EventKind::Attack).count(), 0);
+    }
+
+    #[test]
+    fn clear_keeps_dropped_counter() {
+        let mut t = TraceBuffer::new(1);
+        t.emit(0, NodeId(0), EventKind::Other, "a");
+        t.emit(0, NodeId(0), EventKind::Other, "b");
+        assert_eq!(t.dropped(), 1);
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.dropped(), 1);
+    }
+
+    #[test]
+    fn zero_capacity_counts_everything_dropped() {
+        let mut t = TraceBuffer::new(0);
+        t.emit(0, NodeId(0), EventKind::Other, "a");
+        assert!(t.is_empty());
+        assert_eq!(t.dropped(), 1);
+    }
+}

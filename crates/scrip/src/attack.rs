@@ -1,0 +1,138 @@
+//! Lotus-eater attacks on a scrip economy.
+//!
+//! In a scrip system the satiation state is *monetary*: a rational
+//! threshold agent stops volunteering once its balance reaches its
+//! threshold. The attacker therefore satiates a node by keeping its
+//! balance topped up — "either by giving money away, or providing cheap
+//! service" (§1). Two targeting strategies matter:
+//!
+//! * [`ScripAttack::LotusEater`] — satiate a *fraction* of the population.
+//!   This is where the money-supply defense bites: satiating a fraction
+//!   `φ` locks roughly `φ·n·k` scrip, and only `m·n` exists (experiment
+//!   X4).
+//! * [`ScripAttack::Retainer`] — satiate exactly the providers of a rare
+//!   service, denying that service to everyone ("companies sign an
+//!   exclusive contract or put particular lawyers on retainer to deny
+//!   others access to them", §1; experiment X4's rare-resource variant).
+
+/// An attack on the scrip economy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ScripAttack {
+    /// No attacker.
+    None,
+    /// Keep a random fraction of agents at their thresholds.
+    LotusEater {
+        /// Fraction of agents to satiate.
+        target_fraction: f64,
+        /// Fraction of the total money supply the attacker starts with
+        /// (carved out of circulation, e.g. earned or bought beforehand).
+        endowment_fraction: f64,
+        /// Whether the attacker also volunteers for paid (non-special)
+        /// requests to recycle scrip back into his war chest.
+        attacker_provides: bool,
+    },
+    /// Keep every special-service provider at its threshold.
+    Retainer {
+        /// Fraction of the total money supply the attacker starts with.
+        endowment_fraction: f64,
+        /// Whether the attacker also volunteers for paid requests.
+        attacker_provides: bool,
+    },
+}
+
+impl ScripAttack {
+    /// Convenience constructor for the fraction attack.
+    pub fn lotus_eater(target_fraction: f64, endowment_fraction: f64) -> Self {
+        ScripAttack::LotusEater {
+            target_fraction: target_fraction.clamp(0.0, 1.0),
+            endowment_fraction: endowment_fraction.clamp(0.0, 1.0),
+            attacker_provides: true,
+        }
+    }
+
+    /// Convenience constructor for the retainer attack.
+    pub fn retainer(endowment_fraction: f64) -> Self {
+        ScripAttack::Retainer {
+            endowment_fraction: endowment_fraction.clamp(0.0, 1.0),
+            attacker_provides: true,
+        }
+    }
+
+    /// The attacker's initial endowment given a total supply.
+    pub fn endowment(&self, total_supply: u64) -> u64 {
+        let frac = match self {
+            ScripAttack::None => 0.0,
+            ScripAttack::LotusEater {
+                endowment_fraction, ..
+            }
+            | ScripAttack::Retainer {
+                endowment_fraction, ..
+            } => *endowment_fraction,
+        };
+        (total_supply as f64 * frac).round() as u64
+    }
+
+    /// Whether the attacker volunteers for paid requests.
+    pub fn provides(&self) -> bool {
+        match self {
+            ScripAttack::None => false,
+            ScripAttack::LotusEater {
+                attacker_provides, ..
+            }
+            | ScripAttack::Retainer {
+                attacker_provides, ..
+            } => *attacker_provides,
+        }
+    }
+
+    /// Label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ScripAttack::None => "no attack",
+            ScripAttack::LotusEater { .. } => "scrip lotus-eater",
+            ScripAttack::Retainer { .. } => "retainer attack",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endowment_arithmetic() {
+        let a = ScripAttack::lotus_eater(0.5, 0.25);
+        assert_eq!(a.endowment(400), 100);
+        assert_eq!(ScripAttack::None.endowment(400), 0);
+        assert_eq!(ScripAttack::retainer(1.0).endowment(400), 400);
+    }
+
+    #[test]
+    fn constructors_clamp() {
+        match ScripAttack::lotus_eater(1.5, -0.2) {
+            ScripAttack::LotusEater {
+                target_fraction,
+                endowment_fraction,
+                ..
+            } => {
+                assert_eq!(target_fraction, 1.0);
+                assert_eq!(endowment_fraction, 0.0);
+            }
+            _ => panic!("wrong variant"),
+        }
+    }
+
+    #[test]
+    fn provides_flags() {
+        assert!(!ScripAttack::None.provides());
+        assert!(ScripAttack::lotus_eater(0.1, 0.1).provides());
+        assert!(ScripAttack::retainer(0.1).provides());
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(ScripAttack::None.label(), "no attack");
+        assert_eq!(ScripAttack::lotus_eater(0.1, 0.1).label(), "scrip lotus-eater");
+        assert_eq!(ScripAttack::retainer(0.1).label(), "retainer attack");
+    }
+}

@@ -1,0 +1,330 @@
+//! Scrip-economy configuration.
+//!
+//! The model follows Kash–Friedman–Halpern, *Optimizing scrip systems:
+//! efficiency, crashes, hoarders and altruists* (EC 2007) — the system the
+//! lotus-eater paper points to for the "making satiation hard" defense:
+//!
+//! * `n` agents share a **fixed** money supply of `m·n` scrip;
+//! * each round one agent requests a unit of service at price 1;
+//! * an agent *volunteers* to provide iff it is available this round
+//!   (probability `β`) and — if rational — its balance is below its
+//!   **threshold** `k`: an agent at or above threshold is *satiated* and
+//!   stops working;
+//! * altruists volunteer whenever available and serve for free.
+//!
+//! Satiation here is monetary: the lotus-eater attacker keeps targets'
+//! balances at their thresholds so they never volunteer. The defense
+//! analysis rests on conservation: satiating a `φ` fraction locks
+//! `φ·n·k` scrip, and the system only has `m·n`.
+
+/// Configuration of a scrip-economy run.
+///
+/// Construct via [`ScripConfig::builder`]; defaults give a healthy
+/// mid-size economy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScripConfig {
+    /// Number of agents (excluding the attacker, who is external).
+    pub agents: u32,
+    /// Average scrip per agent; total supply is `agents * money_per_agent`.
+    pub money_per_agent: u32,
+    /// Rational agents' initial threshold `k`: volunteer iff balance < k.
+    pub initial_threshold: u32,
+    /// Probability an agent is available to provide in a given round (β).
+    pub availability: f64,
+    /// Number of altruists (always volunteer when available, serve free).
+    pub altruists: u32,
+    /// Whether rational agents adapt their thresholds (the EC'07 crash
+    /// dynamics); see `ScripSim` for the adaptation rule.
+    pub adaptive: bool,
+    /// Rounds between threshold adaptations.
+    pub adapt_interval: u32,
+    /// Upper bound on adapted thresholds.
+    pub max_threshold: u32,
+    /// The first `special_providers` rational agents are the only ones who
+    /// can serve *special* requests (the "rare resource" of the retainer
+    /// attack).
+    pub special_providers: u32,
+    /// Probability a request is for the special service.
+    pub special_request_prob: f64,
+    /// Measured rounds.
+    pub rounds: u64,
+    /// Warm-up rounds excluded from measurement.
+    pub warmup: u64,
+}
+
+impl Default for ScripConfig {
+    fn default() -> Self {
+        ScripConfig {
+            agents: 200,
+            money_per_agent: 2,
+            initial_threshold: 4,
+            availability: 0.5,
+            altruists: 0,
+            adaptive: false,
+            adapt_interval: 200,
+            max_threshold: 10,
+            special_providers: 0,
+            special_request_prob: 0.0,
+            rounds: 20_000,
+            warmup: 2_000,
+        }
+    }
+}
+
+/// Errors from [`ScripConfig::validate`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// Need at least two agents.
+    TooFewAgents(u32),
+    /// A probability parameter was outside `[0, 1]`.
+    BadProbability(&'static str, f64),
+    /// Threshold constraints violated.
+    BadThreshold(String),
+    /// More altruists or special providers than agents.
+    BadCounts(String),
+    /// No measured rounds.
+    ZeroRounds,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::TooFewAgents(n) => write!(f, "need at least 2 agents, got {n}"),
+            ConfigError::BadProbability(name, v) => {
+                write!(f, "probability {name} = {v} outside [0, 1]")
+            }
+            ConfigError::BadThreshold(why) => write!(f, "bad threshold: {why}"),
+            ConfigError::BadCounts(why) => write!(f, "bad counts: {why}"),
+            ConfigError::ZeroRounds => write!(f, "need at least one measured round"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl ScripConfig {
+    /// Start building from the defaults.
+    pub fn builder() -> ScripConfigBuilder {
+        ScripConfigBuilder {
+            cfg: ScripConfig::default(),
+        }
+    }
+
+    /// Total scrip in circulation among agents (the attacker's endowment
+    /// is carved out of this at simulation start).
+    pub fn total_supply(&self) -> u64 {
+        u64::from(self.agents) * u64::from(self.money_per_agent)
+    }
+
+    /// Check internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint as a [`ConfigError`].
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.agents < 2 {
+            return Err(ConfigError::TooFewAgents(self.agents));
+        }
+        if !(0.0..=1.0).contains(&self.availability) {
+            return Err(ConfigError::BadProbability("availability", self.availability));
+        }
+        if !(0.0..=1.0).contains(&self.special_request_prob) {
+            return Err(ConfigError::BadProbability(
+                "special_request_prob",
+                self.special_request_prob,
+            ));
+        }
+        if self.initial_threshold == 0 {
+            return Err(ConfigError::BadThreshold(
+                "initial threshold must be positive (k = 0 means never volunteer)".into(),
+            ));
+        }
+        if self.initial_threshold > self.max_threshold {
+            return Err(ConfigError::BadThreshold(format!(
+                "initial threshold {} exceeds max {}",
+                self.initial_threshold, self.max_threshold
+            )));
+        }
+        if self.altruists > self.agents {
+            return Err(ConfigError::BadCounts(format!(
+                "{} altruists among {} agents",
+                self.altruists, self.agents
+            )));
+        }
+        if self.special_providers + self.altruists > self.agents {
+            return Err(ConfigError::BadCounts(format!(
+                "{} special providers + {} altruists exceed {} agents",
+                self.special_providers, self.altruists, self.agents
+            )));
+        }
+        if self.special_request_prob > 0.0 && self.special_providers == 0 {
+            return Err(ConfigError::BadCounts(
+                "special requests configured without special providers".into(),
+            ));
+        }
+        if self.rounds == 0 {
+            return Err(ConfigError::ZeroRounds);
+        }
+        if self.adaptive && self.adapt_interval == 0 {
+            return Err(ConfigError::BadThreshold(
+                "adaptive economies need a positive adapt interval".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`ScripConfig`].
+#[derive(Debug, Clone)]
+pub struct ScripConfigBuilder {
+    cfg: ScripConfig,
+}
+
+impl ScripConfigBuilder {
+    /// Set the agent count.
+    pub fn agents(mut self, n: u32) -> Self {
+        self.cfg.agents = n;
+        self
+    }
+
+    /// Set average scrip per agent.
+    pub fn money_per_agent(mut self, m: u32) -> Self {
+        self.cfg.money_per_agent = m;
+        self
+    }
+
+    /// Set the rational threshold `k`.
+    pub fn threshold(mut self, k: u32) -> Self {
+        self.cfg.initial_threshold = k;
+        self.cfg.max_threshold = self.cfg.max_threshold.max(k);
+        self
+    }
+
+    /// Set the availability probability β.
+    pub fn availability(mut self, beta: f64) -> Self {
+        self.cfg.availability = beta;
+        self
+    }
+
+    /// Set the altruist count.
+    pub fn altruists(mut self, a: u32) -> Self {
+        self.cfg.altruists = a;
+        self
+    }
+
+    /// Enable adaptive thresholds.
+    pub fn adaptive(mut self, on: bool) -> Self {
+        self.cfg.adaptive = on;
+        self
+    }
+
+    /// Configure the rare special service: `providers` agents can serve
+    /// it, and requests ask for it with probability `prob`.
+    pub fn special_service(mut self, providers: u32, prob: f64) -> Self {
+        self.cfg.special_providers = providers;
+        self.cfg.special_request_prob = prob;
+        self
+    }
+
+    /// Set measured rounds.
+    pub fn rounds(mut self, r: u64) -> Self {
+        self.cfg.rounds = r;
+        self
+    }
+
+    /// Set warm-up rounds.
+    pub fn warmup(mut self, w: u64) -> Self {
+        self.cfg.warmup = w;
+        self
+    }
+
+    /// Validate and build.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ScripConfig::validate`] failures.
+    pub fn build(self) -> Result<ScripConfig, ConfigError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        let cfg = ScripConfig::default();
+        assert!(cfg.validate().is_ok());
+        assert_eq!(cfg.total_supply(), 400);
+    }
+
+    #[test]
+    fn builder_sets_fields() {
+        let cfg = ScripConfig::builder()
+            .agents(50)
+            .money_per_agent(3)
+            .threshold(6)
+            .availability(0.8)
+            .altruists(5)
+            .adaptive(true)
+            .special_service(2, 0.1)
+            .rounds(100)
+            .warmup(10)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.agents, 50);
+        assert_eq!(cfg.total_supply(), 150);
+        assert_eq!(cfg.initial_threshold, 6);
+        assert_eq!(cfg.special_providers, 2);
+    }
+
+    #[test]
+    fn validation_failures() {
+        assert!(matches!(
+            ScripConfig::builder().agents(1).build(),
+            Err(ConfigError::TooFewAgents(1))
+        ));
+        assert!(matches!(
+            ScripConfig::builder().availability(1.5).build(),
+            Err(ConfigError::BadProbability("availability", _))
+        ));
+        assert!(matches!(
+            ScripConfig::builder().threshold(0).build(),
+            Err(ConfigError::BadThreshold(_))
+        ));
+        assert!(matches!(
+            ScripConfig::builder().agents(5).altruists(6).build(),
+            Err(ConfigError::BadCounts(_))
+        ));
+        assert!(matches!(
+            ScripConfig::builder().rounds(0).build(),
+            Err(ConfigError::ZeroRounds)
+        ));
+        let cfg = ScripConfig {
+            special_request_prob: 0.1,
+            ..ScripConfig::default()
+        };
+        assert!(matches!(cfg.validate(), Err(ConfigError::BadCounts(_))));
+    }
+
+    #[test]
+    fn threshold_bumps_max() {
+        let cfg = ScripConfig::builder().threshold(20).build().unwrap();
+        assert!(cfg.max_threshold >= 20);
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        for e in [
+            ConfigError::TooFewAgents(0),
+            ConfigError::BadProbability("x", 2.0),
+            ConfigError::BadThreshold("y".into()),
+            ConfigError::BadCounts("z".into()),
+            ConfigError::ZeroRounds,
+        ] {
+            assert!(!format!("{e}").is_empty());
+        }
+    }
+}

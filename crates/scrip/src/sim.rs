@@ -1,0 +1,711 @@
+//! The scrip-economy round simulator.
+//!
+//! Each round one agent requests a unit of service:
+//!
+//! 1. the attacker (if any) first tops targets up to their thresholds —
+//!    the monetary form of satiation;
+//! 2. a requester is drawn uniformly;
+//! 3. available altruists serve for free (and a rational requester always
+//!    prefers free service);
+//! 4. otherwise the request is *paid*: it fails if the requester is broke
+//!    or no rational agent below threshold (and able to serve the
+//!    requested service class) is available; a uniformly chosen volunteer
+//!    earns the requester's scrip;
+//! 5. with adaptive thresholds on, agents periodically raise their
+//!    threshold after going broke and lower it when free service made
+//!    money look worthless — the mechanism behind the EC'07 altruist
+//!    crash.
+//!
+//! Money is conserved exactly: agents' balances plus the attacker's war
+//! chest always sum to the initial supply (a property test enforces it).
+
+use crate::attack::ScripAttack;
+use crate::config::ScripConfig;
+use lotus_core::satiation::Satiable;
+use netsim::rng::DetRng;
+use netsim::round::RoundSim;
+use netsim::{NodeId, Round};
+
+/// Role of an agent in the economy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AgentRole {
+    /// Threshold agent (volunteers iff balance < threshold).
+    Rational,
+    /// Always volunteers when available; serves for free.
+    Altruist,
+}
+
+#[derive(Debug, Clone)]
+struct Agent {
+    money: u64,
+    threshold: u32,
+    role: AgentRole,
+    /// Provider of the rare special service.
+    special: bool,
+    /// Attack target (kept topped up).
+    targeted: bool,
+    served: u64,
+    // Adaptive bookkeeping for the current interval.
+    broke_failures: u32,
+    free_received: u32,
+}
+
+/// Final report of a scrip-economy run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScripReport {
+    /// Rounds executed (including warm-up).
+    pub rounds: Round,
+    /// Fraction of measured requests satisfied (free or paid).
+    pub service_rate: f64,
+    /// Fraction of measured requests served free by altruists.
+    pub free_rate: f64,
+    /// Fraction of measured requests served by paid volunteers.
+    pub paid_rate: f64,
+    /// Fraction of measured requests that failed because the requester was
+    /// broke.
+    pub fail_broke_rate: f64,
+    /// Fraction of measured requests that failed for lack of volunteers.
+    pub fail_no_volunteer_rate: f64,
+    /// Service rate restricted to special requests (1.0 when none occur).
+    pub special_service_rate: f64,
+    /// Mean over measured rounds of the fraction of rational agents at or
+    /// above threshold (satiated).
+    pub mean_satiated_fraction: f64,
+    /// Fraction of target-round samples in which the target was satiated
+    /// (`None` when the attack has no targets).
+    pub target_satiation: Option<f64>,
+    /// Mean rational threshold at the end of the run.
+    pub mean_threshold: f64,
+    /// Gini coefficient of agent balances at the end of the run.
+    pub gini: f64,
+    /// Attacker war chest at the end.
+    pub attacker_money: u64,
+    /// Total money (agents + attacker) — always the initial supply.
+    pub total_money: u64,
+}
+
+/// Gini coefficient of a distribution (0 = perfectly equal).
+///
+/// Returns 0 for empty or all-zero distributions.
+pub fn gini(values: &[u64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<u64> = values.to_vec();
+    sorted.sort_unstable();
+    let n = sorted.len() as f64;
+    let total: u64 = sorted.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let mut weighted = 0.0;
+    for (i, &v) in sorted.iter().enumerate() {
+        weighted += (2.0 * (i as f64 + 1.0) - n - 1.0) * v as f64;
+    }
+    weighted / (n * total as f64)
+}
+
+/// The scrip-economy simulator.
+///
+/// ```
+/// use scrip_economy::{ScripAttack, ScripConfig, ScripSim};
+///
+/// let cfg = ScripConfig::builder()
+///     .agents(50)
+///     .money_per_agent(6) // plentiful money: high efficiency (EC'07)
+///     .threshold(8)
+///     .rounds(2_000)
+///     .warmup(200)
+///     .build()?;
+/// let report = ScripSim::new(cfg, ScripAttack::None, 7).run_to_report();
+/// assert!(report.service_rate > 0.9, "healthy economy serves requests");
+/// # Ok::<(), scrip_economy::config::ConfigError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ScripSim {
+    cfg: ScripConfig,
+    attack: ScripAttack,
+    agents: Vec<Agent>,
+    attacker_money: u64,
+    initial_supply: u64,
+    rng: DetRng,
+    round: Round,
+    // Measured counters.
+    requests: u64,
+    served_free: u64,
+    served_paid: u64,
+    failed_broke: u64,
+    failed_no_volunteer: u64,
+    special_requests: u64,
+    special_served: u64,
+    satiated_samples: f64,
+    satiated_rounds: u64,
+    target_satiated_samples: u64,
+    target_samples: u64,
+}
+
+impl ScripSim {
+    /// Build a simulator, deterministic in `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails validation (use the builder, which validates).
+    pub fn new(cfg: ScripConfig, attack: ScripAttack, seed: u64) -> Self {
+        cfg.validate().expect("invalid ScripConfig");
+        let rng = DetRng::seed_from(seed).fork("scrip");
+        let n = cfg.agents as usize;
+        let supply = cfg.total_supply();
+        let endowment = attack.endowment(supply).min(supply);
+        let circulating = supply - endowment;
+
+        // Roles: special providers first, altruists last (disjoint by
+        // validation).
+        let mut agents: Vec<Agent> = (0..n)
+            .map(|i| Agent {
+                money: 0,
+                threshold: cfg.initial_threshold,
+                role: if i >= n - cfg.altruists as usize {
+                    AgentRole::Altruist
+                } else {
+                    AgentRole::Rational
+                },
+                special: i < cfg.special_providers as usize,
+                targeted: false,
+                served: 0,
+                broke_failures: 0,
+                free_received: 0,
+            })
+            .collect();
+
+        // Distribute circulating scrip round-robin (near-equal start).
+        for c in 0..circulating {
+            agents[(c % n as u64) as usize].money += 1;
+        }
+
+        // Attack targets.
+        match attack {
+            ScripAttack::None => {}
+            ScripAttack::LotusEater {
+                target_fraction, ..
+            } => {
+                let rationals: Vec<usize> = (0..n)
+                    .filter(|&i| agents[i].role == AgentRole::Rational)
+                    .collect();
+                let k = ((n as f64) * target_fraction).round() as usize;
+                let mut pick_rng = rng.fork("targets");
+                for &idx in pick_rng
+                    .sample_indices(rationals.len(), k.min(rationals.len()))
+                    .iter()
+                {
+                    agents[rationals[idx]].targeted = true;
+                }
+            }
+            ScripAttack::Retainer { .. } => {
+                for agent in agents.iter_mut() {
+                    if agent.special {
+                        agent.targeted = true;
+                    }
+                }
+            }
+        }
+
+        ScripSim {
+            cfg,
+            attack,
+            agents,
+            attacker_money: endowment,
+            initial_supply: supply,
+            rng,
+            round: 0,
+            requests: 0,
+            served_free: 0,
+            served_paid: 0,
+            failed_broke: 0,
+            failed_no_volunteer: 0,
+            special_requests: 0,
+            special_served: 0,
+            satiated_samples: 0.0,
+            satiated_rounds: 0,
+            target_satiated_samples: 0,
+            target_samples: 0,
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &ScripConfig {
+        &self.cfg
+    }
+
+    /// Current balance of `agent`.
+    pub fn money(&self, agent: NodeId) -> u64 {
+        self.agents[agent.index()].money
+    }
+
+    /// Current threshold of `agent`.
+    pub fn threshold(&self, agent: NodeId) -> u32 {
+        self.agents[agent.index()].threshold
+    }
+
+    /// The attacker's current war chest.
+    pub fn attacker_money(&self) -> u64 {
+        self.attacker_money
+    }
+
+    /// Total money across agents and attacker (conserved).
+    pub fn total_money(&self) -> u64 {
+        self.attacker_money + self.agents.iter().map(|a| a.money).sum::<u64>()
+    }
+
+    /// The supply the system started with; [`Self::total_money`] must
+    /// always equal this (conservation invariant).
+    pub fn initial_supply(&self) -> u64 {
+        self.initial_supply
+    }
+
+    /// Whether `agent` is an attack target.
+    pub fn is_targeted(&self, agent: NodeId) -> bool {
+        self.agents[agent.index()].targeted
+    }
+
+    fn measured(&self) -> bool {
+        self.round >= self.cfg.warmup
+    }
+
+    /// Attack phase: top every target up to its threshold while the war
+    /// chest lasts. Conservation: every unit moved comes from the chest.
+    fn attack_phase(&mut self) {
+        if matches!(self.attack, ScripAttack::None) {
+            return;
+        }
+        for agent in self.agents.iter_mut() {
+            if !agent.targeted {
+                continue;
+            }
+            let need = u64::from(agent.threshold).saturating_sub(agent.money);
+            let transfer = need.min(self.attacker_money);
+            agent.money += transfer;
+            self.attacker_money -= transfer;
+        }
+    }
+
+    /// One request round.
+    fn request_round(&mut self) {
+        let n = self.agents.len();
+        let mut rng = self.rng.fork_idx("round", self.round);
+        let requester = rng.index(n);
+        let special = rng.chance(self.cfg.special_request_prob);
+
+        // Volunteer pools.
+        let mut free: Vec<usize> = Vec::new();
+        let mut paid: Vec<usize> = Vec::new();
+        for (i, agent) in self.agents.iter().enumerate() {
+            if i == requester || !rng.chance(self.cfg.availability) {
+                continue;
+            }
+            if special && !agent.special {
+                continue;
+            }
+            match agent.role {
+                AgentRole::Altruist => free.push(i),
+                AgentRole::Rational => {
+                    if agent.money < u64::from(agent.threshold) {
+                        paid.push(i);
+                    }
+                }
+            }
+        }
+        // The attacker volunteers for ordinary paid requests, undercutting
+        // honest providers ("providing cheap service", §1): a rational
+        // requester prefers him whenever he bids, which both funds the
+        // attack and starves honest agents of income.
+        let attacker_bids = !special && self.attack.provides();
+
+        let measured = self.measured();
+        if measured {
+            self.requests += 1;
+            if special {
+                self.special_requests += 1;
+            }
+        }
+
+        let outcome = if let Some(&p) = rng.choose(&free) {
+            self.agents[p].served += 1;
+            self.agents[requester].free_received += 1;
+            if measured {
+                self.served_free += 1;
+            }
+            true
+        } else if self.agents[requester].money == 0 {
+            self.agents[requester].broke_failures += 1;
+            if measured {
+                self.failed_broke += 1;
+            }
+            false
+        } else if attacker_bids {
+            self.agents[requester].money -= 1;
+            self.attacker_money += 1;
+            if measured {
+                self.served_paid += 1;
+            }
+            true
+        } else if let Some(&p) = rng.choose(&paid) {
+            self.agents[requester].money -= 1;
+            self.agents[p].money += 1;
+            self.agents[p].served += 1;
+            if measured {
+                self.served_paid += 1;
+            }
+            true
+        } else {
+            if measured {
+                self.failed_no_volunteer += 1;
+            }
+            false
+        };
+
+        if measured && special && outcome {
+            self.special_served += 1;
+        }
+    }
+
+    /// Adaptive threshold update (EC'07 crash dynamics, simplified): an
+    /// agent that went broke during the interval raises its threshold
+    /// (money proved scarce); an agent that received free service and
+    /// never went broke lowers it (money proved unnecessary). A threshold
+    /// of zero means the agent has dropped out of the paid market.
+    fn adapt_phase(&mut self) {
+        if !self.cfg.adaptive
+            || self.round == 0
+            || !self.round.is_multiple_of(u64::from(self.cfg.adapt_interval))
+        {
+            return;
+        }
+        let max = self.cfg.max_threshold;
+        for agent in self.agents.iter_mut() {
+            if agent.role != AgentRole::Rational {
+                continue;
+            }
+            if agent.broke_failures > 0 {
+                agent.threshold = (agent.threshold + 1).min(max);
+            } else if agent.free_received > 0 {
+                agent.threshold = agent.threshold.saturating_sub(1);
+            }
+            agent.broke_failures = 0;
+            agent.free_received = 0;
+        }
+    }
+
+    fn sample_satiation(&mut self) {
+        if !self.measured() {
+            return;
+        }
+        let mut rational = 0u64;
+        let mut satiated = 0u64;
+        for agent in &self.agents {
+            if agent.role != AgentRole::Rational {
+                continue;
+            }
+            rational += 1;
+            let is_sat = agent.money >= u64::from(agent.threshold);
+            if is_sat {
+                satiated += 1;
+            }
+            if agent.targeted {
+                self.target_samples += 1;
+                if is_sat {
+                    self.target_satiated_samples += 1;
+                }
+            }
+        }
+        if rational > 0 {
+            self.satiated_samples += satiated as f64 / rational as f64;
+            self.satiated_rounds += 1;
+        }
+    }
+
+    /// Run the configured horizon and produce the report.
+    pub fn run_to_report(mut self) -> ScripReport {
+        let total = self.cfg.warmup + self.cfg.rounds;
+        while self.round < total {
+            let t = self.round;
+            self.round(t);
+        }
+        self.report()
+    }
+
+    /// Snapshot the report so far.
+    pub fn report(&self) -> ScripReport {
+        let req = self.requests.max(1) as f64;
+        let rationals: Vec<u64> = self
+            .agents
+            .iter()
+            .filter(|a| a.role == AgentRole::Rational)
+            .map(|a| a.money)
+            .collect();
+        let thresholds: Vec<f64> = self
+            .agents
+            .iter()
+            .filter(|a| a.role == AgentRole::Rational)
+            .map(|a| f64::from(a.threshold))
+            .collect();
+        ScripReport {
+            rounds: self.round,
+            service_rate: (self.served_free + self.served_paid) as f64 / req,
+            free_rate: self.served_free as f64 / req,
+            paid_rate: self.served_paid as f64 / req,
+            fail_broke_rate: self.failed_broke as f64 / req,
+            fail_no_volunteer_rate: self.failed_no_volunteer as f64 / req,
+            special_service_rate: if self.special_requests == 0 {
+                1.0
+            } else {
+                self.special_served as f64 / self.special_requests as f64
+            },
+            mean_satiated_fraction: if self.satiated_rounds == 0 {
+                0.0
+            } else {
+                self.satiated_samples / self.satiated_rounds as f64
+            },
+            target_satiation: if self.target_samples == 0 {
+                None
+            } else {
+                Some(self.target_satiated_samples as f64 / self.target_samples as f64)
+            },
+            mean_threshold: if thresholds.is_empty() {
+                0.0
+            } else {
+                thresholds.iter().sum::<f64>() / thresholds.len() as f64
+            },
+            gini: gini(&rationals),
+            attacker_money: self.attacker_money,
+            total_money: self.total_money(),
+        }
+    }
+}
+
+impl RoundSim for ScripSim {
+    fn round(&mut self, t: Round) {
+        debug_assert_eq!(t, self.round, "rounds must be sequential");
+        self.attack_phase();
+        self.request_round();
+        self.sample_satiation();
+        self.round = t + 1;
+        self.adapt_phase();
+    }
+
+    fn rounds_run(&self) -> Round {
+        self.round
+    }
+}
+
+impl lotus_core::satiation::Feedable for ScripSim {
+    /// Top the agent's balance up to its threshold from an *external*
+    /// benefactor. Note this mints scrip: the Observation 3.1 harness
+    /// models an outside attacker with unbounded funds, so the
+    /// conservation invariant is deliberately suspended here (in-model
+    /// attacks go through [`crate::attack::ScripAttack`], which conserves).
+    fn feed_fully(&mut self, node: NodeId) {
+        let agent = &mut self.agents[node.index()];
+        agent.money = agent.money.max(u64::from(agent.threshold));
+    }
+
+    fn step(&mut self) {
+        let t = self.round;
+        RoundSim::round(self, t);
+    }
+}
+
+impl Satiable for ScripSim {
+    fn node_count(&self) -> u32 {
+        self.agents.len() as u32
+    }
+
+    /// A rational agent is satiated at or above its threshold; altruists
+    /// are never satiated (they serve regardless).
+    fn is_satiated(&self, node: NodeId) -> bool {
+        let agent = &self.agents[node.index()];
+        agent.role == AgentRole::Rational && agent.money >= u64::from(agent.threshold)
+    }
+
+    fn service_provided(&self, node: NodeId) -> u64 {
+        self.agents[node.index()].served
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ScripConfig;
+
+    fn quick_cfg() -> ScripConfig {
+        ScripConfig::builder()
+            .agents(60)
+            .money_per_agent(2)
+            .threshold(4)
+            .availability(0.6)
+            .rounds(6_000)
+            .warmup(500)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn healthy_economy_serves() {
+        let report = ScripSim::new(quick_cfg(), ScripAttack::None, 1).run_to_report();
+        // With m = 2 and k = 4 a fraction of requesters is naturally broke
+        // (EC'07: efficiency grows with m); ~0.8 is the healthy level here.
+        assert!(report.service_rate > 0.75, "service rate {}", report.service_rate);
+        assert_eq!(report.free_rate, 0.0, "no altruists, no free service");
+        assert_eq!(report.total_money, 120);
+    }
+
+    #[test]
+    fn money_is_conserved() {
+        let mut sim = ScripSim::new(quick_cfg(), ScripAttack::lotus_eater(0.3, 0.4), 2);
+        for t in 0..2_000 {
+            netsim::round::RoundSim::round(&mut sim, t);
+            assert_eq!(sim.total_money(), 120, "supply must never change");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = ScripSim::new(quick_cfg(), ScripAttack::lotus_eater(0.2, 0.3), 9).run_to_report();
+        let b = ScripSim::new(quick_cfg(), ScripAttack::lotus_eater(0.2, 0.3), 9).run_to_report();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn satiated_agents_do_not_volunteer() {
+        // With everyone above threshold (m >= k), no one volunteers for
+        // paid service and the economy stalls.
+        let cfg = ScripConfig::builder()
+            .agents(40)
+            .money_per_agent(5)
+            .threshold(2)
+            .rounds(2_000)
+            .warmup(100)
+            .build()
+            .unwrap();
+        let report = ScripSim::new(cfg, ScripAttack::None, 3).run_to_report();
+        // Requests fail for lack of volunteers (requesters have money).
+        assert!(
+            report.fail_no_volunteer_rate > 0.9,
+            "stalled economy, got {}",
+            report.fail_no_volunteer_rate
+        );
+        assert!(report.mean_satiated_fraction > 0.9);
+    }
+
+    #[test]
+    fn lotus_eater_satiates_targets_with_budget() {
+        let attack = ScripAttack::lotus_eater(0.2, 0.5);
+        let report = ScripSim::new(quick_cfg(), attack, 4).run_to_report();
+        let sat = report.target_satiation.expect("targets exist");
+        assert!(sat > 0.95, "well-funded attacker keeps targets satiated: {sat}");
+    }
+
+    #[test]
+    fn money_supply_bounds_satiable_fraction() {
+        // m = 1, k = 6: satiating 80% of agents would need ~4.8x the whole
+        // supply. Even an attacker holding *all* the money cannot do it.
+        let cfg = ScripConfig::builder()
+            .agents(50)
+            .money_per_agent(1)
+            .threshold(6)
+            .rounds(4_000)
+            .warmup(500)
+            .build()
+            .unwrap();
+        let big = ScripAttack::lotus_eater(0.8, 1.0);
+        let report = ScripSim::new(cfg, big, 5).run_to_report();
+        let sat = report.target_satiation.expect("targets exist");
+        assert!(
+            sat < 0.5,
+            "the money supply must cap satiation, got {sat}"
+        );
+    }
+
+    #[test]
+    fn retainer_attack_denies_special_service() {
+        let cfg = ScripConfig::builder()
+            .agents(60)
+            .money_per_agent(2)
+            .threshold(4)
+            .special_service(3, 0.05)
+            .rounds(12_000)
+            .warmup(500)
+            .build()
+            .unwrap();
+        let clean = ScripSim::new(cfg.clone(), ScripAttack::None, 6).run_to_report();
+        let attacked = ScripSim::new(cfg, ScripAttack::retainer(0.3), 6).run_to_report();
+        assert!(
+            clean.special_service_rate > 0.25,
+            "unattacked special service works, got {}",
+            clean.special_service_rate
+        );
+        assert!(
+            attacked.special_service_rate < 0.05,
+            "retainer should deny the special service, got {}",
+            attacked.special_service_rate
+        );
+        assert!(attacked.special_service_rate < clean.special_service_rate / 3.0);
+    }
+
+    #[test]
+    fn altruists_serve_free() {
+        let cfg = ScripConfig::builder()
+            .agents(40)
+            .altruists(10)
+            .rounds(3_000)
+            .warmup(100)
+            .build()
+            .unwrap();
+        let report = ScripSim::new(cfg, ScripAttack::None, 7).run_to_report();
+        assert!(report.free_rate > 0.5, "altruists dominate, got {}", report.free_rate);
+    }
+
+    #[test]
+    fn adaptive_altruist_crash_lowers_thresholds() {
+        let base = ScripConfig::builder()
+            .agents(60)
+            .availability(0.5)
+            .adaptive(true)
+            .rounds(30_000)
+            .warmup(1_000)
+            .build()
+            .unwrap();
+        let no_alt = ScripSim::new(base.clone(), ScripAttack::None, 8).run_to_report();
+        let mut many_alt_cfg = base;
+        many_alt_cfg.altruists = 30;
+        let many_alt = ScripSim::new(many_alt_cfg, ScripAttack::None, 8).run_to_report();
+        assert!(
+            many_alt.mean_threshold < no_alt.mean_threshold,
+            "free service should erode thresholds: {} vs {}",
+            many_alt.mean_threshold,
+            no_alt.mean_threshold
+        );
+    }
+
+    #[test]
+    fn satiable_interface() {
+        let mut sim = ScripSim::new(quick_cfg(), ScripAttack::None, 1);
+        assert_eq!(sim.node_count(), 60);
+        for t in 0..500 {
+            netsim::round::RoundSim::round(&mut sim, t);
+        }
+        // Some agent should have served by now.
+        let served: u64 = (0..60).map(|i| sim.service_provided(NodeId(i))).sum();
+        assert!(served > 0);
+    }
+
+    #[test]
+    fn gini_properties() {
+        assert_eq!(gini(&[]), 0.0);
+        assert_eq!(gini(&[0, 0, 0]), 0.0);
+        assert!(gini(&[5, 5, 5, 5]).abs() < 1e-12, "equality => 0");
+        let unequal = gini(&[0, 0, 0, 100]);
+        assert!(unequal > 0.7, "concentration => high gini, got {unequal}");
+        let mild = gini(&[2, 3, 4, 5]);
+        assert!(mild > 0.0 && mild < unequal);
+    }
+}

@@ -1,0 +1,142 @@
+//! Integration: Observation 3.1 holds across *every* satiation-compatible
+//! system in the workspace, and fails exactly where the paper says it
+//! should — wherever a system has built-in altruism.
+//!
+//! "In a system where a satiation-compatible protocol is used, an attacker
+//! that can provide a node with tokens sufficiently rapidly can prevent it
+//! from ever providing service."
+
+use lotus_eater::lotus_core::satiation::{observation_3_1, Satiable};
+use lotus_eater::lotus_core::token::TokenSystemConfig;
+use lotus_eater::prelude::*;
+use lotus_eater::scrip_economy::ScripAttack;
+use lotus_eater::torrent_sim::SwarmAttack;
+
+#[test]
+fn observation_holds_on_the_token_model() {
+    let cfg = TokenSystemConfig::builder(Graph::complete(20))
+        .tokens(10)
+        .build()
+        .expect("valid config");
+    let mut sys = TokenSystem::new(cfg, 1);
+    let report = observation_3_1(&mut sys, NodeId(3), 40);
+    assert!(report.holds, "token model with a = 0 is satiation-compatible");
+}
+
+#[test]
+fn observation_fails_on_an_altruistic_token_model() {
+    // A ring converges slowly, so the satiated target's neighbours keep
+    // knocking for many rounds — plenty of opportunities to serve.
+    let cfg = TokenSystemConfig::builder(Graph::cycle(20))
+        .tokens(10)
+        .altruism(0.5)
+        .build()
+        .expect("valid config");
+    let mut sys = TokenSystem::new(cfg, 1);
+    let report = observation_3_1(&mut sys, NodeId(3), 60);
+    assert!(report.always_satiated);
+    assert!(!report.holds, "altruism breaks satiation-compatibility (by design)");
+}
+
+#[test]
+fn observation_holds_on_bar_gossip() {
+    let cfg = BarGossipConfig::builder()
+        .nodes(50)
+        .updates_per_round(4)
+        .copies_seeded(6)
+        .rounds(20)
+        .build()
+        .expect("valid config");
+    let mut sim = BarGossipSim::new(cfg, AttackPlan::none(), 2);
+    let report = observation_3_1(&mut sim, NodeId(7), 30);
+    assert!(
+        report.holds,
+        "a node holding every live update trades nothing and pushes nothing: {report:?}"
+    );
+}
+
+#[test]
+fn observation_holds_on_the_scrip_economy() {
+    let cfg = ScripConfig::builder()
+        .agents(40)
+        .rounds(3_000)
+        .warmup(0)
+        .build()
+        .expect("valid config");
+    let mut sim = ScripSim::new(cfg, ScripAttack::None, 3);
+    let report = observation_3_1(&mut sim, NodeId(5), 500);
+    assert!(
+        report.holds,
+        "an agent held at its threshold never volunteers: {report:?}"
+    );
+}
+
+#[test]
+fn observation_on_bittorrent_depends_on_seeding() {
+    // Without post-completion seeding, a satiated leecher departs and
+    // serves nobody: satiation-compatible.
+    let cfg = SwarmConfig::builder()
+        .leechers(20)
+        .pieces(24)
+        .seed_after_completion(0)
+        .build()
+        .expect("valid config");
+    let mut sim = SwarmSim::new(cfg, SwarmAttack::none(), 4);
+    let report = observation_3_1(&mut sim, NodeId(6), 40);
+    assert!(
+        report.holds,
+        "leecher satiated at round 0 departs without serving: {report:?}"
+    );
+
+    // With lingering seeding — BitTorrent's built-in altruism — the same
+    // satiated node serves plenty: the observation must fail.
+    let cfg = SwarmConfig::builder()
+        .leechers(20)
+        .pieces(24)
+        .seed_after_completion(100)
+        .build()
+        .expect("valid config");
+    let mut sim = SwarmSim::new(cfg, SwarmAttack::none(), 4);
+    let report = observation_3_1(&mut sim, NodeId(6), 40);
+    assert!(report.always_satiated);
+    assert!(
+        !report.holds,
+        "a lingering seed serves while satiated — seeding is altruism: {report:?}"
+    );
+}
+
+#[test]
+fn satiable_interface_is_consistent_across_systems() {
+    // All four simulators expose the same interface; a freshly satiated
+    // node reports satiated through it everywhere.
+    let cfg = TokenSystemConfig::builder(Graph::complete(10))
+        .tokens(4)
+        .build()
+        .expect("valid config");
+    let mut token = TokenSystem::new(cfg, 5);
+    token.satiate(NodeId(2));
+    assert!(token.is_satiated(NodeId(2)));
+    assert_eq!(token.node_count(), 10);
+
+    let cfg = SwarmConfig::builder()
+        .leechers(5)
+        .pieces(8)
+        .build()
+        .expect("valid config");
+    let swarm = SwarmSim::new(cfg, SwarmAttack::none(), 5);
+    // The origin seed (index 5) is born satiated.
+    assert!(swarm.is_satiated(NodeId(5)));
+    assert!(!swarm.is_satiated(NodeId(0)));
+
+    let cfg = ScripConfig::builder()
+        .agents(10)
+        .money_per_agent(9)
+        .threshold(2)
+        .rounds(10)
+        .warmup(0)
+        .build()
+        .expect("valid config");
+    let scrip = ScripSim::new(cfg, ScripAttack::None, 5);
+    // Everyone starts far above threshold: all satiated.
+    assert!((scrip.satiated_fraction() - 1.0).abs() < 1e-12);
+}
