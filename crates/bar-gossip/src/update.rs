@@ -104,7 +104,10 @@ impl WindowSet {
     /// Panics if rounds are advanced out of order.
     pub fn advance(&mut self, round: Round) -> Option<(Round, u64)> {
         let expected = self.start + self.masks.len() as Round;
-        assert_eq!(round, expected, "advance({round}) out of order, expected {expected}");
+        assert_eq!(
+            round, expected,
+            "advance({round}) out of order, expected {expected}"
+        );
         self.masks.push_back(0);
         if self.masks.len() > self.lifetime as usize {
             let expired = self.masks.pop_front().expect("non-empty window");
@@ -190,8 +193,15 @@ impl WindowSet {
 
     fn check_aligned(&self, other: &WindowSet) {
         assert_eq!(self.start, other.start, "windows not aligned (start)");
-        assert_eq!(self.masks.len(), other.masks.len(), "windows not aligned (len)");
-        assert_eq!(self.per_round, other.per_round, "windows not aligned (batch)");
+        assert_eq!(
+            self.masks.len(),
+            other.masks.len(),
+            "windows not aligned (len)"
+        );
+        assert_eq!(
+            self.per_round, other.per_round,
+            "windows not aligned (batch)"
+        );
     }
 
     /// The oldest `limit` updates in `other` that `self` lacks, optionally

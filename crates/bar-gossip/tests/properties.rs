@@ -1,4 +1,9 @@
 //! Property-based tests for the BAR Gossip simulator: report sanity and
+//!
+//! Requires the external `proptest` crate: enable the `proptest-tests`
+//! feature *and* add the `proptest` dev-dependency once the workspace
+//! has access to a registry (the default build must stay dependency-free).
+#![cfg(feature = "proptest-tests")]
 //! protocol invariants under arbitrary attacks and defenses.
 
 use bar_gossip::{AttackPlan, BarGossipConfig, BarGossipSim, DefenseSuite, ReportConfig};

@@ -6,58 +6,44 @@
 //! nodes satiated", and even small `a` restores most of the coverage the
 //! attack denies, because satiated nodes keep responding occasionally.
 
-use lotus_bench::{print_series_table, Fidelity};
-use lotus_core::attack::{NoAttack, SatiateRandomFraction};
-use lotus_core::sweep::sweep_fraction;
-use netsim::graph::Graph;
-use netsim::rng::DetRng;
-
-fn coverage(a: f64, seed: u64, attacked: bool, rounds: u64) -> f64 {
-    let rng = DetRng::seed_from(seed);
-    let graph = Graph::erdos_renyi(80, 0.08, &mut rng.fork("topology"));
-    if !graph.is_connected() {
-        // Rare for these parameters; fall back to a connected topology.
-        return coverage(a, seed + 1000, attacked, rounds);
-    }
-    let cfg = lotus_core::token::TokenSystemConfig::builder(graph)
-        .tokens(24)
-        .altruism(a)
-        .contacts_per_round(1)
-        .build()
-        .expect("valid config");
-    let mut sys = lotus_core::token::TokenSystem::new(cfg, seed);
-    let report = if attacked {
-        sys.run(&mut SatiateRandomFraction::new(0.5), rounds)
-    } else {
-        sys.run(&mut NoAttack, rounds)
-    };
-    report.untouched_mean_coverage()
-}
+use lotus_bench::runner::run_shim;
 
 fn main() {
-    let fidelity = Fidelity::from_args();
-    let xs = fidelity.grid(0.0, 0.5);
-    let sweep = fidelity.sweep();
-    let rounds = match fidelity {
-        Fidelity::Full => 150,
-        Fidelity::Quick => 60,
-    };
-
-    let attacked = sweep_fraction(
-        "attacked (50% satiated every round)",
-        &xs,
-        &sweep,
-        |a, seed| coverage(a, seed, true, rounds),
+    let quick = std::env::args().any(|a| a == "--quick");
+    let rounds = if quick { "rounds=60" } else { "rounds=150" };
+    run_shim(
+        &[
+            "--scenario",
+            "token",
+            "--title",
+            "X1 — Altruism restores coverage under mass satiation (token model)",
+            "--sweep",
+            "altruism",
+            "--fraction-grid",
+            "0:0.5",
+            "--x-label",
+            "altruism probability a",
+            "--y-label",
+            "mean final coverage of untouched nodes",
+            "--metric",
+            "untouched_mean_coverage",
+            "--param",
+            "graph=er",
+            "--param",
+            "er_p=0.08",
+            "--param",
+            "nodes=80",
+            "--param",
+            "tokens=24",
+            "--param",
+            "contacts_per_round=1",
+            "--param",
+            rounds,
+            "--curve",
+            "none,label=no attack",
+            "--curve",
+            "random-fraction,fraction=0.5,label=attacked (50% satiated every round)",
+        ],
+        &["Paper §3: a > 0 guarantees eventual global satiation; altruism is the mitigation."],
     );
-    let clean = sweep_fraction("no attack", &xs, &sweep, |a, seed| {
-        coverage(a, seed, false, rounds)
-    });
-
-    print_series_table(
-        "X1 — Altruism restores coverage under mass satiation (token model)",
-        &[clean, attacked],
-        "altruism probability a",
-        "mean final coverage of untouched nodes",
-    );
-    println!("Paper §3: a > 0 guarantees eventual global satiation; altruism is the mitigation.");
 }

@@ -6,56 +6,43 @@
 //! — non-targeted completion times stay flat (or improve) as attacker
 //! resources grow, in sharp contrast to BAR Gossip's collapse (fig1).
 
-use lotus_bench::{print_series_table, Fidelity};
-use netsim::metrics::Series;
-use torrent_sim::{SwarmAttack, SwarmConfig, SwarmSim, TargetPolicy};
-
-fn completion(attacker_peers: u32, seed: u64) -> (f64, f64) {
-    let cfg = SwarmConfig::builder()
-        .leechers(40)
-        .seeds(1)
-        .pieces(48)
-        .max_rounds(1_500)
-        .build()
-        .expect("valid config");
-    let attack = if attacker_peers == 0 {
-        SwarmAttack::none()
-    } else {
-        SwarmAttack::satiate(attacker_peers, 8, 0.33, TargetPolicy::Random)
-    };
-    let r = SwarmSim::new(cfg, attack, seed).run_to_report();
-    let non = r
-        .mean_completion_nontargeted()
-        .unwrap_or_else(|| r.mean_completion());
-    let tgt = r.mean_completion_targeted().unwrap_or(non);
-    (non, tgt)
-}
+use lotus_bench::runner::run_shim;
 
 fn main() {
-    let fidelity = Fidelity::from_args();
-    let seeds: Vec<u64> = (1..=fidelity.seeds() as u64).collect();
-    let attacker_counts = [0u32, 1, 2, 4, 6, 8, 12];
-
-    let mut non_targets = Series::new("non-targeted leechers");
-    let mut targets = Series::new("targeted leechers");
-    for &a in &attacker_counts {
-        let (mut sn, mut st) = (0.0, 0.0);
-        for &s in &seeds {
-            let (n, t) = completion(a, s);
-            sn += n;
-            st += t;
-        }
-        let k = seeds.len() as f64;
-        non_targets.push(f64::from(a), sn / k);
-        targets.push(f64::from(a), st / k);
-    }
-
-    print_series_table(
-        "X6 — Satiation attack on a BitTorrent swarm (40 leechers, 33% targeted)",
-        &[non_targets, targets],
-        "attacker peers (8 upload slots each)",
-        "mean completion round",
+    run_shim(
+        &[
+            "--scenario",
+            "bittorrent",
+            "--title",
+            "X6 — Satiation attack on a BitTorrent swarm (40 leechers, 33% targeted)",
+            "--sweep",
+            "attacker_peers",
+            "--x-values",
+            "0,1,2,4,6,8,12",
+            "--x-label",
+            "attacker peers (8 upload slots each)",
+            "--y-label",
+            "mean completion round",
+            "--param",
+            "leechers=40",
+            "--param",
+            "origin_seeds=1",
+            "--param",
+            "pieces=48",
+            "--param",
+            "max_rounds=1500",
+            "--param",
+            "fraction=0.33",
+            "--param",
+            "attacker_slots=8",
+            "--curve",
+            "satiate,metric=mean_completion_nontargeted,label=non-targeted leechers",
+            "--curve",
+            "satiate,metric=mean_completion_targeted,label=targeted leechers",
+        ],
+        &[
+            "Targets finish early (satiated); non-targets are barely hurt — often helped —",
+            "because the attacker's own upload capacity joins the swarm (paper §1).",
+        ],
     );
-    println!("Targets finish early (satiated); non-targets are barely hurt — often helped —");
-    println!("because the attacker's own upload capacity joins the swarm (paper §1).");
 }

@@ -6,82 +6,43 @@
 //! devastating under collect-all — becomes irrelevant as soon as the
 //! redundancy `n - k` exceeds the number of tokens an attacker can deny.
 
-use lotus_bench::{print_series_table, Fidelity};
-use lotus_core::attack::{NoAttack, SatiateRareHolders};
-use lotus_core::token::{Allocation, SatFunction, TokenSystem, TokenSystemConfig};
-use netsim::graph::Graph;
-use netsim::metrics::Series;
-use netsim::NodeId;
-
-const TOKENS: usize = 16;
-
-fn satisfied_fraction(redundancy: usize, seed: u64, attacked: bool, rounds: u64) -> f64 {
-    let need = TOKENS - redundancy;
-    let cfg = TokenSystemConfig::builder(Graph::complete(60))
-        .tokens(TOKENS)
-        .sat(if redundancy == 0 {
-            SatFunction::CollectAll
-        } else {
-            SatFunction::AnyK(need)
-        })
-        .allocation(Allocation::RareToken {
-            holder: NodeId(0),
-            copies: 4,
-        })
-        .build()
-        .expect("valid config");
-    let mut sys = TokenSystem::new(cfg, seed);
-    let report = if attacked {
-        sys.run(&mut SatiateRareHolders::new(0), rounds)
-    } else {
-        sys.run(&mut NoAttack, rounds)
-    };
-    // Fraction of untouched nodes that reached satiation (got the content).
-    let sat = match redundancy {
-        0 => SatFunction::CollectAll,
-        _ => SatFunction::AnyK(need),
-    };
-    let attacked_set: std::collections::HashSet<_> =
-        report.attacked_nodes.iter().copied().collect();
-    let mut ok = 0;
-    let mut total = 0;
-    for v in (0..60).map(NodeId) {
-        if attacked_set.contains(&v) {
-            continue;
-        }
-        total += 1;
-        if sat.is_satiated(sys.holdings(v)) {
-            ok += 1;
-        }
-    }
-    f64::from(ok) / f64::from(total.max(1))
-}
+use lotus_bench::runner::run_shim;
 
 fn main() {
-    let fidelity = Fidelity::from_args();
-    let seeds: Vec<u64> = (1..=fidelity.seeds() as u64).collect();
-    let rounds = 100;
-    let redundancies = [0usize, 1, 2, 4, 6, 8];
-
-    let mut attacked = Series::new("rare-token attack");
-    let mut clean = Series::new("no attack");
-    for &r in &redundancies {
-        let (mut a, mut c) = (0.0, 0.0);
-        for &s in &seeds {
-            a += satisfied_fraction(r, s, true, rounds);
-            c += satisfied_fraction(r, s, false, rounds);
-        }
-        let n = seeds.len() as f64;
-        attacked.push(r as f64, a / n);
-        clean.push(r as f64, c / n);
-    }
-
-    print_series_table(
-        "X10 — Coding defense: need (16 - redundancy) of 16 coded tokens",
-        &[clean, attacked],
-        "redundancy (extra coded tokens)",
-        "fraction of untouched nodes satisfied",
+    run_shim(
+        &[
+            "--scenario",
+            "token",
+            "--title",
+            "X10 — Coding defense: need (16 - redundancy) of 16 coded tokens",
+            "--sweep",
+            "redundancy",
+            "--x-values",
+            "0,1,2,4,6,8",
+            "--x-label",
+            "redundancy (extra coded tokens)",
+            "--y-label",
+            "fraction of untouched nodes satisfied",
+            "--metric",
+            "untouched_satisfied",
+            "--param",
+            "nodes=60",
+            "--param",
+            "tokens=16",
+            "--param",
+            "allocation=rare",
+            "--param",
+            "copies=4",
+            "--param",
+            "rounds=100",
+            "--curve",
+            "none,label=no attack",
+            "--curve",
+            "rare-holders,label=rare-token attack",
+        ],
+        &[
+            "Redundancy 0 = collect-all: denying the one rare token denies everyone.",
+            "Any redundancy >= 1 makes the rare token skippable (paper §4, Avalanche).",
+        ],
     );
-    println!("Redundancy 0 = collect-all: denying the one rare token denies everyone.");
-    println!("Any redundancy >= 1 makes the rare token skippable (paper §4, Avalanche).");
 }

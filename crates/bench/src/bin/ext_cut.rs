@@ -5,117 +5,48 @@
 //! satiated nodes placed randomly — or the same attack on an Erdős–Rényi
 //! graph, which has no cheap cuts — does far less damage. This is the
 //! paper's "resilience to non-random failures" principle made measurable.
+//!
+//! Token 0 lives only at node 0 (top-left for the grid); the cut at
+//! column 6 separates it from the right half. The random curves spend the
+//! same budget (8 of 96 nodes ≈ 0.083) without structure.
 
-use lotus_core::attack::{Attacker, SatiateCut, SatiateRandomFraction};
-use lotus_core::token::{Allocation, TokenSystem, TokenSystemConfig};
-use netsim::graph::Graph;
-use netsim::rng::DetRng;
-use netsim::table::Table;
-use netsim::NodeId;
-
-const ROWS: u32 = 8;
-const COLS: u32 = 12;
-
-fn run(graph: Graph, attack: &mut dyn Attacker, seed: u64, rounds: u64) -> (f64, f64) {
-    // Token 0 lives only at node 0 (top-left for the grid); the cut at
-    // column COLS/2 separates it from the right half.
-    let tokens = 12;
-    let mut lists: Vec<Vec<NodeId>> = vec![vec![NodeId(0)]];
-    let mut alloc_rng = DetRng::seed_from(seed ^ 0xa110c);
-    let n = graph.len() as usize;
-    for _ in 1..tokens {
-        lists.push(
-            alloc_rng
-                .sample_indices(n, 4)
-                .into_iter()
-                .map(|i| NodeId(i as u32))
-                .collect(),
-        );
-    }
-    let cfg = TokenSystemConfig::builder(graph)
-        .tokens(tokens)
-        .allocation(Allocation::Explicit(lists))
-        .build()
-        .expect("valid config");
-    let mut sys = TokenSystem::new(cfg, seed);
-    let report = sys.run(attack, rounds);
-    let complete = report
-        .coverage
-        .iter()
-        .filter(|&&c| (c - 1.0).abs() < 1e-12)
-        .count() as f64
-        / report.coverage.len() as f64;
-    (report.untouched_mean_coverage(), complete)
-}
+use lotus_bench::runner::run_shim;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let (seeds, rounds): (Vec<u64>, u64) = if quick {
-        (vec![1, 2], 120)
-    } else {
-        ((1..=5).collect(), 300)
-    };
-
-    let mut t = Table::new(vec![
-        "scenario",
-        "mean coverage (untouched)",
-        "fraction fully satiated",
-    ]);
-    let cut_size = ROWS as usize; // one grid column
-
-    type Scenario = (&'static str, Box<dyn Fn(u64) -> (f64, f64)>);
-    let scenarios: Vec<Scenario> = vec![
-        (
-            "grid, column cut satiated",
-            Box::new(move |seed| {
-                let g = Graph::grid(ROWS, COLS, false);
-                run(g, &mut SatiateCut::grid_column(ROWS, COLS, COLS / 2), seed, rounds)
-            }),
-        ),
-        (
-            "grid, same budget random",
-            Box::new(move |seed| {
-                let g = Graph::grid(ROWS, COLS, false);
-                let frac = cut_size as f64 / f64::from(ROWS * COLS);
-                run(g, &mut SatiateRandomFraction::new(frac), seed, rounds)
-            }),
-        ),
-        (
-            "erdos-renyi, same budget random",
-            Box::new(move |seed| {
-                // Sparse ER draws can be disconnected; redraw until one
-                // satisfies the model's connectivity requirement.
-                let rng = DetRng::seed_from(seed ^ 0x9e37);
-                let g = (0..50)
-                    .map(|attempt| {
-                        Graph::erdos_renyi(ROWS * COLS, 0.05, &mut rng.fork_idx("g", attempt))
-                    })
-                    .find(Graph::is_connected)
-                    .expect("a connected ER draw within 50 attempts");
-                let frac = cut_size as f64 / f64::from(ROWS * COLS);
-                run(g, &mut SatiateRandomFraction::new(frac), seed, rounds)
-            }),
-        ),
-    ];
-
-    println!("# X2 — Cut attacks on structured graphs (token model, {ROWS}x{COLS})");
-    println!();
-    for (name, f) in scenarios {
-        let mut cov = 0.0;
-        let mut comp = 0.0;
-        for &s in &seeds {
-            let (c, k) = f(s);
-            cov += c;
-            comp += k;
-        }
-        let n = seeds.len() as f64;
-        t.row(vec![
-            name.to_string(),
-            format!("{:.3}", cov / n),
-            format!("{:.3}", comp / n),
-        ]);
-    }
-    println!("{}", t.render());
-    println!("Paper §3: a cheap cut (one grid column, {cut_size} nodes) denies the far side");
-    println!("the rare token forever; random graphs and random targeting resist.");
+    let rounds = if quick { "rounds=120" } else { "rounds=300" };
+    run_shim(
+        &[
+            "--scenario",
+            "token",
+            "--title",
+            "X2 — Cut attacks on structured graphs (token model, 8x12)",
+            "--x-values",
+            "0.0833",
+            "--x-label",
+            "fraction of nodes satiated (one grid column = 8 of 96)",
+            "--y-label",
+            "mean coverage (untouched nodes)",
+            "--metric",
+            "untouched_mean_coverage",
+            "--param",
+            "tokens=12",
+            "--param",
+            "allocation=rare",
+            "--param",
+            "copies=4",
+            "--param",
+            rounds,
+            "--curve",
+            "cut-column,graph=grid,rows=8,cols=12,cut_col=6,label=grid column cut satiated",
+            "--curve",
+            "random-fraction,graph=grid,rows=8,cols=12,label=grid same budget random",
+            "--curve",
+            "random-fraction,graph=er,er_p=0.05,nodes=96,label=erdos-renyi same budget random",
+        ],
+        &[
+            "Paper §3: a cheap cut (one grid column, 8 nodes) denies the far side",
+            "the rare token forever; random graphs and random targeting resist.",
+        ],
+    );
 }

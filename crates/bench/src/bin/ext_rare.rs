@@ -8,70 +8,44 @@
 //! but once holders outnumber the per-round budget the token outruns the
 //! attacker — spreading the initial allocation is the defense.
 
-use lotus_bench::{print_series_table, Fidelity};
-use lotus_core::attack::{BudgetedAttacker, NoAttack, SatiateRareHolders};
-use lotus_core::token::{Allocation, TokenSystem, TokenSystemConfig};
-use netsim::graph::Graph;
-use netsim::metrics::Series;
-
-fn rare_token_reach(copies: usize, seed: u64, attacked: bool, rounds: u64) -> f64 {
-    let n = 60u32;
-    let cfg = TokenSystemConfig::builder(Graph::complete(n))
-        .tokens(10)
-        .allocation(if copies == 1 {
-            Allocation::RareToken {
-                holder: netsim::NodeId(0),
-                copies: 4,
-            }
-        } else {
-            // copies holders of token 0; everything else 4 copies.
-            let mut lists = vec![(0..copies as u32).map(netsim::NodeId).collect::<Vec<_>>()];
-            for t in 1..10u32 {
-                lists.push((0..4).map(|i| netsim::NodeId((t * 5 + i) % n)).collect());
-            }
-            Allocation::Explicit(lists)
-        })
-        .build()
-        .expect("valid config");
-    let mut sys = TokenSystem::new(cfg, seed);
-    if attacked {
-        // The attacker can afford to satiate only two nodes per round.
-        let mut attack = BudgetedAttacker::new(SatiateRareHolders::new(0), 2);
-        sys.run(&mut attack, rounds);
-    } else {
-        sys.run(&mut NoAttack, rounds);
-    }
-    // Fraction of nodes that obtained the rare token.
-    let view = sys.view();
-    view.holders_of(0).len() as f64 / f64::from(n)
-}
+use lotus_bench::runner::run_shim;
 
 fn main() {
-    let fidelity = Fidelity::from_args();
-    let copies: Vec<usize> = vec![1, 2, 3, 4, 6, 8];
-    let seeds: Vec<u64> = (1..=fidelity.seeds() as u64).collect();
-    let rounds = 120;
-
-    let mut attacked = Series::new("rare-holder satiation attack (budget 2/round)");
-    let mut clean = Series::new("no attack");
-    for &c in &copies {
-        let mut a = 0.0;
-        let mut u = 0.0;
-        for &s in &seeds {
-            a += rare_token_reach(c, s, true, rounds);
-            u += rare_token_reach(c, s, false, rounds);
-        }
-        attacked.push(c as f64, a / seeds.len() as f64);
-        clean.push(c as f64, u / seeds.len() as f64);
-    }
-
-    print_series_table(
-        "X3 — Rare-token denial: attacker satiates every holder (token model)",
-        &[clean, attacked],
-        "initial holders of the rare token",
-        "fraction of nodes that ever obtain it",
+    run_shim(
+        &[
+            "--scenario",
+            "token",
+            "--title",
+            "X3 — Rare-token denial: attacker satiates every holder (token model)",
+            "--sweep",
+            "rare_holders",
+            "--x-values",
+            "1,2,3,4,6,8",
+            "--x-label",
+            "initial holders of the rare token",
+            "--y-label",
+            "fraction of nodes that ever obtain it",
+            "--metric",
+            "token0_reach",
+            "--param",
+            "nodes=60",
+            "--param",
+            "tokens=10",
+            "--param",
+            "allocation=rare-spread",
+            "--param",
+            "copies=4",
+            "--param",
+            "rounds=120",
+            "--curve",
+            "none,label=no attack",
+            "--curve",
+            "rare-holders,budget=2,label=rare-holder satiation attack (budget 2/round)",
+        ],
+        &[
+            "Paper §3: one rare holder is silenced for the cost of satiating one node;",
+            "once holders outnumber the attacker's budget the token escapes — spreading",
+            "the initial allocation is the defense.",
+        ],
     );
-    println!("Paper §3: one rare holder is silenced for the cost of satiating one node;");
-    println!("once holders outnumber the attacker's budget the token escapes — spreading");
-    println!("the initial allocation is the defense.");
 }

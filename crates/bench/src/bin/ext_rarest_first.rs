@@ -15,70 +15,31 @@
 //!   a good job of resolving this problem" — and seeding (built-in
 //!   altruism) backs it up.
 
-use lotus_bench::{print_series_table, Fidelity};
-use netsim::metrics::Series;
-use torrent_sim::{PiecePolicy, SwarmAttack, SwarmConfig, SwarmSim, TargetPolicy};
-
-fn run(policy: PiecePolicy, target_fraction: f64, seed: u64) -> (f64, f64) {
-    let cfg = SwarmConfig::builder()
-        .leechers(40)
-        .seeds(1)
-        .pieces(96)
-        .unchoke_slots(3)
-        .piece_policy(policy)
-        .max_rounds(3_000)
-        .build()
-        .expect("valid config");
-    let attack = if target_fraction == 0.0 {
-        SwarmAttack::none()
-    } else {
-        // Minimal-budget attacker: the removal channel, not the capacity
-        // channel, is what we want to observe.
-        SwarmAttack::satiate(1, 2, target_fraction, TargetPolicy::RarePieceHolders)
-    };
-    let r = SwarmSim::new(cfg, attack, seed).run_to_report();
-    (
-        r.mean_completion_nontargeted()
-            .unwrap_or_else(|| r.mean_completion()),
-        r.p95_completion_nontargeted().unwrap_or(r.rounds as f64),
-    )
-}
+use lotus_bench::runner::run_shim;
 
 fn main() {
-    let fidelity = Fidelity::from_args();
-    let seeds: Vec<u64> = (1..=fidelity.seeds() as u64).collect();
-    let fractions = [0.0, 0.125, 0.25, 0.375, 0.5];
-
-    let mut series: Vec<Series> = Vec::new();
-    for (policy, label) in [
-        (PiecePolicy::RarestFirst, "rarest-first"),
-        (PiecePolicy::Random, "uniform-random"),
-    ] {
-        let mut mean = Series::new(format!("{label}: mean completion"));
-        let mut p95 = Series::new(format!("{label}: p95 completion"));
-        for &f in &fractions {
-            let (mut sm, mut sp) = (0.0, 0.0);
-            for &seed in &seeds {
-                let (m, p) = run(policy, f, seed);
-                sm += m;
-                sp += p;
-            }
-            let k = seeds.len() as f64;
-            mean.push(f, sm / k);
-            p95.push(f, sp / k);
-        }
-        series.push(mean);
-        series.push(p95);
-    }
-
-    print_series_table(
-        "X7 — Rare-piece satiation vs piece-selection policy (40 leechers, 96 pieces)",
-        &series,
-        "fraction of leechers targeted (rare-piece holders)",
-        "completion round of non-targeted leechers",
-    );
-    println!("Clean swarm: rarest-first beats random (piece diversity keeps leechers");
-    println!("trading). Attacked: neither policy develops a last-pieces problem — the");
-    println!("origin seed re-replicates rarity and early departures free its capacity.");
-    println!("The paper's conclusion holds: this attack variant does not pay (§1, §4).");
+    run_shim(&[
+        "--scenario", "bittorrent",
+        "--title", "X7 — Rare-piece satiation vs piece-selection policy (40 leechers, 96 pieces)",
+        "--x-values", "0,0.125,0.25,0.375,0.5",
+        "--x-label", "fraction of leechers targeted (rare-piece holders)",
+        "--y-label", "completion round of non-targeted leechers",
+        "--param", "leechers=40",
+        "--param", "origin_seeds=1",
+        "--param", "pieces=96",
+        "--param", "unchoke_slots=3",
+        "--param", "max_rounds=3000",
+        "--param", "attacker_peers=1",
+        "--param", "attacker_slots=2",
+        "--param", "target_policy=rare",
+        "--curve", "satiate,piece_policy=rarest,metric=mean_completion_nontargeted,label=rarest-first: mean completion",
+        "--curve", "satiate,piece_policy=rarest,metric=p95_completion_nontargeted,label=rarest-first: p95 completion",
+        "--curve", "satiate,piece_policy=random,metric=mean_completion_nontargeted,label=uniform-random: mean completion",
+        "--curve", "satiate,piece_policy=random,metric=p95_completion_nontargeted,label=uniform-random: p95 completion",
+    ], &[
+        "Clean swarm: rarest-first beats random (piece diversity keeps leechers",
+        "trading). Attacked: neither policy develops a last-pieces problem — the",
+        "origin seed re-replicates rarity and early departures free its capacity.",
+        "The paper's conclusion holds: this attack variant does not pay (§1, §4).",
+    ]);
 }

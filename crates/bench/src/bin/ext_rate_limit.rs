@@ -12,64 +12,35 @@
 //! untouched by any protocol-level cap. Rate limiting must be targeted at
 //! excess service (see `ext_reporting`) rather than all service.
 
-use bar_gossip::{AttackPlan, BarGossipConfig, BarGossipSim};
-use lotus_bench::{print_series_table, Fidelity};
-use netsim::metrics::Series;
-
-fn delivery(cap: Option<u32>, plan: AttackPlan, seed: u64) -> f64 {
-    let cfg = BarGossipConfig::builder()
-        .rate_limit(cap)
-        .build()
-        .expect("valid config");
-    BarGossipSim::new(cfg, plan, seed)
-        .run_to_report()
-        .isolated_delivery()
-}
+use lotus_bench::runner::run_shim;
 
 fn main() {
-    let fidelity = Fidelity::from_args();
-    let seeds: Vec<u64> = (1..=fidelity.seeds() as u64).collect();
-    let caps: [(Option<u32>, f64); 7] = [
-        (Some(1), 1.0),
-        (Some(2), 2.0),
-        (Some(3), 3.0),
-        (Some(5), 5.0),
-        (Some(8), 8.0),
-        (Some(16), 16.0),
-        (None, 32.0), // unbounded, plotted at 32
-    ];
-
-    let mut series: Vec<Series> = Vec::new();
-    for (plan, label) in [
-        (AttackPlan::none(), "no attack (defense cost)"),
-        (
-            AttackPlan::trade_lotus_eater(0.30, 0.70),
-            "trade attack at 30%",
-        ),
-        (
-            AttackPlan::ideal_lotus_eater(0.10, 0.70),
-            "ideal attack at 10% (bypasses protocol)",
-        ),
-    ] {
-        let mut s = Series::new(label);
-        for &(cap, x) in &caps {
-            let mut sum = 0.0;
-            for &seed in &seeds {
-                sum += delivery(cap, plan, seed);
-            }
-            s.push(x, sum / seeds.len() as f64);
-        }
-        series.push(s);
-    }
-
-    print_series_table(
-        "X9 — Per-interaction rate limit vs attacks (cap in updates/exchange)",
-        &series,
-        "rate limit (updates per interaction; 32 = unbounded)",
-        "isolated delivery",
+    run_shim(
+        &[
+            "--scenario",
+            "bar-gossip",
+            "--title",
+            "X9 — Per-interaction rate limit vs attacks (cap in updates/exchange)",
+            "--sweep",
+            "rate_limit",
+            "--x-values",
+            "1,2,3,5,8,16,32",
+            "--x-label",
+            "rate limit (updates per interaction; 32 = unbounded)",
+            "--y-label",
+            "isolated delivery",
+            "--curve",
+            "none,label=no attack (defense cost)",
+            "--curve",
+            "trade,fraction=0.30,label=trade attack at 30%",
+            "--curve",
+            "ideal,fraction=0.10,label=ideal attack at 10% (bypasses protocol)",
+        ],
+        &[
+            "Negative result, as the paper anticipates (§5 open problem): a flat",
+            "per-interaction cap hurts honest exchanges more than the attacker, and",
+            "cannot touch the out-of-band ideal attack. Effective rate limiting must",
+            "discriminate excess service — which is what report-and-evict (X8) does.",
+        ],
     );
-    println!("Negative result, as the paper anticipates (§5 open problem): a flat");
-    println!("per-interaction cap hurts honest exchanges more than the attacker, and");
-    println!("cannot touch the out-of-band ideal attack. Effective rate limiting must");
-    println!("discriminate excess service — which is what report-and-evict (X8) does.");
 }

@@ -7,56 +7,37 @@
 //! of honest nodes that are obedient reporters: with enough of them the
 //! attackers are evicted quickly and isolated delivery recovers.
 
-use bar_gossip::{AttackPlan, BarGossipConfig, BarGossipSim, ReportConfig};
-use lotus_bench::{print_series_table, Fidelity};
-use lotus_core::sweep::sweep_fraction;
-use netsim::metrics::Series;
-
-fn run(obedient: f64, seed: u64) -> (f64, f64) {
-    let cfg = BarGossipConfig::builder()
-        .report_defense(ReportConfig {
-            obedient_fraction: obedient,
-            quorum: 3,
-            excess_slack: 1,
-        })
-        .build()
-        .expect("valid config");
-    let plan = AttackPlan::trade_lotus_eater(0.30, 0.70);
-    let r = BarGossipSim::new(cfg, plan, seed).run_to_report();
-    let evicted = if r.counts.attacker == 0 {
-        0.0
-    } else {
-        f64::from(r.evictions) / f64::from(r.counts.attacker)
-    };
-    (r.isolated_delivery(), evicted)
-}
+use lotus_bench::runner::run_shim;
 
 fn main() {
-    let fidelity = Fidelity::from_args();
-    let xs = fidelity.grid(0.0, 1.0);
-    let sweep = fidelity.sweep();
-
-    let delivery = sweep_fraction(
-        "isolated delivery (trade attack at 30%)",
-        &xs,
-        &sweep,
-        |ob, seed| run(ob, seed).0,
+    run_shim(
+        &[
+            "--scenario",
+            "bar-gossip",
+            "--title",
+            "X8 — Report-and-evict defense vs obedient fraction (quorum 3)",
+            "--sweep",
+            "report_obedient",
+            "--fraction-grid",
+            "0:1",
+            "--x-label",
+            "fraction of honest nodes that are obedient reporters",
+            "--y-label",
+            "isolated delivery / evicted fraction",
+            "--param",
+            "fraction=0.30",
+            "--param",
+            "report_quorum=3",
+            "--param",
+            "report_excess_slack=1",
+            "--curve",
+            "trade,label=isolated delivery (trade attack at 30%)",
+            "--curve",
+            "trade,metric=evicted_fraction,label=fraction of attackers evicted",
+        ],
+        &[
+            "A modest pool of obedient nodes suffices to evict every trade attacker",
+            "(signed exchange records are the evidence) and restore usability.",
+        ],
     );
-    let mut evicted = Series::new("fraction of attackers evicted");
-    for &x in &xs {
-        let mut sum = 0.0;
-        for seed in 1..=fidelity.seeds() as u64 {
-            sum += run(x, seed).1;
-        }
-        evicted.push(x, sum / fidelity.seeds() as f64);
-    }
-
-    print_series_table(
-        "X8 — Report-and-evict defense vs obedient fraction (quorum 3)",
-        &[delivery, evicted],
-        "fraction of honest nodes that are obedient reporters",
-        "isolated delivery / evicted fraction",
-    );
-    println!("A modest pool of obedient nodes suffices to evict every trade attacker");
-    println!("(signed exchange records are the evidence) and restore usability.");
 }

@@ -10,79 +10,31 @@
 //! achieved satiation under both systems, plus the reputation attacker's
 //! bill.
 
-use lotus_bench::{print_series_table, Fidelity};
-use netsim::metrics::Series;
-use scrip_economy::reputation::{ReputationAttack, ReputationConfig, ReputationSim};
-use scrip_economy::{ScripAttack, ScripConfig, ScripSim};
-
-fn scrip_satiation(phi: f64, seed: u64, rounds: u64) -> f64 {
-    let cfg = ScripConfig::builder()
-        .agents(100)
-        .money_per_agent(2)
-        .threshold(5)
-        .rounds(rounds)
-        .warmup(rounds / 10)
-        .build()
-        .expect("valid config");
-    ScripSim::new(cfg, ScripAttack::lotus_eater(phi, 1.0), seed)
-        .run_to_report()
-        .target_satiation
-        .unwrap_or(0.0)
-}
-
-fn reputation_run(phi: f64, seed: u64, rounds: u64) -> (f64, f64) {
-    let cfg = ReputationConfig {
-        agents: 100,
-        threshold: 5.0,
-        rounds,
-        warmup: rounds / 10,
-        ..ReputationConfig::default()
-    };
-    let r = ReputationSim::new(
-        cfg,
-        ReputationAttack::Inflate {
-            target_fraction: phi,
-        },
-        seed,
-    )
-    .run_to_report();
-    (r.target_satiation.unwrap_or(0.0), r.attacker_cost_per_round)
-}
+use lotus_bench::runner::run_shim;
 
 fn main() {
-    let fidelity = Fidelity::from_args();
-    let seeds: Vec<u64> = (1..=fidelity.seeds() as u64).collect();
-    let rounds = match fidelity {
-        Fidelity::Full => 20_000,
-        Fidelity::Quick => 4_000,
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (rounds, warmup) = if quick {
+        ("rounds=4000", "warmup=400")
+    } else {
+        ("rounds=20000", "warmup=2000")
     };
-    let phis = [0.1, 0.2, 0.3, 0.45, 0.6, 0.75, 0.9];
-
-    let mut scrip = Series::new("scrip: achieved satiation (m=2, k=5)");
-    let mut rep = Series::new("reputation: achieved satiation (k=5)");
-    let mut bill = Series::new("reputation: attacker bill / round / 40");
-    for &phi in &phis {
-        let (mut s, mut r, mut b) = (0.0, 0.0, 0.0);
-        for &seed in &seeds {
-            s += scrip_satiation(phi, seed, rounds);
-            let (sat, cost) = reputation_run(phi, seed, rounds);
-            r += sat;
-            b += cost;
-        }
-        let k = seeds.len() as f64;
-        scrip.push(phi, s / k);
-        rep.push(phi, r / k);
-        bill.push(phi, b / k / 40.0); // normalised to fit the chart
-    }
-
-    print_series_table(
-        "X14 — Satiation currencies: conserved scrip vs minted reputation",
-        &[scrip, rep, bill],
-        "fraction of agents targeted",
-        "achieved satiation / normalised attacker bill",
-    );
-    println!("Scrip hits the supply wall past phi ~ m/k = 0.4; reputation never does —");
-    println!("the attacker's only constraint is a bill growing linearly in targets");
-    println!("(k(1-delta) fake points per target per round). Conservation is what makes");
-    println!("'making satiation hard' (§4) a *hard* guarantee.");
+    run_shim(&[
+        "--title", "X14 — Satiation currencies: conserved scrip vs minted reputation",
+        "--x-values", "0.1,0.2,0.3,0.45,0.6,0.75,0.9",
+        "--x-label", "fraction of agents targeted",
+        "--y-label", "achieved satiation / attacker bill per round",
+        "--param", "agents=100",
+        "--param", "threshold=5",
+        "--param", rounds,
+        "--param", warmup,
+        "--curve", "lotus-eater,scenario=scrip,money_per_agent=2,endowment=1.0,metric=target_satiation,label=scrip: achieved satiation (m=2 k=5)",
+        "--curve", "inflate,scenario=reputation,metric=target_satiation,label=reputation: achieved satiation (k=5)",
+        "--curve", "inflate,scenario=reputation,metric=attacker_cost_per_round,label=reputation: attacker bill / round",
+    ], &[
+        "Scrip hits the supply wall past phi ~ m/k = 0.4; reputation never does —",
+        "the attacker's only constraint is a bill growing linearly in targets",
+        "(k(1-delta) fake points per target per round). Conservation is what makes",
+        "'making satiation hard' (§4) a *hard* guarantee.",
+    ]);
 }

@@ -9,64 +9,41 @@
 //! attacker heals rotated-in nodes before their missed updates expire —
 //! so the experiment also maps the attack's operating envelope.
 
-use bar_gossip::{AttackPlan, BarGossipConfig, BarGossipSim};
-use lotus_bench::{print_series_table, Fidelity};
-use netsim::metrics::Series;
-
-fn run(period: Option<u64>, seed: u64) -> (f64, f64, f64) {
-    let cfg = BarGossipConfig::builder().rounds(60).build().expect("valid");
-    let mut plan = AttackPlan::trade_lotus_eater(0.30, 0.70);
-    if let Some(p) = period {
-        plan = plan.with_rotation(p);
-    }
-    let r = BarGossipSim::new(cfg, plan, seed).run_to_report();
-    (
-        r.nodes_ever_unusable,
-        r.unusable_node_rounds,
-        r.min_node_delivery,
-    )
-}
+use lotus_bench::runner::run_shim;
 
 fn main() {
-    let fidelity = Fidelity::from_args();
-    let seeds: Vec<u64> = (1..=fidelity.seeds() as u64).collect();
-    // x = rotation period; 0 encodes "static" for plotting.
-    let periods: [(Option<u64>, f64); 6] = [
-        (None, 0.0),
-        (Some(40), 40.0),
-        (Some(20), 20.0),
-        (Some(10), 10.0),
-        (Some(5), 5.0),
-        (Some(2), 2.0),
-    ];
-
-    let mut ever = Series::new("honest nodes ever unusable");
-    let mut node_rounds = Series::new("unusable (node, round) samples");
-    let mut min_del = Series::new("min whole-run node delivery");
-    for &(period, x) in &periods {
-        let (mut a, mut b, mut c) = (0.0, 0.0, 0.0);
-        for &s in &seeds {
-            let (e, nr, m) = run(period, s);
-            a += e;
-            b += nr;
-            c += m;
-        }
-        let k = seeds.len() as f64;
-        ever.push(x, a / k);
-        node_rounds.push(x, b / k);
-        min_del.push(x, c / k);
-    }
-
-    print_series_table(
-        "X11 — Rotating satiation (trade attack at 30%, Table-1 system)",
-        &[ever, node_rounds, min_del],
-        "rotation period in rounds (0 = static satiated set)",
-        "fraction / delivery",
+    run_shim(
+        &[
+            "--scenario",
+            "bar-gossip",
+            "--title",
+            "X11 — Rotating satiation (trade attack at 30%, Table-1 system)",
+            "--sweep",
+            "rotation_period",
+            "--x-values",
+            "0,40,20,10,5,2",
+            "--x-label",
+            "rotation period in rounds (0 = static satiated set)",
+            "--y-label",
+            "fraction / delivery",
+            "--param",
+            "rounds=60",
+            "--param",
+            "fraction=0.30",
+            "--curve",
+            "trade,metric=nodes_ever_unusable,label=honest nodes ever unusable",
+            "--curve",
+            "trade,metric=unusable_node_rounds,label=unusable node-round samples",
+            "--curve",
+            "trade,metric=min_node_delivery,label=min whole-run node delivery",
+        ],
+        &[
+            "Static: only the isolated 30% ever suffer. Slow rotation (period >= the",
+            "update lifetime): everyone takes a turn being isolated — intermittent",
+            "unusability for all, as §2 predicts. Fast rotation backfires: the",
+            "attacker refills rotated-in nodes before their missed updates expire,",
+            "involuntarily becoming an altruist — the satiated set must stay isolated",
+            "longer than a lifetime for the outage to register.",
+        ],
     );
-    println!("Static: only the isolated 30% ever suffer. Slow rotation (period >= the");
-    println!("update lifetime): everyone takes a turn being isolated — intermittent");
-    println!("unusability for all, as §2 predicts. Fast rotation backfires: the");
-    println!("attacker refills rotated-in nodes before their missed updates expire,");
-    println!("involuntarily becoming an altruist — the satiated set must stay isolated");
-    println!("longer than a lifetime for the outage to register.");
 }

@@ -7,59 +7,51 @@
 //! "making all agents worse off because they now receive only the level
 //! of service altruists are providing."
 
-use lotus_bench::{print_series_table, Fidelity};
-use netsim::metrics::Series;
-use scrip_economy::{ScripAttack, ScripConfig, ScripSim};
-
-fn economy(altruists: u32, adaptive: bool, seed: u64, rounds: u64) -> (f64, f64) {
-    let cfg = ScripConfig::builder()
-        .agents(100)
-        .money_per_agent(3)
-        .threshold(4)
-        .availability(0.25)
-        .altruists(altruists)
-        .adaptive(adaptive)
-        .rounds(rounds)
-        .warmup(rounds / 4)
-        .build()
-        .expect("valid config");
-    let r = ScripSim::new(cfg, ScripAttack::None, seed).run_to_report();
-    (r.service_rate, r.mean_threshold)
-}
+use lotus_bench::runner::run_shim;
 
 fn main() {
-    let fidelity = Fidelity::from_args();
-    let seeds: Vec<u64> = (1..=fidelity.seeds() as u64).collect();
-    let rounds = match fidelity {
-        Fidelity::Full => 60_000,
-        Fidelity::Quick => 12_000,
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (rounds, warmup) = if quick {
+        ("rounds=12000", "warmup=3000")
+    } else {
+        ("rounds=60000", "warmup=15000")
     };
-    let counts = [0u32, 5, 10, 20, 30, 40, 60, 80];
-
-    let mut adaptive_rate = Series::new("service rate (adaptive thresholds)");
-    let mut fixed_rate = Series::new("service rate (fixed thresholds)");
-    let mut thresholds = Series::new("mean threshold / 4 (adaptive)");
-    for &a in &counts {
-        let (mut sr_a, mut th_a, mut sr_f) = (0.0, 0.0, 0.0);
-        for &s in &seeds {
-            let (r, t) = economy(a, true, s, rounds);
-            sr_a += r;
-            th_a += t;
-            let (r_fixed, _) = economy(a, false, s, rounds);
-            sr_f += r_fixed;
-        }
-        let n = seeds.len() as f64;
-        adaptive_rate.push(f64::from(a), sr_a / n);
-        fixed_rate.push(f64::from(a), sr_f / n);
-        thresholds.push(f64::from(a), th_a / n / 4.0);
-    }
-
-    print_series_table(
-        "X5 — Altruists crash an adaptive scrip economy",
-        &[fixed_rate, adaptive_rate, thresholds],
-        "number of altruists (of 100 agents)",
-        "service rate / normalized threshold",
+    run_shim(
+        &[
+            "--scenario",
+            "scrip",
+            "--title",
+            "X5 — Altruists crash an adaptive scrip economy",
+            "--sweep",
+            "altruists",
+            "--x-values",
+            "0,5,10,20,30,40,60,80",
+            "--x-label",
+            "number of altruists (of 100 agents)",
+            "--y-label",
+            "service rate / mean threshold",
+            "--param",
+            "agents=100",
+            "--param",
+            "money_per_agent=3",
+            "--param",
+            "threshold=4",
+            "--param",
+            "availability=0.25",
+            "--param",
+            rounds,
+            "--param",
+            warmup,
+            "--curve",
+            "none,adaptive=0,metric=service_rate,label=service rate (fixed thresholds)",
+            "--curve",
+            "none,adaptive=1,metric=service_rate,label=service rate (adaptive thresholds)",
+            "--curve",
+            "none,adaptive=1,metric=mean_threshold,label=mean threshold (adaptive)",
+        ],
+        &[
+            "The crash: middling altruist counts erode thresholds (paid market dies)",
+            "while altruist capacity cannot yet cover demand.",
+        ],
     );
-    println!("The crash: middling altruist counts erode thresholds (paid market dies)");
-    println!("while altruist capacity cannot yet cover demand.");
 }

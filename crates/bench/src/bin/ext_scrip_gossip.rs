@@ -9,53 +9,29 @@
 //! Figure 1, barely moves the scrip-gossip curve while it collapses the
 //! vanilla one.
 
-use bar_gossip::scrip_gossip::{ScripGossipConfig, ScripGossipSim};
-use bar_gossip::{AttackPlan, BarGossipConfig, BarGossipSim};
-use lotus_bench::{print_series_table, Fidelity};
-use lotus_core::sweep::sweep_fraction;
+use lotus_bench::runner::run_shim;
 
 fn main() {
-    let fidelity = Fidelity::from_args();
-    let xs = fidelity.grid(0.0, 0.6);
-    let sweep = fidelity.sweep();
-    let base = BarGossipConfig::default();
-
-    let vanilla = {
-        let base = base.clone();
-        sweep_fraction(
-            "vanilla BAR Gossip (trade attack)",
-            &xs,
-            &sweep,
-            move |x, seed| {
-                BarGossipSim::new(base.clone(), AttackPlan::trade_lotus_eater(x, 0.70), seed)
-                    .run_to_report()
-                    .isolated_delivery()
-            },
-        )
-    };
-    let scrip = {
-        let base = base.clone();
-        sweep_fraction(
-            "scrip gossip (same attack)",
-            &xs,
-            &sweep,
-            move |x, seed| {
-                let cfg = ScripGossipConfig::new(base.clone());
-                ScripGossipSim::new(cfg, AttackPlan::trade_lotus_eater(x, 0.70), seed)
-                    .run_to_report()
-                    .isolated_delivery
-            },
-        )
-    };
-
-    print_series_table(
-        "X12 — Scrip-mediated gossip resists the trade lotus-eater attack",
-        &[vanilla, scrip],
-        "fraction of nodes controlled by attacker",
-        "isolated delivery",
+    run_shim(
+        &[
+            "--title",
+            "X12 — Scrip-mediated gossip resists the trade lotus-eater attack",
+            "--fraction-grid",
+            "0:0.6",
+            "--y-label",
+            "isolated delivery",
+            "--metric",
+            "isolated_delivery",
+            "--curve",
+            "trade,scenario=bar-gossip,label=vanilla BAR Gossip (trade attack)",
+            "--curve",
+            "trade,scenario=scrip-gossip,label=scrip gossip (same attack)",
+        ],
+        &[
+            "Update gifts cannot silence a seller that still wants income; to silence",
+            "it the attacker must hold its *balance* at threshold — and the fixed",
+            "money supply caps how many nodes he can hold there (X4). The paper's §4",
+            "suggestion checks out.",
+        ],
     );
-    println!("Update gifts cannot silence a seller that still wants income; to silence");
-    println!("it the attacker must hold its *balance* at threshold — and the fixed");
-    println!("money supply caps how many nodes he can hold there (X4). The paper's §4");
-    println!("suggestion checks out.");
 }

@@ -7,54 +7,49 @@
 //! sweep φ for several m and report the satiation the attacker actually
 //! achieves (his endowment is *all* the money, the best case for him).
 
-use lotus_bench::{print_series_table, Fidelity};
-use lotus_core::sweep::sweep_fraction;
-use netsim::metrics::Series;
-use scrip_economy::{ScripAttack, ScripConfig, ScripSim};
-
-fn achieved_satiation(phi: f64, m: u32, seed: u64, rounds: u64) -> f64 {
-    let cfg = ScripConfig::builder()
-        .agents(100)
-        .money_per_agent(m)
-        .threshold(5)
-        .rounds(rounds)
-        .warmup(rounds / 10)
-        .build()
-        .expect("valid config");
-    let attack = ScripAttack::lotus_eater(phi, 1.0); // attacker holds ALL money
-    ScripSim::new(cfg, attack, seed)
-        .run_to_report()
-        .target_satiation
-        .unwrap_or(0.0)
-}
+use lotus_bench::runner::run_shim;
 
 fn main() {
-    let fidelity = Fidelity::from_args();
-    let xs = fidelity.grid(0.05, 0.9);
-    let sweep = fidelity.sweep();
-    let rounds = match fidelity {
-        Fidelity::Full => 20_000,
-        Fidelity::Quick => 4_000,
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (rounds, warmup) = if quick {
+        ("rounds=4000", "warmup=400")
+    } else {
+        ("rounds=20000", "warmup=2000")
     };
-
-    let series: Vec<Series> = [1u32, 2, 4]
-        .into_iter()
-        .map(|m| {
-            sweep_fraction(
-                format!("money per agent m = {m} (threshold k = 5)"),
-                &xs,
-                &sweep,
-                move |phi, seed| achieved_satiation(phi, m, seed, rounds),
-            )
-        })
-        .collect();
-
-    print_series_table(
-        "X4 — The money supply caps the satiable fraction (scrip system)",
-        &series,
-        "fraction of agents targeted",
-        "achieved target satiation",
+    run_shim(
+        &[
+            "--scenario",
+            "scrip",
+            "--title",
+            "X4 — The money supply caps the satiable fraction (scrip system)",
+            "--fraction-grid",
+            "0.05:0.9",
+            "--x-label",
+            "fraction of agents targeted",
+            "--y-label",
+            "achieved target satiation",
+            "--metric",
+            "target_satiation",
+            "--param",
+            "agents=100",
+            "--param",
+            "threshold=5",
+            "--param",
+            "endowment=1.0",
+            "--param",
+            rounds,
+            "--param",
+            warmup,
+            "--curve",
+            "lotus-eater,money_per_agent=1,label=money per agent m = 1 (threshold k = 5)",
+            "--curve",
+            "lotus-eater,money_per_agent=2,label=money per agent m = 2 (threshold k = 5)",
+            "--curve",
+            "lotus-eater,money_per_agent=4,label=money per agent m = 4 (threshold k = 5)",
+        ],
+        &[
+            "Satiating a fraction f of agents locks ~f*n*k scrip; only m*n exists, so",
+            "satiation collapses beyond f ~ m/k (0.2, 0.4, 0.8 for these series).",
+        ],
     );
-    println!("Satiating a fraction f of agents locks ~f*n*k scrip; only m*n exists, so");
-    println!("satiation collapses beyond f ~ m/k (0.2, 0.4, 0.8 for these series).");
 }

@@ -9,44 +9,39 @@
 //! ideal ≈ 0.04, trade ≈ 0.22. The ideal attacker at 4 % holds only ≈ 39 %
 //! of the updates (partial satiation suffices).
 
-use bar_gossip::{AttackKind, AttackPlan, BarGossipConfig, BarGossipSim};
-use lotus_bench::{attack_curve, print_figure, Fidelity};
+use lotus_bench::registry::{Params, RunRequest, ScenarioRegistry};
+use lotus_bench::runner::{json_requested, run_shim};
 
 fn main() {
-    let fidelity = Fidelity::from_args();
-    let cfg = BarGossipConfig::default();
-    let xs = fidelity.grid(0.0, 1.0);
-    let sweep = fidelity.sweep();
-
-    let crash = attack_curve("Crash attack", AttackKind::Crash, &cfg, &xs, &sweep);
-    let ideal = attack_curve(
-        "Ideal lotus-eater attack",
-        AttackKind::IdealLotusEater,
-        &cfg,
-        &xs,
-        &sweep,
+    run_shim(
+        &[
+            "--scenario",
+            "bar-gossip",
+            "--title",
+            "FIGURE 1 — Three attacks on BAR Gossip",
+            "--curve",
+            "crash,label=Crash attack,paper=0.42",
+            "--curve",
+            "ideal,label=Ideal lotus-eater attack,paper=0.04",
+            "--curve",
+            "trade,label=Trade lotus-eater attack,paper=0.22",
+            "--fraction-grid",
+            "0:1",
+        ],
+        &[],
     );
-    let trade = attack_curve(
-        "Trade lotus-eater attack",
-        AttackKind::TradeLotusEater,
-        &cfg,
-        &xs,
-        &sweep,
-    );
-
-    print_figure(
-        "FIGURE 1 — Three attacks on BAR Gossip",
-        &[crash, ideal, trade],
-        &[(0, Some(0.42)), (1, Some(0.04)), (2, Some(0.22))],
-        "Fraction of nodes controlled by attacker",
-    );
-
-    // The paper's partial-satiation observation: coverage of a 4% ideal
-    // attacker.
-    let report = BarGossipSim::new(cfg, AttackPlan::ideal_lotus_eater(0.04, 0.70), 1)
-        .run_to_report();
-    println!(
-        "Ideal attacker at 4% control holds {:.1}% of updates (paper: ~39%)",
-        report.attacker_coverage * 100.0
-    );
+    if !json_requested() {
+        // The paper's partial-satiation observation: coverage of a 4%
+        // ideal attacker.
+        let report = ScenarioRegistry::standard()
+            .run(
+                "bar-gossip",
+                &RunRequest::new(0.04, 1, "ideal", "fraction", &Params::new()),
+            )
+            .expect("figure-1 coverage probe");
+        println!(
+            "Ideal attacker at 4% control holds {:.1}% of updates (paper: ~39%)",
+            report.metric("attacker_coverage").expect("coverage metric") * 100.0
+        );
+    }
 }

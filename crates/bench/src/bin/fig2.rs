@@ -6,42 +6,40 @@
 //! ≥ 15 % of nodes (and then supplies ≈ 85 % of updates); the trade attack
 //! needs ≈ 40 %.
 
-use bar_gossip::{AttackKind, AttackPlan, BarGossipConfig, BarGossipSim};
-use lotus_bench::{attack_curve, print_figure, Fidelity};
+use lotus_bench::registry::{Params, RunRequest, ScenarioRegistry};
+use lotus_bench::runner::{json_requested, run_shim};
 
 fn main() {
-    let fidelity = Fidelity::from_args();
-    let cfg = BarGossipConfig::builder().push_size(10).build().expect("valid");
-    let xs = fidelity.grid(0.0, 1.0);
-    let sweep = fidelity.sweep();
-
-    let crash = attack_curve("Crash attack", AttackKind::Crash, &cfg, &xs, &sweep);
-    let ideal = attack_curve(
-        "Ideal lotus-eater attack",
-        AttackKind::IdealLotusEater,
-        &cfg,
-        &xs,
-        &sweep,
+    run_shim(
+        &[
+            "--scenario",
+            "bar-gossip",
+            "--title",
+            "FIGURE 2 — Larger push size (10) reduces effectiveness",
+            "--param",
+            "push_size=10",
+            "--curve",
+            "crash,label=Crash attack,paper=-",
+            "--curve",
+            "ideal,label=Ideal lotus-eater attack,paper=0.15",
+            "--curve",
+            "trade,label=Trade lotus-eater attack,paper=0.40",
+            "--fraction-grid",
+            "0:1",
+        ],
+        &[],
     );
-    let trade = attack_curve(
-        "Trade lotus-eater attack",
-        AttackKind::TradeLotusEater,
-        &cfg,
-        &xs,
-        &sweep,
-    );
-
-    print_figure(
-        "FIGURE 2 — Larger push size (10) reduces effectiveness",
-        &[crash, ideal, trade],
-        &[(0, None), (1, Some(0.15)), (2, Some(0.40))],
-        "Fraction of nodes controlled by attacker",
-    );
-
-    let report = BarGossipSim::new(cfg, AttackPlan::ideal_lotus_eater(0.15, 0.70), 1)
-        .run_to_report();
-    println!(
-        "Ideal attacker at 15% control holds {:.1}% of updates (paper: ~85%)",
-        report.attacker_coverage * 100.0
-    );
+    if !json_requested() {
+        let params = Params::new().with("push_size", "10");
+        let report = ScenarioRegistry::standard()
+            .run(
+                "bar-gossip",
+                &RunRequest::new(0.15, 1, "ideal", "fraction", &params),
+            )
+            .expect("figure-2 coverage probe");
+        println!(
+            "Ideal attacker at 15% control holds {:.1}% of updates (paper: ~85%)",
+            report.metric("attacker_coverage").expect("coverage metric") * 100.0
+        );
+    }
 }

@@ -8,45 +8,26 @@
 //! with a modest push-size increase raise the required attacker fraction
 //! by roughly half.
 
-use bar_gossip::{AttackKind, BarGossipConfig};
-use lotus_bench::{attack_curve, print_figure, Fidelity};
-
-fn variant(push: u32, unbalanced: bool) -> BarGossipConfig {
-    BarGossipConfig::builder()
-        .push_size(push)
-        .unbalanced_exchanges(unbalanced)
-        .build()
-        .expect("valid")
-}
+use lotus_bench::runner::run_shim;
 
 fn main() {
-    let fidelity = Fidelity::from_args();
-    let xs = fidelity.grid(0.0, 0.7);
-    let sweep = fidelity.sweep();
-
-    let series = [
-        (2, false, "Push size 2, balanced exchanges"),
-        (2, true, "Push size 2, unbalanced exchanges"),
-        (4, false, "Push size 4, balanced exchanges"),
-        (4, true, "Push size 4, unbalanced exchanges"),
-    ]
-    .map(|(push, unb, label)| {
-        attack_curve(
-            label,
-            AttackKind::TradeLotusEater,
-            &variant(push, unb),
-            &xs,
-            &sweep,
-        )
-    });
-
-    print_figure(
-        "FIGURE 3 — Obedient nodes reduce effectiveness (trade attack)",
-        &series,
-        &[(0, Some(0.22)), (1, None), (2, None), (3, Some(0.33))],
-        "Fraction of nodes controlled by attacker",
-    );
-    println!(
-        "Paper: the combination of both changes raises the required fraction by almost 50%."
+    run_shim(
+        &[
+            "--scenario",
+            "bar-gossip",
+            "--title",
+            "FIGURE 3 — Obedient nodes reduce effectiveness (trade attack)",
+            "--fraction-grid",
+            "0:0.7",
+            "--curve",
+            "trade,push_size=2,unbalanced=0,label=Push size 2 balanced,paper=0.22",
+            "--curve",
+            "trade,push_size=2,unbalanced=1,label=Push size 2 unbalanced,paper=-",
+            "--curve",
+            "trade,push_size=4,unbalanced=0,label=Push size 4 balanced,paper=-",
+            "--curve",
+            "trade,push_size=4,unbalanced=1,label=Push size 4 unbalanced,paper=0.33",
+        ],
+        &["Paper: the combination of both changes raises the required fraction by almost 50%."],
     );
 }

@@ -10,18 +10,24 @@ fn main() {
     let cfg = BarGossipConfig::default();
     let mut t = Table::new(vec!["Parameter", "Value"]);
     t.row(vec!["Number of Nodes".into(), cfg.nodes.to_string()]);
-    t.row(vec!["Updates per Round".into(), cfg.updates_per_round.to_string()]);
-    t.row(vec!["Update Lifetime (rds)".into(), cfg.update_lifetime.to_string()]);
+    t.row(vec![
+        "Updates per Round".into(),
+        cfg.updates_per_round.to_string(),
+    ]);
+    t.row(vec![
+        "Update Lifetime (rds)".into(),
+        cfg.update_lifetime.to_string(),
+    ]);
     t.row(vec!["Copies Seeded".into(), cfg.copies_seeded.to_string()]);
-    t.row(vec!["Opt. Push Size (upd)".into(), cfg.push_size.to_string()]);
+    t.row(vec![
+        "Opt. Push Size (upd)".into(),
+        cfg.push_size.to_string(),
+    ]);
     println!("# TABLE 1 — Simulation Parameters");
     println!();
     println!("{}", t.render());
     println!(
         "Evaluation horizon: {} warm-up + {} measured + {} drain rounds; usability threshold {}",
-        cfg.warmup_rounds,
-        cfg.rounds,
-        cfg.update_lifetime,
-        cfg.usability_threshold
+        cfg.warmup_rounds, cfg.rounds, cfg.update_lifetime, cfg.usability_threshold
     );
 }

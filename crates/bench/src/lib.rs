@@ -1,17 +1,27 @@
 //! `lotus-bench` — the figure/table regeneration harness.
 //!
-//! One binary per paper artifact (see `src/bin/`): `table1`, `fig1`,
-//! `fig2`, `fig3` reproduce the paper's entire quantitative evaluation;
-//! the `ext_*` binaries turn each of the paper's §1/§3/§4 analytical
-//! claims into a measured experiment (X1–X10 in DESIGN.md). Criterion
+//! The heart of the crate is the unified runner: [`registry`] maps every
+//! substrate to a named [`ScenarioSpec`](registry::ScenarioSpec) driven
+//! through the `lotus_core::scenario` API, and [`runner`] is the single
+//! CLI (`lotus-bench --scenario ... --attack ...`) that sweeps any of
+//! them. One binary per paper artifact remains (see `src/bin/`): `table1`,
+//! `fig1`, `fig2`, `fig3` reproduce the paper's quantitative evaluation
+//! and the `ext_*` binaries turn each of the paper's §1/§3/§4 analytical
+//! claims into a measured experiment — but each is now a thin preset over
+//! the runner (a registry lookup plus an argument list). Criterion
 //! micro-benchmarks of every substrate live in `benches/`.
 //!
 //! Every binary accepts `--quick` (fewer seeds and sweep points) so CI can
-//! smoke-test it, and prints three blocks: a CSV of the series, an ASCII
-//! rendering of the figure, and a paper-vs-measured crossover table.
+//! smoke-test it, plus every other runner flag (`--seeds`, `--format
+//! json`, extra `--param`s), and prints the blocks the harness promises:
+//! a CSV of the series, an ASCII rendering of the figure, and — where
+//! paper values exist — a paper-vs-measured crossover table.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod registry;
+pub mod runner;
 
 use bar_gossip::{AttackKind, AttackPlan, BarGossipConfig, BarGossipSim};
 use lotus_core::report::{CrossoverRecord, UsabilityThreshold};

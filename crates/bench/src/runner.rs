@@ -1,0 +1,744 @@
+//! The unified experiment runner behind the `lotus-bench` binary and
+//! every `fig*`/`ext_*` shim.
+//!
+//! One CLI drives any registered scenario:
+//!
+//! ```text
+//! lotus-bench --scenario bar-gossip --attack trade --format json
+//! lotus-bench --scenario bar-gossip --attack crash,ideal,trade \
+//!             --fraction-grid 0:1 --seeds 5
+//! lotus-bench --scenario token --sweep altruism --fraction-grid 0:0.5 \
+//!             --curve "random-fraction,fraction=0.5" --curve none
+//! lotus-bench --list
+//! ```
+//!
+//! Every evaluation goes through
+//! [`ScenarioRegistry::run`](crate::registry::ScenarioRegistry::run) —
+//! i.e. through the unified `Scenario` API — and is replicated across
+//! seeds by the `lotus-core` sweep harness, so the CLI, the shims and
+//! ad-hoc library sweeps all produce identical numbers for identical
+//! inputs.
+
+use crate::registry::{Params, RunRequest, ScenarioRegistry};
+use crate::Fidelity;
+use lotus_core::report::{CrossoverRecord, UsabilityThreshold};
+use lotus_core::sweep::{grid, sweep_fraction, SweepConfig};
+use netsim::metrics::Series;
+use netsim::plot::{render, PlotConfig};
+use netsim::table::Table;
+
+/// One curve of the requested figure: an attack (plus overrides) against
+/// a scenario.
+#[derive(Debug, Clone, Default)]
+pub struct CurveSpec {
+    /// Display label (defaults to the attack name).
+    pub label: Option<String>,
+    /// Scenario override (defaults to the global `--scenario`); lets one
+    /// figure compare substrates, e.g. vanilla vs scrip-mediated gossip.
+    pub scenario: Option<String>,
+    /// Attack name.
+    pub attack: String,
+    /// Metric override (defaults to the global/default metric).
+    pub metric: Option<String>,
+    /// Paper-reported break point for the crossover table (`None` =
+    /// listed with no paper value; absent key = not listed).
+    pub paper: Option<Option<f64>>,
+    /// Curve-local parameter overrides.
+    pub params: Params,
+}
+
+impl CurveSpec {
+    /// Parse a `--curve` value: `attack[,key=value]*`, with the reserved
+    /// keys `label=`, `scenario=`, `metric=` and `paper=` (`paper=-` lists
+    /// the curve in the crossover table without a paper value).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on an empty spec or malformed `key=value` pair.
+    pub fn parse(spec: &str) -> Result<CurveSpec, String> {
+        let mut parts = spec.split(',').map(str::trim);
+        let attack = parts
+            .next()
+            .filter(|a| !a.is_empty())
+            .ok_or_else(|| format!("empty curve spec {spec:?}"))?;
+        let mut curve = CurveSpec {
+            attack: attack.to_string(),
+            ..CurveSpec::default()
+        };
+        for part in parts {
+            if part.is_empty() {
+                continue;
+            }
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("curve option {part:?} is not key=value"))?;
+            match key {
+                "label" => curve.label = Some(value.to_string()),
+                "scenario" => curve.scenario = Some(value.to_string()),
+                "metric" => curve.metric = Some(value.to_string()),
+                "paper" => {
+                    curve.paper =
+                        Some(if value == "-" {
+                            None
+                        } else {
+                            Some(value.parse::<f64>().map_err(|_| {
+                                format!("paper break point {value:?} is not a number")
+                            })?)
+                        })
+                }
+                _ => curve.params.set(key, value),
+            }
+        }
+        Ok(curve)
+    }
+}
+
+/// Output format of [`run_args`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Format {
+    /// CSV block + ASCII chart + optional crossover table.
+    Table,
+    /// A single JSON object.
+    Json,
+}
+
+/// Parsed CLI options.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Default scenario for curves without a `scenario=` override.
+    pub scenario: Option<String>,
+    /// The curves to evaluate.
+    pub curves: Vec<CurveSpec>,
+    /// Global metric override.
+    pub metric: Option<String>,
+    /// `--fraction-grid lo:hi[:points]`.
+    pub grid: Option<(f64, f64, Option<usize>)>,
+    /// `--x-values v1,v2,...` (wins over the grid).
+    pub x_values: Option<Vec<f64>>,
+    /// The knob x drives (default `"fraction"`).
+    pub sweep: String,
+    /// Seeds to replicate over (default from fidelity).
+    pub seeds: Option<usize>,
+    /// Global parameters.
+    pub params: Params,
+    /// Output format.
+    pub format: Format,
+    /// Usability threshold for crossover extraction.
+    pub threshold: f64,
+    /// Quick (CI) fidelity.
+    pub quick: bool,
+    /// List scenarios instead of running.
+    pub list: bool,
+    /// Print usage instead of running.
+    pub help: bool,
+    /// Figure title.
+    pub title: Option<String>,
+    /// X-axis label override.
+    pub x_label: Option<String>,
+    /// Y-axis label override.
+    pub y_label: Option<String>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            scenario: None,
+            curves: Vec::new(),
+            metric: None,
+            grid: None,
+            x_values: None,
+            sweep: "fraction".to_string(),
+            seeds: None,
+            params: Params::new(),
+            format: Format::Table,
+            threshold: UsabilityThreshold::BAR_GOSSIP.0,
+            quick: false,
+            list: false,
+            help: false,
+            title: None,
+            x_label: None,
+            y_label: None,
+        }
+    }
+}
+
+/// Parse CLI arguments (without the program name).
+///
+/// # Errors
+///
+/// Returns a usage message on unknown flags or malformed values.
+pub fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options::default();
+    let mut it = args.iter().map(String::as_str);
+    while let Some(arg) = it.next() {
+        let mut take = |flag: &str| -> Result<&str, String> {
+            it.next()
+                .ok_or_else(|| format!("flag {flag} needs a value"))
+        };
+        match arg {
+            "--scenario" => opts.scenario = Some(take("--scenario")?.to_string()),
+            "--attack" => {
+                for name in take("--attack")?.split(',') {
+                    let name = name.trim();
+                    if !name.is_empty() {
+                        opts.curves.push(CurveSpec {
+                            attack: name.to_string(),
+                            ..CurveSpec::default()
+                        });
+                    }
+                }
+            }
+            "--curve" => opts.curves.push(CurveSpec::parse(take("--curve")?)?),
+            "--metric" => opts.metric = Some(take("--metric")?.to_string()),
+            "--fraction-grid" => {
+                let v = take("--fraction-grid")?;
+                let parts: Vec<&str> = v.split(':').collect();
+                let parse = |s: &str| {
+                    s.parse::<f64>()
+                        .map_err(|_| format!("bad grid bound {s:?} in {v:?}"))
+                };
+                let (lo, hi, points) = match parts.as_slice() {
+                    [lo, hi] => (parse(lo)?, parse(hi)?, None),
+                    [lo, hi, n] => (
+                        parse(lo)?,
+                        parse(hi)?,
+                        Some(
+                            n.parse::<usize>()
+                                .map_err(|_| format!("bad grid point count {n:?}"))?,
+                        ),
+                    ),
+                    _ => return Err(format!("--fraction-grid wants lo:hi[:points], got {v:?}")),
+                };
+                if lo > hi {
+                    return Err(format!("--fraction-grid bounds out of order in {v:?}"));
+                }
+                if points == Some(0) {
+                    return Err(format!("--fraction-grid needs at least one point in {v:?}"));
+                }
+                opts.grid = Some((lo, hi, points));
+            }
+            "--x-values" => {
+                let v = take("--x-values")?;
+                let xs: Result<Vec<f64>, String> = v
+                    .split(',')
+                    .map(|s| {
+                        s.trim()
+                            .parse::<f64>()
+                            .map_err(|_| format!("bad x value {s:?}"))
+                    })
+                    .collect();
+                opts.x_values = Some(xs?);
+            }
+            "--sweep" => opts.sweep = take("--sweep")?.to_string(),
+            "--seeds" => {
+                opts.seeds = Some(
+                    take("--seeds")?
+                        .parse::<usize>()
+                        .map_err(|_| "bad --seeds value".to_string())?,
+                )
+            }
+            "--param" => {
+                let v = take("--param")?;
+                let (k, val) = v
+                    .split_once('=')
+                    .ok_or_else(|| format!("--param wants key=value, got {v:?}"))?;
+                opts.params.set(k, val);
+            }
+            "--format" => {
+                opts.format = match take("--format")? {
+                    "table" => Format::Table,
+                    "json" => Format::Json,
+                    other => return Err(format!("unknown format {other:?} (table | json)")),
+                }
+            }
+            "--threshold" => {
+                opts.threshold = take("--threshold")?
+                    .parse::<f64>()
+                    .map_err(|_| "bad --threshold value".to_string())?
+            }
+            "--title" => opts.title = Some(take("--title")?.to_string()),
+            "--x-label" => opts.x_label = Some(take("--x-label")?.to_string()),
+            "--y-label" => opts.y_label = Some(take("--y-label")?.to_string()),
+            "--quick" => opts.quick = true,
+            "--list" => opts.list = true,
+            "--help" | "-h" => opts.help = true,
+            other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
+        }
+    }
+    Ok(opts)
+}
+
+/// CLI usage text.
+pub const USAGE: &str = "\
+usage: lotus-bench --scenario NAME [--attack A[,B,...]] [options]
+       lotus-bench --list
+
+options:
+  --scenario NAME       scenario to run (see --list)
+  --attack A[,B,...]    one curve per attack name
+  --curve SPEC          curve with overrides: attack[,key=value]*
+                        (reserved keys: label=, scenario=, metric=, paper=)
+  --metric KEY          y-axis metric (default: scenario's default)
+  --fraction-grid L:H[:N]  x grid over [L, H] (default 0:1, N from fidelity)
+  --x-values a,b,c      explicit x values instead of a grid
+  --sweep KNOB          what x drives: fraction (default) or a parameter
+  --seeds N             replication seeds 1..=N (default 5, 2 with --quick)
+  --param K=V           scenario parameter (repeatable, applies to all curves)
+  --format table|json   output format (default table)
+  --threshold T         usability threshold for crossovers (default 0.93)
+  --title/--x-label/--y-label STR   labels
+  --quick               CI fidelity (fewer seeds and grid points)
+  --list                list scenarios, attacks, parameters and metrics";
+
+/// The evaluated figure: everything a caller needs to print or test.
+#[derive(Debug, Clone)]
+pub struct Figure {
+    /// Scenario of the first curve (figures may mix scenarios).
+    pub scenario: String,
+    /// The evaluated series, one per curve.
+    pub series: Vec<Series>,
+    /// Metric per curve (parallel to `series`).
+    pub metrics: Vec<String>,
+    /// Crossover records for curves that asked for them.
+    pub crossovers: Vec<CrossoverRecord>,
+    /// The x values used.
+    pub xs: Vec<f64>,
+    /// Seeds used.
+    pub seeds: usize,
+    /// The sweep knob.
+    pub sweep: String,
+}
+
+/// Evaluate the requested figure against `registry`.
+///
+/// # Errors
+///
+/// Unknown scenario names surface before the sweep; unknown
+/// attacks/metrics/parameters and invalid configurations (including ones
+/// only some x values trigger) surface as a clean error after the sweep
+/// pass that hit them — never as a panic.
+pub fn evaluate(registry: &ScenarioRegistry, opts: &Options) -> Result<Figure, String> {
+    if opts.curves.is_empty() {
+        return Err(format!(
+            "no curves requested; pass --attack or --curve\n{USAGE}"
+        ));
+    }
+    let fidelity = if opts.quick {
+        Fidelity::Quick
+    } else {
+        Fidelity::Full
+    };
+    let seeds = opts.seeds.unwrap_or_else(|| fidelity.seeds());
+    if seeds == 0 {
+        return Err("--seeds must be at least 1".to_string());
+    }
+    let xs: Vec<f64> = match (&opts.x_values, opts.grid) {
+        (Some(values), _) => values.clone(),
+        (None, Some((lo, hi, points))) => {
+            let points = points.unwrap_or_else(|| fidelity.grid(lo, hi).len());
+            if points == 1 {
+                vec![lo]
+            } else {
+                grid(lo, hi, points)
+            }
+        }
+        (None, None) => fidelity.grid(0.0, 1.0),
+    };
+    if xs.is_empty() {
+        return Err("empty x grid".to_string());
+    }
+
+    let sweep_cfg = SweepConfig::with_seeds(seeds);
+    let mut figure = Figure {
+        scenario: String::new(),
+        series: Vec::new(),
+        metrics: Vec::new(),
+        crossovers: Vec::new(),
+        xs: xs.clone(),
+        seeds,
+        sweep: opts.sweep.clone(),
+    };
+
+    for curve in &opts.curves {
+        let scenario = curve
+            .scenario
+            .as_deref()
+            .or(opts.scenario.as_deref())
+            .ok_or("no scenario given (pass --scenario or scenario= in the curve)")?;
+        let spec = registry
+            .get(scenario)
+            .ok_or_else(|| format!("unknown scenario {scenario:?} (see --list)"))?;
+        let metric = curve
+            .metric
+            .as_deref()
+            .or(opts.metric.as_deref())
+            .unwrap_or(spec.default_metric)
+            .to_string();
+        let params = opts.params.merged_with(&curve.params);
+        if figure.scenario.is_empty() {
+            figure.scenario = scenario.to_string();
+        }
+        let label = curve.label.clone().unwrap_or_else(|| {
+            if curve.scenario.is_some() {
+                format!("{scenario}: {}", curve.attack)
+            } else {
+                curve.attack.clone()
+            }
+        });
+        // Errors can be x-dependent (a swept knob may invalidate the
+        // config at some grid points only), and the sweep workers cannot
+        // return `Result` — collect the first failure here and fail the
+        // whole figure cleanly after the pass.
+        let sweep_error = std::sync::Mutex::new(None::<String>);
+        let series = sweep_fraction(label, &xs, &sweep_cfg, |x, seed| {
+            let req = RunRequest::new(x, seed, &curve.attack, &opts.sweep, &params);
+            let outcome = registry.run(scenario, &req).and_then(|report| {
+                report.metric(&metric).ok_or_else(|| {
+                    format!(
+                        "no metric {metric:?}; available: {}",
+                        report.metric_keys().join(", ")
+                    )
+                })
+            });
+            match outcome {
+                Ok(y) => y,
+                Err(e) => {
+                    let mut slot = sweep_error.lock().expect("sweep error lock");
+                    slot.get_or_insert_with(|| format!("at x={x} seed={seed}: {e}"));
+                    f64::NAN
+                }
+            }
+        });
+        if let Some(e) = sweep_error.into_inner().expect("sweep error lock") {
+            return Err(format!("scenario {scenario:?} failed {e}"));
+        }
+        if let Some(paper) = curve.paper {
+            figure.crossovers.push(CrossoverRecord::from_curve(
+                &series,
+                UsabilityThreshold(opts.threshold),
+                paper,
+            ));
+        }
+        figure.series.push(series);
+        figure.metrics.push(metric);
+    }
+    Ok(figure)
+}
+
+/// Render `figure` in the requested format.
+pub fn render_figure(figure: &Figure, opts: &Options) -> String {
+    match opts.format {
+        Format::Json => render_json(figure, opts),
+        Format::Table => render_table(figure, opts),
+    }
+}
+
+fn render_table(figure: &Figure, opts: &Options) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let title = opts
+        .title
+        .clone()
+        .unwrap_or_else(|| format!("{} — {}", figure.scenario, figure.metrics[0]));
+    let _ = writeln!(out, "# {title}");
+    let _ = writeln!(out);
+    let mut csv = Table::new(vec!["series", "x", "y"]);
+    for s in &figure.series {
+        for &(x, y) in &s.points {
+            csv.row(vec![s.label.clone(), format!("{x:.4}"), format!("{y:.4}")]);
+        }
+    }
+    let _ = writeln!(out, "{}", csv.to_csv());
+    let in_unit = figure
+        .series
+        .iter()
+        .flat_map(|s| s.points.iter())
+        .all(|&(_, y)| (0.0..=1.0).contains(&y));
+    let cfg = PlotConfig {
+        width: 64,
+        height: if in_unit { 20 } else { 18 },
+        x_label: opts.x_label.clone().unwrap_or_else(|| {
+            if figure.sweep == "fraction" {
+                "Fraction of nodes controlled by attacker".to_string()
+            } else {
+                figure.sweep.clone()
+            }
+        }),
+        y_label: opts
+            .y_label
+            .clone()
+            .unwrap_or_else(|| figure.metrics[0].clone()),
+        y_range: if in_unit { Some((0.0, 1.0)) } else { None },
+    };
+    let _ = writeln!(out, "{}", render(&figure.series, &cfg));
+    if !figure.crossovers.is_empty() {
+        let mut t = Table::new(vec!["curve", "paper break point", "measured break point"]);
+        for rec in &figure.crossovers {
+            t.row(vec![
+                rec.label.clone(),
+                rec.paper.map_or("-".into(), |p| format!("{p:.2}")),
+                rec.measured.map_or("-".into(), |m| format!("{m:.3}")),
+            ]);
+        }
+        let _ = writeln!(
+            out,
+            "Usability line: {} > {}",
+            figure.metrics[0], opts.threshold
+        );
+        let _ = writeln!(out, "{}", t.render());
+    }
+    out
+}
+
+fn render_json(figure: &Figure, opts: &Options) -> String {
+    use lotus_core::scenario::{json_number as num, json_string};
+    use std::fmt::Write;
+    let mut out = String::from("{");
+    let _ = write!(out, "\"scenario\":{}", json_string(&figure.scenario));
+    let _ = write!(out, ",\"sweep\":{}", json_string(&figure.sweep));
+    let _ = write!(out, ",\"seeds\":{}", figure.seeds);
+    let _ = write!(out, ",\"threshold\":{}", num(opts.threshold));
+    let _ = write!(out, ",\"series\":[");
+    for (i, (s, metric)) in figure.series.iter().zip(&figure.metrics).enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"label\":{},\"metric\":{},\"points\":[",
+            json_string(&s.label),
+            json_string(metric)
+        );
+        for (j, &(x, y)) in s.points.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "[{},{}]", num(x), num(y));
+        }
+        out.push_str("]}");
+    }
+    out.push(']');
+    if !figure.crossovers.is_empty() {
+        let _ = write!(out, ",\"crossovers\":[");
+        for (i, rec) in figure.crossovers.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let paper = rec.paper.map_or("null".to_string(), num);
+            let measured = rec.measured.map_or("null".to_string(), num);
+            let _ = write!(
+                out,
+                "{{\"label\":{},\"paper\":{paper},\"measured\":{measured}}}",
+                json_string(&rec.label)
+            );
+        }
+        out.push(']');
+    }
+    out.push('}');
+    out
+}
+
+/// Render the `--list` catalogue.
+pub fn render_list(registry: &ScenarioRegistry) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(out, "registered scenarios:");
+    for spec in registry.specs() {
+        let _ = writeln!(out);
+        let _ = writeln!(out, "  {} — {}", spec.name, spec.about);
+        let attacks: Vec<String> = spec
+            .attacks
+            .iter()
+            .map(|(name, _)| (*name).to_string())
+            .collect();
+        let _ = writeln!(out, "    attacks: {}", attacks.join(", "));
+        let _ = writeln!(
+            out,
+            "    sweeps:  fraction{}{}",
+            if spec.sweeps.is_empty() { "" } else { ", " },
+            spec.sweeps.join(", ")
+        );
+        let _ = writeln!(
+            out,
+            "    metrics: {} (default {})",
+            spec.metrics.join(", "),
+            spec.default_metric
+        );
+        let params: Vec<String> = spec
+            .params
+            .iter()
+            .map(|(name, _)| (*name).to_string())
+            .collect();
+        let _ = writeln!(out, "    params:  {}", params.join(", "));
+    }
+    out
+}
+
+/// Parse + evaluate + render: the whole CLI as a function (testable).
+///
+/// # Errors
+///
+/// Propagates parse, validation and configuration errors as messages.
+pub fn run_args(args: &[String]) -> Result<String, String> {
+    let opts = parse_args(args)?;
+    if opts.help {
+        return Ok(format!("{USAGE}\n"));
+    }
+    let registry = ScenarioRegistry::standard();
+    if opts.list {
+        return Ok(render_list(&registry));
+    }
+    let figure = evaluate(&registry, &opts)?;
+    Ok(render_figure(&figure, &opts))
+}
+
+/// Whether the current process was asked for JSON output (used by shims
+/// to suppress their prose epilogues).
+pub fn json_requested() -> bool {
+    let args: Vec<String> = std::env::args().collect();
+    args.windows(2)
+        .any(|w| w[0] == "--format" && w[1] == "json")
+}
+
+/// Run a shim-binary preset: the preset arguments first, then the
+/// process arguments (so `--quick`, `--seeds`, `--format json` and extra
+/// `--param`s work on every `fig*`/`ext_*` binary), then the epilogue
+/// lines (suppressed for JSON output). Exits with status 2 on errors
+/// (CLI semantics).
+pub fn run_shim(preset_args: &[&str], epilogue: &[&str]) {
+    let mut args: Vec<String> = preset_args.iter().map(|s| (*s).to_string()).collect();
+    args.extend(std::env::args().skip(1));
+    // Decide from the merged (preset + process) arguments, exactly as the
+    // parser will see them.
+    let json = args
+        .windows(2)
+        .any(|w| w[0] == "--format" && w[1] == "json");
+    match run_args(&args) {
+        Ok(out) => {
+            print!("{out}");
+            if !json {
+                for line in epilogue {
+                    println!("{line}");
+                }
+            }
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| (*s).to_string()).collect()
+    }
+
+    #[test]
+    fn curve_spec_parses_overrides() {
+        let c = CurveSpec::parse("trade,push_size=4,label=Push 4,paper=0.33").unwrap();
+        assert_eq!(c.attack, "trade");
+        assert_eq!(c.label.as_deref(), Some("Push 4"));
+        assert_eq!(c.paper, Some(Some(0.33)));
+        assert_eq!(c.params.get("push_size"), Some("4"));
+        let c = CurveSpec::parse("crash,paper=-").unwrap();
+        assert_eq!(c.paper, Some(None));
+        assert!(CurveSpec::parse("").is_err());
+        assert!(CurveSpec::parse("trade,oops").is_err());
+    }
+
+    #[test]
+    fn unknown_flags_and_names_error() {
+        assert!(run_args(&args(&["--bogus"])).is_err());
+        assert!(run_args(&args(&[
+            "--scenario",
+            "nope",
+            "--attack",
+            "none",
+            "--quick"
+        ]))
+        .is_err());
+        assert!(run_args(&args(&[
+            "--scenario",
+            "token",
+            "--attack",
+            "none",
+            "--metric",
+            "no_such_metric",
+            "--quick"
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn list_names_every_scenario() {
+        let out = run_args(&args(&["--list"])).unwrap();
+        for name in [
+            "bar-gossip",
+            "scrip",
+            "bittorrent",
+            "token",
+            "scrip-gossip",
+            "reputation",
+        ] {
+            assert!(out.contains(name), "missing {name} in:\n{out}");
+        }
+    }
+
+    #[test]
+    fn token_sweep_renders_table_and_json() {
+        let base = [
+            "--scenario",
+            "token",
+            "--attack",
+            "none,random-fraction",
+            "--x-values",
+            "0,0.5",
+            "--seeds",
+            "1",
+            "--param",
+            "nodes=16",
+            "--param",
+            "rounds=30",
+        ];
+        let table = run_args(&args(&base)).unwrap();
+        assert!(table.contains("series,x,y"), "CSV block:\n{table}");
+        assert!(table.contains("random-fraction"));
+        let mut json_args = base.to_vec();
+        json_args.extend(["--format", "json"]);
+        let json = run_args(&args(&json_args)).unwrap();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"scenario\":\"token\""));
+        assert!(json.contains("\"points\":[[0,"));
+    }
+
+    #[test]
+    fn crossover_table_appears_with_paper_values() {
+        let out = run_args(&args(&[
+            "--scenario",
+            "bar-gossip",
+            "--curve",
+            "trade,paper=0.22",
+            "--x-values",
+            "0,0.6",
+            "--seeds",
+            "1",
+            "--param",
+            "nodes=40",
+            "--param",
+            "rounds=8",
+            "--param",
+            "warmup_rounds=4",
+            "--param",
+            "updates_per_round=4",
+            "--param",
+            "copies_seeded=5",
+        ]))
+        .unwrap();
+        assert!(out.contains("paper break point"), "{out}");
+        assert!(out.contains("0.22"));
+    }
+}

@@ -1,0 +1,92 @@
+//! The acceptance contract of the unified runner: the registry path
+//! (`lotus-bench --scenario bar-gossip --attack trade ...`) must produce
+//! exactly the numbers the legacy figure pipeline produced for identical
+//! seeds — same simulator, same sweep, same averages, bit for bit.
+
+use bar_gossip::{AttackKind, BarGossipConfig};
+use lotus_bench::registry::{Params, RunRequest, ScenarioRegistry};
+use lotus_bench::runner::{evaluate, parse_args};
+use lotus_core::sweep::SweepConfig;
+
+/// A small Figure-2-shaped configuration (push size 10) so the test runs
+/// in CI time; the equality is configuration-independent because both
+/// paths drive the same `BarGossipSim`.
+fn fig2_cfg() -> BarGossipConfig {
+    BarGossipConfig::builder()
+        .nodes(60)
+        .updates_per_round(4)
+        .copies_seeded(6)
+        .rounds(12)
+        .warmup_rounds(5)
+        .push_size(10)
+        .build()
+        .expect("valid config")
+}
+
+const FIG2_PARAMS: &[(&str, &str)] = &[
+    ("nodes", "60"),
+    ("updates_per_round", "4"),
+    ("copies_seeded", "6"),
+    ("rounds", "12"),
+    ("warmup_rounds", "5"),
+    ("push_size", "10"),
+];
+
+#[test]
+fn registry_reproduces_the_legacy_fig2_curve() {
+    let xs = [0.0, 0.2, 0.4, 0.6];
+    let seeds = 2;
+
+    // Legacy path: the closure-based attack_curve the fig2 binary used.
+    let legacy = lotus_bench::attack_curve(
+        "trade",
+        AttackKind::TradeLotusEater,
+        &fig2_cfg(),
+        &xs,
+        &SweepConfig::with_seeds(seeds),
+    );
+
+    // Registry path: what `lotus-bench --scenario bar-gossip --attack
+    // trade --param push_size=10 ...` evaluates.
+    let mut args = vec![
+        "--scenario".to_string(),
+        "bar-gossip".to_string(),
+        "--attack".to_string(),
+        "trade".to_string(),
+        "--x-values".to_string(),
+        "0,0.2,0.4,0.6".to_string(),
+        "--seeds".to_string(),
+        seeds.to_string(),
+    ];
+    for (k, v) in FIG2_PARAMS {
+        args.push("--param".to_string());
+        args.push(format!("{k}={v}"));
+    }
+    let opts = parse_args(&args).expect("CLI parses");
+    let figure = evaluate(&ScenarioRegistry::standard(), &opts).expect("figure evaluates");
+
+    assert_eq!(figure.series.len(), 1);
+    assert_eq!(figure.series[0].points.len(), legacy.points.len());
+    for (&(lx, ly), &(rx, ry)) in legacy.points.iter().zip(&figure.series[0].points) {
+        assert_eq!(lx, rx, "x grids must align");
+        assert_eq!(
+            ly.to_bits(),
+            ry.to_bits(),
+            "registry and legacy paths diverge at x={lx}: {ly} vs {ry}"
+        );
+    }
+}
+
+#[test]
+fn registry_run_is_deterministic_across_calls() {
+    let reg = ScenarioRegistry::standard();
+    let mut params = Params::new();
+    for (k, v) in FIG2_PARAMS {
+        params.set(*k, *v);
+    }
+    let req = RunRequest::new(0.3, 5, "trade", "fraction", &params);
+    let a = reg.run("bar-gossip", &req).expect("runs");
+    let b = reg.run("bar-gossip", &req).expect("runs");
+    assert_eq!(a, b);
+    assert_eq!(a.to_json(), b.to_json());
+}

@@ -56,3 +56,85 @@ fn ext_coding_shows_the_collapse_at_zero_redundancy() {
     );
     assert!(out.contains("Avalanche"), "conclusion missing");
 }
+
+fn run_runner(args: &[&str]) -> String {
+    let bin = env!("CARGO_BIN_EXE_lotus-bench");
+    let out = Command::new(bin)
+        .args(args)
+        .output()
+        .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+    assert!(
+        out.status.success(),
+        "lotus-bench {args:?} exited with {:?}: {}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("runner prints UTF-8")
+}
+
+#[test]
+fn runner_lists_every_registered_scenario() {
+    let out = run_runner(&["--list"]);
+    for name in [
+        "bar-gossip",
+        "scrip",
+        "bittorrent",
+        "token",
+        "scrip-gossip",
+        "reputation",
+    ] {
+        assert!(out.contains(name), "missing {name} in:\n{out}");
+    }
+}
+
+#[test]
+fn runner_emits_json_for_the_acceptance_invocation() {
+    // The ISSUE-1 acceptance CLI (scaled down so CI stays fast).
+    let out = run_runner(&[
+        "--scenario",
+        "bar-gossip",
+        "--attack",
+        "trade",
+        "--format",
+        "json",
+        "--quick",
+        "--seeds",
+        "1",
+        "--x-values",
+        "0,0.3",
+        "--param",
+        "nodes=50",
+        "--param",
+        "rounds=8",
+        "--param",
+        "warmup_rounds=4",
+        "--param",
+        "updates_per_round=4",
+        "--param",
+        "copies_seeded=5",
+    ]);
+    assert!(
+        out.starts_with('{') && out.trim_end().ends_with('}'),
+        "not JSON:\n{out}"
+    );
+    assert!(out.contains("\"scenario\":\"bar-gossip\""));
+    assert!(out.contains("\"metric\":\"isolated_delivery\""));
+    assert!(out.contains("\"points\":[[0,"));
+}
+
+#[test]
+fn runner_rejects_unknown_scenarios_with_status_2() {
+    let bin = env!("CARGO_BIN_EXE_lotus-bench");
+    let out = Command::new(bin)
+        .args([
+            "--scenario",
+            "no-such-substrate",
+            "--attack",
+            "none",
+            "--quick",
+        ])
+        .output()
+        .expect("launches");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown scenario"));
+}

@@ -347,8 +347,7 @@ impl SwarmSim {
                             .expect("credit values are never NaN")
                             .then(a.cmp(&b))
                     });
-                    let regular: Vec<usize> =
-                        ranked.iter().copied().take(regular_slots).collect();
+                    let regular: Vec<usize> = ranked.iter().copied().take(regular_slots).collect();
                     // Optimistic unchoke: rotate periodically among the rest.
                     let rest: Vec<usize> = candidates
                         .iter()
@@ -379,13 +378,7 @@ impl SwarmSim {
     }
 
     /// The downloader `j` selects a piece to fetch from `i`.
-    fn select_piece(
-        &self,
-        j: usize,
-        i: usize,
-        rarity: &[u32],
-        rng: &mut DetRng,
-    ) -> Option<usize> {
+    fn select_piece(&self, j: usize, i: usize, rarity: &[u32], rng: &mut DetRng) -> Option<usize> {
         let needed: Vec<usize> = {
             let mut needs = self.peers[i].have.clone();
             needs.subtract(&self.peers[j].have);
@@ -517,6 +510,94 @@ impl RoundSim for SwarmSim {
     }
 }
 
+impl lotus_core::scenario::Scenario for SwarmSim {
+    type Config = SwarmConfig;
+    type Attack = SwarmAttack;
+    type Report = SwarmReport;
+    const NAME: &'static str = "bittorrent";
+
+    fn build(cfg: SwarmConfig, attack: SwarmAttack, seed: u64) -> Self {
+        SwarmSim::new(cfg, attack, seed)
+    }
+
+    fn step(&mut self) -> lotus_core::scenario::StepOutcome {
+        let done = |s: &Self| s.round >= s.cfg.max_rounds || s.all_leechers_complete();
+        if done(self) {
+            return lotus_core::scenario::StepOutcome::Done;
+        }
+        let t = self.round;
+        RoundSim::round(self, t);
+        if done(self) {
+            lotus_core::scenario::StepOutcome::Done
+        } else {
+            lotus_core::scenario::StepOutcome::Continue
+        }
+    }
+
+    fn report(&self) -> SwarmReport {
+        SwarmSim::report(self)
+    }
+}
+
+impl lotus_core::scenario::Summarize for SwarmReport {
+    /// Common vocabulary for the swarm:
+    ///
+    /// * `overall_delivery` — fraction of non-targeted leechers that
+    ///   completed within the horizon (the population a lotus-eater
+    ///   tries to starve);
+    /// * `targeted_service` — completion fraction of targeted leechers;
+    /// * `usable` — every leecher finished.
+    fn summarize(&self) -> lotus_core::scenario::ScenarioReport {
+        let completed = |want: Option<bool>| -> Option<f64> {
+            let v: Vec<bool> = self
+                .completion_rounds
+                .iter()
+                .zip(&self.targeted)
+                .filter(|(_, &t)| want.is_none_or(|w| t == w))
+                .map(|(c, _)| c.is_some())
+                .collect();
+            if v.is_empty() {
+                None
+            } else {
+                Some(v.iter().filter(|&&c| c).count() as f64 / v.len() as f64)
+            }
+        };
+        let overall = completed(Some(false))
+            .or_else(|| completed(None))
+            .unwrap_or(1.0);
+        let targeted = completed(Some(true)).unwrap_or(overall);
+        // The completion metrics are always present so sweeps that cross
+        // the no-attack point (no targeted leechers) stay total: absent
+        // populations fall back exactly as the legacy experiments did —
+        // non-targeted to the overall mean, targeted to the non-targeted
+        // value, p95 to the horizon.
+        let nontargeted = self
+            .mean_completion_nontargeted()
+            .unwrap_or_else(|| self.mean_completion());
+        lotus_core::scenario::ScenarioReport::new(
+            "bittorrent",
+            self.rounds,
+            overall,
+            targeted,
+            self.all_complete,
+        )
+        .with_metric("mean_completion", self.mean_completion())
+        .with_metric("mean_completion_nontargeted", nontargeted)
+        .with_metric(
+            "mean_completion_targeted",
+            self.mean_completion_targeted().unwrap_or(nontargeted),
+        )
+        .with_metric(
+            "p95_completion_nontargeted",
+            self.p95_completion_nontargeted()
+                .unwrap_or(self.rounds as f64),
+        )
+        .with_metric("attacker_upload", self.attacker_upload as f64)
+        .with_metric("honest_upload", self.honest_upload as f64)
+        .with_metric("duplicates", self.duplicates as f64)
+    }
+}
+
 impl lotus_core::satiation::Feedable for SwarmSim {
     /// Give the peer the complete file instantly.
     fn feed_fully(&mut self, node: NodeId) {
@@ -562,7 +643,11 @@ mod tests {
     #[test]
     fn healthy_swarm_completes() {
         let report = SwarmSim::new(quick_cfg(), SwarmAttack::none(), 1).run_to_report();
-        assert!(report.all_complete, "swarm stuck after {} rounds", report.rounds);
+        assert!(
+            report.all_complete,
+            "swarm stuck after {} rounds",
+            report.rounds
+        );
         assert!(report.completion_rounds.iter().all(|c| c.is_some()));
         assert_eq!(report.attacker_upload, 0);
     }
@@ -580,7 +665,9 @@ mod tests {
         let report = SwarmSim::new(quick_cfg(), attack, 5).run_to_report();
         assert!(report.all_complete);
         let t = report.mean_completion_targeted().expect("targets exist");
-        let nt = report.mean_completion_nontargeted().expect("non-targets exist");
+        let nt = report
+            .mean_completion_nontargeted()
+            .expect("non-targets exist");
         assert!(
             t < nt,
             "satiated targets finish earlier: targeted {t} vs non-targeted {nt}"
@@ -657,7 +744,10 @@ mod tests {
         for t in 0..30 {
             sim.round(t);
         }
-        assert!(sim.service_provided(seed_id) > 0, "seed serves while satiated");
+        assert!(
+            sim.service_provided(seed_id) > 0,
+            "seed serves while satiated"
+        );
     }
 
     #[test]
@@ -670,9 +760,7 @@ mod tests {
         for t in 0..10 {
             sim.round(t);
         }
-        let targeted: Vec<usize> = (0..25)
-            .filter(|&i| sim.peers[i].targeted)
-            .collect();
+        let targeted: Vec<usize> = (0..25).filter(|&i| sim.peers[i].targeted).collect();
         assert!(!targeted.is_empty(), "targets exist once pieces spread");
     }
 

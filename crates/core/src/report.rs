@@ -55,11 +55,7 @@ pub struct CrossoverRecord {
 
 impl CrossoverRecord {
     /// Build a record by extracting the measured break point from a curve.
-    pub fn from_curve(
-        curve: &Series,
-        threshold: UsabilityThreshold,
-        paper: Option<f64>,
-    ) -> Self {
+    pub fn from_curve(curve: &Series, threshold: UsabilityThreshold, paper: Option<f64>) -> Self {
         CrossoverRecord {
             label: curve.label.clone(),
             paper,

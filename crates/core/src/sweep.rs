@@ -6,7 +6,15 @@
 //! values, replicated across seeds, in parallel across OS threads
 //! (`std::thread::scope` — no external dependency), and returns a
 //! [`Series`] ready for crossover extraction and plotting.
+//!
+//! [`sweep_scenario`] is the [`Scenario`](crate::scenario::Scenario)-
+//! generic form: instead of a closure that hides the substrate, the
+//! caller supplies a `(config, attack)` factory and a metric projection,
+//! and the harness drives the scenario API — the same path the
+//! `lotus-bench` registry runner uses, so ad-hoc sweeps and the CLI agree
+//! bit-for-bit.
 
+use crate::scenario::{Scenario, Summarize};
 use netsim::metrics::{Running, Series};
 
 /// Replication and parallelism settings for a sweep.
@@ -111,6 +119,84 @@ where
         }
     });
     results.into_inner().expect("sweep results lock poisoned")
+}
+
+/// Sweep any [`Scenario`] over a grid of x values, replicated across the
+/// sweep seeds: for each `(x, seed)` pair, `make(x, seed)` produces the
+/// `(config, attack)` pair, the scenario is built and stepped to
+/// completion, and `metric` projects its typed report onto the y-axis.
+///
+/// This is the scenario-generic successor of [`sweep_fraction`]: the
+/// measurement is the scenario API itself rather than an opaque closure,
+/// so every substrate sweeps through the same machinery.
+///
+/// ```
+/// use lotus_core::attack::TokenAttack;
+/// use lotus_core::sweep::{sweep_scenario, SweepConfig};
+/// use lotus_core::token::{TokenScenarioConfig, TokenSystem, TokenSystemConfig};
+/// use netsim::graph::Graph;
+///
+/// let sweep = SweepConfig { seeds: vec![1, 2], threads: 2 };
+/// let s = sweep_scenario::<TokenSystem, _, _>(
+///     "mass satiation",
+///     &[0.0, 0.5],
+///     &sweep,
+///     |fraction, _seed| {
+///         let cfg = TokenSystemConfig::builder(Graph::complete(20))
+///             .tokens(6)
+///             .build()
+///             .expect("valid config");
+///         (TokenScenarioConfig::new(cfg, 40), TokenAttack::random_fraction(fraction))
+///     },
+///     |report| report.untouched_mean_coverage(),
+/// );
+/// assert_eq!(s.points.len(), 2);
+/// assert!(s.points[0].1 >= s.points[1].1, "satiation hurts the untouched");
+/// ```
+pub fn sweep_scenario<S, M, F>(
+    label: impl Into<String>,
+    xs: &[f64],
+    cfg: &SweepConfig,
+    make: M,
+    metric: F,
+) -> Series
+where
+    S: Scenario,
+    M: Fn(f64, u64) -> (S::Config, S::Attack) + Sync,
+    F: Fn(&S::Report) -> f64 + Sync,
+{
+    sweep_fraction(label, xs, cfg, move |x, seed| {
+        let (config, attack) = make(x, seed);
+        metric(&crate::scenario::run::<S>(config, attack, seed))
+    })
+}
+
+/// Like [`sweep_scenario`] but projecting through the common
+/// [`ScenarioReport`](crate::scenario::ScenarioReport) vocabulary: `metric`
+/// names any canonical or custom metric of the substrate's summary.
+///
+/// # Panics
+///
+/// Panics if the scenario's summary does not expose `metric` (the metric
+/// names a substrate offers are fixed, so this is a caller bug, not a
+/// data-dependent condition).
+pub fn sweep_scenario_metric<S, M>(
+    label: impl Into<String>,
+    xs: &[f64],
+    cfg: &SweepConfig,
+    make: M,
+    metric: &str,
+) -> Series
+where
+    S: Scenario,
+    M: Fn(f64, u64) -> (S::Config, S::Attack) + Sync,
+{
+    sweep_scenario::<S, M, _>(label, xs, cfg, make, move |report| {
+        report
+            .summarize()
+            .metric(metric)
+            .unwrap_or_else(|| panic!("scenario {} has no metric {metric:?}", S::NAME))
+    })
 }
 
 /// An evenly spaced grid of `points` values covering `[lo, hi]` inclusive.

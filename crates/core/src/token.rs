@@ -327,6 +327,13 @@ pub struct TokenReport {
     pub served: Vec<u64>,
     /// Nodes the attacker satiated at least once.
     pub attacked_nodes: Vec<NodeId>,
+    /// Per-token reach: the fraction of nodes holding each token at the
+    /// end of the run (`token_reach[0]` is the rare-token-denial metric).
+    pub token_reach: Vec<f64>,
+    /// Fraction of never-attacked nodes that ended the run satiated under
+    /// the configured satiation function (the coding-defense metric:
+    /// "did the untouched population get the content?").
+    pub untouched_satisfied: f64,
 }
 
 impl TokenReport {
@@ -388,6 +395,15 @@ pub struct TokenSystem {
     satiated_series: Vec<(Round, f64)>,
     all_satiated_at: Option<Round>,
     attacked: std::collections::BTreeSet<NodeId>,
+    /// Attack driven by the [`Scenario`](crate::scenario::Scenario) path;
+    /// the legacy [`TokenSystem::run`] entry point takes its attacker as
+    /// an argument instead and ignores this field.
+    attack: crate::attack::TokenAttack,
+    /// Horizon for the scenario path (0 until `Scenario::build` sets it).
+    horizon: Round,
+    /// Attacker randomness for the scenario path; forked exactly like
+    /// [`TokenSystem::run`] forks so both paths see the same stream.
+    attack_rng: DetRng,
 }
 
 impl TokenSystem {
@@ -433,6 +449,9 @@ impl TokenSystem {
             holdings,
             served: vec![0; n],
             round: 0,
+            attack: crate::attack::TokenAttack::none(),
+            horizon: 0,
+            attack_rng: rng.fork("attacker"),
             rng,
             satiated_series: Vec::new(),
             all_satiated_at: None,
@@ -527,7 +546,11 @@ impl TokenSystem {
     /// Each round the attacker is consulted first (it sees the
     /// start-of-round state) and its chosen targets are satiated before any
     /// gossip happens, exactly as in the paper's model.
-    pub fn run(&mut self, attacker: &mut dyn crate::attack::Attacker, rounds: Round) -> TokenReport {
+    pub fn run(
+        &mut self,
+        attacker: &mut dyn crate::attack::Attacker,
+        rounds: Round,
+    ) -> TokenReport {
         let mut attack_rng = self.rng.fork("attacker");
         for _ in 0..rounds {
             let targets = attacker.targets(&self.view(), &mut attack_rng);
@@ -541,6 +564,32 @@ impl TokenSystem {
 
     /// Snapshot the report without running further.
     pub fn report(&self) -> TokenReport {
+        let n = self.holdings.len();
+        let token_reach = (0..self.cfg.tokens)
+            .map(|tok| {
+                if n == 0 {
+                    0.0
+                } else {
+                    self.holdings.iter().filter(|h| h.contains(tok)).count() as f64 / n as f64
+                }
+            })
+            .collect();
+        let untouched: Vec<&BitSet> = self
+            .holdings
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !self.attacked.contains(&NodeId(*i as u32)))
+            .map(|(_, h)| h)
+            .collect();
+        let untouched_satisfied = if untouched.is_empty() {
+            0.0
+        } else {
+            untouched
+                .iter()
+                .filter(|h| self.cfg.sat.is_satiated(h))
+                .count() as f64
+                / untouched.len() as f64
+        };
         TokenReport {
             rounds: self.round,
             satiated_series: self.satiated_series.clone(),
@@ -558,6 +607,8 @@ impl TokenSystem {
                 .collect(),
             served: self.served.clone(),
             attacked_nodes: self.attacked.iter().copied().collect(),
+            token_reach,
+            untouched_satisfied,
         }
     }
 }
@@ -587,6 +638,122 @@ impl Satiable for TokenSystem {
     }
 }
 
+/// Scenario configuration for the token model: a [`TokenSystemConfig`]
+/// plus the horizon the legacy [`TokenSystem::run`] took as an argument.
+#[derive(Debug, Clone)]
+pub struct TokenScenarioConfig {
+    /// The underlying system configuration.
+    pub system: TokenSystemConfig,
+    /// Rounds to run.
+    pub rounds: Round,
+}
+
+impl TokenScenarioConfig {
+    /// Pair a system configuration with a horizon.
+    pub fn new(system: TokenSystemConfig, rounds: Round) -> Self {
+        TokenScenarioConfig { system, rounds }
+    }
+}
+
+impl crate::scenario::Scenario for TokenSystem {
+    type Config = TokenScenarioConfig;
+    type Attack = crate::attack::TokenAttack;
+    type Report = TokenReport;
+    const NAME: &'static str = "token";
+
+    fn build(cfg: TokenScenarioConfig, attack: crate::attack::TokenAttack, seed: u64) -> Self {
+        let mut sys = TokenSystem::new(cfg.system, seed);
+        sys.attack = attack;
+        sys.horizon = cfg.rounds;
+        sys
+    }
+
+    /// One round, exactly as [`TokenSystem::run`] executes it: the
+    /// attacker is consulted on the start-of-round state, its targets are
+    /// satiated, then gossip happens.
+    fn step(&mut self) -> crate::scenario::StepOutcome {
+        use crate::attack::Attacker;
+        if self.round >= self.horizon {
+            return crate::scenario::StepOutcome::Done;
+        }
+        // The attack and its rng move out during the round so the borrow
+        // checker lets the attacker inspect `self.view()`.
+        let mut attack = std::mem::replace(&mut self.attack, crate::attack::TokenAttack::none());
+        let mut attack_rng = self.attack_rng.clone();
+        let targets = attack.targets(&self.view(), &mut attack_rng);
+        self.attack = attack;
+        self.attack_rng = attack_rng;
+        for t in targets {
+            self.satiate(t);
+        }
+        self.gossip_round();
+        if self.round >= self.horizon {
+            crate::scenario::StepOutcome::Done
+        } else {
+            crate::scenario::StepOutcome::Continue
+        }
+    }
+
+    fn report(&self) -> TokenReport {
+        TokenSystem::report(self)
+    }
+}
+
+impl crate::scenario::Summarize for TokenReport {
+    /// Common vocabulary for the token model:
+    ///
+    /// * `overall_delivery` — mean final coverage of never-attacked nodes
+    ///   (the population the attack tries to starve);
+    /// * `targeted_service` — mean final coverage of attacked nodes
+    ///   (satiated nodes hold everything, so this is normally 1.0);
+    /// * `usable` — untouched coverage clears
+    ///   [`UsabilityThreshold::BAR_GOSSIP`](crate::report::UsabilityThreshold),
+    ///   the 93 % bar the workspace uses everywhere.
+    fn summarize(&self) -> crate::scenario::ScenarioReport {
+        let attacked: std::collections::HashSet<NodeId> =
+            self.attacked_nodes.iter().copied().collect();
+        let targeted: Vec<f64> = self
+            .coverage
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| attacked.contains(&NodeId(*i as u32)))
+            .map(|(_, &c)| c)
+            .collect();
+        let overall = self.untouched_mean_coverage();
+        let targeted_service = if targeted.is_empty() {
+            overall
+        } else {
+            targeted.iter().sum::<f64>() / targeted.len() as f64
+        };
+        let mut report = crate::scenario::ScenarioReport::new(
+            "token",
+            self.rounds,
+            overall,
+            targeted_service,
+            crate::report::UsabilityThreshold::BAR_GOSSIP.usable(overall),
+        )
+        .with_metric("mean_coverage", self.mean_coverage())
+        .with_metric("min_coverage", self.min_coverage())
+        .with_metric("untouched_mean_coverage", self.untouched_mean_coverage())
+        .with_metric("untouched_satisfied", self.untouched_satisfied)
+        .with_metric("attacked_nodes", self.attacked_nodes.len() as f64)
+        .with_metric(
+            "final_satiated_fraction",
+            self.satiated_series.last().map_or(0.0, |&(_, f)| f),
+        );
+        // -1 when global satiation was never reached, so the metric is
+        // total across sweep points.
+        report.set_metric(
+            "all_satiated_at",
+            self.all_satiated_at.map_or(-1.0, |r| r as f64),
+        );
+        if let Some(&reach) = self.token_reach.first() {
+            report.set_metric("token0_reach", reach);
+        }
+        report
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -611,7 +778,9 @@ mod tests {
             Err(ConfigError::GraphDisconnected)
         ));
         assert!(matches!(
-            TokenSystemConfig::builder(Graph::complete(4)).tokens(0).build(),
+            TokenSystemConfig::builder(Graph::complete(4))
+                .tokens(0)
+                .build(),
             Err(ConfigError::NoTokens)
         ));
         assert!(matches!(
@@ -621,7 +790,9 @@ mod tests {
             Err(ConfigError::NoContacts)
         ));
         assert!(matches!(
-            TokenSystemConfig::builder(Graph::complete(4)).altruism(1.5).build(),
+            TokenSystemConfig::builder(Graph::complete(4))
+                .altruism(1.5)
+                .build(),
             Err(ConfigError::BadAltruism(_))
         ));
     }
@@ -710,10 +881,7 @@ mod tests {
             sys.gossip_round();
             for i in 0..12u32 {
                 let cur = sys.holdings(NodeId(i));
-                assert!(
-                    prev[i as usize].is_subset(cur),
-                    "holdings of {i} shrank"
-                );
+                assert!(prev[i as usize].is_subset(cur), "holdings of {i} shrank");
                 prev[i as usize] = cur.clone();
             }
         }
@@ -754,7 +922,10 @@ mod tests {
             sys.gossip_round();
         }
         assert!(sys.served(NodeId(0)) > 0);
-        assert!(sys.satiated_fraction() > 0.9, "everyone eventually satiated");
+        assert!(
+            sys.satiated_fraction() > 0.9,
+            "everyone eventually satiated"
+        );
     }
 
     #[test]

@@ -1,4 +1,9 @@
 //! Property-based tests for the token model and sweep harness.
+//!
+//! Requires the external `proptest` crate: enable the `proptest-tests`
+//! feature *and* add the `proptest` dev-dependency once the workspace
+//! has access to a registry (the default build must stay dependency-free).
+#![cfg(feature = "proptest-tests")]
 
 use lotus_core::attack::{
     Attacker, BudgetedAttacker, NoAttack, RotatingSatiation, SatiateRandomFraction,
@@ -9,12 +14,7 @@ use netsim::rng::DetRng;
 use netsim::NodeId;
 use proptest::prelude::*;
 
-fn arb_system(
-    n: u32,
-    tokens: usize,
-    altruism: f64,
-    seed: u64,
-) -> TokenSystem {
+fn arb_system(n: u32, tokens: usize, altruism: f64, seed: u64) -> TokenSystem {
     let cfg = TokenSystemConfig::builder(Graph::complete(n))
         .tokens(tokens)
         .altruism(altruism)

@@ -274,17 +274,18 @@ impl Graph {
     ///
     /// Panics if `2 * k >= n` (the lattice would not be simple).
     pub fn watts_strogatz(n: u32, k: u32, beta: f64, rng: &mut DetRng) -> Self {
-        assert!(2 * k < n, "watts_strogatz requires 2k < n (got k={k}, n={n})");
+        assert!(
+            2 * k < n,
+            "watts_strogatz requires 2k < n (got k={k}, n={n})"
+        );
         let mut edges: Vec<(u32, u32)> = Vec::new();
         for v in 0..n {
             for j in 1..=k {
                 edges.push((v, (v + j) % n));
             }
         }
-        let mut set: std::collections::HashSet<(u32, u32)> = edges
-            .iter()
-            .map(|&(a, b)| (a.min(b), a.max(b)))
-            .collect();
+        let mut set: std::collections::HashSet<(u32, u32)> =
+            edges.iter().map(|&(a, b)| (a.min(b), a.max(b))).collect();
         for e in edges.iter_mut() {
             if rng.chance(beta) {
                 let (a, old_b) = *e;
@@ -397,9 +398,7 @@ impl Graph {
             for v in layer {
                 removed[v.index()] = true;
             }
-            if self.is_vertex_cut(&removed)
-                && best.is_none_or(|b| layer.len() < b.len())
-            {
+            if self.is_vertex_cut(&removed) && best.is_none_or(|b| layer.len() < b.len()) {
                 best = Some(layer);
             }
         }

@@ -101,9 +101,8 @@ impl Running {
         let total = self.n + other.n;
         let delta = other.mean - self.mean;
         let mean = self.mean + delta * other.n as f64 / total as f64;
-        let m2 = self.m2
-            + other.m2
-            + delta * delta * (self.n as f64 * other.n as f64) / total as f64;
+        let m2 =
+            self.m2 + other.m2 + delta * delta * (self.n as f64 * other.n as f64) / total as f64;
         self.n = total;
         self.mean = mean;
         self.m2 = m2;
@@ -188,7 +187,10 @@ pub fn quantile_exact(data: &[f64], q: f64) -> Option<f64> {
         return None;
     }
     let mut v: Vec<f64> = data.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("quantile data must not contain NaN"));
+    v.sort_by(|a, b| {
+        a.partial_cmp(b)
+            .expect("quantile data must not contain NaN")
+    });
     let q = q.clamp(0.0, 1.0);
     let pos = q * (v.len() - 1) as f64;
     let lo = pos.floor() as usize;

@@ -168,8 +168,14 @@ mod tests {
     fn two_node_schedule_always_pairs_them() {
         let s = PartnerSchedule::new(9, 2);
         for round in 0..5 {
-            assert_eq!(s.partner_of(NodeId(0), round, Protocol::BalancedExchange), NodeId(1));
-            assert_eq!(s.partner_of(NodeId(1), round, Protocol::BalancedExchange), NodeId(0));
+            assert_eq!(
+                s.partner_of(NodeId(0), round, Protocol::BalancedExchange),
+                NodeId(1)
+            );
+            assert_eq!(
+                s.partner_of(NodeId(1), round, Protocol::BalancedExchange),
+                NodeId(0)
+            );
         }
     }
 
@@ -184,7 +190,9 @@ mod tests {
         let s = PartnerSchedule::new(11, 20);
         let mut counts = [0u32; 20];
         for round in 0..4000 {
-            counts[s.partner_of(NodeId(0), round, Protocol::BalancedExchange).index()] += 1;
+            counts[s
+                .partner_of(NodeId(0), round, Protocol::BalancedExchange)
+                .index()] += 1;
         }
         assert_eq!(counts[0], 0, "never self");
         // Expect ~210 per other node.

@@ -51,7 +51,10 @@ const MARKS: &[char] = &['*', '+', 'o', 'x', '#', '@'];
 /// ```
 pub fn render(series: &[Series], cfg: &PlotConfig) -> String {
     let (w, h) = (cfg.width.max(8), cfg.height.max(4));
-    let pts: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    let pts: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points.iter().copied())
+        .collect();
     if pts.is_empty() {
         return "(no data)\n".to_string();
     }
@@ -69,17 +72,23 @@ pub fn render(series: &[Series], cfg: &PlotConfig) -> String {
         }
         (lo, hi)
     });
-    let x_span = if (x_hi - x_lo).abs() < f64::EPSILON { 1.0 } else { x_hi - x_lo };
-    let y_span = if (y_hi - y_lo).abs() < f64::EPSILON { 1.0 } else { y_hi - y_lo };
+    let x_span = if (x_hi - x_lo).abs() < f64::EPSILON {
+        1.0
+    } else {
+        x_hi - x_lo
+    };
+    let y_span = if (y_hi - y_lo).abs() < f64::EPSILON {
+        1.0
+    } else {
+        y_hi - y_lo
+    };
 
     let mut grid = vec![vec![' '; w]; h];
     for (si, s) in series.iter().enumerate() {
         let mark = MARKS[si % MARKS.len()];
         // Sample each column against the interpolated curve so lines are
         // continuous even with sparse points.
-        for (col, x) in (0..w)
-            .map(|c| (c, x_lo + x_span * c as f64 / (w - 1) as f64))
-        {
+        for (col, x) in (0..w).map(|c| (c, x_lo + x_span * c as f64 / (w - 1) as f64)) {
             if let Some(y) = s.interpolate(x) {
                 let fy = ((y - y_lo) / y_span).clamp(0.0, 1.0);
                 let row = ((1.0 - fy) * (h - 1) as f64).round() as usize;

@@ -76,10 +76,7 @@ impl DetRng {
     /// the same seed.
     pub fn from_parts(seed: u64, stream: u64) -> Self {
         let inc = (split_mix64(stream) << 1) | 1;
-        let mut rng = DetRng {
-            state: 0,
-            inc,
-        };
+        let mut rng = DetRng { state: 0, inc };
         // Standard PCG initialisation dance.
         rng.step();
         rng.state = rng.state.wrapping_add(split_mix64(seed));
@@ -416,8 +413,7 @@ mod tests {
         let mut r = DetRng::seed_from(0);
         assert_eq!(r.geometric(1.0), 0);
         assert_eq!(r.geometric(0.0), u64::MAX);
-        let mean: f64 =
-            (0..5000).map(|_| r.geometric(0.5) as f64).sum::<f64>() / 5000.0;
+        let mean: f64 = (0..5000).map(|_| r.geometric(0.5) as f64).sum::<f64>() / 5000.0;
         assert!((mean - 1.0).abs() < 0.1, "mean was {mean}"); // E = (1-p)/p
     }
 

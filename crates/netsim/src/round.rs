@@ -63,7 +63,10 @@ mod tests {
 
     #[test]
     fn run_advances_sequentially() {
-        let mut c = Counter { t: 0, history: vec![] };
+        let mut c = Counter {
+            t: 0,
+            history: vec![],
+        };
         run(&mut c, 5);
         assert_eq!(c.history, vec![0, 1, 2, 3, 4]);
         run(&mut c, 2);
@@ -72,7 +75,10 @@ mod tests {
 
     #[test]
     fn run_while_stops_on_predicate() {
-        let mut c = Counter { t: 0, history: vec![] };
+        let mut c = Counter {
+            t: 0,
+            history: vec![],
+        };
         let executed = run_while(&mut c, 100, |s| s.rounds_run() >= 3);
         assert_eq!(executed, 3);
         assert_eq!(c.rounds_run(), 3);
@@ -80,14 +86,20 @@ mod tests {
 
     #[test]
     fn run_while_respects_max() {
-        let mut c = Counter { t: 0, history: vec![] };
+        let mut c = Counter {
+            t: 0,
+            history: vec![],
+        };
         let executed = run_while(&mut c, 4, |_| false);
         assert_eq!(executed, 4);
     }
 
     #[test]
     fn run_while_zero_if_already_stopped() {
-        let mut c = Counter { t: 0, history: vec![] };
+        let mut c = Counter {
+            t: 0,
+            history: vec![],
+        };
         let executed = run_while(&mut c, 10, |_| true);
         assert_eq!(executed, 0);
     }

@@ -1,4 +1,9 @@
 //! Property-based tests for the simulation substrate.
+//!
+//! Requires the external `proptest` crate: enable the `proptest-tests`
+//! feature *and* add the `proptest` dev-dependency once the workspace
+//! has access to a registry (the default build must stay dependency-free).
+#![cfg(feature = "proptest-tests")]
 
 use netsim::graph::Graph;
 use netsim::metrics::{quantile_exact, Running, Series};

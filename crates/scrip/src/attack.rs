@@ -132,7 +132,10 @@ mod tests {
     #[test]
     fn labels() {
         assert_eq!(ScripAttack::None.label(), "no attack");
-        assert_eq!(ScripAttack::lotus_eater(0.1, 0.1).label(), "scrip lotus-eater");
+        assert_eq!(
+            ScripAttack::lotus_eater(0.1, 0.1).label(),
+            "scrip lotus-eater"
+        );
         assert_eq!(ScripAttack::retainer(0.1).label(), "retainer attack");
     }
 }

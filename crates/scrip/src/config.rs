@@ -126,7 +126,10 @@ impl ScripConfig {
             return Err(ConfigError::TooFewAgents(self.agents));
         }
         if !(0.0..=1.0).contains(&self.availability) {
-            return Err(ConfigError::BadProbability("availability", self.availability));
+            return Err(ConfigError::BadProbability(
+                "availability",
+                self.availability,
+            ));
         }
         if !(0.0..=1.0).contains(&self.special_request_prob) {
             return Err(ConfigError::BadProbability(

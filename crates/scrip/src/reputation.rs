@@ -275,6 +275,56 @@ impl ReputationSim {
     }
 }
 
+impl lotus_core::scenario::Scenario for ReputationSim {
+    type Config = ReputationConfig;
+    type Attack = ReputationAttack;
+    type Report = ReputationReport;
+    const NAME: &'static str = "reputation";
+
+    fn build(cfg: ReputationConfig, attack: ReputationAttack, seed: u64) -> Self {
+        ReputationSim::new(cfg, attack, seed)
+    }
+
+    fn step(&mut self) -> lotus_core::scenario::StepOutcome {
+        let total = self.cfg.warmup + self.cfg.rounds;
+        if self.round >= total {
+            return lotus_core::scenario::StepOutcome::Done;
+        }
+        let t = self.round;
+        RoundSim::round(self, t);
+        if self.round >= total {
+            lotus_core::scenario::StepOutcome::Done
+        } else {
+            lotus_core::scenario::StepOutcome::Continue
+        }
+    }
+
+    fn report(&self) -> ReputationReport {
+        ReputationSim::report(self)
+    }
+}
+
+impl lotus_core::scenario::Summarize for ReputationReport {
+    /// Common vocabulary for the reputation economy, mirroring the scrip
+    /// summary so the two satiation currencies compare directly.
+    fn summarize(&self) -> lotus_core::scenario::ScenarioReport {
+        lotus_core::scenario::ScenarioReport::new(
+            "reputation",
+            self.rounds,
+            self.service_rate,
+            self.target_satiation.unwrap_or(0.0),
+            self.service_rate > 0.5,
+        )
+        .with_metric("service_rate", self.service_rate)
+        .with_metric("denied_rate", self.denied_rate)
+        .with_metric("no_volunteer_rate", self.no_volunteer_rate)
+        .with_metric("attacker_cost_per_round", self.attacker_cost_per_round)
+        // 0.0 when the attack has no targets, so fraction sweeps that
+        // include the no-attack point stay total.
+        .with_metric("target_satiation", self.target_satiation.unwrap_or(0.0))
+    }
+}
+
 impl RoundSim for ReputationSim {
     fn round(&mut self, t: Round) {
         debug_assert_eq!(t, self.round, "rounds must be sequential");
@@ -407,8 +457,7 @@ mod tests {
 
     #[test]
     fn healthy_reputation_economy_serves() {
-        let report =
-            ReputationSim::new(quick_cfg(), ReputationAttack::None, 1).run_to_report();
+        let report = ReputationSim::new(quick_cfg(), ReputationAttack::None, 1).run_to_report();
         assert!(report.service_rate > 0.9, "service {}", report.service_rate);
         assert_eq!(report.attacker_cost_per_round, 0.0);
         assert!(report.target_satiation.is_none());
@@ -422,9 +471,18 @@ mod tests {
                 "agents",
             ),
             (Box::new(|c: &mut ReputationConfig| c.decay = 0.0), "decay"),
-            (Box::new(|c: &mut ReputationConfig| c.decay = 1.5), "decay hi"),
-            (Box::new(|c: &mut ReputationConfig| c.threshold = 0.0), "threshold"),
-            (Box::new(|c: &mut ReputationConfig| c.availability = -0.1), "avail"),
+            (
+                Box::new(|c: &mut ReputationConfig| c.decay = 1.5),
+                "decay hi",
+            ),
+            (
+                Box::new(|c: &mut ReputationConfig| c.threshold = 0.0),
+                "threshold",
+            ),
+            (
+                Box::new(|c: &mut ReputationConfig| c.availability = -0.1),
+                "avail",
+            ),
             (Box::new(|c: &mut ReputationConfig| c.rounds = 0), "rounds"),
         ] {
             let mut cfg = quick_cfg();
@@ -464,7 +522,9 @@ mod tests {
         let at = |frac| {
             ReputationSim::new(
                 quick_cfg(),
-                ReputationAttack::Inflate { target_fraction: frac },
+                ReputationAttack::Inflate {
+                    target_fraction: frac,
+                },
                 3,
             )
             .run_to_report()

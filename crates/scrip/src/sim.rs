@@ -376,7 +376,9 @@ impl ScripSim {
     fn adapt_phase(&mut self) {
         if !self.cfg.adaptive
             || self.round == 0
-            || !self.round.is_multiple_of(u64::from(self.cfg.adapt_interval))
+            || !self
+                .round
+                .is_multiple_of(u64::from(self.cfg.adapt_interval))
         {
             return;
         }
@@ -497,6 +499,68 @@ impl RoundSim for ScripSim {
     }
 }
 
+impl lotus_core::scenario::Scenario for ScripSim {
+    type Config = ScripConfig;
+    type Attack = ScripAttack;
+    type Report = ScripReport;
+    const NAME: &'static str = "scrip";
+
+    fn build(cfg: ScripConfig, attack: ScripAttack, seed: u64) -> Self {
+        ScripSim::new(cfg, attack, seed)
+    }
+
+    fn step(&mut self) -> lotus_core::scenario::StepOutcome {
+        let total = self.cfg.warmup + self.cfg.rounds;
+        if self.round >= total {
+            return lotus_core::scenario::StepOutcome::Done;
+        }
+        let t = self.round;
+        RoundSim::round(self, t);
+        if self.round >= total {
+            lotus_core::scenario::StepOutcome::Done
+        } else {
+            lotus_core::scenario::StepOutcome::Continue
+        }
+    }
+
+    fn report(&self) -> ScripReport {
+        ScripSim::report(self)
+    }
+}
+
+impl lotus_core::scenario::Summarize for ScripReport {
+    /// Common vocabulary for the scrip economy:
+    ///
+    /// * `overall_delivery` — the measured service rate (requests
+    ///   satisfied, free or paid);
+    /// * `targeted_service` — how satiated the attacker kept its targets
+    ///   (0 when the attack has no targets);
+    /// * `usable` — a functioning market: most requests get served.
+    fn summarize(&self) -> lotus_core::scenario::ScenarioReport {
+        lotus_core::scenario::ScenarioReport::new(
+            "scrip",
+            self.rounds,
+            self.service_rate,
+            self.target_satiation.unwrap_or(0.0),
+            self.service_rate > 0.5,
+        )
+        .with_metric("service_rate", self.service_rate)
+        .with_metric("free_rate", self.free_rate)
+        .with_metric("paid_rate", self.paid_rate)
+        .with_metric("fail_broke_rate", self.fail_broke_rate)
+        .with_metric("fail_no_volunteer_rate", self.fail_no_volunteer_rate)
+        .with_metric("special_service_rate", self.special_service_rate)
+        .with_metric("mean_satiated_fraction", self.mean_satiated_fraction)
+        .with_metric("mean_threshold", self.mean_threshold)
+        .with_metric("gini", self.gini)
+        .with_metric("attacker_money", self.attacker_money as f64)
+        .with_metric("total_money", self.total_money as f64)
+        // 0.0 when the attack has no targets, so fraction sweeps that
+        // include the no-attack point stay total.
+        .with_metric("target_satiation", self.target_satiation.unwrap_or(0.0))
+    }
+}
+
 impl lotus_core::satiation::Feedable for ScripSim {
     /// Top the agent's balance up to its threshold from an *external*
     /// benefactor. Note this mints scrip: the Observation 3.1 harness
@@ -553,7 +617,11 @@ mod tests {
         let report = ScripSim::new(quick_cfg(), ScripAttack::None, 1).run_to_report();
         // With m = 2 and k = 4 a fraction of requesters is naturally broke
         // (EC'07: efficiency grows with m); ~0.8 is the healthy level here.
-        assert!(report.service_rate > 0.75, "service rate {}", report.service_rate);
+        assert!(
+            report.service_rate > 0.75,
+            "service rate {}",
+            report.service_rate
+        );
         assert_eq!(report.free_rate, 0.0, "no altruists, no free service");
         assert_eq!(report.total_money, 120);
     }
@@ -601,7 +669,10 @@ mod tests {
         let attack = ScripAttack::lotus_eater(0.2, 0.5);
         let report = ScripSim::new(quick_cfg(), attack, 4).run_to_report();
         let sat = report.target_satiation.expect("targets exist");
-        assert!(sat > 0.95, "well-funded attacker keeps targets satiated: {sat}");
+        assert!(
+            sat > 0.95,
+            "well-funded attacker keeps targets satiated: {sat}"
+        );
     }
 
     #[test]
@@ -619,10 +690,7 @@ mod tests {
         let big = ScripAttack::lotus_eater(0.8, 1.0);
         let report = ScripSim::new(cfg, big, 5).run_to_report();
         let sat = report.target_satiation.expect("targets exist");
-        assert!(
-            sat < 0.5,
-            "the money supply must cap satiation, got {sat}"
-        );
+        assert!(sat < 0.5, "the money supply must cap satiation, got {sat}");
     }
 
     #[test]
@@ -661,7 +729,11 @@ mod tests {
             .build()
             .unwrap();
         let report = ScripSim::new(cfg, ScripAttack::None, 7).run_to_report();
-        assert!(report.free_rate > 0.5, "altruists dominate, got {}", report.free_rate);
+        assert!(
+            report.free_rate > 0.5,
+            "altruists dominate, got {}",
+            report.free_rate
+        );
     }
 
     #[test]

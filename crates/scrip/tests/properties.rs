@@ -1,4 +1,9 @@
 //! Property-based tests for the scrip economy: conservation and
+//!
+//! Requires the external `proptest` crate: enable the `proptest-tests`
+//! feature *and* add the `proptest` dev-dependency once the workspace
+//! has access to a registry (the default build must stay dependency-free).
+#![cfg(feature = "proptest-tests")]
 //! satiation invariants under arbitrary parameters and attacks.
 
 use lotus_core::satiation::Satiable;
@@ -10,8 +15,7 @@ use scrip_economy::{ScripAttack, ScripConfig, ScripSim};
 fn arb_attack() -> impl Strategy<Value = ScripAttack> {
     prop_oneof![
         Just(ScripAttack::None),
-        (0.0f64..1.0, 0.0f64..1.0)
-            .prop_map(|(t, e)| ScripAttack::lotus_eater(t, e)),
+        (0.0f64..1.0, 0.0f64..1.0).prop_map(|(t, e)| ScripAttack::lotus_eater(t, e)),
     ]
 }
 

@@ -8,10 +8,10 @@
 //!
 //! Run with: `cargo run --release --example defense_playbook`
 
+use lotus_eater::bar_gossip::ReportConfig;
 use lotus_eater::lotus_core::attack::{BudgetedAttacker, SatiateRareHolders};
 use lotus_eater::lotus_core::defense::{Mechanism, Principle};
 use lotus_eater::lotus_core::token::{Allocation, SatFunction, TokenSystemConfig};
-use lotus_eater::bar_gossip::ReportConfig;
 use lotus_eater::prelude::*;
 
 fn token_reach(copies: usize, sat: SatFunction) -> f64 {
@@ -39,7 +39,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let single = {
         let cfg = TokenSystemConfig::builder(Graph::complete(50))
             .tokens(8)
-            .allocation(Allocation::RareToken { holder: NodeId(0), copies: 3 })
+            .allocation(Allocation::RareToken {
+                holder: NodeId(0),
+                copies: 3,
+            })
             .build()?;
         let mut sys = TokenSystem::new(cfg, 7);
         let mut attack = BudgetedAttacker::new(SatiateRareHolders::new(0), 2);
@@ -49,7 +52,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("    -> spread every resource before an attacker can find it\n");
 
     // 2. Making satiation hard: coding changes the satiation function.
-    println!("[2] {} — {}", Principle::MakeSatiationHard, Mechanism::Coding { need: 6 }.label());
+    println!(
+        "[2] {} — {}",
+        Principle::MakeSatiationHard,
+        Mechanism::Coding { need: 6 }.label()
+    );
     let collect_all = token_reach(2, SatFunction::CollectAll);
     let coded = token_reach(2, SatFunction::AnyK(6));
     println!("    collect-all coverage under rare-token attack: {collect_all:.3}");
@@ -59,7 +66,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "[3] {} — {}",
         Principle::LeverageObedience,
-        Mechanism::ReportAndEvict { obedient_fraction: 0.5, quorum: 3 }.label()
+        Mechanism::ReportAndEvict {
+            obedient_fraction: 0.5,
+            quorum: 3
+        }
+        .label()
     );
     let base = BarGossipConfig::builder()
         .nodes(100)
@@ -74,7 +85,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .updates_per_round(6)
         .copies_seeded(8)
         .rounds(25)
-        .report_defense(ReportConfig { obedient_fraction: 0.5, quorum: 3, excess_slack: 1 })
+        .report_defense(ReportConfig {
+            obedient_fraction: 0.5,
+            quorum: 3,
+            excess_slack: 1,
+        })
         .build()?;
     let defended = BarGossipSim::new(defended_cfg, attack, 3).run_to_report();
     println!(

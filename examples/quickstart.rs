@@ -16,7 +16,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .rounds(30)
         .build()?;
 
-    println!("BAR Gossip, {} nodes — attacker controls 20% of the system\n", 100);
+    println!(
+        "BAR Gossip, {} nodes — attacker controls 20% of the system\n",
+        100
+    );
     println!(
         "{:<28} {:>18} {:>18} {:>14}",
         "attack", "isolated delivery", "satiated delivery", "usable?"
@@ -25,8 +28,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let attacks = [
         ("no attack", AttackPlan::none()),
         ("crash", AttackPlan::crash(0.20)),
-        ("ideal lotus-eater", AttackPlan::ideal_lotus_eater(0.20, 0.70)),
-        ("trade lotus-eater", AttackPlan::trade_lotus_eater(0.20, 0.70)),
+        (
+            "ideal lotus-eater",
+            AttackPlan::ideal_lotus_eater(0.20, 0.70),
+        ),
+        (
+            "trade lotus-eater",
+            AttackPlan::trade_lotus_eater(0.20, 0.70),
+        ),
     ];
 
     for (name, plan) in attacks {
@@ -36,7 +45,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             name,
             report.isolated_delivery(),
             report.satiated_delivery(),
-            if report.isolated_usable() { "yes" } else { "NO" }
+            if report.isolated_usable() {
+                "yes"
+            } else {
+                "NO"
+            }
         );
     }
 

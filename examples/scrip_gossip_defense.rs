@@ -32,7 +32,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             vanilla.isolated_delivery(),
             if vanilla.isolated_usable() { " " } else { "!" },
             scrip.isolated_delivery,
-            if scrip.isolated_usable(0.93) { " " } else { "!" },
+            if scrip.isolated_usable(0.93) {
+                " "
+            } else {
+                "!"
+            },
         );
     }
 

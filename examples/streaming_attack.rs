@@ -4,8 +4,8 @@
 //!
 //! Run with: `cargo run --release --example streaming_attack`
 
-use lotus_eater::prelude::*;
 use lotus_eater::netsim::plot::{render, PlotConfig};
+use lotus_eater::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cfg = BarGossipConfig::builder()
@@ -52,7 +52,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let threshold = lotus_eater::lotus_core::report::UsabilityThreshold::BAR_GOSSIP;
     for curve in &curves {
         match threshold.break_point(curve) {
-            Some(x) => println!("{}: stream unusable once attacker holds {:.1}% of nodes", curve.label, x * 100.0),
+            Some(x) => println!(
+                "{}: stream unusable once attacker holds {:.1}% of nodes",
+                curve.label,
+                x * 100.0
+            ),
             None => println!("{}: never breaks the 93% line on this range", curve.label),
         }
     }

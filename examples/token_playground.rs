@@ -10,7 +10,9 @@ use lotus_eater::prelude::*;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Observation 3.1, executed: feed a node tokens "sufficiently rapidly"
     // and it never provides service again.
-    let cfg = TokenSystemConfig::builder(Graph::complete(30)).tokens(12).build()?;
+    let cfg = TokenSystemConfig::builder(Graph::complete(30))
+        .tokens(12)
+        .build()?;
     let mut sys = TokenSystem::new(cfg, 1);
     let report = observation_3_1(&mut sys, NodeId(5), 50);
     println!("Observation 3.1 on a satiation-compatible system:");

@@ -51,8 +51,40 @@
 //! assert!(attacked.isolated_delivery() < clean.overall_delivery());
 //! ```
 //!
-//! The figure-regeneration binaries live in the `lotus-bench` crate; see
-//! `EXPERIMENTS.md` for the paper-vs-measured record.
+//! # The unified `Scenario` API
+//!
+//! The paper's point is substrate-generic (Observation 3.1): *any*
+//! satiation-compatible system is vulnerable. Every substrate therefore
+//! implements one polymorphic driving interface,
+//! [`lotus_core::scenario::Scenario`], and projects its typed report onto
+//! a common metric vocabulary ([`lotus_core::scenario::ScenarioReport`]),
+//! so the same sweep, crossover and plotting machinery runs against all
+//! of them — typed or type-erased:
+//!
+//! ```
+//! use lotus_eater::prelude::*;
+//!
+//! let cfg = BarGossipConfig::builder()
+//!     .nodes(60)
+//!     .updates_per_round(4)
+//!     .copies_seeded(6)
+//!     .rounds(20)
+//!     .build()
+//!     .expect("valid config");
+//! let attack = AttackPlan::trade_lotus_eater(0.30, 0.70);
+//!
+//! // Type-erased: registries and CLIs drive `Box<dyn DynScenario>`.
+//! let mut run = lotus_core::scenario::boxed::<BarGossipSim>(cfg, attack, 1);
+//! let summary: ScenarioReport = run.finish();
+//! assert_eq!(summary.scenario, "bar-gossip");
+//! assert!(summary.metric("isolated_delivery").is_some());
+//! ```
+//!
+//! The figure-regeneration harness lives in the `lotus-bench` crate: a
+//! `ScenarioRegistry` maps scenario and attack names to the API above,
+//! and the single `lotus-bench` CLI (plus the thin `fig*`/`ext_*` preset
+//! binaries) sweeps any of them; see `EXPERIMENTS.md` for the CLI
+//! grammar and the paper-vs-measured record.
 
 pub use bar_gossip;
 pub use lotus_core;
@@ -66,11 +98,14 @@ pub mod prelude {
         AttackKind, AttackPlan, BarGossipConfig, BarGossipReport, BarGossipSim, DefenseSuite,
         ScripGossipConfig, ScripGossipSim,
     };
-    pub use lotus_core::attack::{Attacker, SatiateCut, SatiateRandomFraction, SatiateRareHolders};
+    pub use lotus_core::attack::{
+        Attacker, SatiateCut, SatiateRandomFraction, SatiateRareHolders, TokenAttack,
+    };
     pub use lotus_core::bitset::BitSet;
     pub use lotus_core::satiation::{observation_3_1, Satiable};
-    pub use lotus_core::sweep::{sweep_fraction, SweepConfig};
-    pub use lotus_core::token::{SatFunction, TokenSystem, TokenSystemConfig};
+    pub use lotus_core::scenario::{DynScenario, Scenario, ScenarioReport, StepOutcome, Summarize};
+    pub use lotus_core::sweep::{sweep_fraction, sweep_scenario, SweepConfig};
+    pub use lotus_core::token::{SatFunction, TokenScenarioConfig, TokenSystem, TokenSystemConfig};
     pub use netsim::graph::Graph;
     pub use netsim::metrics::Series;
     pub use netsim::rng::DetRng;

@@ -91,9 +91,8 @@ fn partial_satiation_suffices_for_the_ideal_attack() {
     // Paper: at its break point the ideal attacker holds well under full
     // coverage — frequent partial satiation is enough. (At this reduced
     // scale the denser seeding means the break happens around 10%.)
-    let report =
-        BarGossipSim::new(small_cfg(), AttackPlan::ideal_lotus_eater(0.10, 0.70), 3)
-            .run_to_report();
+    let report = BarGossipSim::new(small_cfg(), AttackPlan::ideal_lotus_eater(0.10, 0.70), 3)
+        .run_to_report();
     assert!(
         report.attacker_coverage < 0.75,
         "attacker coverage should be partial, got {}",

@@ -20,7 +20,10 @@ fn observation_holds_on_the_token_model() {
         .expect("valid config");
     let mut sys = TokenSystem::new(cfg, 1);
     let report = observation_3_1(&mut sys, NodeId(3), 40);
-    assert!(report.holds, "token model with a = 0 is satiation-compatible");
+    assert!(
+        report.holds,
+        "token model with a = 0 is satiation-compatible"
+    );
 }
 
 #[test]
@@ -35,7 +38,10 @@ fn observation_fails_on_an_altruistic_token_model() {
     let mut sys = TokenSystem::new(cfg, 1);
     let report = observation_3_1(&mut sys, NodeId(3), 60);
     assert!(report.always_satiated);
-    assert!(!report.holds, "altruism breaks satiation-compatibility (by design)");
+    assert!(
+        !report.holds,
+        "altruism breaks satiation-compatibility (by design)"
+    );
 }
 
 #[test]

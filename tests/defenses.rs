@@ -90,7 +90,10 @@ fn report_and_evict_restores_usability() {
         excess_slack: 1,
     });
     let defended = BarGossipSim::new(cfg, attack, 5).run_to_report();
-    assert!(defended.evictions > 0, "obedient reporters must evict attackers");
+    assert!(
+        defended.evictions > 0,
+        "obedient reporters must evict attackers"
+    );
     assert!(
         defended.isolated_delivery() > undefended.isolated_delivery(),
         "eviction must restore isolated delivery: {} vs {}",
@@ -132,7 +135,10 @@ fn coding_satiation_defeats_rare_token_denial() {
     };
     let collect_all = run(SatFunction::CollectAll);
     let coded = run(SatFunction::AnyK(9));
-    assert_eq!(collect_all, 0.0, "denying the rare token denies collect-all entirely");
+    assert_eq!(
+        collect_all, 0.0,
+        "denying the rare token denies collect-all entirely"
+    );
     assert!(
         coded > 0.9,
         "any-9-of-10 coding must make the rare token skippable, got {coded}"
@@ -157,7 +163,10 @@ fn altruism_defends_the_token_model() {
         with > without,
         "altruism must raise untouched coverage: {with:.3} vs {without:.3}"
     );
-    assert!(with > 0.99, "a = 0.2 should essentially heal the system, got {with}");
+    assert!(
+        with > 0.99,
+        "a = 0.2 should essentially heal the system, got {with}"
+    );
 }
 
 #[test]
@@ -182,5 +191,8 @@ fn budgeted_rare_holder_attack_defeated_by_spreading() {
     let contained = reach(1);
     let escaped = reach(6);
     assert!(contained < 0.2, "single holder contained, got {contained}");
-    assert!(escaped > 0.8, "six holders outrun a budget-2 attacker, got {escaped}");
+    assert!(
+        escaped > 0.8,
+        "six holders outrun a budget-2 attacker, got {escaped}"
+    );
 }

@@ -1,0 +1,201 @@
+//! Property tests for the unified `Scenario` API (ISSUE 1 satellite):
+//!
+//! * every registered scenario is deterministic — the same
+//!   `(config, attack, seed)` triple produces a bit-identical
+//!   `ScenarioReport`;
+//! * the type-erased `DynScenario` layer round-trips the typed reports —
+//!   driving through `Box<dyn DynScenario>` yields exactly
+//!   `typed_report.summarize()`;
+//! * the scenario path agrees with each substrate's legacy
+//!   `run_to_report`/`run` entry point.
+
+use lotus_eater::lotus_core::attack::TokenAttack;
+use lotus_eater::lotus_core::scenario::{
+    boxed, run, DynScenario, Scenario, ScenarioReport, Summarize,
+};
+use lotus_eater::lotus_core::token::{TokenScenarioConfig, TokenSystemConfig};
+use lotus_eater::prelude::*;
+use lotus_eater::scrip_economy::ScripAttack;
+use lotus_eater::torrent_sim::{SwarmAttack, TargetPolicy};
+
+fn token_cfg() -> TokenScenarioConfig {
+    TokenScenarioConfig::new(
+        TokenSystemConfig::builder(Graph::complete(24))
+            .tokens(8)
+            .build()
+            .expect("valid config"),
+        60,
+    )
+}
+
+/// Drive a scenario twice from the same seed, typed and erased, and check
+/// all three contract clauses.
+fn check_contract<S: Scenario + 'static>(cfg: S::Config, attack: S::Attack, seed: u64)
+where
+    S::Report: PartialEq + std::fmt::Debug,
+{
+    let a = run::<S>(cfg.clone(), attack.clone(), seed);
+    let b = run::<S>(cfg.clone(), attack.clone(), seed);
+    assert_eq!(
+        a,
+        b,
+        "{}: same seed must give bit-identical reports",
+        S::NAME
+    );
+
+    let summary: ScenarioReport = boxed::<S>(cfg, attack, seed).finish();
+    assert_eq!(
+        summary,
+        a.summarize(),
+        "{}: DynScenario must round-trip the typed report",
+        S::NAME
+    );
+    assert_eq!(summary.scenario, S::NAME);
+}
+
+#[test]
+fn all_scenarios_are_deterministic_and_round_trip() {
+    for seed in [1, 7, 42] {
+        check_contract::<BarGossipSim>(
+            BarGossipConfig::builder()
+                .nodes(60)
+                .updates_per_round(4)
+                .copies_seeded(6)
+                .rounds(15)
+                .warmup_rounds(5)
+                .build()
+                .expect("valid config"),
+            AttackPlan::trade_lotus_eater(0.3, 0.7),
+            seed,
+        );
+        check_contract::<ScripSim>(
+            ScripConfig::builder()
+                .agents(40)
+                .rounds(800)
+                .warmup(100)
+                .build()
+                .expect("valid config"),
+            ScripAttack::lotus_eater(0.4, 1.0),
+            seed,
+        );
+        check_contract::<SwarmSim>(
+            SwarmConfig::builder()
+                .leechers(16)
+                .pieces(24)
+                .build()
+                .expect("valid config"),
+            SwarmAttack::satiate(2, 4, 0.3, TargetPolicy::Random),
+            seed,
+        );
+        check_contract::<TokenSystem>(token_cfg(), TokenAttack::random_fraction(0.4), seed);
+        check_contract::<ScripGossipSim>(
+            ScripGossipConfig::new(
+                BarGossipConfig::builder()
+                    .nodes(60)
+                    .updates_per_round(4)
+                    .copies_seeded(6)
+                    .rounds(15)
+                    .warmup_rounds(5)
+                    .build()
+                    .expect("valid config"),
+            ),
+            AttackPlan::trade_lotus_eater(0.3, 0.7),
+            seed,
+        );
+        check_contract::<ReputationSim>(
+            ReputationConfig {
+                agents: 40,
+                rounds: 800,
+                warmup: 100,
+                ..ReputationConfig::default()
+            },
+            ReputationAttack::Inflate {
+                target_fraction: 0.4,
+            },
+            seed,
+        );
+    }
+}
+
+#[test]
+fn scenario_path_matches_legacy_run_to_report() {
+    let cfg = BarGossipConfig::builder()
+        .nodes(60)
+        .updates_per_round(4)
+        .copies_seeded(6)
+        .rounds(15)
+        .warmup_rounds(5)
+        .build()
+        .expect("valid config");
+    let attack = AttackPlan::trade_lotus_eater(0.3, 0.7);
+    let legacy = BarGossipSim::new(cfg.clone(), attack, 11).run_to_report();
+    let scenario = run::<BarGossipSim>(cfg, attack, 11);
+    assert_eq!(legacy, scenario);
+
+    let scfg = ScripConfig::builder()
+        .agents(40)
+        .rounds(800)
+        .warmup(100)
+        .build()
+        .expect("valid config");
+    let legacy =
+        ScripSim::new(scfg.clone(), ScripAttack::lotus_eater(0.4, 1.0), 11).run_to_report();
+    let scenario = run::<ScripSim>(scfg, ScripAttack::lotus_eater(0.4, 1.0), 11);
+    assert_eq!(legacy, scenario);
+
+    let wcfg = SwarmConfig::builder()
+        .leechers(16)
+        .pieces(24)
+        .build()
+        .expect("valid config");
+    let attack = SwarmAttack::satiate(2, 4, 0.3, TargetPolicy::Random);
+    let legacy = SwarmSim::new(wcfg.clone(), attack, 11).run_to_report();
+    let scenario = run::<SwarmSim>(wcfg, attack, 11);
+    assert_eq!(legacy, scenario);
+
+    // Token model: the legacy entry point takes the attacker by &mut and
+    // the horizon as an argument; the scenario path must match it.
+    let tcfg = token_cfg();
+    let mut legacy_sys = TokenSystem::new(tcfg.system.clone(), 11);
+    let mut legacy_attack = lotus_eater::lotus_core::attack::SatiateRandomFraction::new(0.4);
+    let legacy = legacy_sys.run(&mut legacy_attack, 60);
+    let scenario = run::<TokenSystem>(tcfg, TokenAttack::random_fraction(0.4), 11);
+    assert_eq!(legacy, scenario);
+}
+
+#[test]
+fn step_after_done_is_a_no_op() {
+    let mut sim = TokenSystem::build(token_cfg(), TokenAttack::none(), 3);
+    let first = Scenario::finish(&mut sim);
+    for _ in 0..3 {
+        assert!(Scenario::step(&mut sim).is_done());
+    }
+    assert_eq!(
+        Scenario::report(&sim),
+        first,
+        "stepping a finished scenario must not change its report"
+    );
+}
+
+#[test]
+fn erased_scenarios_mix_in_one_collection() {
+    let mut runs: Vec<Box<dyn DynScenario>> = vec![
+        boxed::<TokenSystem>(token_cfg(), TokenAttack::random_fraction(0.3), 5),
+        boxed::<SwarmSim>(
+            SwarmConfig::builder()
+                .leechers(12)
+                .pieces(16)
+                .build()
+                .expect("valid config"),
+            SwarmAttack::none(),
+            5,
+        ),
+    ];
+    let summaries: Vec<ScenarioReport> = runs.iter_mut().map(|s| s.finish()).collect();
+    assert_eq!(summaries[0].scenario, "token");
+    assert_eq!(summaries[1].scenario, "bittorrent");
+    for s in &summaries {
+        assert!(s.overall_delivery >= 0.0 && s.overall_delivery <= 1.0);
+        assert!(s.metric("rounds").unwrap() > 0.0);
+    }
+}
