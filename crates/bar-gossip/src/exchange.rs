@@ -46,6 +46,21 @@ pub fn balanced_exchange(
     unbalanced: bool,
     rate_limit: Option<u32>,
 ) -> BalancedOutcome {
+    let mut out = BalancedOutcome::default();
+    balanced_exchange_into(initiator, responder, now, unbalanced, rate_limit, &mut out);
+    out
+}
+
+/// [`balanced_exchange`] into a caller-owned outcome (buffers cleared
+/// first), so per-round hot loops can reuse the allocations.
+pub fn balanced_exchange_into(
+    initiator: &WindowSet,
+    responder: &WindowSet,
+    now: Round,
+    unbalanced: bool,
+    rate_limit: Option<u32>,
+    out: &mut BalancedOutcome,
+) {
     let cap = rate_limit.map_or(usize::MAX, |c| c as usize);
     // m: what the initiator could receive; n: what the responder could.
     let m = initiator.missing_from(responder);
@@ -63,10 +78,8 @@ pub fn balanced_exchange(
     }
     recv_i = recv_i.min(cap);
     recv_r = recv_r.min(cap);
-    BalancedOutcome {
-        to_initiator: initiator.wanted_from(responder, now, recv_i, 0, u32::MAX),
-        to_responder: responder.wanted_from(initiator, now, recv_r, 0, u32::MAX),
-    }
+    initiator.wanted_from_into(responder, now, recv_i, 0, u32::MAX, &mut out.to_initiator);
+    responder.wanted_from_into(initiator, now, recv_r, 0, u32::MAX, &mut out.to_responder);
 }
 
 /// Transfer plan of an optimistic push.
@@ -106,23 +119,46 @@ pub fn optimistic_push(
     recent_age: u32,
     rate_limit: Option<u32>,
 ) -> PushOutcome {
+    let mut out = PushOutcome::default();
+    optimistic_push_into(
+        initiator, responder, now, push_size, old_age, recent_age, rate_limit, &mut out,
+    );
+    out
+}
+
+/// [`optimistic_push`] into a caller-owned outcome (buffers cleared
+/// first), so per-round hot loops can reuse the allocations.
+#[allow(clippy::too_many_arguments)]
+pub fn optimistic_push_into(
+    initiator: &WindowSet,
+    responder: &WindowSet,
+    now: Round,
+    push_size: u32,
+    old_age: u32,
+    recent_age: u32,
+    rate_limit: Option<u32>,
+    out: &mut PushOutcome,
+) {
     let cap = rate_limit.map_or(usize::MAX, |c| c as usize);
     let take = (push_size as usize).min(cap);
     // Recents the responder lacks, from the initiator's offer.
-    let to_responder = responder.wanted_from(initiator, now, take, 0, recent_age);
-    if to_responder.is_empty() {
-        return PushOutcome::default();
+    responder.wanted_from_into(initiator, now, take, 0, recent_age, &mut out.to_responder);
+    if out.to_responder.is_empty() {
+        out.useful_to_initiator.clear();
+        out.junk_to_initiator = 0;
+        return;
     }
     // The responder pays one item per update taken: old updates first.
-    let owed = to_responder.len();
-    let useful_to_initiator =
-        initiator.wanted_from(responder, now, owed.min(cap), old_age, u32::MAX);
-    let junk = owed - useful_to_initiator.len();
-    PushOutcome {
-        useful_to_initiator,
-        to_responder,
-        junk_to_initiator: junk as u32,
-    }
+    let owed = out.to_responder.len();
+    initiator.wanted_from_into(
+        responder,
+        now,
+        owed.min(cap),
+        old_age,
+        u32::MAX,
+        &mut out.useful_to_initiator,
+    );
+    out.junk_to_initiator = (owed - out.useful_to_initiator.len()) as u32;
 }
 
 /// Whether the initiator has any reason to start an optimistic push: it is

@@ -24,6 +24,16 @@
 //! partner schedule, expiry-based delivery metrics) and mounts the same
 //! trade-style attack so the two protocols' attack curves are directly
 //! comparable (experiment X12).
+//!
+//! # Hot-loop invariants
+//!
+//! The round loop is allocation-free in steady state: the interaction
+//! order and purchase lists are scratch buffers owned by the sim struct,
+//! and the ideal-attack pool is a persistent [`WindowSet`] advanced in
+//! lockstep with the node windows (cleared and re-unioned each round)
+//! rather than rebuilt from round 0. Scratch contents are meaningless
+//! between rounds; refactors here must keep reports bit-identical per
+//! seed (the determinism tests are the guardrail).
 
 use crate::attack::{AttackKind, AttackPlan};
 use crate::config::BarGossipConfig;
@@ -143,6 +153,9 @@ pub struct ScripGossipSim {
     plan: AttackPlan,
     nodes: Vec<ScripNode>,
     full: WindowSet,
+    /// Ideal-attack pool: union of attacker holdings, rebuilt in place
+    /// each round; advanced in lockstep with the node windows.
+    pool: WindowSet,
     schedule: PartnerSchedule,
     rng: DetRng,
     round: Round,
@@ -152,6 +165,10 @@ pub struct ScripGossipSim {
     purchases_refused: u64,
     purchases_broke: u64,
     served_this_round: Vec<u32>,
+    // Scratch buffers for the allocation-free round loop (see module
+    // docs); contents are meaningless between rounds.
+    order_scratch: Vec<NodeId>,
+    want_scratch: Vec<crate::update::UpdateId>,
 }
 
 impl ScripGossipSim {
@@ -194,9 +211,12 @@ impl ScripGossipSim {
             })
             .collect();
         ScripGossipSim {
+            pool: window.clone(),
             full: window,
             schedule: PartnerSchedule::new(rng.fork("schedule").next_u64(), n),
             served_this_round: vec![0; n as usize],
+            order_scratch: Vec::with_capacity(n as usize),
+            want_scratch: Vec::new(),
             cfg,
             plan,
             nodes,
@@ -232,6 +252,7 @@ impl ScripGossipSim {
 
     fn advance_windows(&mut self, t: Round) {
         let popped_full = self.full.advance(t);
+        let _ = self.pool.advance(t);
         if let Some((expired_round, full_mask)) = popped_full {
             let measured = self.cfg.base.is_measured_round(expired_round);
             let total = u64::from(full_mask.count_ones());
@@ -271,23 +292,18 @@ impl ScripGossipSim {
         if self.plan.kind != AttackKind::IdealLotusEater {
             return;
         }
-        // An empty window aligned with the live ones, then the union of
-        // all attacker holdings.
-        let mut pool = WindowSet::new(
-            self.cfg.base.updates_per_round,
-            self.cfg.base.update_lifetime,
-        );
-        for t in 0..=self.round {
-            let _ = pool.advance(t);
-        }
+        // The persistent pool window stays aligned with the live ones;
+        // rebuild its contents in place as the union of all attacker
+        // holdings.
+        self.pool.clear();
         for node in &self.nodes {
             if node.attacker {
-                pool.union_with(&node.window);
+                self.pool.union_with(&node.window);
             }
         }
         for node in self.nodes.iter_mut() {
             if node.target && !node.attacker {
-                node.window.union_with(&pool);
+                node.window.union_with(&self.pool);
             }
         }
     }
@@ -300,16 +316,19 @@ impl ScripGossipSim {
         if self.nodes[s].attacker {
             // Attacker seller: gift everything, free, to targets only.
             if self.plan.kind == AttackKind::TradeLotusEater && self.nodes[b].target {
-                let gift = self.nodes[b].window.wanted_from(
+                let mut gift = std::mem::take(&mut self.want_scratch);
+                self.nodes[b].window.wanted_from_into(
                     &self.nodes[s].window,
                     now,
                     usize::MAX,
                     0,
                     u32::MAX,
+                    &mut gift,
                 );
                 for &id in &gift {
                     self.nodes[b].window.insert(id);
                 }
+                self.want_scratch = gift;
             }
             return;
         }
@@ -339,11 +358,17 @@ impl ScripGossipSim {
             return;
         }
         let afford = self.nodes[b].money.min(wants) as usize;
-        let bought =
-            self.nodes[b]
-                .window
-                .wanted_from(&self.nodes[s].window, now, afford, 0, u32::MAX);
+        let mut bought = std::mem::take(&mut self.want_scratch);
+        self.nodes[b].window.wanted_from_into(
+            &self.nodes[s].window,
+            now,
+            afford,
+            0,
+            u32::MAX,
+            &mut bought,
+        );
         if bought.is_empty() {
+            self.want_scratch = bought;
             return;
         }
         for &id in &bought {
@@ -353,6 +378,7 @@ impl ScripGossipSim {
         self.nodes[b].money -= price;
         self.nodes[s].money += price;
         self.served_this_round[s] += 1;
+        self.want_scratch = bought;
     }
 
     /// Run the configured horizon and produce the report.
@@ -404,7 +430,9 @@ impl RoundSim for ScripGossipSim {
         // Two purchase opportunities per node per round, mirroring BAR
         // Gossip's two sub-protocols.
         for proto in [Protocol::BalancedExchange, Protocol::OptimisticPush] {
-            let mut order: Vec<NodeId> = NodeId::all(self.nodes.len() as u32).collect();
+            let mut order = std::mem::take(&mut self.order_scratch);
+            order.clear();
+            order.extend(NodeId::all(self.nodes.len() as u32));
             let proto_tag = match proto {
                 Protocol::BalancedExchange => 1u64,
                 Protocol::OptimisticPush => 2,
@@ -413,13 +441,14 @@ impl RoundSim for ScripGossipSim {
             self.rng
                 .fork_idx("order", t.wrapping_mul(4).wrapping_add(proto_tag))
                 .shuffle(&mut order);
-            for v in order {
+            for &v in &order {
                 if self.nodes[v.index()].attacker && self.plan.kind != AttackKind::TradeLotusEater {
                     continue; // crash/ideal attackers never interact
                 }
                 let p = self.schedule.partner_of(v, t, proto);
                 self.interaction(v, p, t, cap);
             }
+            self.order_scratch = order;
         }
         self.round = t + 1;
     }

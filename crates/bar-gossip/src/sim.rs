@@ -26,11 +26,27 @@
 //! iff the node holds it when it leaves the window, i.e. it was received
 //! within its lifetime — exactly the streaming-usability notion the paper
 //! evaluates.
+//!
+//! # Hot-loop invariants
+//!
+//! The per-round phases are **allocation-free in steady state**: every
+//! index list the round loop needs (`alive_scratch`, `order_scratch`,
+//! `honest_scratch`, seeding picks, gift/return buffers) is a scratch
+//! buffer owned by the sim struct, cleared and refilled in place, and
+//! membership tracking (`reporters`, `fed`) uses
+//! [`lotus_core::bitset::BitSet`]. Scratch contents are meaningless
+//! between phases — each user clears before filling — and none of it
+//! affects reports: refactors here must keep reports bit-identical per
+//! seed (the determinism and legacy-equivalence tests are the guardrail).
 
 use crate::attack::{AttackKind, AttackPlan};
 use crate::config::BarGossipConfig;
-use crate::exchange::{balanced_exchange, is_excessive_service, optimistic_push, wants_push};
+use crate::exchange::{
+    balanced_exchange_into, is_excessive_service, optimistic_push_into, wants_push,
+    BalancedOutcome, PushOutcome,
+};
 use crate::update::{UpdateId, WindowSet};
+use lotus_core::bitset::BitSet;
 use netsim::bandwidth::{BandwidthMeter, MsgClass};
 use netsim::partner::{PartnerSchedule, Protocol};
 use netsim::rng::DetRng;
@@ -181,7 +197,7 @@ pub struct BarGossipSim {
     attacker_union_delivered: u64,
     attacker_union_total: u64,
     /// Distinct reporters per node (report-and-evict defense).
-    reporters: Vec<std::collections::BTreeSet<NodeId>>,
+    reporters: Vec<BitSet>,
     evictions: u32,
     isolated_series: Vec<(Round, f64)>,
     /// Incoming interactions served this round, per node, per protocol.
@@ -189,13 +205,23 @@ pub struct BarGossipSim {
     served_push: Vec<u32>,
     /// Nodes being fed "sufficiently rapidly" by the Observation 3.1
     /// harness: they receive each new batch the instant it is released.
-    fed: std::collections::BTreeSet<NodeId>,
+    fed: BitSet,
     /// Per-node delivered updates over measured expired rounds.
     node_delivered: Vec<u64>,
     /// Per-node count of measured rounds below the usability threshold.
     node_unusable_rounds: Vec<u32>,
     /// Measured expired rounds so far.
     measured_rounds: u32,
+    // Scratch buffers for the allocation-free round loop (see module
+    // docs); contents are meaningless between phases.
+    alive_scratch: Vec<usize>,
+    picks_scratch: Vec<usize>,
+    order_scratch: Vec<NodeId>,
+    honest_scratch: Vec<usize>,
+    gift_scratch: Vec<UpdateId>,
+    returned_scratch: Vec<UpdateId>,
+    balanced_scratch: BalancedOutcome,
+    push_scratch: PushOutcome,
 }
 
 fn class_idx(class: NodeClass) -> usize {
@@ -272,15 +298,23 @@ impl BarGossipSim {
             totals: [0; 3],
             attacker_union_delivered: 0,
             attacker_union_total: 0,
-            reporters: vec![std::collections::BTreeSet::new(); n as usize],
+            reporters: vec![BitSet::new(n as usize); n as usize],
             evictions: 0,
             isolated_series: Vec::new(),
             served_balanced: vec![0; n as usize],
             served_push: vec![0; n as usize],
-            fed: std::collections::BTreeSet::new(),
+            fed: BitSet::new(n as usize),
             node_delivered: vec![0; n as usize],
             node_unusable_rounds: vec![0; n as usize],
             measured_rounds: 0,
+            alive_scratch: Vec::with_capacity(n as usize),
+            picks_scratch: Vec::new(),
+            order_scratch: Vec::with_capacity(n as usize),
+            honest_scratch: Vec::with_capacity(n as usize),
+            gift_scratch: Vec::new(),
+            returned_scratch: Vec::new(),
+            balanced_scratch: BalancedOutcome::default(),
+            push_scratch: PushOutcome::default(),
             cfg,
             plan,
             nodes,
@@ -430,15 +464,17 @@ impl BarGossipSim {
 
     /// Phase 2: broadcaster releases and seeds the new batch.
     fn seed_round(&mut self, t: Round) {
-        let alive: Vec<usize> = (0..self.nodes.len())
-            .filter(|&i| !self.nodes[i].evicted)
-            .collect();
+        let mut alive = std::mem::take(&mut self.alive_scratch);
+        alive.clear();
+        alive.extend((0..self.nodes.len()).filter(|&i| !self.nodes[i].evicted));
+        let mut picks = std::mem::take(&mut self.picks_scratch);
         let copies = (self.cfg.copies_seeded as usize).min(alive.len());
         let mut seed_rng = self.rng.fork_idx("seeding", t);
         for slot in 0..self.cfg.updates_per_round {
             let id = UpdateId { round: t, slot };
             self.full.insert(id);
-            for pick in seed_rng.sample_indices(alive.len(), copies) {
+            seed_rng.sample_indices_into(alive.len(), copies, &mut picks);
+            for &pick in &picks {
                 let i = alive[pick];
                 self.nodes[i].window.insert(id);
                 if self.nodes[i].class == NodeClass::Attacker
@@ -448,6 +484,8 @@ impl BarGossipSim {
                 }
             }
         }
+        self.alive_scratch = alive;
+        self.picks_scratch = picks;
     }
 
     /// Phase 3 (ideal attack only): instant out-of-band forwarding of the
@@ -462,15 +500,13 @@ impl BarGossipSim {
         else {
             return;
         };
-        let pool = self.pool.clone();
         for i in 0..self.nodes.len() {
-            let node = &mut self.nodes[i];
-            if !node.target || node.evicted {
+            if !self.nodes[i].target || self.nodes[i].evicted {
                 continue;
             }
-            let gained = node.window.missing_from(&pool) as u64;
+            let gained = self.nodes[i].window.missing_from(&self.pool) as u64;
             if gained > 0 {
-                node.window.union_with(&pool);
+                self.nodes[i].window.union_with(&self.pool);
                 self.meter.transfer(
                     NodeId(rep as u32),
                     NodeId(i as u32),
@@ -495,27 +531,31 @@ impl BarGossipSim {
             .defenses
             .rate_limit
             .map_or(usize::MAX, |c| c as usize);
-        let gift = self.nodes[target.index()].window.wanted_from(
+        let mut gift = std::mem::take(&mut self.gift_scratch);
+        self.nodes[target.index()].window.wanted_from_into(
             &self.nodes[attacker.index()].window,
             now,
             cap,
             0,
             u32::MAX,
+            &mut gift,
         );
         if gift.is_empty() {
+            self.gift_scratch = gift;
             return;
         }
-        let returned = if self.cfg.attacker_receives {
-            self.nodes[attacker.index()].window.wanted_from(
+        let mut returned = std::mem::take(&mut self.returned_scratch);
+        returned.clear();
+        if self.cfg.attacker_receives {
+            self.nodes[attacker.index()].window.wanted_from_into(
                 &self.nodes[target.index()].window,
                 now,
                 gift.len(),
                 0,
                 u32::MAX,
-            )
-        } else {
-            Vec::new()
-        };
+                &mut returned,
+            );
+        }
         for &id in &gift {
             self.nodes[target.index()].window.insert(id);
         }
@@ -547,17 +587,36 @@ impl BarGossipSim {
                 self.file_report(target, attacker, now, gift.len() as u64);
             }
         }
+        self.gift_scratch = gift;
+        self.returned_scratch = returned;
+    }
+
+    /// Disjoint mutable windows of two *distinct* nodes: the split-borrow
+    /// helper behind the clone-free attacker synchronisation.
+    fn windows_pair(&mut self, a: usize, b: usize) -> (&mut WindowSet, &mut WindowSet) {
+        debug_assert_ne!(a, b, "windows_pair needs distinct nodes");
+        if a < b {
+            let (lo, hi) = self.nodes.split_at_mut(b);
+            (&mut lo[a].window, &mut hi[0].window)
+        } else {
+            let (lo, hi) = self.nodes.split_at_mut(a);
+            (&mut hi[0].window, &mut lo[b].window)
+        }
     }
 
     /// Colluding attacker nodes synchronise fully when the schedule pairs
     /// them — the only in-protocol pooling the trade attack gets.
     fn attacker_sync(&mut self, a: NodeId, b: NodeId) {
-        let wa = self.nodes[a.index()].window.clone();
-        let gained_b = self.nodes[b.index()].window.missing_from(&wa) as u64;
-        let wb = self.nodes[b.index()].window.clone();
-        let gained_a = self.nodes[a.index()].window.missing_from(&wb) as u64;
-        self.nodes[b.index()].window.union_with(&wa);
-        self.nodes[a.index()].window.union_with(&wb);
+        if a == b {
+            return;
+        }
+        let (wa, wb) = self.windows_pair(a.index(), b.index());
+        let gained_b = wb.missing_from(wa) as u64;
+        let gained_a = wa.missing_from(wb) as u64;
+        // Both end at the same union, so the two in-place unions replace
+        // the clone-then-merge exactly.
+        wb.union_with(wa);
+        wa.union_with(wb);
         if gained_b > 0 {
             self.meter.transfer(a, b, MsgClass::Payload, gained_b);
         }
@@ -587,7 +646,7 @@ impl BarGossipSim {
             format!("excess service reported by {reporter}"),
         );
         let set = &mut self.reporters[reported.index()];
-        set.insert(reporter);
+        set.insert(reporter.index());
         if set.len() as u32 >= report_cfg.quorum && !self.nodes[reported.index()].evicted {
             self.nodes[reported.index()].evicted = true;
             self.evictions += 1;
@@ -606,10 +665,12 @@ impl BarGossipSim {
         if !self.plan.kind.satiates() || !t.is_multiple_of(period) {
             return;
         }
-        let honest: Vec<usize> = (0..self.nodes.len())
-            .filter(|&i| self.nodes[i].class != NodeClass::Attacker)
-            .collect();
+        let mut honest = std::mem::take(&mut self.honest_scratch);
+        honest.clear();
+        honest
+            .extend((0..self.nodes.len()).filter(|&i| self.nodes[i].class != NodeClass::Attacker));
         if honest.is_empty() {
+            self.honest_scratch = honest;
             return;
         }
         let count =
@@ -622,12 +683,16 @@ impl BarGossipSim {
             let idx = honest[(offset + k) % honest.len()];
             self.nodes[idx].target = true;
         }
+        self.honest_scratch = honest;
     }
 
     /// Interaction order for a round: all nodes, shuffled so responder
-    /// capacity is not biased toward low node ids.
+    /// capacity is not biased toward low node ids. Returns the reusable
+    /// order buffer; callers hand it back to `order_scratch` when done.
     fn round_order(&mut self, t: Round, label: &str) -> Vec<NodeId> {
-        let mut order: Vec<NodeId> = NodeId::all(self.nodes.len() as u32).collect();
+        let mut order = std::mem::take(&mut self.order_scratch);
+        order.clear();
+        order.extend(NodeId::all(self.nodes.len() as u32));
         self.rng.fork_idx(label, t).shuffle(&mut order);
         order
     }
@@ -635,7 +700,8 @@ impl BarGossipSim {
     /// Phase 4: balanced exchanges.
     fn balanced_phase(&mut self, t: Round) {
         self.served_balanced.fill(0);
-        for v in self.round_order(t, "balanced-order") {
+        let order = self.round_order(t, "balanced-order");
+        for &v in &order {
             if !self.alive(v) {
                 continue;
             }
@@ -672,12 +738,14 @@ impl BarGossipSim {
                     if !self.responder_accepts(p, false) {
                         continue; // responder at capacity: initiation wasted
                     }
-                    let out = balanced_exchange(
+                    let mut out = std::mem::take(&mut self.balanced_scratch);
+                    balanced_exchange_into(
                         &self.nodes[v.index()].window,
                         &self.nodes[p.index()].window,
                         t,
                         self.cfg.defenses.unbalanced_exchanges,
                         self.cfg.defenses.rate_limit,
+                        &mut out,
                     );
                     for &id in &out.to_initiator {
                         self.nodes[v.index()].window.insert(id);
@@ -689,15 +757,18 @@ impl BarGossipSim {
                         .transfer(p, v, MsgClass::Payload, out.to_initiator.len() as u64);
                     self.meter
                         .transfer(v, p, MsgClass::Payload, out.to_responder.len() as u64);
+                    self.balanced_scratch = out;
                 }
             }
         }
+        self.order_scratch = order;
     }
 
     /// Phase 5: optimistic pushes.
     fn push_phase(&mut self, t: Round) {
         self.served_push.fill(0);
-        for v in self.round_order(t, "push-order") {
+        let order = self.round_order(t, "push-order");
+        for &v in &order {
             if !self.alive(v) {
                 continue;
             }
@@ -736,7 +807,8 @@ impl BarGossipSim {
             if !self.responder_accepts(p, true) {
                 continue;
             }
-            let out = optimistic_push(
+            let mut out = std::mem::take(&mut self.push_scratch);
+            optimistic_push_into(
                 &self.nodes[v.index()].window,
                 &self.nodes[p.index()].window,
                 t,
@@ -744,8 +816,10 @@ impl BarGossipSim {
                 self.cfg.old_age,
                 self.cfg.recent_age,
                 self.cfg.defenses.rate_limit,
+                &mut out,
             );
             if out.is_empty() {
+                self.push_scratch = out;
                 continue;
             }
             for &id in &out.to_responder {
@@ -766,7 +840,9 @@ impl BarGossipSim {
                 self.meter
                     .transfer(p, v, MsgClass::Junk, u64::from(out.junk_to_initiator));
             }
+            self.push_scratch = out;
         }
+        self.order_scratch = order;
     }
 
     /// Run the configured horizon and produce the report.
@@ -877,11 +953,12 @@ impl RoundSim for BarGossipSim {
         // Observation 3.1 harness: fed nodes receive the new batch the
         // moment it is released — "sufficiently rapidly" taken literally.
         if !self.fed.is_empty() {
-            let full = self.full.clone();
-            let fed = std::mem::take(&mut self.fed);
-            for node in fed {
-                self.nodes[node.index()].window.union_with(&full);
+            for i in 0..self.nodes.len() {
+                if self.fed.contains(i) {
+                    self.nodes[i].window.union_with(&self.full);
+                }
             }
+            self.fed.clear();
         }
         self.ideal_forwarding();
         self.balanced_phase(t);
@@ -899,9 +976,8 @@ impl lotus_core::satiation::Feedable for BarGossipSim {
     /// the broadcaster will release in the coming round (the attacker's
     /// power in the limit, as Observation 3.1 assumes).
     fn feed_fully(&mut self, node: NodeId) {
-        let full = self.full.clone();
-        self.nodes[node.index()].window.union_with(&full);
-        self.fed.insert(node);
+        self.nodes[node.index()].window.union_with(&self.full);
+        self.fed.insert(node.index());
     }
 
     fn step(&mut self) {

@@ -217,8 +217,24 @@ impl WindowSet {
         min_age: u32,
         max_age: u32,
     ) -> Vec<UpdateId> {
-        self.check_aligned(other);
         let mut out = Vec::with_capacity(limit.min(8));
+        self.wanted_from_into(other, now, limit, min_age, max_age, &mut out);
+        out
+    }
+
+    /// [`WindowSet::wanted_from`] into a caller-owned buffer (cleared
+    /// first), so per-round hot loops can reuse one allocation.
+    pub fn wanted_from_into(
+        &self,
+        other: &WindowSet,
+        now: Round,
+        limit: usize,
+        min_age: u32,
+        max_age: u32,
+        out: &mut Vec<UpdateId>,
+    ) {
+        self.check_aligned(other);
+        out.clear();
         'outer: for (i, (mine, theirs)) in self.masks.iter().zip(&other.masks).enumerate() {
             let round = self.start + i as Round;
             let age = (now - round) as u32;
@@ -235,7 +251,6 @@ impl WindowSet {
                 want &= want - 1;
             }
         }
-        out
     }
 
     /// Count of updates in `other` missing from `self` within an age band.
@@ -265,6 +280,15 @@ impl WindowSet {
         self.check_aligned(other);
         for (mine, theirs) in self.masks.iter_mut().zip(&other.masks) {
             *mine |= theirs;
+        }
+    }
+
+    /// Drop every held update, keeping the window's alignment (start,
+    /// shape) intact — the scratch-buffer reset for pool windows that are
+    /// rebuilt each round.
+    pub fn clear(&mut self) {
+        for mask in self.masks.iter_mut() {
+            *mask = 0;
         }
     }
 
@@ -385,6 +409,33 @@ mod tests {
         assert!(recent.iter().all(|u| u.round >= 2));
         a.insert(UpdateId { round: 0, slot: 1 });
         assert_eq!(a.wanted_from(&b, 3, 10, 0, u32::MAX).len(), 3);
+    }
+
+    #[test]
+    fn wanted_from_into_reuses_buffer_and_clears() {
+        let a = window(8, 4, 3);
+        let mut b = window(8, 4, 3);
+        b.insert(UpdateId { round: 1, slot: 2 });
+        let mut buf = vec![UpdateId { round: 0, slot: 0 }; 5]; // stale content
+        a.wanted_from_into(&b, 3, 10, 0, u32::MAX, &mut buf);
+        assert_eq!(buf, vec![UpdateId { round: 1, slot: 2 }]);
+        assert_eq!(
+            buf,
+            a.wanted_from(&b, 3, 10, 0, u32::MAX),
+            "into-variant matches the allocating form"
+        );
+    }
+
+    #[test]
+    fn clear_keeps_alignment() {
+        let mut w = window(8, 3, 4);
+        w.insert(UpdateId { round: 3, slot: 1 });
+        let start = w.start();
+        w.clear();
+        assert!(w.is_empty());
+        assert_eq!(w.start(), start, "clear preserves window alignment");
+        assert!(w.insert(UpdateId { round: 4, slot: 0 }), "still usable");
+        w.advance(5); // alignment intact: sequential advance still works
     }
 
     #[test]

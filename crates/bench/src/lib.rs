@@ -22,6 +22,7 @@
 
 pub mod registry;
 pub mod runner;
+pub mod timing;
 
 use bar_gossip::{AttackKind, AttackPlan, BarGossipConfig, BarGossipSim};
 use lotus_core::report::{CrossoverRecord, UsabilityThreshold};
@@ -69,6 +70,22 @@ impl Fidelity {
     /// The matching sweep configuration.
     pub fn sweep(self) -> SweepConfig {
         SweepConfig::with_seeds(self.seeds())
+    }
+
+    /// Timed iterations per scenario in `--bench` mode.
+    pub fn bench_iters(self) -> u32 {
+        match self {
+            Fidelity::Full => 12,
+            Fidelity::Quick => 3,
+        }
+    }
+
+    /// Untimed warmup runs per scenario in `--bench` mode.
+    pub fn bench_warmup(self) -> u32 {
+        match self {
+            Fidelity::Full => 3,
+            Fidelity::Quick => 1,
+        }
     }
 }
 

@@ -1,10 +1,12 @@
 //! The scenario registry: every substrate, every attack, one driving API.
 //!
 //! A [`ScenarioSpec`] describes one registered scenario — its attacks,
-//! tunable parameters, sweepable knobs and report metrics — plus a `run`
-//! function that builds the substrate through the unified
-//! [`Scenario`](lotus_core::scenario::Scenario) API and returns the
-//! common-vocabulary [`ScenarioReport`]. The
+//! tunable parameters, sweepable knobs and report metrics — plus a
+//! `build` factory that constructs the substrate through the unified
+//! [`Scenario`](lotus_core::scenario::Scenario) API as an unstarted
+//! [`DynScenario`]. [`ScenarioRegistry::run`] drives the factory to
+//! completion and returns the common-vocabulary [`ScenarioReport`];
+//! the `--bench` timing mode steps the same factory under a timer. The
 //! [`ScenarioRegistry`] is the name → spec map behind the `lotus-bench`
 //! CLI and every `ext_*`/`fig*` shim binary; experiment logic that used
 //! to be copy-pasted across 18 binaries lives here exactly once.
@@ -24,7 +26,7 @@ use std::collections::BTreeMap;
 use bar_gossip::scrip_gossip::{ScripGossipConfig, ScripGossipSim};
 use bar_gossip::{AttackPlan, BarGossipConfig, BarGossipSim, ReportConfig};
 use lotus_core::attack::{SatiateCut, TokenAttack};
-use lotus_core::scenario::{run, ScenarioReport, Summarize};
+use lotus_core::scenario::{boxed, DynScenario, ScenarioReport};
 use lotus_core::token::{
     Allocation, SatFunction, TokenScenarioConfig, TokenSystem, TokenSystemConfig,
 };
@@ -180,8 +182,15 @@ pub struct ScenarioSpec {
     pub metrics: &'static [&'static str],
     /// Default y-axis metric.
     pub default_metric: &'static str,
-    /// Build and run one `(x, seed)` evaluation.
-    pub run: fn(&RunRequest<'_>) -> Result<ScenarioReport, String>,
+    /// Build one `(x, seed)` evaluation as an *unstarted* scenario. The
+    /// sweep path ([`ScenarioRegistry::run`]) drives it to completion;
+    /// the `--bench` timing mode steps the very same factory under a
+    /// timer — one grammar, no hand-wired loops.
+    pub build: fn(&RunRequest<'_>) -> Result<Box<dyn DynScenario>, String>,
+    /// Small-config parameter overrides for the `--bench` timing mode
+    /// (sized so a single run finishes in milliseconds; explicit
+    /// `--param`s override them).
+    pub bench_params: &'static [(&'static str, &'static str)],
 }
 
 impl ScenarioSpec {
@@ -231,13 +240,29 @@ impl ScenarioRegistry {
         &self.specs
     }
 
-    /// Run one evaluation against a named scenario.
+    /// Run one evaluation against a named scenario: build through the
+    /// spec's factory, step to completion, summarize.
     ///
     /// # Errors
     ///
     /// Unknown scenario/attack names, unknown or malformed parameters,
     /// and invalid substrate configurations all surface as messages.
     pub fn run(&self, scenario: &str, req: &RunRequest<'_>) -> Result<ScenarioReport, String> {
+        Ok(self.build(scenario, req)?.finish())
+    }
+
+    /// Build one evaluation as an unstarted scenario (the timing bench's
+    /// entry point), with the same name/attack/parameter validation as
+    /// [`ScenarioRegistry::run`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`ScenarioRegistry::run`].
+    pub fn build(
+        &self,
+        scenario: &str,
+        req: &RunRequest<'_>,
+    ) -> Result<Box<dyn DynScenario>, String> {
         let spec = self.get(scenario).ok_or_else(|| {
             let known: Vec<&str> = self.specs.iter().map(|s| s.name).collect();
             format!("unknown scenario {scenario:?}; known: {}", known.join(", "))
@@ -266,7 +291,7 @@ impl ScenarioRegistry {
                 ));
             }
         }
-        (spec.run)(req)
+        (spec.build)(req)
     }
 }
 
@@ -346,7 +371,14 @@ fn bar_gossip_spec() -> ScenarioSpec {
             "unusable_node_rounds",
         ],
         default_metric: "isolated_delivery",
-        run: run_bar_gossip,
+        build: build_bar_gossip,
+        bench_params: &[
+            ("nodes", "60"),
+            ("rounds", "12"),
+            ("warmup_rounds", "6"),
+            ("updates_per_round", "4"),
+            ("copies_seeded", "6"),
+        ],
     }
 }
 
@@ -412,10 +444,10 @@ fn bar_gossip_plan(req: &RunRequest<'_>) -> Result<AttackPlan, String> {
     Ok(plan)
 }
 
-fn run_bar_gossip(req: &RunRequest<'_>) -> Result<ScenarioReport, String> {
+fn build_bar_gossip(req: &RunRequest<'_>) -> Result<Box<dyn DynScenario>, String> {
     let cfg = bar_gossip_config(req)?;
     let plan = bar_gossip_plan(req)?;
-    Ok(run::<BarGossipSim>(cfg, plan, req.seed).summarize())
+    Ok(boxed::<BarGossipSim>(cfg, plan, req.seed))
 }
 
 // ---------------------------------------------------------------------
@@ -471,11 +503,12 @@ fn scrip_spec() -> ScenarioSpec {
             "total_money",
         ],
         default_metric: "target_satiation",
-        run: run_scrip,
+        build: build_scrip,
+        bench_params: &[("agents", "60"), ("rounds", "2000"), ("warmup", "200")],
     }
 }
 
-fn run_scrip(req: &RunRequest<'_>) -> Result<ScenarioReport, String> {
+fn build_scrip(req: &RunRequest<'_>) -> Result<Box<dyn DynScenario>, String> {
     let mut b = ScripConfig::builder();
     if let Some(v) = req.opt_num("agents")? {
         b = b.agents(v as u32);
@@ -511,7 +544,7 @@ fn run_scrip(req: &RunRequest<'_>) -> Result<ScenarioReport, String> {
         "retainer" => ScripAttack::retainer(endowment),
         other => return Err(format!("unknown scrip attack {other:?}")),
     };
-    Ok(run::<ScripSim>(cfg, attack, req.seed).summarize())
+    Ok(boxed::<ScripSim>(cfg, attack, req.seed))
 }
 
 // ---------------------------------------------------------------------
@@ -562,11 +595,12 @@ fn bittorrent_spec() -> ScenarioSpec {
             "duplicates",
         ],
         default_metric: "mean_completion_nontargeted",
-        run: run_bittorrent,
+        build: build_bittorrent,
+        bench_params: &[("leechers", "25"), ("pieces", "32")],
     }
 }
 
-fn run_bittorrent(req: &RunRequest<'_>) -> Result<ScenarioReport, String> {
+fn build_bittorrent(req: &RunRequest<'_>) -> Result<Box<dyn DynScenario>, String> {
     let mut b = SwarmConfig::builder();
     if let Some(v) = req.opt_num("leechers")? {
         b = b.leechers(v as u32);
@@ -615,7 +649,7 @@ fn run_bittorrent(req: &RunRequest<'_>) -> Result<ScenarioReport, String> {
         }
         other => return Err(format!("unknown bittorrent attack {other:?}")),
     };
-    Ok(run::<SwarmSim>(cfg, attack, req.seed).summarize())
+    Ok(boxed::<SwarmSim>(cfg, attack, req.seed))
 }
 
 // ---------------------------------------------------------------------
@@ -691,7 +725,8 @@ fn token_spec() -> ScenarioSpec {
             "token0_reach",
         ],
         default_metric: "untouched_mean_coverage",
-        run: run_token,
+        build: build_token,
+        bench_params: &[("nodes", "40"), ("rounds", "60")],
     }
 }
 
@@ -799,7 +834,7 @@ fn token_attack(req: &RunRequest<'_>, graph: &Graph) -> Result<TokenAttack, Stri
     })
 }
 
-fn run_token(req: &RunRequest<'_>) -> Result<ScenarioReport, String> {
+fn build_token(req: &RunRequest<'_>) -> Result<Box<dyn DynScenario>, String> {
     let graph = token_graph(req)?;
     let n = graph.len();
     let attack = token_attack(req, &graph)?;
@@ -823,7 +858,11 @@ fn run_token(req: &RunRequest<'_>) -> Result<ScenarioReport, String> {
         .build()
         .map_err(|e| format!("invalid token config: {e}"))?;
     let rounds = req.num("rounds", 150.0)? as u64;
-    Ok(run::<TokenSystem>(TokenScenarioConfig::new(cfg, rounds), attack, req.seed).summarize())
+    Ok(boxed::<TokenSystem>(
+        TokenScenarioConfig::new(cfg, rounds),
+        attack,
+        req.seed,
+    ))
 }
 
 // ---------------------------------------------------------------------
@@ -866,15 +905,22 @@ fn scrip_gossip_spec() -> ScenarioSpec {
             "total_money",
         ],
         default_metric: "isolated_delivery",
-        run: run_scrip_gossip,
+        build: build_scrip_gossip,
+        bench_params: &[
+            ("nodes", "60"),
+            ("rounds", "12"),
+            ("warmup_rounds", "6"),
+            ("updates_per_round", "4"),
+            ("copies_seeded", "6"),
+        ],
     }
 }
 
-fn run_scrip_gossip(req: &RunRequest<'_>) -> Result<ScenarioReport, String> {
+fn build_scrip_gossip(req: &RunRequest<'_>) -> Result<Box<dyn DynScenario>, String> {
     let base = bar_gossip_config(req)?;
     let cfg = ScripGossipConfig::new(base);
     let plan = bar_gossip_plan(req)?;
-    Ok(run::<ScripGossipSim>(cfg, plan, req.seed).summarize())
+    Ok(boxed::<ScripGossipSim>(cfg, plan, req.seed))
 }
 
 // ---------------------------------------------------------------------
@@ -907,11 +953,12 @@ fn reputation_spec() -> ScenarioSpec {
             "attacker_cost_per_round",
         ],
         default_metric: "target_satiation",
-        run: run_reputation,
+        build: build_reputation,
+        bench_params: &[("agents", "60"), ("rounds", "2000"), ("warmup", "200")],
     }
 }
 
-fn run_reputation(req: &RunRequest<'_>) -> Result<ScenarioReport, String> {
+fn build_reputation(req: &RunRequest<'_>) -> Result<Box<dyn DynScenario>, String> {
     let mut cfg = ReputationConfig::default();
     if let Some(v) = req.opt_num("agents")? {
         cfg.agents = v as u32;
@@ -940,12 +987,13 @@ fn run_reputation(req: &RunRequest<'_>) -> Result<ScenarioReport, String> {
         },
         other => return Err(format!("unknown reputation attack {other:?}")),
     };
-    Ok(run::<ReputationSim>(cfg, attack, req.seed).summarize())
+    Ok(boxed::<ReputationSim>(cfg, attack, req.seed))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use lotus_core::scenario::Summarize;
 
     #[test]
     fn every_spec_is_internally_consistent() {
@@ -1055,7 +1103,7 @@ mod tests {
             .build()
             .unwrap();
         let plan = AttackPlan::trade_lotus_eater(0.3, AttackPlan::PAPER_SATIATE_FRACTION);
-        let direct = run::<BarGossipSim>(cfg, plan, 7).summarize();
+        let direct = lotus_core::scenario::run::<BarGossipSim>(cfg, plan, 7).summarize();
         assert_eq!(via_registry, direct);
     }
 }

@@ -20,6 +20,7 @@
 //! inputs.
 
 use crate::registry::{Params, RunRequest, ScenarioRegistry};
+use crate::timing::{bench_scenario, BenchRecord};
 use crate::Fidelity;
 use lotus_core::report::{CrossoverRecord, UsabilityThreshold};
 use lotus_core::sweep::{grid, sweep_fraction, SweepConfig};
@@ -127,6 +128,12 @@ pub struct Options {
     pub threshold: f64,
     /// Quick (CI) fidelity.
     pub quick: bool,
+    /// Timing-bench mode: time scenario hot loops instead of sweeping.
+    pub bench: bool,
+    /// Timed iterations per benched scenario (default from fidelity).
+    pub bench_iters: Option<u32>,
+    /// Untimed warmup runs per benched scenario (default from fidelity).
+    pub bench_warmup: Option<u32>,
     /// List scenarios instead of running.
     pub list: bool,
     /// Print usage instead of running.
@@ -153,6 +160,9 @@ impl Default for Options {
             format: Format::Table,
             threshold: UsabilityThreshold::BAR_GOSSIP.0,
             quick: false,
+            bench: false,
+            bench_iters: None,
+            bench_warmup: None,
             list: false,
             help: false,
             title: None,
@@ -259,6 +269,21 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
             "--title" => opts.title = Some(take("--title")?.to_string()),
             "--x-label" => opts.x_label = Some(take("--x-label")?.to_string()),
             "--y-label" => opts.y_label = Some(take("--y-label")?.to_string()),
+            "--bench" => opts.bench = true,
+            "--bench-iters" => {
+                opts.bench_iters = Some(
+                    take("--bench-iters")?
+                        .parse::<u32>()
+                        .map_err(|_| "bad --bench-iters value".to_string())?,
+                )
+            }
+            "--bench-warmup" => {
+                opts.bench_warmup = Some(
+                    take("--bench-warmup")?
+                        .parse::<u32>()
+                        .map_err(|_| "bad --bench-warmup value".to_string())?,
+                )
+            }
             "--quick" => opts.quick = true,
             "--list" => opts.list = true,
             "--help" | "-h" => opts.help = true,
@@ -271,6 +296,7 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
 /// CLI usage text.
 pub const USAGE: &str = "\
 usage: lotus-bench --scenario NAME [--attack A[,B,...]] [options]
+       lotus-bench --bench [--scenario NAME] [options]
        lotus-bench --list
 
 options:
@@ -288,6 +314,13 @@ options:
   --threshold T         usability threshold for crossovers (default 0.93)
   --title/--x-label/--y-label STR   labels
   --quick               CI fidelity (fewer seeds and grid points)
+  --bench               time scenario hot loops instead of sweeping:
+                        min/median/p90/mean ns per step and per full run,
+                        for every registered scenario (or just --scenario);
+                        save the JSON as BENCH_<date>.json to track the
+                        perf trajectory across PRs
+  --bench-iters N       timed runs per benched scenario (default 12, 3 with --quick)
+  --bench-warmup N      untimed warmup runs (default 3, 1 with --quick)
   --list                list scenarios, attacks, parameters and metrics";
 
 /// The evaluated figure: everything a caller needs to print or test.
@@ -423,6 +456,184 @@ pub fn evaluate(registry: &ScenarioRegistry, opts: &Options) -> Result<Figure, S
         figure.metrics.push(metric);
     }
     Ok(figure)
+}
+
+/// The evaluated timing bench: one record per `(scenario, attack)` pair.
+#[derive(Debug, Clone)]
+pub struct Bench {
+    /// Untimed warmup runs per scenario.
+    pub warmup: u32,
+    /// Timed iterations per scenario.
+    pub iters: u32,
+    /// Replication seeds the iterations cycled through.
+    pub seeds: usize,
+    /// Timing records, in bench order.
+    pub records: Vec<BenchRecord>,
+}
+
+/// Time the requested scenarios' hot loops against `registry`.
+///
+/// With explicit `--curve`s (or `--attack`s) each curve is benched; with
+/// only `--scenario` that scenario is benched under the `none` attack;
+/// with neither, every registered scenario is benched under `none`.
+/// Parameters resolve as the spec's `bench_params` overlaid by global
+/// `--param`s overlaid by curve-local params, and every build goes
+/// through the registry's scenario factories — the same grammar and code
+/// path the sweep mode uses.
+///
+/// # Errors
+///
+/// Unknown names, malformed parameters and invalid configurations
+/// surface as messages, exactly as in [`evaluate`].
+pub fn evaluate_bench(registry: &ScenarioRegistry, opts: &Options) -> Result<Bench, String> {
+    let fidelity = if opts.quick {
+        Fidelity::Quick
+    } else {
+        Fidelity::Full
+    };
+    let iters = opts.bench_iters.unwrap_or_else(|| fidelity.bench_iters());
+    let warmup = opts.bench_warmup.unwrap_or_else(|| fidelity.bench_warmup());
+    if iters == 0 {
+        return Err("--bench-iters must be at least 1".to_string());
+    }
+    // Reuse the sweep harness's replication plumbing for the seed list;
+    // timed iterations cycle through it.
+    let seeds = SweepConfig::with_seeds(opts.seeds.unwrap_or(1)).seeds;
+    if seeds.is_empty() {
+        return Err("--seeds must be at least 1".to_string());
+    }
+    let x = opts
+        .x_values
+        .as_ref()
+        .and_then(|v| v.first().copied())
+        .unwrap_or(0.0);
+
+    let mut jobs: Vec<(String, CurveSpec)> = Vec::new();
+    if opts.curves.is_empty() {
+        let none = || CurveSpec {
+            attack: "none".to_string(),
+            ..CurveSpec::default()
+        };
+        match &opts.scenario {
+            Some(s) => jobs.push((s.clone(), none())),
+            None => {
+                for spec in registry.specs() {
+                    jobs.push((spec.name.to_string(), none()));
+                }
+            }
+        }
+    } else {
+        for curve in &opts.curves {
+            let scenario = curve
+                .scenario
+                .clone()
+                .or_else(|| opts.scenario.clone())
+                .ok_or("no scenario given (pass --scenario or scenario= in the curve)")?;
+            jobs.push((scenario, curve.clone()));
+        }
+    }
+
+    let mut records = Vec::with_capacity(jobs.len());
+    for (scenario, curve) in jobs {
+        let spec = registry
+            .get(&scenario)
+            .ok_or_else(|| format!("unknown scenario {scenario:?} (see --list)"))?;
+        let mut params = Params::new();
+        for (k, v) in spec.bench_params {
+            params.set(*k, *v);
+        }
+        let params = params.merged_with(&opts.params).merged_with(&curve.params);
+        let (run_ns, step_ns, steps_per_run) = bench_scenario(
+            |i| {
+                let seed = seeds[i as usize % seeds.len()];
+                let req = RunRequest::new(x, seed, &curve.attack, &opts.sweep, &params);
+                registry.build(&scenario, &req)
+            },
+            warmup,
+            iters,
+        )?;
+        records.push(BenchRecord {
+            scenario,
+            attack: curve.attack.clone(),
+            steps_per_run,
+            run_ns,
+            step_ns,
+        });
+    }
+    Ok(Bench {
+        warmup,
+        iters,
+        seeds: seeds.len(),
+        records,
+    })
+}
+
+/// Render `bench` in the requested format.
+pub fn render_bench(bench: &Bench, opts: &Options) -> String {
+    match opts.format {
+        Format::Json => render_bench_json(bench),
+        Format::Table => render_bench_table(bench),
+    }
+}
+
+fn render_bench_json(bench: &Bench) -> String {
+    use std::fmt::Write;
+    let unix_time = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let mut out = String::from("{\"bench\":true");
+    let _ = write!(out, ",\"unix_time\":{unix_time}");
+    let _ = write!(out, ",\"warmup\":{}", bench.warmup);
+    let _ = write!(out, ",\"iters\":{}", bench.iters);
+    let _ = write!(out, ",\"seeds\":{}", bench.seeds);
+    out.push_str(",\"scenarios\":[");
+    for (i, rec) in bench.records.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&rec.to_json());
+    }
+    out.push_str("]}");
+    out
+}
+
+fn render_bench_table(bench: &Bench) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# lotus-bench timing ({} warmup + {} timed iterations, {} seed{})",
+        bench.warmup,
+        bench.iters,
+        bench.seeds,
+        if bench.seeds == 1 { "" } else { "s" }
+    );
+    let _ = writeln!(out);
+    let mut t = Table::new(vec![
+        "scenario",
+        "attack",
+        "steps/run",
+        "step med (ns)",
+        "step p90 (ns)",
+        "run min (ns)",
+        "run med (ns)",
+        "run p90 (ns)",
+    ]);
+    for rec in &bench.records {
+        t.row(vec![
+            rec.scenario.clone(),
+            rec.attack.clone(),
+            rec.steps_per_run.to_string(),
+            rec.step_ns.median_ns.to_string(),
+            rec.step_ns.p90_ns.to_string(),
+            rec.run_ns.min_ns.to_string(),
+            rec.run_ns.median_ns.to_string(),
+            rec.run_ns.p90_ns.to_string(),
+        ]);
+    }
+    let _ = writeln!(out, "{}", t.render());
+    out
 }
 
 /// Render `figure` in the requested format.
@@ -587,6 +798,10 @@ pub fn run_args(args: &[String]) -> Result<String, String> {
     let registry = ScenarioRegistry::standard();
     if opts.list {
         return Ok(render_list(&registry));
+    }
+    if opts.bench {
+        let bench = evaluate_bench(&registry, &opts)?;
+        return Ok(render_bench(&bench, &opts));
     }
     let figure = evaluate(&registry, &opts)?;
     Ok(render_figure(&figure, &opts))

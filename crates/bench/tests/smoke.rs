@@ -122,6 +122,110 @@ fn runner_emits_json_for_the_acceptance_invocation() {
     assert!(out.contains("\"points\":[[0,"));
 }
 
+/// Extract the number following `"<key>":` at the first occurrence after
+/// `from` in a JSON string (enough structure-checking for a smoke test
+/// without a JSON dependency).
+fn json_u64_after(json: &str, from: usize, key: &str) -> u64 {
+    let needle = format!("\"{key}\":");
+    let at = json[from..]
+        .find(&needle)
+        .unwrap_or_else(|| panic!("missing {needle} in:\n{json}"))
+        + from
+        + needle.len();
+    json[at..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .unwrap_or_else(|e| panic!("bad number for {key}: {e}"))
+}
+
+#[test]
+fn bench_mode_emits_wellformed_json_with_nonzero_timings() {
+    // The ISSUE-2 acceptance invocation (tiny iteration counts for CI).
+    let out = run_runner(&[
+        "--bench",
+        "--scenario",
+        "bar-gossip",
+        "--format",
+        "json",
+        "--bench-iters",
+        "2",
+        "--bench-warmup",
+        "1",
+        "--param",
+        "rounds=6",
+        "--param",
+        "warmup_rounds=3",
+        "--param",
+        "update_lifetime=4",
+        "--param",
+        "nodes=40",
+    ]);
+    let json = out.trim_end();
+    assert!(
+        json.starts_with('{') && json.ends_with('}'),
+        "not JSON:\n{json}"
+    );
+    // Stable schema keys.
+    for key in [
+        "\"bench\":true",
+        "\"unix_time\":",
+        "\"warmup\":1",
+        "\"iters\":2",
+        "\"seeds\":1",
+        "\"scenarios\":[",
+        "\"scenario\":\"bar-gossip\"",
+        "\"attack\":\"none\"",
+        "\"steps_per_run\":",
+        "\"run_ns\":{",
+        "\"step_ns\":{",
+        "\"min\":",
+        "\"median\":",
+        "\"p90\":",
+        "\"mean\":",
+        "\"samples\":",
+    ] {
+        assert!(json.contains(key), "missing {key} in:\n{json}");
+    }
+    // Nonzero timings and sane sample counts.
+    let steps = json_u64_after(json, 0, "steps_per_run");
+    assert_eq!(steps, 13, "3 warmup + 6 measured + 4 drain rounds");
+    let run_at = json.find("\"run_ns\"").expect("run_ns present");
+    assert!(
+        json_u64_after(json, run_at, "min") > 0,
+        "a run takes measurable time:\n{json}"
+    );
+    assert_eq!(json_u64_after(json, run_at, "samples"), 2);
+    let step_at = json.find("\"step_ns\"").expect("step_ns present");
+    assert!(json_u64_after(json, step_at, "min") > 0);
+    assert_eq!(json_u64_after(json, step_at, "samples"), 26, "2 runs x 13");
+}
+
+#[test]
+fn bench_mode_covers_every_scenario_by_default() {
+    let out = run_runner(&[
+        "--bench",
+        "--quick",
+        "--bench-iters",
+        "1",
+        "--bench-warmup",
+        "0",
+        "--format",
+        "json",
+    ]);
+    for name in [
+        "\"scenario\":\"bar-gossip\"",
+        "\"scenario\":\"scrip\"",
+        "\"scenario\":\"bittorrent\"",
+        "\"scenario\":\"token\"",
+        "\"scenario\":\"scrip-gossip\"",
+        "\"scenario\":\"reputation\"",
+    ] {
+        assert!(out.contains(name), "missing {name} in:\n{out}");
+    }
+}
+
 #[test]
 fn runner_rejects_unknown_scenarios_with_status_2() {
     let bin = env!("CARGO_BIN_EXE_lotus-bench");

@@ -17,6 +17,16 @@
 //!
 //! Rarity is computed over active honest peers: attacker peers serve only
 //! their targets, so their copies are not really available to the swarm.
+//!
+//! # Hot-loop invariants
+//!
+//! The per-round phases are **allocation-free in steady state**: candidate
+//! lists, tit-for-tat rankings, rarity counts, piece-selection sets and
+//! the transfer list all live in [`Scratch`] buffers owned by the sim
+//! struct, cleared and refilled in place (the unchoke lists keep their
+//! per-peer `Vec` capacities across rounds). Scratch contents are
+//! meaningless between phases, and refactors here must keep reports
+//! bit-identical per seed (the determinism tests are the guardrail).
 
 use crate::attack::{SwarmAttack, TargetPolicy};
 use crate::config::{PiecePolicy, SwarmConfig};
@@ -117,6 +127,53 @@ impl SwarmReport {
     }
 }
 
+/// Reusable buffers for the allocation-free round loop (see module
+/// docs); contents are meaningless between phases.
+#[derive(Debug, Clone)]
+struct Scratch {
+    /// Per-peer unchoke lists; inner `Vec`s keep their capacity.
+    unchoked: Vec<Vec<usize>>,
+    /// Interested, active candidates of the current peer.
+    candidates: Vec<usize>,
+    /// Sort/shuffle buffer for choke/unchoke ranking.
+    ranked: Vec<usize>,
+    /// Candidates outside the regular unchoke slots.
+    rest: Vec<usize>,
+    /// Active, unfinished leechers (retarget phase).
+    leechers: Vec<usize>,
+    /// The attacker's chosen targets this round.
+    chosen: Vec<usize>,
+    /// Piece indices ordered by rarity (rare-piece targeting).
+    order: Vec<usize>,
+    /// Holder counts per piece.
+    rarity: Vec<u32>,
+    /// `(uploader, downloader, piece)` transfers of the round.
+    transfers: Vec<(usize, usize, usize)>,
+    /// Pieces the uploader has that the downloader lacks.
+    needs: BitSet,
+    needed: Vec<usize>,
+    rarest: Vec<usize>,
+}
+
+impl Scratch {
+    fn new(pieces: usize) -> Self {
+        Scratch {
+            unchoked: Vec::new(),
+            candidates: Vec::new(),
+            ranked: Vec::new(),
+            rest: Vec::new(),
+            leechers: Vec::new(),
+            chosen: Vec::new(),
+            order: Vec::new(),
+            rarity: Vec::new(),
+            transfers: Vec::new(),
+            needs: BitSet::new(pieces),
+            needed: Vec::new(),
+            rarest: Vec::new(),
+        }
+    }
+}
+
 /// The swarm simulator.
 ///
 /// ```
@@ -141,6 +198,7 @@ pub struct SwarmSim {
     round: Round,
     duplicates: u64,
     fixed_targets: Vec<usize>,
+    scratch: Scratch,
 }
 
 impl SwarmSim {
@@ -187,6 +245,7 @@ impl SwarmSim {
         };
         SwarmSim {
             credit: vec![vec![0.0; n]; n],
+            scratch: Scratch::new(cfg.pieces as usize),
             cfg,
             attack,
             peers,
@@ -229,9 +288,11 @@ impl SwarmSim {
         self.peers[i].have.difference_count(&self.peers[j].have) > 0
     }
 
-    /// Holder counts per piece over active honest peers.
-    fn rarity(&self) -> Vec<u32> {
-        let mut counts = vec![0u32; self.cfg.pieces as usize];
+    /// Holder counts per piece over active honest peers, into a reusable
+    /// buffer.
+    fn rarity_into(&self, counts: &mut Vec<u32>) {
+        counts.clear();
+        counts.resize(self.cfg.pieces as usize, 0);
         for (i, peer) in self.peers.iter().enumerate() {
             if !self.active(i) || peer.role == PeerRole::Attacker {
                 continue;
@@ -240,7 +301,6 @@ impl SwarmSim {
                 counts[piece] += 1;
             }
         }
-        counts
     }
 
     /// Phase 1: the attacker picks its targets for this round.
@@ -252,28 +312,40 @@ impl SwarmSim {
             peer.targeted = false;
         }
         let count = self.attack.target_count(self.cfg.leechers) as usize;
-        let leechers: Vec<usize> = (0..self.cfg.leechers as usize)
-            .filter(|&i| self.active(i) && self.peers[i].completed_at.is_none())
-            .collect();
-        let chosen: Vec<usize> = match self.attack.target_policy {
-            TargetPolicy::Random => self
-                .fixed_targets
-                .iter()
-                .copied()
-                .filter(|&i| self.active(i))
-                .collect(),
+        let mut leechers = std::mem::take(&mut self.scratch.leechers);
+        leechers.clear();
+        leechers.extend(
+            (0..self.cfg.leechers as usize)
+                .filter(|&i| self.active(i) && self.peers[i].completed_at.is_none()),
+        );
+        let mut chosen = std::mem::take(&mut self.scratch.chosen);
+        chosen.clear();
+        match self.attack.target_policy {
+            TargetPolicy::Random => {
+                chosen.extend(
+                    self.fixed_targets
+                        .iter()
+                        .copied()
+                        .filter(|&i| self.active(i)),
+                );
+            }
             TargetPolicy::TopUploaders => {
-                let mut by_upload = leechers.clone();
-                by_upload.sort_by_key(|&i| std::cmp::Reverse(self.peers[i].uploads));
-                by_upload.into_iter().take(count).collect()
+                let by_upload = &mut self.scratch.ranked;
+                by_upload.clear();
+                by_upload.extend_from_slice(&leechers);
+                let peers = &self.peers;
+                by_upload.sort_by_key(|&i| std::cmp::Reverse(peers[i].uploads));
+                chosen.extend(by_upload.iter().copied().take(count));
             }
             TargetPolicy::RarePieceHolders => {
                 // Pieces ascending by holder count; target current holders.
-                let counts = self.rarity();
-                let mut order: Vec<usize> = (0..counts.len()).collect();
+                let mut counts = std::mem::take(&mut self.scratch.rarity);
+                self.rarity_into(&mut counts);
+                let order = &mut self.scratch.order;
+                order.clear();
+                order.extend(0..counts.len());
                 order.sort_by_key(|&p| counts[p]);
-                let mut chosen = Vec::new();
-                'outer: for p in order {
+                'outer: for &p in order.iter() {
                     for &i in &leechers {
                         if self.peers[i].have.contains(p) && !chosen.contains(&i) {
                             chosen.push(i);
@@ -283,77 +355,91 @@ impl SwarmSim {
                         }
                     }
                 }
-                chosen
+                self.scratch.rarity = counts;
             }
-        };
-        for i in chosen {
+        }
+        for &i in &chosen {
             self.peers[i].targeted = true;
             self.peers[i].ever_targeted = true;
         }
+        self.scratch.leechers = leechers;
+        self.scratch.chosen = chosen;
     }
 
-    /// Phase 2: compute unchoke lists for every active peer.
-    fn rechoke(&mut self, t: Round) -> Vec<Vec<usize>> {
+    /// Phase 2: compute unchoke lists for every active peer, into the
+    /// reusable per-peer buffers.
+    fn rechoke(&mut self, t: Round, unchoked: &mut Vec<Vec<usize>>) {
         let n = self.peers.len();
-        let mut unchoked: Vec<Vec<usize>> = vec![Vec::new(); n];
+        if unchoked.len() != n {
+            unchoked.resize_with(n, Vec::new);
+        }
         let mut rng = self.rng.fork_idx("rechoke", t);
+        let mut candidates = std::mem::take(&mut self.scratch.candidates);
+        let mut ranked = std::mem::take(&mut self.scratch.ranked);
+        let mut rest = std::mem::take(&mut self.scratch.rest);
         #[allow(clippy::needless_range_loop)] // i indexes peers and unchoked alike
         for i in 0..n {
+            unchoked[i].clear();
             if !self.active(i) {
                 continue;
             }
-            let candidates: Vec<usize> = (0..n)
-                .filter(|&j| j != i && self.active(j) && self.interested(j, i))
-                .collect();
+            candidates.clear();
+            candidates
+                .extend((0..n).filter(|&j| j != i && self.active(j) && self.interested(j, i)));
             if candidates.is_empty() {
                 continue;
             }
             match self.peers[i].role {
                 PeerRole::Attacker => {
                     // Upload only to targets, as many slots as configured.
-                    let mut targets: Vec<usize> = candidates
-                        .iter()
-                        .copied()
-                        .filter(|&j| self.peers[j].targeted)
-                        .collect();
-                    rng.shuffle(&mut targets);
-                    targets.truncate(self.attack.attacker_slots as usize);
-                    unchoked[i] = targets;
+                    ranked.clear();
+                    ranked.extend(
+                        candidates
+                            .iter()
+                            .copied()
+                            .filter(|&j| self.peers[j].targeted),
+                    );
+                    rng.shuffle(&mut ranked);
+                    ranked.truncate(self.attack.attacker_slots as usize);
+                    unchoked[i].extend_from_slice(&ranked);
                 }
                 PeerRole::Seed => {
                     // Seeds (and lingering completed leechers) rotate
                     // random interested peers.
-                    let mut c = candidates;
-                    rng.shuffle(&mut c);
-                    c.truncate(self.cfg.unchoke_slots as usize);
-                    unchoked[i] = c;
+                    ranked.clear();
+                    ranked.extend_from_slice(&candidates);
+                    rng.shuffle(&mut ranked);
+                    ranked.truncate(self.cfg.unchoke_slots as usize);
+                    unchoked[i].extend_from_slice(&ranked);
                 }
                 PeerRole::Leecher => {
                     if self.peers[i].completed_at.is_some() {
                         // Completed leecher seeds while it lingers.
-                        let mut c = candidates;
-                        rng.shuffle(&mut c);
-                        c.truncate(self.cfg.unchoke_slots as usize);
-                        unchoked[i] = c;
+                        ranked.clear();
+                        ranked.extend_from_slice(&candidates);
+                        rng.shuffle(&mut ranked);
+                        ranked.truncate(self.cfg.unchoke_slots as usize);
+                        unchoked[i].extend_from_slice(&ranked);
                         continue;
                     }
-                    // Tit-for-tat: top (slots-1) by recent upload credit.
+                    // Tit-for-tat: top (slots-1) by recent upload credit,
+                    // ranked in a reusable buffer instead of a clone.
                     let regular_slots = (self.cfg.unchoke_slots as usize).saturating_sub(1);
-                    let mut ranked = candidates.clone();
+                    ranked.clear();
+                    ranked.extend_from_slice(&candidates);
+                    let credit = &self.credit[i];
                     // Stable, deterministic tie-break by index.
                     ranked.sort_by(|&a, &b| {
-                        self.credit[i][b]
-                            .partial_cmp(&self.credit[i][a])
+                        credit[b]
+                            .partial_cmp(&credit[a])
                             .expect("credit values are never NaN")
                             .then(a.cmp(&b))
                     });
-                    let regular: Vec<usize> = ranked.iter().copied().take(regular_slots).collect();
+                    ranked.truncate(regular_slots);
+                    let regular: &[usize] = &ranked;
                     // Optimistic unchoke: rotate periodically among the rest.
-                    let rest: Vec<usize> = candidates
-                        .iter()
-                        .copied()
-                        .filter(|j| !regular.contains(j))
-                        .collect();
+                    rest.clear();
+                    rest.extend(candidates.iter().copied().filter(|j| !regular.contains(j)));
                     let rotate = t.is_multiple_of(u64::from(self.cfg.optimistic_period));
                     let current = self.peers[i].optimistic;
                     let keep = current.and_then(|c| {
@@ -366,24 +452,35 @@ impl SwarmSim {
                     });
                     let optimistic = keep.or_else(|| rng.choose(&rest).copied());
                     self.peers[i].optimistic = optimistic.map(|o| o as u32);
-                    let mut list = regular;
+                    unchoked[i].extend_from_slice(regular);
                     if let Some(o) = optimistic {
-                        list.push(o);
+                        unchoked[i].push(o);
                     }
-                    unchoked[i] = list;
                 }
             }
         }
-        unchoked
+        self.scratch.candidates = candidates;
+        self.scratch.ranked = ranked;
+        self.scratch.rest = rest;
     }
 
-    /// The downloader `j` selects a piece to fetch from `i`.
-    fn select_piece(&self, j: usize, i: usize, rarity: &[u32], rng: &mut DetRng) -> Option<usize> {
-        let needed: Vec<usize> = {
-            let mut needs = self.peers[i].have.clone();
-            needs.subtract(&self.peers[j].have);
-            needs.iter().collect()
-        };
+    /// The downloader `j` selects a piece to fetch from `i`, using the
+    /// caller's scratch buffers.
+    #[allow(clippy::too_many_arguments)] // the scratch buffers are one logical group
+    fn select_piece(
+        &self,
+        j: usize,
+        i: usize,
+        rarity: &[u32],
+        rng: &mut DetRng,
+        needs: &mut BitSet,
+        needed: &mut Vec<usize>,
+        rarest: &mut Vec<usize>,
+    ) -> Option<usize> {
+        needs.copy_from(&self.peers[i].have);
+        needs.subtract(&self.peers[j].have);
+        needed.clear();
+        needed.extend(needs.iter());
         if needed.is_empty() {
             return None;
         }
@@ -396,24 +493,35 @@ impl SwarmSim {
             }
         };
         if random_pick {
-            return rng.choose(&needed).copied();
+            return rng.choose(needed).copied();
         }
         let min_count = needed.iter().map(|&p| rarity[p]).min().expect("non-empty");
-        let rarest: Vec<usize> = needed
-            .into_iter()
-            .filter(|&p| rarity[p] == min_count)
-            .collect();
-        rng.choose(&rarest).copied()
+        rarest.clear();
+        rarest.extend(needed.iter().copied().filter(|&p| rarity[p] == min_count));
+        rng.choose(rarest).copied()
     }
 
     /// Phase 3: all transfers for the round, applied simultaneously.
     fn transfer_phase(&mut self, t: Round, unchoked: &[Vec<usize>]) {
-        let rarity = self.rarity();
+        let mut rarity = std::mem::take(&mut self.scratch.rarity);
+        self.rarity_into(&mut rarity);
         let mut rng = self.rng.fork_idx("transfers", t);
-        let mut transfers: Vec<(usize, usize, usize)> = Vec::new();
+        let mut transfers = std::mem::take(&mut self.scratch.transfers);
+        transfers.clear();
+        let mut needs = std::mem::replace(&mut self.scratch.needs, BitSet::new(0));
+        let mut needed = std::mem::take(&mut self.scratch.needed);
+        let mut rarest = std::mem::take(&mut self.scratch.rarest);
         for (i, downloaders) in unchoked.iter().enumerate() {
             for &j in downloaders {
-                if let Some(p) = self.select_piece(j, i, &rarity, &mut rng) {
+                if let Some(p) = self.select_piece(
+                    j,
+                    i,
+                    &rarity,
+                    &mut rng,
+                    &mut needs,
+                    &mut needed,
+                    &mut rarest,
+                ) {
                     transfers.push((i, j, p));
                 }
             }
@@ -424,7 +532,7 @@ impl SwarmSim {
                 *c *= 0.5;
             }
         }
-        for (i, j, p) in transfers {
+        for &(i, j, p) in &transfers {
             self.peers[i].uploads += 1;
             if self.peers[j].have.insert(p) {
                 self.credit[j][i] += 1.0;
@@ -432,6 +540,11 @@ impl SwarmSim {
                 self.duplicates += 1;
             }
         }
+        self.scratch.rarity = rarity;
+        self.scratch.transfers = transfers;
+        self.scratch.needs = needs;
+        self.scratch.needed = needed;
+        self.scratch.rarest = rarest;
     }
 
     /// Phase 4: completions and departures.
@@ -499,8 +612,10 @@ impl RoundSim for SwarmSim {
         // not linger — before they could serve anyone.
         self.lifecycle_phase(t);
         self.retarget();
-        let unchoked = self.rechoke(t);
+        let mut unchoked = std::mem::take(&mut self.scratch.unchoked);
+        self.rechoke(t, &mut unchoked);
         self.transfer_phase(t, &unchoked);
+        self.scratch.unchoked = unchoked;
         self.lifecycle_phase(t);
         self.round = t + 1;
     }

@@ -102,6 +102,7 @@ impl BitSet {
     /// # Panics
     ///
     /// Panics if `i >= universe`.
+    #[inline]
     pub fn insert(&mut self, i: usize) -> bool {
         assert!(
             i < self.universe,
@@ -119,6 +120,7 @@ impl BitSet {
     /// # Panics
     ///
     /// Panics if `i >= universe`.
+    #[inline]
     pub fn remove(&mut self, i: usize) -> bool {
         assert!(
             i < self.universe,
@@ -136,6 +138,7 @@ impl BitSet {
     /// # Panics
     ///
     /// Panics if `i >= universe`.
+    #[inline]
     pub fn contains(&self, i: usize) -> bool {
         assert!(
             i < self.universe,
@@ -178,6 +181,7 @@ impl BitSet {
     }
 
     /// `|self ∩ other|` without allocating.
+    #[inline]
     pub fn intersection_count(&self, other: &BitSet) -> usize {
         self.check_compat(other);
         self.words
@@ -237,10 +241,26 @@ impl BitSet {
     }
 
     /// Remove all elements.
+    ///
+    /// Together with [`BitSet::copy_from`] this is the scratch-buffer
+    /// idiom the simulators' hot loops rely on: one set owned by the sim
+    /// struct, cleared or overwritten per round, never reallocated.
+    #[inline]
     pub fn clear(&mut self) {
         for w in self.words.iter_mut() {
             *w = 0;
         }
+    }
+
+    /// Overwrite `self` with the contents of `other` without allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    #[inline]
+    pub fn copy_from(&mut self, other: &BitSet) {
+        self.check_compat(other);
+        self.words.copy_from_slice(&other.words);
     }
 }
 
@@ -368,6 +388,36 @@ mod tests {
         s.clear();
         assert!(s.is_empty());
         assert_eq!(s.universe(), 10);
+    }
+
+    #[test]
+    fn clear_and_copy_from_at_word_boundaries() {
+        // Universes straddling a word boundary: 63 (one partial word),
+        // 64 (exactly one word), 65 (one word + one bit).
+        for universe in [63usize, 64, 65] {
+            let top = universe - 1;
+            let src = BitSet::from_iter_with(universe, [0, top / 2, top]);
+            let mut dst = BitSet::full(universe);
+            dst.copy_from(&src);
+            assert_eq!(dst, src, "universe {universe}: copy_from overwrites");
+            assert_eq!(dst.iter().collect::<Vec<_>>(), vec![0, top / 2, top]);
+            dst.clear();
+            assert!(dst.is_empty(), "universe {universe}: clear empties");
+            assert_eq!(dst.universe(), universe);
+            // A cleared set is reusable as a scratch buffer.
+            assert!(dst.insert(top));
+            assert!(dst.contains(top));
+            assert!(dst.remove(top));
+            assert_eq!(dst.intersection_count(&src), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "universes differ")]
+    fn copy_from_mismatched_universe_panics() {
+        let mut a = BitSet::new(64);
+        let b = BitSet::new(65);
+        a.copy_from(&b);
     }
 
     #[test]

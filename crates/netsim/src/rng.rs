@@ -193,20 +193,32 @@ impl DetRng {
     ///
     /// Panics if `k > n`.
     pub fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        let mut chosen: Vec<usize> = Vec::with_capacity(k);
+        self.sample_indices_into(n, k, &mut chosen);
+        chosen
+    }
+
+    /// [`DetRng::sample_indices`] into a caller-owned buffer (cleared
+    /// first), so per-round hot loops can reuse one allocation. Consumes
+    /// the identical random stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > n`.
+    pub fn sample_indices_into(&mut self, n: usize, k: usize, out: &mut Vec<usize>) {
         assert!(k <= n, "cannot sample {k} items from a universe of {n}");
+        out.clear();
         // Floyd's algorithm guarantees distinctness; we shuffle afterwards
         // because it does not produce a uniformly random *order*.
-        let mut chosen: Vec<usize> = Vec::with_capacity(k);
         for j in (n - k)..n {
             let t = self.index(j + 1);
-            if chosen.contains(&t) {
-                chosen.push(j);
+            if out.contains(&t) {
+                out.push(j);
             } else {
-                chosen.push(t);
+                out.push(t);
             }
         }
-        self.shuffle(&mut chosen);
-        chosen
+        self.shuffle(out);
     }
 
     /// Draw from a geometric distribution: number of failures before the
@@ -376,6 +388,17 @@ mod tests {
             let set: std::collections::HashSet<_> = s.iter().collect();
             assert_eq!(set.len(), 12, "indices must be distinct");
             assert!(s.iter().all(|&i| i < 30));
+        }
+    }
+
+    #[test]
+    fn sample_indices_into_matches_allocating_form() {
+        let mut a = DetRng::seed_from(19);
+        let mut b = DetRng::seed_from(19);
+        let mut buf = vec![99; 4]; // stale content must be discarded
+        for (n, k) in [(30, 12), (8, 8), (5, 0)] {
+            b.sample_indices_into(n, k, &mut buf);
+            assert_eq!(a.sample_indices(n, k), buf, "same stream, same sample");
         }
     }
 

@@ -18,6 +18,14 @@
 //!
 //! Money is conserved exactly: agents' balances plus the attacker's war
 //! chest always sum to the initial supply (a property test enforces it).
+//!
+//! # Hot-loop invariants
+//!
+//! The per-round request loop is allocation-free in steady state: the
+//! free/paid volunteer pools are scratch buffers owned by the sim struct,
+//! cleared and refilled in place each round. Scratch contents are
+//! meaningless between rounds, and refactors here must keep reports
+//! bit-identical per seed (the determinism tests are the guardrail).
 
 use crate::attack::ScripAttack;
 use crate::config::ScripConfig;
@@ -142,6 +150,10 @@ pub struct ScripSim {
     satiated_rounds: u64,
     target_satiated_samples: u64,
     target_samples: u64,
+    // Volunteer-pool scratch buffers for the allocation-free request
+    // loop (see module docs).
+    free_scratch: Vec<usize>,
+    paid_scratch: Vec<usize>,
 }
 
 impl ScripSim {
@@ -228,6 +240,8 @@ impl ScripSim {
             satiated_rounds: 0,
             target_satiated_samples: 0,
             target_samples: 0,
+            free_scratch: Vec::with_capacity(n),
+            paid_scratch: Vec::with_capacity(n),
         }
     }
 
@@ -295,9 +309,11 @@ impl ScripSim {
         let requester = rng.index(n);
         let special = rng.chance(self.cfg.special_request_prob);
 
-        // Volunteer pools.
-        let mut free: Vec<usize> = Vec::new();
-        let mut paid: Vec<usize> = Vec::new();
+        // Volunteer pools (reused scratch buffers).
+        let mut free = std::mem::take(&mut self.free_scratch);
+        let mut paid = std::mem::take(&mut self.paid_scratch);
+        free.clear();
+        paid.clear();
         for (i, agent) in self.agents.iter().enumerate() {
             if i == requester || !rng.chance(self.cfg.availability) {
                 continue;
@@ -366,6 +382,8 @@ impl ScripSim {
         if measured && special && outcome {
             self.special_served += 1;
         }
+        self.free_scratch = free;
+        self.paid_scratch = paid;
     }
 
     /// Adaptive threshold update (EC'07 crash dynamics, simplified): an
