@@ -20,6 +20,8 @@
 //!   partners every update they have (and nothing to isolated nodes).
 //!   Breaks the system at ≈ 22 % control.
 
+use lotus_core::schedule::AttackSchedule;
+
 /// Which attack is mounted.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AttackKind {
@@ -59,7 +61,8 @@ impl std::fmt::Display for AttackKind {
     }
 }
 
-/// A fully specified attack: kind, attacker size and satiation target.
+/// A fully specified attack: kind, attacker size, satiation target and
+/// timing.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AttackPlan {
     /// The attack being mounted.
@@ -69,11 +72,12 @@ pub struct AttackPlan {
     /// Fraction of the *whole system* (attacker nodes included) the
     /// attacker tries to satiate. The paper uses 0.70.
     pub satiate_fraction: f64,
-    /// Rotate the satiated set every this many rounds (§2: "By changing
-    /// who is satiated over time, the attacker could even make the
-    /// service intermittently unusable for all nodes"). `None` keeps the
-    /// set fixed, as in Figures 1-3.
-    pub rotation_period: Option<u64>,
+    /// When the attack is on and how the satiated set rotates over time
+    /// (§2: "By changing who is satiated over time, the attacker could
+    /// even make the service intermittently unusable for all nodes").
+    /// The default [`AttackSchedule::always`] with no rotation keeps the
+    /// fixed always-on attack of Figures 1-3.
+    pub schedule: AttackSchedule,
 }
 
 impl AttackPlan {
@@ -86,7 +90,7 @@ impl AttackPlan {
             kind: AttackKind::None,
             attacker_fraction: 0.0,
             satiate_fraction: 0.0,
-            rotation_period: None,
+            schedule: AttackSchedule::always(),
         }
     }
 
@@ -96,7 +100,7 @@ impl AttackPlan {
             kind: AttackKind::Crash,
             attacker_fraction: attacker_fraction.clamp(0.0, 1.0),
             satiate_fraction: 0.0,
-            rotation_period: None,
+            schedule: AttackSchedule::always(),
         }
     }
 
@@ -106,7 +110,7 @@ impl AttackPlan {
             kind: AttackKind::IdealLotusEater,
             attacker_fraction: attacker_fraction.clamp(0.0, 1.0),
             satiate_fraction: satiate_fraction.clamp(0.0, 1.0),
-            rotation_period: None,
+            schedule: AttackSchedule::always(),
         }
     }
 
@@ -116,19 +120,37 @@ impl AttackPlan {
             kind: AttackKind::TradeLotusEater,
             attacker_fraction: attacker_fraction.clamp(0.0, 1.0),
             satiate_fraction: satiate_fraction.clamp(0.0, 1.0),
-            rotation_period: None,
+            schedule: AttackSchedule::always(),
         }
     }
 
-    /// Rotate the satiated set every `period` rounds.
+    /// Rotate the satiated set every `period` rounds (thin alias for
+    /// `self.schedule.with_rotation(period)` — the timing layer owns the
+    /// rotation arithmetic now).
     ///
     /// # Panics
     ///
     /// Panics if `period == 0`.
     pub fn with_rotation(mut self, period: u64) -> Self {
-        assert!(period > 0, "rotation period must be positive");
-        self.rotation_period = Some(period);
+        self.schedule = self.schedule.with_rotation(period);
         self
+    }
+
+    /// Run the attack under `schedule` (builder style).
+    pub fn with_schedule(mut self, schedule: AttackSchedule) -> Self {
+        // Keep any rotation already configured unless the new schedule
+        // carries its own.
+        let rotation = schedule.rotation.or(self.schedule.rotation);
+        self.schedule = AttackSchedule {
+            rotation,
+            ..schedule
+        };
+        self
+    }
+
+    /// The rotation period, if the satiated set rotates.
+    pub fn rotation_period(&self) -> Option<u64> {
+        self.schedule.rotation
     }
 
     /// Attacker node count in a system of `n` nodes.
@@ -210,8 +232,22 @@ mod tests {
     #[test]
     fn rotation_builder() {
         let plan = AttackPlan::trade_lotus_eater(0.3, 0.7).with_rotation(10);
-        assert_eq!(plan.rotation_period, Some(10));
-        assert_eq!(AttackPlan::none().rotation_period, None);
+        assert_eq!(plan.rotation_period(), Some(10));
+        assert_eq!(AttackPlan::none().rotation_period(), None);
+    }
+
+    #[test]
+    fn schedule_builder_keeps_rotation() {
+        let plan = AttackPlan::trade_lotus_eater(0.3, 0.7)
+            .with_rotation(10)
+            .with_schedule(AttackSchedule::oscillating(20, 10));
+        assert_eq!(plan.rotation_period(), Some(10));
+        assert!(matches!(
+            plan.schedule.trigger,
+            lotus_core::schedule::Trigger::Periodic { .. }
+        ));
+        let explicit = AttackPlan::crash(0.2).with_schedule(AttackSchedule::at(5).with_rotation(3));
+        assert_eq!(explicit.rotation_period(), Some(3));
     }
 
     #[test]

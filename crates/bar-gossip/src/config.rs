@@ -16,6 +16,7 @@
 //! report-and-evict).
 
 use crate::update::MAX_UPDATES_PER_ROUND;
+use lotus_core::population::ChurnSpec;
 
 /// Report-and-evict defense settings (§4 "leveraging obedience").
 ///
@@ -100,6 +101,11 @@ pub struct BarGossipConfig {
     /// exchanges to limit the damage Byzantine nodes can do; the paper's
     /// §4 discusses this as the trade-opportunity parameter `c`.
     pub responder_cap: Option<u32>,
+    /// Population churn: per-round node departure/return rates
+    /// ([`ChurnSpec::none`] by default — the paper's closed population).
+    /// Absent nodes neither initiate nor respond and receive no seeds,
+    /// but keep their windows and rejoin where they left off.
+    pub churn: ChurnSpec,
 }
 
 impl Default for BarGossipConfig {
@@ -118,6 +124,7 @@ impl Default for BarGossipConfig {
             defenses: DefenseSuite::default(),
             attacker_receives: false,
             responder_cap: Some(2),
+            churn: ChurnSpec::none(),
         }
     }
 }
@@ -347,6 +354,12 @@ impl BarGossipConfigBuilder {
     /// per round (`None` = unbounded).
     pub fn responder_cap(mut self, cap: Option<u32>) -> Self {
         self.cfg.responder_cap = cap;
+        self
+    }
+
+    /// Population churn rates (default: none).
+    pub fn churn(mut self, churn: ChurnSpec) -> Self {
+        self.cfg.churn = churn;
         self
     }
 

@@ -28,16 +28,20 @@
 //! # Hot-loop invariants
 //!
 //! The round loop is allocation-free in steady state: the interaction
-//! order and purchase lists are scratch buffers owned by the sim struct,
-//! and the ideal-attack pool is a persistent [`WindowSet`] advanced in
-//! lockstep with the node windows (cleared and re-unioned each round)
-//! rather than rebuilt from round 0. Scratch contents are meaningless
-//! between rounds; refactors here must keep reports bit-identical per
-//! seed (the determinism tests are the guardrail).
+//! order, purchase, presence and seeding-pick lists are scratch buffers
+//! owned by the sim struct, and the ideal-attack pool is a persistent
+//! [`WindowSet`] advanced in lockstep with the node windows (cleared and
+//! re-unioned each round) rather than rebuilt from round 0. The timing
+//! layer (`lotus_core::schedule`, `lotus_core::population`) adds no
+//! allocations. Scratch contents are meaningless between rounds;
+//! refactors here must keep reports bit-identical per seed (the
+//! determinism and schedule-golden tests are the guardrail).
 
 use crate::attack::{AttackKind, AttackPlan};
 use crate::config::BarGossipConfig;
 use crate::update::WindowSet;
+use lotus_core::population::Population;
+use lotus_core::schedule::{self, MetricKey, ScheduleState};
 use netsim::partner::{PartnerSchedule, Protocol};
 use netsim::rng::DetRng;
 use netsim::round::RoundSim;
@@ -165,10 +169,18 @@ pub struct ScripGossipSim {
     purchases_refused: u64,
     purchases_broke: u64,
     served_this_round: Vec<u32>,
+    /// Attack timing stepper; while off, attacker nodes buy and sell
+    /// honestly (the cooperate phase).
+    schedule_state: ScheduleState,
+    attack_active: bool,
+    /// Membership under churn (from `cfg.base.churn`).
+    population: Population,
     // Scratch buffers for the allocation-free round loop (see module
     // docs); contents are meaningless between rounds.
     order_scratch: Vec<NodeId>,
     want_scratch: Vec<crate::update::UpdateId>,
+    present_scratch: Vec<usize>,
+    picks_scratch: Vec<usize>,
 }
 
 impl ScripGossipSim {
@@ -210,13 +222,19 @@ impl ScripGossipSim {
                 target: target[i],
             })
             .collect();
+        let population = Population::new(n as usize, cfg.base.churn, rng.fork("population"));
         ScripGossipSim {
             pool: window.clone(),
             full: window,
             schedule: PartnerSchedule::new(rng.fork("schedule").next_u64(), n),
+            schedule_state: ScheduleState::new(plan.schedule),
+            attack_active: false,
+            population,
             served_this_round: vec![0; n as usize],
             order_scratch: Vec::with_capacity(n as usize),
             want_scratch: Vec::new(),
+            present_scratch: Vec::with_capacity(n as usize),
+            picks_scratch: Vec::new(),
             cfg,
             plan,
             nodes,
@@ -238,6 +256,13 @@ impl ScripGossipSim {
         } else {
             0
         }
+    }
+
+    /// Canonical-metric observation for metric-threshold schedules,
+    /// computed from the running delivery counters (no allocation).
+    /// `None` until the first measured expiry.
+    fn observe(&self, key: MetricKey) -> Option<f64> {
+        schedule::class_delivery_observation(&self.delivered, &self.totals, key)
     }
 
     /// Total scrip across all nodes (conserved).
@@ -274,22 +299,28 @@ impl ScripGossipSim {
     }
 
     fn seed_round(&mut self, t: Round) {
-        let n = self.nodes.len();
-        let copies = (self.cfg.base.copies_seeded as usize).min(n);
+        let mut present = std::mem::take(&mut self.present_scratch);
+        present.clear();
+        present.extend((0..self.nodes.len()).filter(|&i| self.population.is_present(i)));
+        let mut picks = std::mem::take(&mut self.picks_scratch);
+        let copies = (self.cfg.base.copies_seeded as usize).min(present.len());
         let mut seed_rng = self.rng.fork_idx("seeding", t);
         for slot in 0..self.cfg.base.updates_per_round {
             let id = crate::update::UpdateId { round: t, slot };
             self.full.insert(id);
-            for pick in seed_rng.sample_indices(n, copies) {
-                self.nodes[pick].window.insert(id);
+            seed_rng.sample_indices_into(present.len(), copies, &mut picks);
+            for &pick in &picks {
+                self.nodes[present[pick]].window.insert(id);
             }
         }
+        self.present_scratch = present;
+        self.picks_scratch = picks;
     }
 
     /// Ideal-attack forwarding: every attacker holding reaches every
     /// target instantly (out of band, free).
     fn ideal_forwarding(&mut self) {
-        if self.plan.kind != AttackKind::IdealLotusEater {
+        if self.plan.kind != AttackKind::IdealLotusEater || !self.attack_active {
             return;
         }
         // The persistent pool window stays aligned with the live ones;
@@ -313,7 +344,7 @@ impl ScripGossipSim {
     /// updates to targets instead of selling, and never buy.
     fn interaction(&mut self, buyer: NodeId, seller: NodeId, now: Round, cap: u32) {
         let (b, s) = (buyer.index(), seller.index());
-        if self.nodes[s].attacker {
+        if self.attack_active && self.nodes[s].attacker {
             // Attacker seller: gift everything, free, to targets only.
             if self.plan.kind == AttackKind::TradeLotusEater && self.nodes[b].target {
                 let mut gift = std::mem::take(&mut self.want_scratch);
@@ -332,7 +363,7 @@ impl ScripGossipSim {
             }
             return;
         }
-        if self.nodes[b].attacker {
+        if self.attack_active && self.nodes[b].attacker {
             // Trade attackers replenish their stock by buying like anyone
             // else would — but they pay with their own scrip, which the
             // supply bounds. (They start with the same endowment.)
@@ -422,6 +453,12 @@ impl ScripGossipSim {
 impl RoundSim for ScripGossipSim {
     fn round(&mut self, t: Round) {
         debug_assert_eq!(t, self.round, "rounds must be sequential");
+        self.population.begin_round(t);
+        let observed = self
+            .schedule_state
+            .needs_observation()
+            .and_then(|k| self.observe(k));
+        self.attack_active = self.schedule_state.is_active(t, observed);
         self.advance_windows(t);
         self.seed_round(t);
         self.ideal_forwarding();
@@ -442,10 +479,19 @@ impl RoundSim for ScripGossipSim {
                 .fork_idx("order", t.wrapping_mul(4).wrapping_add(proto_tag))
                 .shuffle(&mut order);
             for &v in &order {
-                if self.nodes[v.index()].attacker && self.plan.kind != AttackKind::TradeLotusEater {
+                if !self.population.is_present(v.index()) {
+                    continue; // absent nodes neither buy nor sell
+                }
+                if self.attack_active
+                    && self.nodes[v.index()].attacker
+                    && self.plan.kind != AttackKind::TradeLotusEater
+                {
                     continue; // crash/ideal attackers never interact
                 }
                 let p = self.schedule.partner_of(v, t, proto);
+                if !self.population.is_present(p.index()) {
+                    continue; // absent partner: the slot is wasted
+                }
                 self.interaction(v, p, t, cap);
             }
             self.order_scratch = order;

@@ -34,10 +34,15 @@
 //! `honest_scratch`, seeding picks, gift/return buffers) is a scratch
 //! buffer owned by the sim struct, cleared and refilled in place, and
 //! membership tracking (`reporters`, `fed`) uses
-//! [`lotus_core::bitset::BitSet`]. Scratch contents are meaningless
-//! between phases — each user clears before filling — and none of it
-//! affects reports: refactors here must keep reports bit-identical per
-//! seed (the determinism and legacy-equivalence tests are the guardrail).
+//! [`lotus_core::bitset::BitSet`]. The timing layer keeps the invariant:
+//! the schedule stepper ([`lotus_core::schedule::ScheduleState`]) and the
+//! churn tracker ([`lotus_core::population::Population`]) never allocate,
+//! and metric observations for threshold triggers are computed from the
+//! running delivery counters, not from a report. Scratch contents are
+//! meaningless between phases — each user clears before filling — and
+//! none of it affects reports: refactors here must keep reports
+//! bit-identical per seed (the determinism, legacy-equivalence and
+//! schedule-golden tests are the guardrail).
 
 use crate::attack::{AttackKind, AttackPlan};
 use crate::config::BarGossipConfig;
@@ -47,6 +52,8 @@ use crate::exchange::{
 };
 use crate::update::{UpdateId, WindowSet};
 use lotus_core::bitset::BitSet;
+use lotus_core::population::Population;
+use lotus_core::schedule::{self, MetricKey, ScheduleState};
 use netsim::bandwidth::{BandwidthMeter, MsgClass};
 use netsim::partner::{PartnerSchedule, Protocol};
 use netsim::rng::DetRng;
@@ -212,6 +219,14 @@ pub struct BarGossipSim {
     node_unusable_rounds: Vec<u32>,
     /// Measured expired rounds so far.
     measured_rounds: u32,
+    /// Attack timing stepper (dormant/cooperate vs defect phases).
+    schedule_state: ScheduleState,
+    /// Whether the schedule has the attack on this round. While off,
+    /// attacker nodes cooperate: they run the honest protocol like
+    /// everyone else (building stock the eventual defection exploits).
+    attack_active: bool,
+    /// Membership under churn; everyone present without churn.
+    population: Population,
     // Scratch buffers for the allocation-free round loop (see module
     // docs); contents are meaningless between phases.
     alive_scratch: Vec<usize>,
@@ -286,10 +301,14 @@ impl BarGossipSim {
             })
             .collect();
 
+        let population = Population::new(n as usize, cfg.churn, rng.fork("population"));
         BarGossipSim {
             full: window.clone(),
             pool: window,
             schedule: PartnerSchedule::new(rng.fork("schedule").next_u64(), n),
+            schedule_state: ScheduleState::new(plan.schedule),
+            attack_active: false,
+            population,
             authority: Authority::new(rng.fork("authority").next_u64(), n),
             meter: BandwidthMeter::new(n),
             trace: TraceBuffer::disabled(),
@@ -362,13 +381,13 @@ impl BarGossipSim {
     }
 
     fn alive(&self, node: NodeId) -> bool {
-        !self.nodes[node.index()].evicted
+        !self.nodes[node.index()].evicted && self.population.is_present(node.index())
     }
 
     /// Honest responders serve at most `responder_cap` incoming
     /// interactions per protocol per round; attackers accept everything.
     fn responder_accepts(&mut self, node: NodeId, push: bool) -> bool {
-        if self.is_attacker(node) {
+        if self.attack_active && self.is_attacker(node) {
             return true;
         }
         let cap = self.cfg.responder_cap.map_or(u32::MAX, |c| c);
@@ -388,6 +407,14 @@ impl BarGossipSim {
     // ------------------------------------------------------------------
     // Round phases.
     // ------------------------------------------------------------------
+
+    /// Canonical-metric observation for metric-threshold schedules,
+    /// computed from the running delivery counters (no report, no
+    /// allocation). `None` until the first measured expiry — an
+    /// unmeasured metric must not latch a threshold trigger.
+    fn observe(&self, key: MetricKey) -> Option<f64> {
+        schedule::class_delivery_observation(&self.delivered, &self.totals, key)
+    }
 
     /// Phase 0: account attacker union coverage for the round about to
     /// expire (must run before the windows slide).
@@ -466,7 +493,10 @@ impl BarGossipSim {
     fn seed_round(&mut self, t: Round) {
         let mut alive = std::mem::take(&mut self.alive_scratch);
         alive.clear();
-        alive.extend((0..self.nodes.len()).filter(|&i| !self.nodes[i].evicted));
+        alive.extend(
+            (0..self.nodes.len())
+                .filter(|&i| !self.nodes[i].evicted && self.population.is_present(i)),
+        );
         let mut picks = std::mem::take(&mut self.picks_scratch);
         let copies = (self.cfg.copies_seeded as usize).min(alive.len());
         let mut seed_rng = self.rng.fork_idx("seeding", t);
@@ -491,17 +521,17 @@ impl BarGossipSim {
     /// Phase 3 (ideal attack only): instant out-of-band forwarding of the
     /// attacker pool to every satiated-set node.
     fn ideal_forwarding(&mut self) {
-        if self.plan.kind != AttackKind::IdealLotusEater {
+        if self.plan.kind != AttackKind::IdealLotusEater || !self.attack_active {
             return;
         }
         // Representative attacker for bandwidth attribution.
         let Some(rep) = (0..self.nodes.len())
-            .find(|&i| self.nodes[i].class == NodeClass::Attacker && !self.nodes[i].evicted)
+            .find(|&i| self.nodes[i].class == NodeClass::Attacker && self.alive(NodeId(i as u32)))
         else {
             return;
         };
         for i in 0..self.nodes.len() {
-            if !self.nodes[i].target || self.nodes[i].evicted {
+            if !self.nodes[i].target || !self.alive(NodeId(i as u32)) {
                 continue;
             }
             let gained = self.nodes[i].window.missing_from(&self.pool) as u64;
@@ -659,7 +689,7 @@ impl BarGossipSim {
     /// target window slides over the honest population so every node takes
     /// turns being satiated — and, in between, isolated.
     fn rotate_targets(&mut self, t: Round) {
-        let Some(period) = self.plan.rotation_period else {
+        let Some(period) = self.plan.rotation_period() else {
             return;
         };
         if !self.plan.kind.satiates() || !t.is_multiple_of(period) {
@@ -675,13 +705,15 @@ impl BarGossipSim {
         }
         let count =
             (self.plan.satiated_honest_count(self.nodes.len() as u32) as usize).min(honest.len());
-        let offset = ((t / period) as usize).wrapping_mul(count) % honest.len();
         for node in self.nodes.iter_mut() {
             node.target = false;
         }
-        for k in 0..count {
-            let idx = honest[(offset + k) % honest.len()];
-            self.nodes[idx].target = true;
+        let phase = self
+            .schedule_state
+            .rotation_phase(t)
+            .expect("rotation_period() implies a rotation phase");
+        for w in schedule::rotating_window(phase, count, honest.len()) {
+            self.nodes[honest[w]].target = true;
         }
         self.honest_scratch = honest;
     }
@@ -709,7 +741,15 @@ impl BarGossipSim {
             if !self.alive(p) {
                 continue;
             }
-            match (self.nodes[v.index()].class, self.nodes[p.index()].class) {
+            // While the schedule has the attack off, attacker nodes run
+            // the honest protocol (the cooperate phase), so both classes
+            // collapse to honest in the dispatch below.
+            let classes = if self.attack_active {
+                (self.nodes[v.index()].class, self.nodes[p.index()].class)
+            } else {
+                (NodeClass::Isolated, NodeClass::Isolated)
+            };
+            match classes {
                 (NodeClass::Attacker, NodeClass::Attacker) => {
                     if self.plan.kind == AttackKind::TradeLotusEater {
                         self.attacker_sync(v, p);
@@ -772,7 +812,10 @@ impl BarGossipSim {
             if !self.alive(v) {
                 continue;
             }
-            if self.is_attacker(v) {
+            // Attacker-specific push behaviour only while the attack is
+            // on; a cooperating attacker falls through to the honest
+            // rational-push logic below.
+            if self.attack_active && self.is_attacker(v) {
                 if self.plan.kind == AttackKind::TradeLotusEater {
                     let p = self.schedule.partner_of(v, t, Protocol::OptimisticPush);
                     if self.alive(p) {
@@ -798,7 +841,7 @@ impl BarGossipSim {
             if !self.alive(p) {
                 continue;
             }
-            if self.is_attacker(p) {
+            if self.attack_active && self.is_attacker(p) {
                 if self.plan.kind == AttackKind::TradeLotusEater && self.nodes[v.index()].target {
                     self.attacker_gift(p, v, t, true);
                 }
@@ -946,6 +989,16 @@ impl BarGossipSim {
 impl RoundSim for BarGossipSim {
     fn round(&mut self, t: Round) {
         debug_assert_eq!(t, self.round, "rounds must be sequential");
+        // Timing layer first: churn membership, then the schedule decides
+        // whether this round is a cooperate or defect round. Both are
+        // no-ops (no rng draws, no allocation) under the default
+        // always-on, churn-free configuration.
+        self.population.begin_round(t);
+        let observed = self
+            .schedule_state
+            .needs_observation()
+            .and_then(|k| self.observe(k));
+        self.attack_active = self.schedule_state.is_active(t, observed);
         self.account_attacker_coverage(t);
         self.rotate_targets(t);
         self.advance_windows(t);

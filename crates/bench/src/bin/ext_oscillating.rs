@@ -1,0 +1,53 @@
+//! X15 — the oscillating lotus-eater: defect, cooperate, re-defect.
+//!
+//! §2 observes that by changing *when* it attacks, the attacker can keep
+//! the system permanently off balance. This preset runs the trade
+//! lotus-eater under a periodic schedule (on for 10 rounds of every 20 —
+//! one update lifetime of defection, one of cooperation) and compares it
+//! with the always-on attack across attacker fractions. During the
+//! cooperate phase the attacker nodes run the honest protocol, building
+//! both stock and cover; each re-defection re-opens the delivery wound
+//! before the window fully heals, so the oscillating attacker touches far
+//! more honest node-rounds per unit of attack time than the static one.
+//!
+//! Sweepable and benchable through the ordinary grammar, e.g.:
+//!
+//! ```text
+//! lotus-bench --scenario bar-gossip --attack trade \
+//!     --schedule periodic:20:10 --sweep fraction --quick
+//! lotus-bench --bench --scenario bar-gossip \
+//!     --curve "trade,schedule=periodic:20:10"
+//! ```
+
+use lotus_bench::runner::run_shim;
+
+fn main() {
+    run_shim(
+        &[
+            "--scenario",
+            "bar-gossip",
+            "--title",
+            "X15 — Oscillating lotus-eater (periodic:20:10 vs always-on)",
+            "--param",
+            "rounds=60",
+            "--y-label",
+            "isolated delivery at expiry",
+            "--curve",
+            "trade,label=always-on trade attack",
+            "--curve",
+            "trade,schedule=periodic:20:10,label=oscillating trade attack",
+            "--curve",
+            "trade,schedule=periodic:20:10,metric=nodes_ever_unusable,\
+             label=oscillating: nodes ever unusable",
+            "--curve",
+            "none,label=no attack",
+        ],
+        &[
+            "The oscillating attacker trades sustained pressure for periodic",
+            "shocks: isolated delivery recovers partway during each cooperate",
+            "phase, but every re-defection dips it again — the nodes-ever-",
+            "unusable curve shows the intermittent outages spreading across",
+            "the population even where mean delivery looks tolerable.",
+        ],
+    );
+}

@@ -26,7 +26,9 @@ use std::collections::BTreeMap;
 use bar_gossip::scrip_gossip::{ScripGossipConfig, ScripGossipSim};
 use bar_gossip::{AttackPlan, BarGossipConfig, BarGossipSim, ReportConfig};
 use lotus_core::attack::{SatiateCut, TokenAttack};
+use lotus_core::population::ChurnSpec;
 use lotus_core::scenario::{boxed, DynScenario, ScenarioReport};
+use lotus_core::schedule::AttackSchedule;
 use lotus_core::token::{
     Allocation, SatFunction, TokenScenarioConfig, TokenSystem, TokenSystemConfig,
 };
@@ -295,6 +297,42 @@ impl ScenarioRegistry {
     }
 }
 
+/// Shared parameter documentation for the cross-substrate schedule/churn
+/// axes (every schedulable scenario lists these).
+const SCHEDULE_PARAM_DOC: (&str, &str) = (
+    "schedule",
+    "attack timing: always | at:<r> | window:<a>:<b> | periodic:<p>:<a> | \
+     delivery-above:<x> | delivery-below:<x> | targeted-above:<x> | targeted-below:<x>",
+);
+const CHURN_LEAVE_DOC: (&str, &str) = (
+    "churn_leave",
+    "per-round probability a node goes offline (0 = closed population)",
+);
+const CHURN_REJOIN_DOC: (&str, &str) = (
+    "churn_rejoin",
+    "per-round probability an offline node returns (default 0.25)",
+);
+
+/// Parse the `schedule` parameter (default: always-on).
+fn parse_schedule(req: &RunRequest<'_>) -> Result<AttackSchedule, String> {
+    match req.params.get("schedule") {
+        None => Ok(AttackSchedule::always()),
+        Some(spec) => AttackSchedule::parse(spec),
+    }
+}
+
+/// Parse the `churn_leave`/`churn_rejoin` parameters (default: none).
+fn parse_churn(req: &RunRequest<'_>) -> Result<ChurnSpec, String> {
+    let leave = req.num("churn_leave", 0.0)?;
+    let rejoin = req.num("churn_rejoin", 0.25)?;
+    for (name, p) in [("churn_leave", leave), ("churn_rejoin", rejoin)] {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(format!("parameter {name}={p} outside [0, 1]"));
+        }
+    }
+    Ok(ChurnSpec::new(leave, rejoin))
+}
+
 // ---------------------------------------------------------------------
 // bar-gossip
 // ---------------------------------------------------------------------
@@ -349,6 +387,9 @@ fn bar_gossip_spec() -> ScenarioSpec {
                 "report_excess_slack",
                 "updates above the cap tolerated before reporting (default 1)",
             ),
+            SCHEDULE_PARAM_DOC,
+            CHURN_LEAVE_DOC,
+            CHURN_REJOIN_DOC,
         ],
         sweeps: &[
             "rate_limit",
@@ -356,6 +397,8 @@ fn bar_gossip_spec() -> ScenarioSpec {
             "report_obedient",
             "push_size",
             "satiate_fraction",
+            "churn_leave",
+            "churn_rejoin",
         ],
         metrics: &[
             "isolated_delivery",
@@ -423,6 +466,7 @@ fn bar_gossip_config(req: &RunRequest<'_>) -> Result<BarGossipConfig, String> {
             excess_slack: req.num("report_excess_slack", 1.0)? as u32,
         });
     }
+    b = b.churn(parse_churn(req)?);
     b.build()
         .map_err(|e| format!("invalid bar-gossip config: {e}"))
 }
@@ -437,6 +481,7 @@ fn bar_gossip_plan(req: &RunRequest<'_>) -> Result<AttackPlan, String> {
         "trade" => AttackPlan::trade_lotus_eater(fraction, satiate),
         other => return Err(format!("unknown bar-gossip attack {other:?}")),
     };
+    plan = plan.with_schedule(parse_schedule(req)?);
     let rotation = req.num("rotation_period", 0.0)?;
     if rotation > 0.0 {
         plan = plan.with_rotation(rotation as u64);
@@ -486,8 +531,17 @@ fn scrip_spec() -> ScenarioSpec {
                 "endowment",
                 "attacker's share of the money supply (default 1.0 = all of it)",
             ),
+            SCHEDULE_PARAM_DOC,
+            CHURN_LEAVE_DOC,
+            CHURN_REJOIN_DOC,
         ],
-        sweeps: &["altruists", "money_per_agent", "threshold"],
+        sweeps: &[
+            "altruists",
+            "money_per_agent",
+            "threshold",
+            "churn_leave",
+            "churn_rejoin",
+        ],
         metrics: &[
             "service_rate",
             "free_rate",
@@ -534,6 +588,7 @@ fn build_scrip(req: &RunRequest<'_>) -> Result<Box<dyn DynScenario>, String> {
     if let Some(v) = req.opt_num("warmup")? {
         b = b.warmup(v as u64);
     }
+    b = b.schedule(parse_schedule(req)?).churn(parse_churn(req)?);
     let cfg = b
         .build()
         .map_err(|e| format!("invalid scrip config: {e}"))?;
@@ -583,8 +638,17 @@ fn bittorrent_spec() -> ScenarioSpec {
                 "target_policy",
                 "target choice: random | rare (rare-piece holders)",
             ),
+            SCHEDULE_PARAM_DOC,
+            CHURN_LEAVE_DOC,
+            CHURN_REJOIN_DOC,
         ],
-        sweeps: &["attacker_peers", "pieces", "leechers"],
+        sweeps: &[
+            "attacker_peers",
+            "pieces",
+            "leechers",
+            "churn_leave",
+            "churn_rejoin",
+        ],
         metrics: &[
             "mean_completion",
             "mean_completion_nontargeted",
@@ -625,6 +689,7 @@ fn build_bittorrent(req: &RunRequest<'_>) -> Result<Box<dyn DynScenario>, String
         Some("random") => b = b.piece_policy(PiecePolicy::Random),
         Some(other) => return Err(format!("unknown piece_policy {other:?} (rarest | random)")),
     }
+    b = b.churn(parse_churn(req)?);
     let cfg = b
         .build()
         .map_err(|e| format!("invalid bittorrent config: {e}"))?;
@@ -649,6 +714,7 @@ fn build_bittorrent(req: &RunRequest<'_>) -> Result<Box<dyn DynScenario>, String
         }
         other => return Err(format!("unknown bittorrent attack {other:?}")),
     };
+    let attack = attack.with_schedule(parse_schedule(req)?);
     Ok(boxed::<SwarmSim>(cfg, attack, req.seed))
 }
 
@@ -712,8 +778,19 @@ fn token_spec() -> ScenarioSpec {
             ),
             ("period", "rotation period in rounds (rotating attack)"),
             ("cut_col", "which grid column to cut (default cols/2)"),
+            SCHEDULE_PARAM_DOC,
+            CHURN_LEAVE_DOC,
+            CHURN_REJOIN_DOC,
         ],
-        sweeps: &["altruism", "rare_holders", "redundancy", "tokens", "budget"],
+        sweeps: &[
+            "altruism",
+            "rare_holders",
+            "redundancy",
+            "tokens",
+            "budget",
+            "churn_leave",
+            "churn_rejoin",
+        ],
         metrics: &[
             "mean_coverage",
             "min_coverage",
@@ -858,11 +935,10 @@ fn build_token(req: &RunRequest<'_>) -> Result<Box<dyn DynScenario>, String> {
         .build()
         .map_err(|e| format!("invalid token config: {e}"))?;
     let rounds = req.num("rounds", 150.0)? as u64;
-    Ok(boxed::<TokenSystem>(
-        TokenScenarioConfig::new(cfg, rounds),
-        attack,
-        req.seed,
-    ))
+    let scenario_cfg = TokenScenarioConfig::new(cfg, rounds)
+        .with_schedule(parse_schedule(req)?)
+        .with_churn(parse_churn(req)?);
+    Ok(boxed::<TokenSystem>(scenario_cfg, attack, req.seed))
 }
 
 // ---------------------------------------------------------------------
@@ -895,8 +971,11 @@ fn scrip_gossip_spec() -> ScenarioSpec {
                 "satiate_fraction",
                 "fraction targeted for satiation (paper: 0.70)",
             ),
+            SCHEDULE_PARAM_DOC,
+            CHURN_LEAVE_DOC,
+            CHURN_REJOIN_DOC,
         ],
-        sweeps: &[],
+        sweeps: &["churn_leave", "churn_rejoin"],
         metrics: &[
             "isolated_delivery",
             "satiated_delivery",

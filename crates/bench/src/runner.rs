@@ -254,6 +254,19 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
                     .ok_or_else(|| format!("--param wants key=value, got {v:?}"))?;
                 opts.params.set(k, val);
             }
+            "--schedule" => {
+                // Validate eagerly so typos fail at parse time, then pass
+                // the spec through the ordinary parameter channel.
+                let v = take("--schedule")?;
+                lotus_core::schedule::AttackSchedule::parse(v)?;
+                opts.params.set("schedule", v);
+            }
+            "--churn" => {
+                let v = take("--churn")?;
+                let churn = lotus_core::population::ChurnSpec::parse(v)?;
+                opts.params.set("churn_leave", churn.leave.to_string());
+                opts.params.set("churn_rejoin", churn.rejoin.to_string());
+            }
             "--format" => {
                 opts.format = match take("--format")? {
                     "table" => Format::Table,
@@ -310,6 +323,14 @@ options:
   --sweep KNOB          what x drives: fraction (default) or a parameter
   --seeds N             replication seeds 1..=N (default 5, 2 with --quick)
   --param K=V           scenario parameter (repeatable, applies to all curves)
+  --schedule SPEC       attack timing: always (default) | at:<round> |
+                        window:<from>:<until> | periodic:<period>:<active> |
+                        delivery-above:<x> | delivery-below:<x> |
+                        targeted-above:<x> | targeted-below:<x>
+                        (sugar for --param schedule=SPEC)
+  --churn L[:R]         population churn: per-round leave probability L and
+                        rejoin probability R (default 0.25); sugar for
+                        --param churn_leave=L / churn_rejoin=R
   --format table|json   output format (default table)
   --threshold T         usability threshold for crossovers (default 0.93)
   --title/--x-label/--y-label STR   labels
@@ -749,7 +770,10 @@ fn render_json(figure: &Figure, opts: &Options) -> String {
     out
 }
 
-/// Render the `--list` catalogue.
+/// Render the `--list` catalogue: every scenario with its attacks (one
+/// documented line each), its sweepable knobs, its metrics, and — where
+/// the substrate supports them — the schedule/churn axes, so timed and
+/// churned presets are discoverable without reading the source.
 pub fn render_list(registry: &ScenarioRegistry) -> String {
     use std::fmt::Write;
     let mut out = String::new();
@@ -757,18 +781,29 @@ pub fn render_list(registry: &ScenarioRegistry) -> String {
     for spec in registry.specs() {
         let _ = writeln!(out);
         let _ = writeln!(out, "  {} — {}", spec.name, spec.about);
-        let attacks: Vec<String> = spec
-            .attacks
-            .iter()
-            .map(|(name, _)| (*name).to_string())
-            .collect();
-        let _ = writeln!(out, "    attacks: {}", attacks.join(", "));
+        let _ = writeln!(out, "    attacks:");
+        for (name, doc) in spec.attacks {
+            let _ = writeln!(out, "      {name} — {doc}");
+        }
         let _ = writeln!(
             out,
             "    sweeps:  fraction{}{}",
             if spec.sweeps.is_empty() { "" } else { ", " },
             spec.sweeps.join(", ")
         );
+        if spec.has_param("schedule") {
+            let _ = writeln!(
+                out,
+                "    schedule: --schedule always|at:<r>|window:<a>:<b>|periodic:<p>:<a>|\
+                 delivery-above:<x>|delivery-below:<x>|targeted-above:<x>|targeted-below:<x>"
+            );
+        }
+        if spec.has_param("churn_leave") {
+            let _ = writeln!(
+                out,
+                "    churn:   --churn <leave>[:<rejoin>]  (params churn_leave, churn_rejoin)"
+            );
+        }
         let _ = writeln!(
             out,
             "    metrics: {} (default {})",

@@ -88,6 +88,92 @@ fn runner_lists_every_registered_scenario() {
 }
 
 #[test]
+fn runner_list_documents_attacks_and_schedule_churn_axes() {
+    let out = run_runner(&["--list"]);
+    // Per-scenario attacks are enumerated with their doc lines, not just
+    // names, so presets are discoverable from the CLI alone.
+    for needle in [
+        "trade — trade lotus-eater: in-protocol give-everything",
+        "satiate — attacker peers upload generously, but only to their targets",
+        "rotating — rotate the satiated fraction every `period` rounds",
+    ] {
+        assert!(out.contains(needle), "missing {needle:?} in:\n{out}");
+    }
+    // The schedule/churn axes appear for every substrate that takes them.
+    assert_eq!(
+        out.matches("schedule: --schedule always|at:<r>").count(),
+        5,
+        "five substrates advertise the schedule axis:\n{out}"
+    );
+    assert_eq!(
+        out.matches("churn:   --churn <leave>[:<rejoin>]").count(),
+        5,
+        "five substrates advertise the churn axis:\n{out}"
+    );
+    // The runner help documents the flags themselves.
+    let help = run_runner(&["--help"]);
+    assert!(help.contains("--schedule SPEC"), "{help}");
+    assert!(help.contains("--churn L[:R]"), "{help}");
+}
+
+#[test]
+fn runner_schedule_and_churn_flags_run_end_to_end() {
+    let base = [
+        "--scenario",
+        "bar-gossip",
+        "--attack",
+        "trade",
+        "--format",
+        "json",
+        "--quick",
+        "--seeds",
+        "1",
+        "--x-values",
+        "0.3",
+        "--param",
+        "nodes=50",
+        "--param",
+        "rounds=8",
+        "--param",
+        "warmup_rounds=4",
+        "--param",
+        "updates_per_round=4",
+        "--param",
+        "copies_seeded=5",
+    ];
+    let mut scheduled = base.to_vec();
+    scheduled.extend(["--schedule", "periodic:6:3", "--churn", "0.05:0.5"]);
+    let out = run_runner(&scheduled);
+    assert!(out.contains("\"points\":[[0.3,"), "no points in:\n{out}");
+
+    // Malformed specs fail at parse time with status 2.
+    for bad in [
+        ["--schedule", "sometimes"],
+        ["--schedule", "periodic:0:0"],
+        ["--churn", "1.5"],
+    ] {
+        let mut args = base.to_vec();
+        args.extend(bad);
+        let status = Command::new(env!("CARGO_BIN_EXE_lotus-bench"))
+            .args(&args)
+            .output()
+            .expect("runner launches")
+            .status;
+        assert_eq!(status.code(), Some(2), "{bad:?} should be rejected");
+    }
+}
+
+#[test]
+fn oscillating_and_churn_presets_run_in_quick_mode() {
+    let osc = run_quick(env!("CARGO_BIN_EXE_ext_oscillating"));
+    assert!(osc.contains("Oscillating lotus-eater"), "{osc}");
+    assert!(osc.contains("oscillating trade attack"), "{osc}");
+    let churn = run_quick(env!("CARGO_BIN_EXE_ext_churn"));
+    assert!(churn.contains("Churn-gossip"), "{churn}");
+    assert!(churn.contains("trade attack at 22%"), "{churn}");
+}
+
+#[test]
 fn runner_emits_json_for_the_acceptance_invocation() {
     // The ISSUE-1 acceptance CLI (scaled down so CI stays fast).
     let out = run_runner(&[

@@ -11,6 +11,8 @@
 //! manufacture a last-pieces problem — which rarest-first then defuses
 //! (§4, experiment X7).
 
+use lotus_core::schedule::AttackSchedule;
+
 /// Who the attacker satiates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TargetPolicy {
@@ -37,6 +39,10 @@ pub struct SwarmAttack {
     /// [`TargetPolicy::RarePieceHolders`] and
     /// [`TargetPolicy::TopUploaders`]).
     pub target_policy: TargetPolicy,
+    /// When the attack is on (default: always). While off, attacker
+    /// peers cooperate: they seed like ordinary seeds instead of serving
+    /// only their targets.
+    pub schedule: AttackSchedule,
 }
 
 impl SwarmAttack {
@@ -47,6 +53,7 @@ impl SwarmAttack {
             attacker_slots: 0,
             target_fraction: 0.0,
             target_policy: TargetPolicy::Random,
+            schedule: AttackSchedule::always(),
         }
     }
 
@@ -58,7 +65,14 @@ impl SwarmAttack {
             attacker_slots: slots,
             target_fraction: target_fraction.clamp(0.0, 1.0),
             target_policy: policy,
+            schedule: AttackSchedule::always(),
         }
+    }
+
+    /// Run the attack under `schedule` (builder style).
+    pub fn with_schedule(mut self, schedule: AttackSchedule) -> Self {
+        self.schedule = schedule;
+        self
     }
 
     /// Whether any attack is configured.

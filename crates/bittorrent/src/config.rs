@@ -9,6 +9,8 @@
 //! unchokes, rarest-first / random-first / endgame piece selection, origin
 //! seeds and post-completion seeding.
 
+use lotus_core::population::ChurnSpec;
+
 /// How a downloader picks the next piece to request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PiecePolicy {
@@ -46,6 +48,10 @@ pub struct SwarmConfig {
     pub seed_after_completion: u32,
     /// Hard stop for the simulation.
     pub max_rounds: u64,
+    /// Leecher churn: per-round offline/return rates (default: none).
+    /// Origin seeds and attacker peers never churn; offline leechers
+    /// keep their pieces and resume downloading on return.
+    pub churn: ChurnSpec,
 }
 
 impl Default for SwarmConfig {
@@ -61,6 +67,7 @@ impl Default for SwarmConfig {
             piece_policy: PiecePolicy::RarestFirst,
             seed_after_completion: 0,
             max_rounds: 2_000,
+            churn: ChurnSpec::none(),
         }
     }
 }
@@ -181,6 +188,12 @@ impl SwarmConfigBuilder {
     /// Set the hard round limit.
     pub fn max_rounds(mut self, r: u64) -> Self {
         self.cfg.max_rounds = r;
+        self
+    }
+
+    /// Set the leecher churn rates (default: none).
+    pub fn churn(mut self, churn: ChurnSpec) -> Self {
+        self.cfg.churn = churn;
         self
     }
 

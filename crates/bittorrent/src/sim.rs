@@ -24,14 +24,21 @@
 //! lists, tit-for-tat rankings, rarity counts, piece-selection sets and
 //! the transfer list all live in [`Scratch`] buffers owned by the sim
 //! struct, cleared and refilled in place (the unchoke lists keep their
-//! per-peer `Vec` capacities across rounds). Scratch contents are
-//! meaningless between phases, and refactors here must keep reports
-//! bit-identical per seed (the determinism tests are the guardrail).
+//! per-peer `Vec` capacities across rounds). The timing layer
+//! (`lotus_core::schedule`, `lotus_core::population`) adds no
+//! allocations: schedule stepping is pure arithmetic plus a latch bit,
+//! churn flips bits in a persistent membership set, and threshold-trigger
+//! observations come from completion flags, not reports. Scratch contents
+//! are meaningless between phases, and refactors here must keep reports
+//! bit-identical per seed (the determinism and schedule-golden tests are
+//! the guardrail).
 
 use crate::attack::{SwarmAttack, TargetPolicy};
 use crate::config::{PiecePolicy, SwarmConfig};
 use lotus_core::bitset::BitSet;
+use lotus_core::population::Population;
 use lotus_core::satiation::Satiable;
+use lotus_core::schedule::{MetricKey, ScheduleState};
 use netsim::rng::DetRng;
 use netsim::round::RoundSim;
 use netsim::{NodeId, Round};
@@ -198,6 +205,13 @@ pub struct SwarmSim {
     round: Round,
     duplicates: u64,
     fixed_targets: Vec<usize>,
+    /// Attack timing stepper; while off, attacker peers seed like
+    /// ordinary seeds (the cooperate phase).
+    schedule_state: ScheduleState,
+    attack_active: bool,
+    /// Leecher membership under churn (seeds and attacker peers are
+    /// protected and never leave).
+    population: Population,
     scratch: Scratch,
 }
 
@@ -243,9 +257,18 @@ impl SwarmSim {
         } else {
             Vec::new()
         };
+        let mut population = Population::new(n, cfg.churn, rng.fork("population"));
+        for (i, peer) in peers.iter().enumerate() {
+            if peer.role != PeerRole::Leecher {
+                population.protect(i);
+            }
+        }
         SwarmSim {
             credit: vec![vec![0.0; n]; n],
             scratch: Scratch::new(cfg.pieces as usize),
+            schedule_state: ScheduleState::new(attack.schedule),
+            attack_active: false,
+            population,
             cfg,
             attack,
             peers,
@@ -280,7 +303,46 @@ impl SwarmSim {
     }
 
     fn active(&self, i: usize) -> bool {
-        !self.peers[i].departed
+        !self.peers[i].departed && self.population.is_present(i)
+    }
+
+    /// Canonical-metric observation for metric-threshold schedules,
+    /// computed from completion flags (no allocation). Unlike the
+    /// gossip substrates' expiry-measured delivery, the completion
+    /// fraction is genuine data from round 0 (nobody has finished yet),
+    /// so this always observes.
+    fn observe(&self, key: MetricKey) -> Option<f64> {
+        let mut done = [0u32; 2];
+        let mut count = [0u32; 2];
+        for peer in self.peers.iter().take(self.cfg.leechers as usize) {
+            let ti = usize::from(peer.ever_targeted);
+            count[ti] += 1;
+            if peer.completed_at.is_some() {
+                done[ti] += 1;
+            }
+        }
+        let frac = |d: u32, c: u32| {
+            if c == 0 {
+                0.0
+            } else {
+                f64::from(d) / f64::from(c)
+            }
+        };
+        let overall = if count[0] > 0 {
+            frac(done[0], count[0])
+        } else {
+            frac(done[1], count[1])
+        };
+        Some(match key {
+            MetricKey::OverallDelivery => overall,
+            MetricKey::TargetedService => {
+                if count[1] == 0 {
+                    overall
+                } else {
+                    frac(done[1], count[1])
+                }
+            }
+        })
     }
 
     /// `j` wants something `i` has: `i` holds a piece `j` lacks.
@@ -303,13 +365,17 @@ impl SwarmSim {
         }
     }
 
-    /// Phase 1: the attacker picks its targets for this round.
+    /// Phase 1: the attacker picks its targets for this round (none
+    /// while the schedule has the attack off).
     fn retarget(&mut self) {
         if !self.attack.is_active() {
             return;
         }
         for peer in self.peers.iter_mut() {
             peer.targeted = false;
+        }
+        if !self.attack_active {
+            return;
         }
         let count = self.attack.target_count(self.cfg.leechers) as usize;
         let mut leechers = std::mem::take(&mut self.scratch.leechers);
@@ -389,7 +455,14 @@ impl SwarmSim {
             if candidates.is_empty() {
                 continue;
             }
-            match self.peers[i].role {
+            // A cooperating (schedule-off) attacker seeds like an
+            // ordinary seed instead of serving only its targets.
+            let role = if self.peers[i].role == PeerRole::Attacker && !self.attack_active {
+                PeerRole::Seed
+            } else {
+                self.peers[i].role
+            };
+            match role {
                 PeerRole::Attacker => {
                     // Upload only to targets, as many slots as configured.
                     ranked.clear();
@@ -607,6 +680,15 @@ impl SwarmSim {
 impl RoundSim for SwarmSim {
     fn round(&mut self, t: Round) {
         debug_assert_eq!(t, self.round, "rounds must be sequential");
+        // Timing layer first: churn membership, then the schedule decides
+        // whether this is a cooperate or defect round. Both are no-ops
+        // under the default always-on, churn-free configuration.
+        self.population.begin_round(t);
+        let observed = self
+            .schedule_state
+            .needs_observation()
+            .and_then(|k| self.observe(k));
+        self.attack_active = self.schedule_state.is_active(t, observed);
         // Early lifecycle pass: peers satiated between rounds (e.g. fed by
         // the Observation 3.1 harness) complete — and depart, if they do
         // not linger — before they could serve anyone.

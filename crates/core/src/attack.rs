@@ -178,10 +178,15 @@ impl Attacker for SatiateRareHolders {
 /// different `fraction`-sized slice is satiated. The paper: "By changing
 /// who is satiated over time, the attacker could even make the service
 /// intermittently unusable for all nodes."
+///
+/// This is now a thin alias over the shared timing layer: the rotation
+/// arithmetic lives in [`crate::schedule::rotating_window`] and the
+/// period in an [`AttackSchedule`](crate::schedule::AttackSchedule) — the
+/// same machinery every substrate's scheduled attacks step.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RotatingSatiation {
     fraction: f64,
-    period: u64,
+    schedule: crate::schedule::ScheduleState,
 }
 
 impl RotatingSatiation {
@@ -195,7 +200,9 @@ impl RotatingSatiation {
         assert!(period > 0, "rotation period must be positive");
         RotatingSatiation {
             fraction: fraction.clamp(0.0, 1.0),
-            period,
+            schedule: crate::schedule::ScheduleState::new(
+                crate::schedule::AttackSchedule::always().with_rotation(period),
+            ),
         }
     }
 }
@@ -207,9 +214,13 @@ impl Attacker for RotatingSatiation {
         if k == 0 {
             return Vec::new();
         }
-        let phase = (view.round / self.period) as usize;
-        let start = (phase * k) % n;
-        (0..k).map(|i| NodeId(((start + i) % n) as u32)).collect()
+        let phase = self
+            .schedule
+            .rotation_phase(view.round)
+            .expect("rotating satiation always has a rotation period");
+        crate::schedule::rotating_window(phase, k, n)
+            .map(|i| NodeId(i as u32))
+            .collect()
     }
 
     fn label(&self) -> &'static str {

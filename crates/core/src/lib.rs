@@ -13,6 +13,13 @@
 //!   sufficiently rapidly prevents a node from ever providing service*;
 //! * [`attack`] — the attacker strategies §3 analyses (graph cuts, rare
 //!   tokens, mass satiation, rotation, budgets);
+//! * [`schedule`] — attack *timing*: the cross-substrate
+//!   [`AttackSchedule`](schedule::AttackSchedule) (dormant → cooperate →
+//!   defect phases, oscillation, metric-threshold triggers, rotation)
+//!   every simulator steps deterministically;
+//! * [`population`] — population *churn*: deterministic arrival/departure
+//!   dynamics ([`Population`](population::Population)) every simulator
+//!   can run under;
 //! * [`defense`] — the four §4 defense principles and their mechanisms;
 //! * [`scenario`] — the unified experiment API: the
 //!   [`Scenario`](scenario::Scenario) trait every substrate implements,
@@ -53,8 +60,10 @@
 pub mod attack;
 pub mod bitset;
 pub mod defense;
+pub mod population;
 pub mod report;
 pub mod satiation;
 pub mod scenario;
+pub mod schedule;
 pub mod sweep;
 pub mod token;

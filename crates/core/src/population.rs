@@ -1,0 +1,293 @@
+//! Population churn: *who is even present*, as a first-class,
+//! cross-substrate dimension.
+//!
+//! Real deployments are never the closed populations the paper's figures
+//! assume — peers arrive, crash and come back. Churn interacts with the
+//! lotus-eater attack in both directions: departures shrink the honest
+//! service pool the isolated nodes depend on, while arrivals dilute the
+//! attacker's satiated set. This module gives every substrate the same
+//! deterministic arrival/departure process:
+//!
+//! * [`ChurnSpec`] — per-round leave/rejoin probabilities, `Copy`,
+//!   parseable from the `lotus-bench --churn` grammar;
+//! * [`Population`] — the per-run membership tracker: a
+//!   [`BitSet`](crate::bitset::BitSet) of present nodes advanced once per
+//!   round by [`Population::begin_round`], driven by a dedicated
+//!   [`DetRng`] fork so enabling churn never perturbs any other
+//!   randomness stream.
+//!
+//! Nodes keep their state while absent (windows go stale, balances and
+//! piece maps persist) and resume participating on return — a crash,
+//! not an identity change. Roles a substrate cannot lose (origin seeds,
+//! attacker peers) are marked [`Population::protect`]ed and never leave.
+//!
+//! # Hot-loop allocation invariants
+//!
+//! [`Population::begin_round`] never allocates: it flips bits in the
+//! membership set in place. With [`ChurnSpec::none`] (the default) it
+//! returns immediately without drawing randomness, so churn-free runs are
+//! bit-identical to pre-churn behaviour per seed (the golden tests in
+//! `crates/bench/tests/schedule_golden.rs` are the guardrail), and
+//! membership checks compile down to one bit probe.
+
+use crate::bitset::BitSet;
+use netsim::rng::DetRng;
+use netsim::Round;
+
+/// Deterministic arrival/departure rates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChurnSpec {
+    /// Per-round probability a present (unprotected) node departs.
+    pub leave: f64,
+    /// Per-round probability an absent node rejoins.
+    pub rejoin: f64,
+}
+
+impl Default for ChurnSpec {
+    fn default() -> Self {
+        ChurnSpec::none()
+    }
+}
+
+impl ChurnSpec {
+    /// No churn: everyone present for the whole run (the default).
+    pub fn none() -> Self {
+        ChurnSpec {
+            leave: 0.0,
+            rejoin: 0.0,
+        }
+    }
+
+    /// Churn with the given per-round leave/rejoin probabilities
+    /// (clamped to `[0, 1]`).
+    pub fn new(leave: f64, rejoin: f64) -> Self {
+        ChurnSpec {
+            leave: leave.clamp(0.0, 1.0),
+            rejoin: rejoin.clamp(0.0, 1.0),
+        }
+    }
+
+    /// Whether any churn can happen at all.
+    pub fn is_active(&self) -> bool {
+        self.leave > 0.0
+    }
+
+    /// Parse the `lotus-bench --churn` grammar: `none`, `<leave>` (rejoin
+    /// defaults to `0.25`) or `<leave>:<rejoin>`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on non-numeric or out-of-range fields.
+    pub fn parse(spec: &str) -> Result<ChurnSpec, String> {
+        if spec == "none" {
+            return Ok(ChurnSpec::none());
+        }
+        let mut parts = spec.split(':');
+        let mut prob = |what: &str| -> Result<Option<f64>, String> {
+            match parts.next() {
+                None => Ok(None),
+                Some(v) => {
+                    let p = v
+                        .parse::<f64>()
+                        .map_err(|_| format!("churn {spec:?}: {what} is not a number"))?;
+                    if !(0.0..=1.0).contains(&p) {
+                        return Err(format!("churn {spec:?}: {what} {p} outside [0, 1]"));
+                    }
+                    Ok(Some(p))
+                }
+            }
+        };
+        let leave = prob("leave probability")?
+            .ok_or_else(|| format!("churn {spec:?}: missing leave probability"))?;
+        let rejoin = prob("rejoin probability")?.unwrap_or(0.25);
+        if parts.next().is_some() {
+            return Err(format!("churn {spec:?}: trailing fields"));
+        }
+        Ok(ChurnSpec::new(leave, rejoin))
+    }
+}
+
+/// Per-run membership under a [`ChurnSpec`], deterministic in the rng the
+/// simulator forks for it.
+///
+/// ```
+/// use lotus_core::population::{ChurnSpec, Population};
+/// use netsim::rng::DetRng;
+///
+/// let mut pop = Population::new(10, ChurnSpec::new(0.5, 0.5), DetRng::seed_from(7));
+/// pop.protect(0); // e.g. an origin seed that must never leave
+/// for t in 0..20 {
+///     pop.begin_round(t);
+///     assert!(pop.is_present(0));
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Population {
+    spec: ChurnSpec,
+    present: BitSet,
+    protected: BitSet,
+    rng: DetRng,
+}
+
+impl Population {
+    /// A population of `n` nodes, all initially present. Pass a dedicated
+    /// rng fork (conventionally `rng.fork("population")`) so churn draws
+    /// never perturb the simulation's other streams.
+    pub fn new(n: usize, spec: ChurnSpec, rng: DetRng) -> Self {
+        Population {
+            spec,
+            present: BitSet::full(n),
+            protected: BitSet::new(n),
+            rng,
+        }
+    }
+
+    /// A population that never churns (for legacy construction paths).
+    pub fn closed(n: usize) -> Self {
+        Population::new(n, ChurnSpec::none(), DetRng::seed_from(0))
+    }
+
+    /// Mark `node` as never departing (origin seeds, attacker peers,
+    /// broadcasters). Also readmits it if currently absent.
+    pub fn protect(&mut self, node: usize) {
+        self.protected.insert(node);
+        self.present.insert(node);
+    }
+
+    /// The churn rates in force.
+    pub fn spec(&self) -> &ChurnSpec {
+        &self.spec
+    }
+
+    /// Whether `node` is currently in the system.
+    #[inline]
+    pub fn is_present(&self, node: usize) -> bool {
+        self.present.contains(node)
+    }
+
+    /// The membership set.
+    pub fn present(&self) -> &BitSet {
+        &self.present
+    }
+
+    /// Nodes currently present.
+    pub fn present_count(&self) -> usize {
+        self.present.len()
+    }
+
+    /// Whether every node is present (always true without churn).
+    pub fn all_present(&self) -> bool {
+        self.present.is_full()
+    }
+
+    /// Advance membership into round `t`: present unprotected nodes leave
+    /// with probability `leave`, absent nodes return with probability
+    /// `rejoin`. A no-op (no rng draws, no allocation) without churn.
+    pub fn begin_round(&mut self, t: Round) {
+        let _ = t; // membership depends only on the rng stream position
+        if !self.spec.is_active() {
+            return;
+        }
+        let n = self.present.universe();
+        for i in 0..n {
+            if self.present.contains(i) {
+                if !self.protected.contains(i) && self.rng.chance(self.spec.leave) {
+                    self.present.remove(i);
+                }
+            } else if self.rng.chance(self.spec.rejoin) {
+                self.present.insert(i);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_churn_is_a_noop() {
+        let mut pop = Population::new(8, ChurnSpec::none(), DetRng::seed_from(1));
+        let rng_before = pop.rng.clone();
+        for t in 0..100 {
+            pop.begin_round(t);
+        }
+        assert!(pop.all_present());
+        assert_eq!(pop.present_count(), 8);
+        assert_eq!(pop.rng, rng_before, "no churn draws no randomness");
+    }
+
+    #[test]
+    fn churn_is_deterministic_and_replayable() {
+        let run = || {
+            let mut pop = Population::new(30, ChurnSpec::new(0.1, 0.3), DetRng::seed_from(9));
+            let mut trace = Vec::new();
+            for t in 0..200 {
+                pop.begin_round(t);
+                trace.push(pop.present().iter().collect::<Vec<_>>());
+            }
+            trace
+        };
+        assert_eq!(run(), run(), "same seed, same membership history");
+    }
+
+    #[test]
+    fn nodes_leave_and_return() {
+        let mut pop = Population::new(20, ChurnSpec::new(0.2, 0.5), DetRng::seed_from(3));
+        let mut ever_absent = 0usize;
+        let mut ever_returned = 0usize;
+        let mut absent = [false; 20];
+        for t in 0..300 {
+            pop.begin_round(t);
+            for (i, was_absent) in absent.iter_mut().enumerate() {
+                if !pop.is_present(i) {
+                    if !*was_absent {
+                        ever_absent += 1;
+                    }
+                    *was_absent = true;
+                } else if *was_absent {
+                    ever_returned += 1;
+                    *was_absent = false;
+                }
+            }
+        }
+        assert!(ever_absent > 0, "nodes depart under churn");
+        assert!(ever_returned > 0, "nodes come back under churn");
+    }
+
+    #[test]
+    fn protected_nodes_never_leave() {
+        let mut pop = Population::new(10, ChurnSpec::new(0.9, 0.1), DetRng::seed_from(5));
+        pop.protect(4);
+        for t in 0..200 {
+            pop.begin_round(t);
+            assert!(pop.is_present(4));
+        }
+    }
+
+    #[test]
+    fn spec_parse_grammar() {
+        assert_eq!(ChurnSpec::parse("none").unwrap(), ChurnSpec::none());
+        assert_eq!(
+            ChurnSpec::parse("0.02").unwrap(),
+            ChurnSpec::new(0.02, 0.25)
+        );
+        assert_eq!(
+            ChurnSpec::parse("0.02:0.5").unwrap(),
+            ChurnSpec::new(0.02, 0.5)
+        );
+        for bad in ["", "x", "1.5", "0.1:y", "0.1:0.2:0.3", "0.1:-0.2"] {
+            assert!(ChurnSpec::parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn clamping_and_activity() {
+        let c = ChurnSpec::new(2.0, -1.0);
+        assert_eq!(c.leave, 1.0);
+        assert_eq!(c.rejoin, 0.0);
+        assert!(c.is_active());
+        assert!(!ChurnSpec::none().is_active());
+        assert!(!ChurnSpec::default().is_active());
+    }
+}

@@ -404,6 +404,12 @@ pub struct TokenSystem {
     /// Attacker randomness for the scenario path; forked exactly like
     /// [`TokenSystem::run`] forks so both paths see the same stream.
     attack_rng: DetRng,
+    /// Attack timing for the scenario path (always-on by default, so the
+    /// legacy entry points are unaffected).
+    schedule: crate::schedule::ScheduleState,
+    /// Membership under churn; closed (everyone always present) unless
+    /// the scenario config asks for churn.
+    population: crate::population::Population,
 }
 
 impl TokenSystem {
@@ -452,6 +458,12 @@ impl TokenSystem {
             attack: crate::attack::TokenAttack::none(),
             horizon: 0,
             attack_rng: rng.fork("attacker"),
+            schedule: crate::schedule::ScheduleState::new(crate::schedule::AttackSchedule::always()),
+            population: crate::population::Population::new(
+                n,
+                crate::population::ChurnSpec::none(),
+                rng.fork("population"),
+            ),
             rng,
             satiated_series: Vec::new(),
             all_satiated_at: None,
@@ -511,8 +523,8 @@ impl TokenSystem {
             .collect();
         let mut round_rng = self.rng.fork_idx("round", self.round);
         for i in 0..n {
-            if satiated[i] {
-                continue; // satiated nodes stop initiating
+            if satiated[i] || !self.population.is_present(i) {
+                continue; // satiated nodes stop initiating; absent ones can't
             }
             let neighbors = self.cfg.graph.neighbors(NodeId(i as u32));
             if neighbors.is_empty() {
@@ -522,6 +534,9 @@ impl TokenSystem {
             let picks = round_rng.sample_indices(neighbors.len(), c);
             for p in picks {
                 let j = neighbors[p] as usize;
+                if !self.population.is_present(j) {
+                    continue; // absent partner: the contact is wasted
+                }
                 if satiated[j] && !round_rng.chance(self.cfg.altruism) {
                     continue; // satiated partner declined (insufficient altruism)
                 }
@@ -545,20 +560,22 @@ impl TokenSystem {
     ///
     /// Each round the attacker is consulted first (it sees the
     /// start-of-round state) and its chosen targets are satiated before any
-    /// gossip happens, exactly as in the paper's model.
+    /// gossip happens, exactly as in the paper's model. The attacker rides
+    /// the generic pre-round hook seam ([`netsim::round::run_with`]) over
+    /// the [`RoundSim`] gossip rounds — the same seam population churn and
+    /// schedule stepping use in the scenario path.
     pub fn run(
         &mut self,
         attacker: &mut dyn crate::attack::Attacker,
         rounds: Round,
     ) -> TokenReport {
         let mut attack_rng = self.rng.fork("attacker");
-        for _ in 0..rounds {
-            let targets = attacker.targets(&self.view(), &mut attack_rng);
+        netsim::round::run_with(self, rounds, |sys, _t| {
+            let targets = attacker.targets(&sys.view(), &mut attack_rng);
             for t in targets {
-                self.satiate(t);
+                sys.satiate(t);
             }
-            self.gossip_round();
-        }
+        });
         self.report()
     }
 
@@ -639,19 +656,85 @@ impl Satiable for TokenSystem {
 }
 
 /// Scenario configuration for the token model: a [`TokenSystemConfig`]
-/// plus the horizon the legacy [`TokenSystem::run`] took as an argument.
+/// plus the horizon the legacy [`TokenSystem::run`] took as an argument,
+/// plus the cross-substrate attack-timing and churn dimensions.
 #[derive(Debug, Clone)]
 pub struct TokenScenarioConfig {
     /// The underlying system configuration.
     pub system: TokenSystemConfig,
     /// Rounds to run.
     pub rounds: Round,
+    /// When the attacker strikes (default: always on, the pre-schedule
+    /// behaviour).
+    pub schedule: crate::schedule::AttackSchedule,
+    /// Arrival/departure churn (default: none).
+    pub churn: crate::population::ChurnSpec,
 }
 
 impl TokenScenarioConfig {
-    /// Pair a system configuration with a horizon.
+    /// Pair a system configuration with a horizon (always-on attack, no
+    /// churn).
     pub fn new(system: TokenSystemConfig, rounds: Round) -> Self {
-        TokenScenarioConfig { system, rounds }
+        TokenScenarioConfig {
+            system,
+            rounds,
+            schedule: crate::schedule::AttackSchedule::always(),
+            churn: crate::population::ChurnSpec::none(),
+        }
+    }
+
+    /// Set the attack schedule (builder style).
+    pub fn with_schedule(mut self, schedule: crate::schedule::AttackSchedule) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
+    /// Set the churn rates (builder style).
+    pub fn with_churn(mut self, churn: crate::population::ChurnSpec) -> Self {
+        self.churn = churn;
+        self
+    }
+}
+
+impl TokenSystem {
+    /// The canonical-metric observation for metric-threshold schedules:
+    /// computed directly from holdings (no report allocation). Coverage
+    /// is genuine data from round 0 (the initial allocation), so this
+    /// always observes.
+    fn observe(&self, key: crate::schedule::MetricKey) -> Option<f64> {
+        let mut untouched_sum = 0.0;
+        let mut untouched_n = 0usize;
+        let mut attacked_sum = 0.0;
+        let mut attacked_n = 0usize;
+        for (i, h) in self.holdings.iter().enumerate() {
+            let cov = if h.universe() == 0 {
+                1.0
+            } else {
+                h.len() as f64 / h.universe() as f64
+            };
+            if self.attacked.contains(&NodeId(i as u32)) {
+                attacked_sum += cov;
+                attacked_n += 1;
+            } else {
+                untouched_sum += cov;
+                untouched_n += 1;
+            }
+        }
+        let overall = if untouched_n == 0 {
+            0.0
+        } else {
+            untouched_sum / untouched_n as f64
+        };
+        Some(match key {
+            crate::schedule::MetricKey::OverallDelivery => overall,
+            crate::schedule::MetricKey::TargetedService => {
+                if attacked_n == 0 {
+                    overall
+                } else {
+                    attacked_sum / attacked_n as f64
+                }
+            }
+        })
     }
 }
 
@@ -665,26 +748,46 @@ impl crate::scenario::Scenario for TokenSystem {
         let mut sys = TokenSystem::new(cfg.system, seed);
         sys.attack = attack;
         sys.horizon = cfg.rounds;
+        sys.schedule = crate::schedule::ScheduleState::new(cfg.schedule);
+        // Re-fork the population stream with the configured churn; forking
+        // never advances `sys.rng`, so churn-free runs stay bit-identical
+        // to the legacy path.
+        sys.population = crate::population::Population::new(
+            sys.holdings.len(),
+            cfg.churn,
+            sys.rng.fork("population"),
+        );
         sys
     }
 
     /// One round, exactly as [`TokenSystem::run`] executes it: the
-    /// attacker is consulted on the start-of-round state, its targets are
-    /// satiated, then gossip happens.
+    /// attacker is consulted on the start-of-round state (when the
+    /// schedule says the attack is on), its present targets are satiated,
+    /// then gossip happens among present nodes.
     fn step(&mut self) -> crate::scenario::StepOutcome {
         use crate::attack::Attacker;
         if self.round >= self.horizon {
             return crate::scenario::StepOutcome::Done;
         }
-        // The attack and its rng move out during the round so the borrow
-        // checker lets the attacker inspect `self.view()`.
-        let mut attack = std::mem::replace(&mut self.attack, crate::attack::TokenAttack::none());
-        let mut attack_rng = self.attack_rng.clone();
-        let targets = attack.targets(&self.view(), &mut attack_rng);
-        self.attack = attack;
-        self.attack_rng = attack_rng;
-        for t in targets {
-            self.satiate(t);
+        self.population.begin_round(self.round);
+        let observed = self
+            .schedule
+            .needs_observation()
+            .and_then(|k| self.observe(k));
+        if self.schedule.is_active(self.round, observed) {
+            // The attack and its rng move out during the round so the
+            // borrow checker lets the attacker inspect `self.view()`.
+            let mut attack =
+                std::mem::replace(&mut self.attack, crate::attack::TokenAttack::none());
+            let mut attack_rng = self.attack_rng.clone();
+            let targets = attack.targets(&self.view(), &mut attack_rng);
+            self.attack = attack;
+            self.attack_rng = attack_rng;
+            for t in targets {
+                if self.population.is_present(t.index()) {
+                    self.satiate(t);
+                }
+            }
         }
         self.gossip_round();
         if self.round >= self.horizon {

@@ -24,6 +24,22 @@ pub fn run<S: RoundSim>(sim: &mut S, rounds: Round) {
     }
 }
 
+/// Drive `sim` for `rounds` additional rounds, invoking `before` with the
+/// simulator and the round index ahead of every round.
+///
+/// This is the generic seam for per-round environment dynamics that live
+/// outside the simulator proper — population churn
+/// (`lotus_core::population`), scheduled attack phase flips, fault
+/// injection. The hook runs before the round executes, so whatever it
+/// mutates is visible to that round.
+pub fn run_with<S: RoundSim>(sim: &mut S, rounds: Round, mut before: impl FnMut(&mut S, Round)) {
+    let start = sim.rounds_run();
+    for t in start..start + rounds {
+        before(sim, t);
+        sim.round(t);
+    }
+}
+
 /// Drive `sim` until `stop` returns `true` or `max_rounds` total rounds
 /// have run. Returns the number of rounds executed by this call.
 pub fn run_while<S: RoundSim>(
@@ -71,6 +87,21 @@ mod tests {
         assert_eq!(c.history, vec![0, 1, 2, 3, 4]);
         run(&mut c, 2);
         assert_eq!(c.rounds_run(), 7);
+    }
+
+    #[test]
+    fn run_with_invokes_hook_before_each_round() {
+        let mut c = Counter {
+            t: 0,
+            history: vec![],
+        };
+        let mut hooked = Vec::new();
+        run_with(&mut c, 4, |sim, t| {
+            assert_eq!(sim.rounds_run(), t, "hook sees the pre-round state");
+            hooked.push(t);
+        });
+        assert_eq!(hooked, vec![0, 1, 2, 3]);
+        assert_eq!(c.rounds_run(), 4);
     }
 
     #[test]

@@ -17,6 +17,9 @@
 //! analysis rests on conservation: satiating a `φ` fraction locks
 //! `φ·n·k` scrip, and the system only has `m·n`.
 
+use lotus_core::population::ChurnSpec;
+use lotus_core::schedule::AttackSchedule;
+
 /// Configuration of a scrip-economy run.
 ///
 /// Construct via [`ScripConfig::builder`]; defaults give a healthy
@@ -50,6 +53,13 @@ pub struct ScripConfig {
     pub rounds: u64,
     /// Warm-up rounds excluded from measurement.
     pub warmup: u64,
+    /// When the attack is on (default: always, the pre-schedule
+    /// behaviour). While off, the attacker neither tops targets up nor
+    /// bids for paid requests.
+    pub schedule: AttackSchedule,
+    /// Population churn: absent agents cannot request, volunteer or be
+    /// topped up (default: none).
+    pub churn: ChurnSpec,
 }
 
 impl Default for ScripConfig {
@@ -67,6 +77,8 @@ impl Default for ScripConfig {
             special_request_prob: 0.0,
             rounds: 20_000,
             warmup: 2_000,
+            schedule: AttackSchedule::always(),
+            churn: ChurnSpec::none(),
         }
     }
 }
@@ -238,6 +250,18 @@ impl ScripConfigBuilder {
     /// Set warm-up rounds.
     pub fn warmup(mut self, w: u64) -> Self {
         self.cfg.warmup = w;
+        self
+    }
+
+    /// Set the attack schedule (default: always on).
+    pub fn schedule(mut self, schedule: AttackSchedule) -> Self {
+        self.cfg.schedule = schedule;
+        self
+    }
+
+    /// Set the churn rates (default: none).
+    pub fn churn(mut self, churn: ChurnSpec) -> Self {
+        self.cfg.churn = churn;
         self
     }
 

@@ -23,13 +23,18 @@
 //!
 //! The per-round request loop is allocation-free in steady state: the
 //! free/paid volunteer pools are scratch buffers owned by the sim struct,
-//! cleared and refilled in place each round. Scratch contents are
-//! meaningless between rounds, and refactors here must keep reports
-//! bit-identical per seed (the determinism tests are the guardrail).
+//! cleared and refilled in place each round, and the timing layer
+//! (`lotus_core::schedule`, `lotus_core::population`) adds no allocations
+//! — threshold-trigger observations come from the running request
+//! counters. Scratch contents are meaningless between rounds, and
+//! refactors here must keep reports bit-identical per seed (the
+//! determinism and schedule-golden tests are the guardrail).
 
 use crate::attack::ScripAttack;
 use crate::config::ScripConfig;
+use lotus_core::population::Population;
 use lotus_core::satiation::Satiable;
+use lotus_core::schedule::{MetricKey, ScheduleState};
 use netsim::rng::DetRng;
 use netsim::round::RoundSim;
 use netsim::{NodeId, Round};
@@ -150,6 +155,12 @@ pub struct ScripSim {
     satiated_rounds: u64,
     target_satiated_samples: u64,
     target_samples: u64,
+    /// Attack timing stepper; while off, the attacker neither tops
+    /// targets up nor bids for requests.
+    schedule_state: ScheduleState,
+    attack_active: bool,
+    /// Membership under churn; everyone present without churn.
+    population: Population,
     // Volunteer-pool scratch buffers for the allocation-free request
     // loop (see module docs).
     free_scratch: Vec<usize>,
@@ -221,10 +232,15 @@ impl ScripSim {
             }
         }
 
+        let schedule_state = ScheduleState::new(cfg.schedule);
+        let population = Population::new(n, cfg.churn, rng.fork("population"));
         ScripSim {
             cfg,
             attack,
             agents,
+            schedule_state,
+            attack_active: false,
+            population,
             attacker_money: endowment,
             initial_supply: supply,
             rng,
@@ -285,14 +301,37 @@ impl ScripSim {
         self.round >= self.cfg.warmup
     }
 
+    /// Canonical-metric observation for metric-threshold schedules,
+    /// computed from the running counters (no allocation). `None` until
+    /// the counter in question has measured samples — an unmeasured
+    /// metric must not latch a threshold trigger.
+    fn observe(&self, key: MetricKey) -> Option<f64> {
+        match key {
+            MetricKey::OverallDelivery => {
+                if self.requests == 0 {
+                    None
+                } else {
+                    Some((self.served_free + self.served_paid) as f64 / self.requests as f64)
+                }
+            }
+            MetricKey::TargetedService => {
+                if self.target_samples == 0 {
+                    None
+                } else {
+                    Some(self.target_satiated_samples as f64 / self.target_samples as f64)
+                }
+            }
+        }
+    }
+
     /// Attack phase: top every target up to its threshold while the war
     /// chest lasts. Conservation: every unit moved comes from the chest.
     fn attack_phase(&mut self) {
         if matches!(self.attack, ScripAttack::None) {
             return;
         }
-        for agent in self.agents.iter_mut() {
-            if !agent.targeted {
+        for (i, agent) in self.agents.iter_mut().enumerate() {
+            if !agent.targeted || !self.population.is_present(i) {
                 continue;
             }
             let need = u64::from(agent.threshold).saturating_sub(agent.money);
@@ -308,6 +347,12 @@ impl ScripSim {
         let mut rng = self.rng.fork_idx("round", self.round);
         let requester = rng.index(n);
         let special = rng.chance(self.cfg.special_request_prob);
+        // One per-round flag keeps the per-agent presence probe out of
+        // the closed-population hot path entirely.
+        let churning = self.population.spec().is_active();
+        if churning && !self.population.is_present(requester) {
+            return; // the drawn requester is offline: no request this round
+        }
 
         // Volunteer pools (reused scratch buffers).
         let mut free = std::mem::take(&mut self.free_scratch);
@@ -315,7 +360,10 @@ impl ScripSim {
         free.clear();
         paid.clear();
         for (i, agent) in self.agents.iter().enumerate() {
-            if i == requester || !rng.chance(self.cfg.availability) {
+            if i == requester
+                || (churning && !self.population.is_present(i))
+                || !rng.chance(self.cfg.availability)
+            {
                 continue;
             }
             if special && !agent.special {
@@ -334,7 +382,7 @@ impl ScripSim {
         // honest providers ("providing cheap service", §1): a rational
         // requester prefers him whenever he bids, which both funds the
         // attack and starves honest agents of income.
-        let attacker_bids = !special && self.attack.provides();
+        let attacker_bids = !special && self.attack_active && self.attack.provides();
 
         let measured = self.measured();
         if measured {
@@ -505,7 +553,15 @@ impl ScripSim {
 impl RoundSim for ScripSim {
     fn round(&mut self, t: Round) {
         debug_assert_eq!(t, self.round, "rounds must be sequential");
-        self.attack_phase();
+        self.population.begin_round(t);
+        let observed = self
+            .schedule_state
+            .needs_observation()
+            .and_then(|k| self.observe(k));
+        self.attack_active = self.schedule_state.is_active(t, observed);
+        if self.attack_active {
+            self.attack_phase();
+        }
         self.request_round();
         self.sample_satiation();
         self.round = t + 1;
