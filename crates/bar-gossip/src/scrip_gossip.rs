@@ -227,7 +227,7 @@ impl ScripGossipSim {
             pool: window.clone(),
             full: window,
             schedule: PartnerSchedule::new(rng.fork("schedule").next_u64(), n),
-            schedule_state: ScheduleState::new(plan.schedule),
+            schedule_state: ScheduleState::seeded(plan.schedule, rng.fork("adaptive")),
             attack_active: false,
             population,
             served_this_round: vec![0; n as usize],
@@ -530,6 +530,10 @@ impl lotus_core::scenario::Scenario for ScripGossipSim {
 
     fn report(&self) -> ScripGossipReport {
         ScripGossipSim::report(self)
+    }
+
+    fn arm_trace(&self) -> Option<&[lotus_core::adaptive::TraceEntry]> {
+        self.schedule_state.arm_trace()
     }
 }
 

@@ -306,7 +306,7 @@ impl BarGossipSim {
             full: window.clone(),
             pool: window,
             schedule: PartnerSchedule::new(rng.fork("schedule").next_u64(), n),
-            schedule_state: ScheduleState::new(plan.schedule),
+            schedule_state: ScheduleState::seeded(plan.schedule, rng.fork("adaptive")),
             attack_active: false,
             population,
             authority: Authority::new(rng.fork("authority").next_u64(), n),
@@ -1080,6 +1080,10 @@ impl lotus_core::scenario::Scenario for BarGossipSim {
 
     fn report(&self) -> BarGossipReport {
         BarGossipSim::report(self)
+    }
+
+    fn arm_trace(&self) -> Option<&[lotus_core::adaptive::TraceEntry]> {
+        self.schedule_state.arm_trace()
     }
 }
 

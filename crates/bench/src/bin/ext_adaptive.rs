@@ -1,0 +1,58 @@
+//! X17 — the adaptive lotus-eater: a bandit that learns when to defect.
+//!
+//! PR 3's schedules are open-loop: the attacker fixes its phase pattern
+//! before the run. This preset closes the loop — the attacker treats
+//! {dormant, cooperate, defect, rotate} as bandit arms (epsilon-greedy
+//! and UCB1 over observed damage, `lotus_core::adaptive`) and re-plans
+//! every 10 rounds from the delivery degradation it actually causes. It
+//! is compared against the always-on attack and the best *static*
+//! oscillating schedule from X15, with `--arm-trace` appending the
+//! per-phase arm sequence each bandit converged to.
+//!
+//! Sweepable and benchable through the ordinary grammar, e.g.:
+//!
+//! ```text
+//! lotus-bench --scenario bar-gossip --attack trade \
+//!     --adaptive epsilon-greedy,10,0.1 --arm-trace --quick
+//! lotus-bench --scenario scrip --attack lotus-eater \
+//!     --adaptive ucb,50,1.4 --sweep adaptive_epsilon --x-values 0,0.5,1
+//! lotus-bench --bench --scenario bar-gossip \
+//!     --curve "trade,adaptive=ucb:10:0.5"
+//! ```
+
+use lotus_bench::runner::run_shim;
+
+fn main() {
+    run_shim(
+        &[
+            "--scenario",
+            "bar-gossip",
+            "--title",
+            "X17 — Adaptive bandit attackers vs static schedules",
+            "--param",
+            "rounds=120",
+            "--y-label",
+            "isolated delivery at expiry",
+            "--arm-trace",
+            "--curve",
+            "trade,label=always-on trade attack",
+            "--curve",
+            "trade,schedule=periodic:20:10,label=static oscillating (20:10)",
+            "--curve",
+            "trade,adaptive=epsilon-greedy:10:0.1,label=adaptive epsilon-greedy",
+            "--curve",
+            "trade,adaptive=ucb:10:0.5,label=adaptive UCB1",
+            "--curve",
+            "none,label=no attack",
+        ],
+        &[
+            "The bandit spends its first four phases sweeping the arms, then",
+            "concentrates on whichever defection pattern the observed damage",
+            "rewards — on BAR Gossip that is defect/rotate-heavy play that",
+            "tracks the always-on attack while spending cooperate phases",
+            "rebuilding stock. The arm traces above show the learned schedule",
+            "per curve; sweep adaptive_epsilon or adaptive_phase to study how",
+            "exploration and commitment length trade off against damage.",
+        ],
+    );
+}

@@ -43,11 +43,11 @@ fn main() {
             "--param",
             warmup,
             "--curve",
-            "none,adaptive=0,metric=service_rate,label=service rate (fixed thresholds)",
+            "none,adaptive_thresholds=0,metric=service_rate,label=service rate (fixed thresholds)",
             "--curve",
-            "none,adaptive=1,metric=service_rate,label=service rate (adaptive thresholds)",
+            "none,adaptive_thresholds=1,metric=service_rate,label=service rate (adaptive thresholds)",
             "--curve",
-            "none,adaptive=1,metric=mean_threshold,label=mean threshold (adaptive)",
+            "none,adaptive_thresholds=1,metric=mean_threshold,label=mean threshold (adaptive)",
         ],
         &[
             "The crash: middling altruist counts erode thresholds (paid market dies)",

@@ -25,6 +25,7 @@ use std::collections::BTreeMap;
 
 use bar_gossip::scrip_gossip::{ScripGossipConfig, ScripGossipSim};
 use bar_gossip::{AttackPlan, BarGossipConfig, BarGossipSim, ReportConfig};
+use lotus_core::adaptive::{AdaptiveSpec, AttackMode, PolicyKind};
 use lotus_core::attack::{SatiateCut, TokenAttack};
 use lotus_core::population::ChurnSpec;
 use lotus_core::scenario::{boxed, DynScenario, ScenarioReport};
@@ -243,14 +244,29 @@ impl ScenarioRegistry {
     }
 
     /// Run one evaluation against a named scenario: build through the
-    /// spec's factory, step to completion, summarize.
+    /// spec's factory, step to completion, summarize. When the run was
+    /// driven by a *learning* adaptive bandit, the summary additionally
+    /// carries the `adaptive_*` convergence metrics derived from the arm
+    /// trace (degenerate `fixed-<arm>` policies attach nothing, so their
+    /// reports stay byte-identical to the equivalent static schedule's).
     ///
     /// # Errors
     ///
     /// Unknown scenario/attack names, unknown or malformed parameters,
     /// and invalid substrate configurations all surface as messages.
     pub fn run(&self, scenario: &str, req: &RunRequest<'_>) -> Result<ScenarioReport, String> {
-        Ok(self.build(scenario, req)?.finish())
+        let mut built = self.build(scenario, req)?;
+        let mut report = built.finish();
+        let learning = matches!(
+            parse_adaptive(req),
+            Ok(Some(spec)) if spec.needs_observation()
+        );
+        if learning {
+            if let Some(trace) = built.arm_trace_dyn() {
+                attach_adaptive_metrics(&mut report, trace);
+            }
+        }
+        Ok(report)
     }
 
     /// Build one evaluation as an unstarted scenario (the timing bench's
@@ -313,12 +329,128 @@ const CHURN_REJOIN_DOC: (&str, &str) = (
     "per-round probability an offline node returns (default 0.25)",
 );
 
+const ADAPTIVE_PARAM_DOC: (&str, &str) = (
+    "adaptive",
+    "bandit attacker re-planning each phase from observed damage: \
+     <policy>,<phase-len>,<epsilon>[,<metric>] with policy epsilon-greedy | ucb | \
+     fixed-<dormant|cooperate|defect|rotate> (replaces the open-loop schedule)",
+);
+const ADAPTIVE_EPSILON_DOC: (&str, &str) = (
+    "adaptive_epsilon",
+    "override the adaptive exploration parameter (epsilon / UCB weight)",
+);
+const ADAPTIVE_PHASE_DOC: (&str, &str) = (
+    "adaptive_phase",
+    "override the adaptive phase length in rounds",
+);
+
+/// The `adaptive_*` convergence metrics every scenario report gains when
+/// a bandit drove the run.
+pub const ADAPTIVE_METRICS: &[&str] = &[
+    "adaptive_phases",
+    "adaptive_active_share",
+    "adaptive_dormant_share",
+    "adaptive_cooperate_share",
+    "adaptive_defect_share",
+    "adaptive_rotate_share",
+    "adaptive_final_arm",
+];
+
 /// Parse the `schedule` parameter (default: always-on).
 fn parse_schedule(req: &RunRequest<'_>) -> Result<AttackSchedule, String> {
     match req.params.get("schedule") {
         None => Ok(AttackSchedule::always()),
         Some(spec) => AttackSchedule::parse(spec),
     }
+}
+
+/// Parse the `adaptive` / `adaptive_phase` / `adaptive_epsilon`
+/// parameters into a bandit spec. The numeric overrides are sweepable
+/// (`--sweep adaptive_epsilon` drives x through them) and imply the
+/// default epsilon-greedy policy when `adaptive` itself is absent.
+fn parse_adaptive(req: &RunRequest<'_>) -> Result<Option<AdaptiveSpec>, String> {
+    let base = match req.params.get("adaptive") {
+        Some(spec) => Some(AdaptiveSpec::parse(spec)?),
+        None => None,
+    };
+    let phase = req.opt_num("adaptive_phase")?;
+    let epsilon = req.opt_num("adaptive_epsilon")?;
+    let mut spec = match (base, phase, epsilon) {
+        (None, None, None) => return Ok(None),
+        (Some(s), _, _) => s,
+        (None, _, _) => AdaptiveSpec::epsilon_greedy(
+            AdaptiveSpec::DEFAULT_PHASE_LEN,
+            AdaptiveSpec::DEFAULT_EPSILON,
+        ),
+    };
+    if let Some(p) = phase {
+        if p < 1.0 || p.fract() != 0.0 {
+            return Err(format!(
+                "parameter adaptive_phase={p} is not a positive round count"
+            ));
+        }
+        spec.phase_len = p as u64;
+    }
+    if let Some(e) = epsilon {
+        let valid = match spec.policy {
+            PolicyKind::EpsilonGreedy => (0.0..=1.0).contains(&e),
+            PolicyKind::Ucb1 => e >= 0.0,
+            PolicyKind::Fixed(_) => true, // ignored, but keep it sane
+        };
+        if !valid {
+            return Err(format!(
+                "parameter adaptive_epsilon={e} out of range for the {:?} policy",
+                spec.policy
+            ));
+        }
+        spec.epsilon = e;
+    }
+    Ok(Some(spec))
+}
+
+/// Resolve the full attack-timing axis: the open-loop `schedule`
+/// parameter plus the closed-loop `adaptive` family. The two are
+/// mutually exclusive (the bandit owns the activity switch).
+fn parse_timing(req: &RunRequest<'_>) -> Result<AttackSchedule, String> {
+    let schedule = parse_schedule(req)?;
+    match parse_adaptive(req)? {
+        None => Ok(schedule),
+        Some(adaptive) => {
+            if !schedule.is_always() {
+                return Err(
+                    "adaptive attackers replace the schedule: drop --schedule (or keep it \
+                     'always') when passing --adaptive"
+                        .to_string(),
+                );
+            }
+            Ok(schedule.with_adaptive(adaptive))
+        }
+    }
+}
+
+/// Attach the arm-trace convergence metrics to an adaptive run's report
+/// (see [`ADAPTIVE_METRICS`]).
+fn attach_adaptive_metrics(
+    report: &mut ScenarioReport,
+    trace: &[lotus_core::adaptive::TraceEntry],
+) {
+    let phases = trace.len();
+    report.set_metric("adaptive_phases", phases as f64);
+    if phases == 0 {
+        return;
+    }
+    let share =
+        |arm: AttackMode| trace.iter().filter(|e| e.arm == arm).count() as f64 / phases as f64;
+    report.set_metric(
+        "adaptive_active_share",
+        trace.iter().filter(|e| e.arm.is_active()).count() as f64 / phases as f64,
+    );
+    report.set_metric("adaptive_dormant_share", share(AttackMode::Dormant));
+    report.set_metric("adaptive_cooperate_share", share(AttackMode::Cooperate));
+    report.set_metric("adaptive_defect_share", share(AttackMode::Defect));
+    report.set_metric("adaptive_rotate_share", share(AttackMode::RotateDefect));
+    let last = trace[phases - 1];
+    report.set_metric("adaptive_final_arm", last.arm.index() as f64);
 }
 
 /// Parse the `churn_leave`/`churn_rejoin` parameters (default: none).
@@ -388,6 +520,9 @@ fn bar_gossip_spec() -> ScenarioSpec {
                 "updates above the cap tolerated before reporting (default 1)",
             ),
             SCHEDULE_PARAM_DOC,
+            ADAPTIVE_PARAM_DOC,
+            ADAPTIVE_EPSILON_DOC,
+            ADAPTIVE_PHASE_DOC,
             CHURN_LEAVE_DOC,
             CHURN_REJOIN_DOC,
         ],
@@ -399,6 +534,8 @@ fn bar_gossip_spec() -> ScenarioSpec {
             "satiate_fraction",
             "churn_leave",
             "churn_rejoin",
+            "adaptive_epsilon",
+            "adaptive_phase",
         ],
         metrics: &[
             "isolated_delivery",
@@ -481,11 +618,19 @@ fn bar_gossip_plan(req: &RunRequest<'_>) -> Result<AttackPlan, String> {
         "trade" => AttackPlan::trade_lotus_eater(fraction, satiate),
         other => return Err(format!("unknown bar-gossip attack {other:?}")),
     };
-    plan = plan.with_schedule(parse_schedule(req)?);
+    let timing = parse_timing(req)?;
     let rotation = req.num("rotation_period", 0.0)?;
     if rotation > 0.0 {
+        if timing.adaptive.is_some() {
+            return Err(
+                "adaptive attackers rotate on their own phase clock: drop rotation_period \
+                 when passing --adaptive"
+                    .to_string(),
+            );
+        }
         plan = plan.with_rotation(rotation as u64);
     }
+    plan = plan.with_schedule(timing);
     Ok(plan)
 }
 
@@ -521,7 +666,7 @@ fn scrip_spec() -> ScenarioSpec {
             ("availability", "probability an agent can serve in a round"),
             ("altruists", "number of always-free providers"),
             (
-                "adaptive",
+                "adaptive_thresholds",
                 "agents adapt their thresholds (altruist-crash dynamics)",
             ),
             ("rounds", "measured rounds"),
@@ -532,6 +677,9 @@ fn scrip_spec() -> ScenarioSpec {
                 "attacker's share of the money supply (default 1.0 = all of it)",
             ),
             SCHEDULE_PARAM_DOC,
+            ADAPTIVE_PARAM_DOC,
+            ADAPTIVE_EPSILON_DOC,
+            ADAPTIVE_PHASE_DOC,
             CHURN_LEAVE_DOC,
             CHURN_REJOIN_DOC,
         ],
@@ -541,6 +689,8 @@ fn scrip_spec() -> ScenarioSpec {
             "threshold",
             "churn_leave",
             "churn_rejoin",
+            "adaptive_epsilon",
+            "adaptive_phase",
         ],
         metrics: &[
             "service_rate",
@@ -579,7 +729,7 @@ fn build_scrip(req: &RunRequest<'_>) -> Result<Box<dyn DynScenario>, String> {
     if let Some(v) = req.opt_num("altruists")? {
         b = b.altruists(v as u32);
     }
-    if let Some(v) = req.params.flag("adaptive")? {
+    if let Some(v) = req.params.flag("adaptive_thresholds")? {
         b = b.adaptive(v);
     }
     if let Some(v) = req.opt_num("rounds")? {
@@ -588,7 +738,7 @@ fn build_scrip(req: &RunRequest<'_>) -> Result<Box<dyn DynScenario>, String> {
     if let Some(v) = req.opt_num("warmup")? {
         b = b.warmup(v as u64);
     }
-    b = b.schedule(parse_schedule(req)?).churn(parse_churn(req)?);
+    b = b.schedule(parse_timing(req)?).churn(parse_churn(req)?);
     let cfg = b
         .build()
         .map_err(|e| format!("invalid scrip config: {e}"))?;
@@ -639,6 +789,9 @@ fn bittorrent_spec() -> ScenarioSpec {
                 "target choice: random | rare (rare-piece holders)",
             ),
             SCHEDULE_PARAM_DOC,
+            ADAPTIVE_PARAM_DOC,
+            ADAPTIVE_EPSILON_DOC,
+            ADAPTIVE_PHASE_DOC,
             CHURN_LEAVE_DOC,
             CHURN_REJOIN_DOC,
         ],
@@ -648,6 +801,8 @@ fn bittorrent_spec() -> ScenarioSpec {
             "leechers",
             "churn_leave",
             "churn_rejoin",
+            "adaptive_epsilon",
+            "adaptive_phase",
         ],
         metrics: &[
             "mean_completion",
@@ -714,7 +869,7 @@ fn build_bittorrent(req: &RunRequest<'_>) -> Result<Box<dyn DynScenario>, String
         }
         other => return Err(format!("unknown bittorrent attack {other:?}")),
     };
-    let attack = attack.with_schedule(parse_schedule(req)?);
+    let attack = attack.with_schedule(parse_timing(req)?);
     Ok(boxed::<SwarmSim>(cfg, attack, req.seed))
 }
 
@@ -779,6 +934,9 @@ fn token_spec() -> ScenarioSpec {
             ("period", "rotation period in rounds (rotating attack)"),
             ("cut_col", "which grid column to cut (default cols/2)"),
             SCHEDULE_PARAM_DOC,
+            ADAPTIVE_PARAM_DOC,
+            ADAPTIVE_EPSILON_DOC,
+            ADAPTIVE_PHASE_DOC,
             CHURN_LEAVE_DOC,
             CHURN_REJOIN_DOC,
         ],
@@ -790,6 +948,8 @@ fn token_spec() -> ScenarioSpec {
             "budget",
             "churn_leave",
             "churn_rejoin",
+            "adaptive_epsilon",
+            "adaptive_phase",
         ],
         metrics: &[
             "mean_coverage",
@@ -936,7 +1096,7 @@ fn build_token(req: &RunRequest<'_>) -> Result<Box<dyn DynScenario>, String> {
         .map_err(|e| format!("invalid token config: {e}"))?;
     let rounds = req.num("rounds", 150.0)? as u64;
     let scenario_cfg = TokenScenarioConfig::new(cfg, rounds)
-        .with_schedule(parse_schedule(req)?)
+        .with_schedule(parse_timing(req)?)
         .with_churn(parse_churn(req)?);
     Ok(boxed::<TokenSystem>(scenario_cfg, attack, req.seed))
 }
@@ -972,10 +1132,18 @@ fn scrip_gossip_spec() -> ScenarioSpec {
                 "fraction targeted for satiation (paper: 0.70)",
             ),
             SCHEDULE_PARAM_DOC,
+            ADAPTIVE_PARAM_DOC,
+            ADAPTIVE_EPSILON_DOC,
+            ADAPTIVE_PHASE_DOC,
             CHURN_LEAVE_DOC,
             CHURN_REJOIN_DOC,
         ],
-        sweeps: &["churn_leave", "churn_rejoin"],
+        sweeps: &[
+            "churn_leave",
+            "churn_rejoin",
+            "adaptive_epsilon",
+            "adaptive_phase",
+        ],
         metrics: &[
             "isolated_delivery",
             "satiated_delivery",

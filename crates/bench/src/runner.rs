@@ -134,6 +134,9 @@ pub struct Options {
     pub bench_iters: Option<u32>,
     /// Untimed warmup runs per benched scenario (default from fidelity).
     pub bench_warmup: Option<u32>,
+    /// Include a representative adaptive arm trace per curve in the
+    /// output (x = middle grid point, first seed).
+    pub arm_trace: bool,
     /// List scenarios instead of running.
     pub list: bool,
     /// Print usage instead of running.
@@ -163,6 +166,7 @@ impl Default for Options {
             bench: false,
             bench_iters: None,
             bench_warmup: None,
+            arm_trace: false,
             list: false,
             help: false,
             title: None,
@@ -267,6 +271,14 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
                 opts.params.set("churn_leave", churn.leave.to_string());
                 opts.params.set("churn_rejoin", churn.rejoin.to_string());
             }
+            "--adaptive" => {
+                // Validate eagerly (as for --schedule), then pass the
+                // spec through the ordinary parameter channel.
+                let v = take("--adaptive")?;
+                lotus_core::adaptive::AdaptiveSpec::parse(v)?;
+                opts.params.set("adaptive", v);
+            }
+            "--arm-trace" => opts.arm_trace = true,
             "--format" => {
                 opts.format = match take("--format")? {
                     "table" => Format::Table,
@@ -331,6 +343,15 @@ options:
   --churn L[:R]         population churn: per-round leave probability L and
                         rejoin probability R (default 0.25); sugar for
                         --param churn_leave=L / churn_rejoin=R
+  --adaptive SPEC       bandit attacker re-planning each phase from observed
+                        damage: <policy>,<phase-len>,<epsilon>[,<metric>] with
+                        policy epsilon-greedy | ucb | fixed-<arm> and metric
+                        delivery (default) | targeted; replaces --schedule
+                        (sugar for --param adaptive=SPEC; inside --curve use
+                        colons: adaptive=ucb:20:1.4)
+  --arm-trace           append each curve's adaptive arm trace (phase, arm,
+                        mean observed damage) at x = the middle grid point,
+                        first seed — shows the schedule the bandit converged to
   --format table|json   output format (default table)
   --threshold T         usability threshold for crossovers (default 0.93)
   --title/--x-label/--y-label STR   labels
@@ -343,6 +364,19 @@ options:
   --bench-iters N       timed runs per benched scenario (default 12, 3 with --quick)
   --bench-warmup N      untimed warmup runs (default 3, 1 with --quick)
   --list                list scenarios, attacks, parameters and metrics";
+
+/// One curve's representative adaptive arm trace (`--arm-trace`).
+#[derive(Debug, Clone)]
+pub struct ArmTraceRecord {
+    /// Curve label the trace belongs to.
+    pub label: String,
+    /// The x value the representative run used (the middle grid point).
+    pub x: f64,
+    /// The seed the representative run used (the first sweep seed).
+    pub seed: u64,
+    /// The per-phase arm trace.
+    pub trace: Vec<lotus_core::adaptive::TraceEntry>,
+}
 
 /// The evaluated figure: everything a caller needs to print or test.
 #[derive(Debug, Clone)]
@@ -361,6 +395,9 @@ pub struct Figure {
     pub seeds: usize,
     /// The sweep knob.
     pub sweep: String,
+    /// Representative adaptive arm traces (`--arm-trace`; only curves
+    /// that actually ran a bandit appear).
+    pub arm_traces: Vec<ArmTraceRecord>,
 }
 
 /// Evaluate the requested figure against `registry`.
@@ -411,6 +448,7 @@ pub fn evaluate(registry: &ScenarioRegistry, opts: &Options) -> Result<Figure, S
         xs: xs.clone(),
         seeds,
         sweep: opts.sweep.clone(),
+        arm_traces: Vec::new(),
     };
 
     for curve in &opts.curves {
@@ -472,6 +510,34 @@ pub fn evaluate(registry: &ScenarioRegistry, opts: &Options) -> Result<Figure, S
                 UsabilityThreshold(opts.threshold),
                 paper,
             ));
+        }
+        // Only curves that actually run a bandit can trace arms — skip
+        // the representative run for the rest instead of building and
+        // discarding a full simulation.
+        let curve_is_adaptive = ["adaptive", "adaptive_epsilon", "adaptive_phase"]
+            .iter()
+            .any(|k| params.get(k).is_some() || opts.sweep == *k);
+        if opts.arm_trace && curve_is_adaptive {
+            // One representative run per curve: the middle grid point
+            // (full fraction grids end at the degenerate all-attacker
+            // point where no honest metric is measurable) under the
+            // first seed — the same build path the sweep used,
+            // re-stepped to capture the trace.
+            let (&x, &seed) = (
+                &xs[xs.len() / 2],
+                sweep_cfg.seeds.first().expect("non-empty seed list"),
+            );
+            let req = RunRequest::new(x, seed, &curve.attack, &opts.sweep, &params);
+            let mut built = registry.build(scenario, &req)?;
+            let _ = built.finish();
+            if let Some(trace) = built.arm_trace_dyn() {
+                figure.arm_traces.push(ArmTraceRecord {
+                    label: series.label.clone(),
+                    x,
+                    seed,
+                    trace: trace.to_vec(),
+                });
+            }
         }
         figure.series.push(series);
         figure.metrics.push(metric);
@@ -719,6 +785,19 @@ fn render_table(figure: &Figure, opts: &Options) -> String {
         );
         let _ = writeln!(out, "{}", t.render());
     }
+    for rec in &figure.arm_traces {
+        let _ = writeln!(
+            out,
+            "Arm trace — {} (x={}, seed {}):",
+            rec.label, rec.x, rec.seed
+        );
+        let arms: Vec<String> = rec
+            .trace
+            .iter()
+            .map(|e| format!("{}({:.2})", e.arm.name(), e.mean_damage))
+            .collect();
+        let _ = writeln!(out, "  {}", arms.join(" "));
+    }
     out
 }
 
@@ -766,6 +845,23 @@ fn render_json(figure: &Figure, opts: &Options) -> String {
         }
         out.push(']');
     }
+    if !figure.arm_traces.is_empty() {
+        let _ = write!(out, ",\"arm_traces\":[");
+        for (i, rec) in figure.arm_traces.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"label\":{},\"x\":{},\"seed\":{},\"trace\":{}}}",
+                json_string(&rec.label),
+                num(rec.x),
+                rec.seed,
+                lotus_core::adaptive::trace_to_json(&rec.trace)
+            );
+        }
+        out.push(']');
+    }
     out.push('}');
     out
 }
@@ -802,6 +898,15 @@ pub fn render_list(registry: &ScenarioRegistry) -> String {
             let _ = writeln!(
                 out,
                 "    churn:   --churn <leave>[:<rejoin>]  (params churn_leave, churn_rejoin)"
+            );
+        }
+        if spec.has_param("adaptive") {
+            let _ = writeln!(
+                out,
+                "    adaptive: --adaptive <policy>,<phase-len>,<epsilon>[,<metric>]  \
+                 (epsilon-greedy | ucb | fixed-<arm>; sweep adaptive_epsilon / \
+                 adaptive_phase; adds metrics {})",
+                crate::registry::ADAPTIVE_METRICS.join(", ")
             );
         }
         let _ = writeln!(

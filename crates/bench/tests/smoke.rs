@@ -174,6 +174,38 @@ fn oscillating_and_churn_presets_run_in_quick_mode() {
 }
 
 #[test]
+fn adaptive_preset_runs_in_quick_mode_and_prints_arm_traces() {
+    // X17 at full scale is a long sweep; shrink it through the ordinary
+    // pass-through arguments (every preset accepts them).
+    let bin = env!("CARGO_BIN_EXE_ext_adaptive");
+    let out = Command::new(bin)
+        .args([
+            "--quick",
+            "--seeds",
+            "1",
+            "--x-values",
+            "0,0.5",
+            "--param",
+            "nodes=60",
+            "--param",
+            "rounds=60",
+        ])
+        .output()
+        .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+    assert!(
+        out.status.success(),
+        "ext_adaptive exited with {:?}: {}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let out = String::from_utf8(out.stdout).expect("UTF-8");
+    assert!(out.contains("Adaptive bandit attackers"), "{out}");
+    assert!(out.contains("adaptive epsilon-greedy"), "{out}");
+    assert!(out.contains("Arm trace — adaptive UCB1"), "{out}");
+    assert!(out.contains("dormant("), "init sweep visible:\n{out}");
+}
+
+#[test]
 fn runner_emits_json_for_the_acceptance_invocation() {
     // The ISSUE-1 acceptance CLI (scaled down so CI stays fast).
     let out = run_runner(&[

@@ -266,7 +266,7 @@ impl SwarmSim {
         SwarmSim {
             credit: vec![vec![0.0; n]; n],
             scratch: Scratch::new(cfg.pieces as usize),
-            schedule_state: ScheduleState::new(attack.schedule),
+            schedule_state: ScheduleState::seeded(attack.schedule, rng.fork("adaptive")),
             attack_active: false,
             population,
             cfg,
@@ -733,6 +733,10 @@ impl lotus_core::scenario::Scenario for SwarmSim {
 
     fn report(&self) -> SwarmReport {
         SwarmSim::report(self)
+    }
+
+    fn arm_trace(&self) -> Option<&[lotus_core::adaptive::TraceEntry]> {
+        self.schedule_state.arm_trace()
     }
 }
 

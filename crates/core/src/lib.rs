@@ -17,6 +17,10 @@
 //!   [`AttackSchedule`](schedule::AttackSchedule) (dormant → cooperate →
 //!   defect phases, oscillation, metric-threshold triggers, rotation)
 //!   every simulator steps deterministically;
+//! * [`adaptive`] — *closed-loop* attack timing: the
+//!   [`AdaptivePolicy`](adaptive::AdaptivePolicy) bandit that treats
+//!   {dormant, cooperate, defect, rotate} as arms and re-plans each
+//!   phase from the damage it observes;
 //! * [`population`] — population *churn*: deterministic arrival/departure
 //!   dynamics ([`Population`](population::Population)) every simulator
 //!   can run under;
@@ -57,6 +61,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adaptive;
 pub mod attack;
 pub mod bitset;
 pub mod defense;

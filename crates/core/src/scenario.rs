@@ -107,6 +107,14 @@ pub trait Scenario: Sized {
     /// Snapshot the typed report for the rounds executed so far.
     fn report(&self) -> Self::Report;
 
+    /// The adaptive attacker's per-phase arm trace, when this run is
+    /// driven by an [`AdaptivePolicy`](crate::adaptive::AdaptivePolicy)
+    /// (substrates expose their schedule stepper's trace). `None` for
+    /// every open-loop schedule — the default.
+    fn arm_trace(&self) -> Option<&[crate::adaptive::TraceEntry]> {
+        None
+    }
+
     /// Step to completion and return the final typed report.
     fn finish(&mut self) -> Self::Report {
         while let StepOutcome::Continue = self.step() {}
@@ -332,6 +340,12 @@ pub trait DynScenario {
     /// Snapshot the common-vocabulary report for the rounds so far.
     fn report_dyn(&self) -> ScenarioReport;
 
+    /// The adaptive arm trace, if the scenario ran one (see
+    /// [`Scenario::arm_trace`]).
+    fn arm_trace_dyn(&self) -> Option<&[crate::adaptive::TraceEntry]> {
+        None
+    }
+
     /// Step to completion and return the final summary.
     fn finish(&mut self) -> ScenarioReport {
         while let StepOutcome::Continue = self.step_dyn() {}
@@ -350,6 +364,10 @@ impl<S: Scenario> DynScenario for S {
 
     fn report_dyn(&self) -> ScenarioReport {
         self.report().summarize()
+    }
+
+    fn arm_trace_dyn(&self) -> Option<&[crate::adaptive::TraceEntry]> {
+        self.arm_trace()
     }
 }
 

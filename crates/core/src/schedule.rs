@@ -98,7 +98,8 @@ pub enum Trigger {
 }
 
 /// A complete attack timing specification: trigger plus optional target
-/// rotation.
+/// rotation, plus — since the adaptive-attacker layer — an optional
+/// closed-loop bandit policy that overrides the open-loop trigger.
 ///
 /// ```
 /// use lotus_core::schedule::{AttackSchedule, ScheduleState};
@@ -113,13 +114,20 @@ pub enum Trigger {
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AttackSchedule {
-    /// When the attack is on.
+    /// When the attack is on (ignored while `adaptive` is set: the
+    /// bandit's arm owns the activity switch then).
     pub trigger: Trigger,
     /// Rotate the target set every this many rounds while attacking
     /// (`None` keeps the set fixed). The rotation phase at round `t` is
     /// `t / period`; [`rotating_window`] turns a phase into a target
-    /// slice.
+    /// slice. Under an adaptive policy the period equals the policy's
+    /// phase length and the phase is the policy's sliding-arm counter.
     pub rotation: Option<Round>,
+    /// Closed-loop arm selection
+    /// ([`AdaptiveSpec`](crate::adaptive::AdaptiveSpec)): when set, a
+    /// bandit chooses the cooperate/defect/rotate behaviour each phase
+    /// from observed damage and the open-loop `trigger` is ignored.
+    pub adaptive: Option<crate::adaptive::AdaptiveSpec>,
 }
 
 impl Default for AttackSchedule {
@@ -135,6 +143,7 @@ impl AttackSchedule {
         AttackSchedule {
             trigger: Trigger::Always,
             rotation: None,
+            adaptive: None,
         }
     }
 
@@ -143,6 +152,7 @@ impl AttackSchedule {
         AttackSchedule {
             trigger: Trigger::AtRound(round),
             rotation: None,
+            adaptive: None,
         }
     }
 
@@ -156,6 +166,7 @@ impl AttackSchedule {
         AttackSchedule {
             trigger: Trigger::Window { from, until },
             rotation: None,
+            adaptive: None,
         }
     }
 
@@ -176,6 +187,7 @@ impl AttackSchedule {
                 active_rounds,
             },
             rotation: None,
+            adaptive: None,
         }
     }
 
@@ -188,6 +200,7 @@ impl AttackSchedule {
                 above: true,
             },
             rotation: None,
+            adaptive: None,
         }
     }
 
@@ -200,6 +213,7 @@ impl AttackSchedule {
                 above: false,
             },
             rotation: None,
+            adaptive: None,
         }
     }
 
@@ -214,9 +228,25 @@ impl AttackSchedule {
         self
     }
 
+    /// Re-plan the attack each phase with a bandit policy (builder
+    /// style): the open-loop trigger is superseded, and — when the
+    /// policy can play a window-sliding arm — the rotation period
+    /// becomes the policy's phase length so substrates re-aim their
+    /// target window exactly at phase boundaries, through the same
+    /// rotation switch static schedules use.
+    pub fn with_adaptive(mut self, spec: crate::adaptive::AdaptiveSpec) -> Self {
+        self.adaptive = Some(spec);
+        self.rotation = if spec.can_rotate() {
+            Some(spec.phase_len)
+        } else {
+            None
+        };
+        self
+    }
+
     /// Whether this is the observation-free default.
     pub fn is_always(&self) -> bool {
-        self.trigger == Trigger::Always
+        self.trigger == Trigger::Always && self.adaptive.is_none()
     }
 
     /// Parse the `lotus-bench --schedule` grammar:
@@ -303,22 +333,47 @@ impl AttackSchedule {
 
 /// The deterministic per-run schedule stepper a simulator embeds.
 ///
-/// One [`ScheduleState::is_active`] call per round decides the phase. The
-/// only mutable state is the metric-trigger latch, so cloning a sim
-/// clones its schedule position exactly (replay-safe).
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// One [`ScheduleState::is_active`] call per round decides the phase. For
+/// open-loop schedules the only mutable state is the metric-trigger
+/// latch; with an adaptive policy the state additionally carries the
+/// bandit's learning state — either way, cloning a sim clones its
+/// schedule position exactly (replay-safe).
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScheduleState {
     spec: AttackSchedule,
     /// Metric triggers latch: once fired they stay fired.
     latched: bool,
+    /// The bandit stepper, when `spec.adaptive` is set.
+    /// Boxed: the bandit's learning state is ~20x the open-loop state,
+    /// and almost every schedule ever stepped is open-loop.
+    adaptive: Option<Box<crate::adaptive::AdaptivePolicy>>,
 }
 
 impl ScheduleState {
     /// Start stepping `spec` from round 0.
+    ///
+    /// An adaptive spec needs exploration randomness; this constructor
+    /// seeds it from a fixed stream, so two runs differing only in their
+    /// master seed would explore identically. Simulators use
+    /// [`ScheduleState::seeded`] with a dedicated fork of their own rng
+    /// instead; `new` is for schedule-only contexts (tests, the
+    /// always-on defaults) and non-adaptive specs, where the two
+    /// constructors coincide.
     pub fn new(spec: AttackSchedule) -> Self {
+        ScheduleState::seeded(spec, netsim::rng::DetRng::seed_from(0).fork("adaptive"))
+    }
+
+    /// Start stepping `spec` from round 0, drawing any adaptive-policy
+    /// exploration randomness from `rng` (pass a dedicated fork, e.g.
+    /// `sim_rng.fork("adaptive")`, so honest-path streams stay
+    /// bit-identical whether or not the attacker adapts).
+    pub fn seeded(spec: AttackSchedule, rng: netsim::rng::DetRng) -> Self {
         ScheduleState {
             spec,
             latched: false,
+            adaptive: spec
+                .adaptive
+                .map(|a| Box::new(crate::adaptive::AdaptivePolicy::new(a, rng))),
         }
     }
 
@@ -327,11 +382,23 @@ impl ScheduleState {
         &self.spec
     }
 
+    /// The adaptive policy's per-phase arm trace, when the schedule runs
+    /// one (the `lotus-bench --arm-trace` payload).
+    pub fn arm_trace(&self) -> Option<&[crate::adaptive::TraceEntry]> {
+        self.adaptive.as_ref().map(|p| p.trace())
+    }
+
     /// Which canonical metric the caller must observe *this round*, if
     /// any. `None` for every non-metric trigger and once a metric trigger
     /// has latched — so the default schedule never asks for observations
-    /// and stays entirely out of the hot loop.
+    /// and stays entirely out of the hot loop. Learning adaptive policies
+    /// observe their reward metric every round; fixed-arm policies, like
+    /// static triggers, never ask.
     pub fn needs_observation(&self) -> Option<MetricKey> {
+        if let Some(policy) = &self.adaptive {
+            let spec = policy.spec();
+            return spec.needs_observation().then_some(spec.metric);
+        }
         match self.spec.trigger {
             Trigger::MetricThreshold { metric, .. } if !self.latched => Some(metric),
             _ => None,
@@ -345,8 +412,14 @@ impl ScheduleState {
     /// measured expiry). A `None` observation never latches: an
     /// unmeasured metric is *absent*, not zero, so `delivery-below`
     /// triggers wait for real degradation instead of firing on the empty
-    /// counters of round 0. Never allocates.
+    /// counters of round 0. Under an adaptive policy the same
+    /// observation is the bandit's reward signal and the chosen arm
+    /// decides activity. Never allocates (the bandit's once-per-phase
+    /// trace entry aside).
     pub fn is_active(&mut self, t: Round, observed: Option<f64>) -> bool {
+        if let Some(policy) = &mut self.adaptive {
+            return policy.step(t, observed);
+        }
         match self.spec.trigger {
             Trigger::Always => true,
             Trigger::AtRound(r) => t >= r,
@@ -370,9 +443,16 @@ impl ScheduleState {
     }
 
     /// The rotation phase at round `t` (`None` without rotation). Feed it
-    /// to [`rotating_window`] to obtain the round's target slice.
+    /// to [`rotating_window`] to obtain the round's target slice. Static
+    /// schedules rotate on the clock (`t / period`); adaptive ones rotate
+    /// when the bandit plays a window-sliding arm, so the phase is the
+    /// policy's sliding-arm counter.
     pub fn rotation_phase(&self, t: Round) -> Option<u64> {
-        self.spec.rotation.map(|period| t / period)
+        self.spec.rotation?;
+        Some(match &self.adaptive {
+            Some(policy) => policy.rotation_phase(),
+            None => t / self.spec.rotation.expect("checked above"),
+        })
     }
 }
 

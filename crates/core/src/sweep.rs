@@ -51,7 +51,19 @@ impl SweepConfig {
     }
 }
 
+/// Default worker count: the `LOTUS_SWEEP_THREADS` environment variable
+/// when set to a positive integer (the CI determinism matrix pins sweeps
+/// to 1 and 8 workers with it), otherwise the machine's parallelism.
+/// Results are bit-identical for any worker count — each `(x, seed)` job
+/// is independent and accumulation order per x is the job order.
 fn default_threads() -> usize {
+    if let Some(n) = std::env::var("LOTUS_SWEEP_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+    {
+        return n;
+    }
     std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1)
@@ -89,6 +101,13 @@ where
 
 /// Like [`sweep_fraction`] but returns the full per-x statistics
 /// (mean/min/max/std-dev across seeds) for error reporting.
+///
+/// Results are **bit-identical for any worker count**: workers record
+/// each `(x, seed)` measurement into its job slot and the accumulators
+/// are folded sequentially in job order afterwards, so no floating-point
+/// summation order depends on scheduling (the CI determinism matrix runs
+/// the golden suites under `LOTUS_SWEEP_THREADS=1` and `=8` to pin
+/// this).
 pub fn sweep_stats<F>(xs: &[f64], cfg: &SweepConfig, measure: &F) -> Vec<Running>
 where
     F: Fn(f64, u64) -> f64 + Sync,
@@ -101,24 +120,36 @@ where
         .collect();
     let threads = cfg.threads.max(1).min(jobs.len().max(1));
 
-    let results = std::sync::Mutex::new(vec![Running::new(); xs.len()]);
+    let mut ys = vec![f64::NAN; jobs.len()];
     let next = std::sync::atomic::AtomicUsize::new(0);
     std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let j = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                let Some(&(i, x, seed)) = jobs.get(j) else {
-                    break;
-                };
-                let y = measure(x, seed);
-                results
-                    .lock()
-                    .expect("sweep worker panicked while holding results lock")[i]
-                    .push(y);
-            });
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let j = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        let Some(&(_, x, seed)) = jobs.get(j) else {
+                            break;
+                        };
+                        local.push((j, measure(x, seed)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (j, y) in handle.join().expect("sweep worker panicked") {
+                ys[j] = y;
+            }
         }
     });
-    results.into_inner().expect("sweep results lock poisoned")
+
+    let mut stats = vec![Running::new(); xs.len()];
+    for (&(i, _, _), &y) in jobs.iter().zip(&ys) {
+        stats[i].push(y);
+    }
+    stats
 }
 
 /// Sweep any [`Scenario`] over a grid of x values, replicated across the
@@ -291,7 +322,7 @@ mod tests {
     }
 
     #[test]
-    fn sweep_parallel_equals_sequential() {
+    fn sweep_parallel_is_bit_identical_to_sequential() {
         let xs = grid(0.0, 1.0, 7);
         let f = |x: f64, seed: u64| (x * 10.0 + seed as f64).sin();
         let seq = sweep_fraction(
@@ -303,17 +334,23 @@ mod tests {
             },
             f,
         );
-        let par = sweep_fraction(
-            "p",
-            &xs,
-            &SweepConfig {
-                seeds: vec![1, 2, 3],
-                threads: 8,
-            },
-            f,
-        );
-        for (a, b) in seq.points.iter().zip(&par.points) {
-            assert!((a.1 - b.1).abs() < 1e-12);
+        for threads in [2, 8, 32] {
+            let par = sweep_fraction(
+                "p",
+                &xs,
+                &SweepConfig {
+                    seeds: vec![1, 2, 3],
+                    threads,
+                },
+                f,
+            );
+            for (a, b) in seq.points.iter().zip(&par.points) {
+                assert_eq!(
+                    a.1.to_bits(),
+                    b.1.to_bits(),
+                    "worker count must not change results ({threads} threads)"
+                );
+            }
         }
     }
 

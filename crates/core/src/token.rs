@@ -748,7 +748,11 @@ impl crate::scenario::Scenario for TokenSystem {
         let mut sys = TokenSystem::new(cfg.system, seed);
         sys.attack = attack;
         sys.horizon = cfg.rounds;
-        sys.schedule = crate::schedule::ScheduleState::new(cfg.schedule);
+        // Seed the adaptive policy (if any) from a dedicated fork;
+        // forking never advances `sys.rng`, so non-adaptive runs stay
+        // bit-identical to the legacy path.
+        sys.schedule =
+            crate::schedule::ScheduleState::seeded(cfg.schedule, sys.rng.fork("adaptive"));
         // Re-fork the population stream with the configured churn; forking
         // never advances `sys.rng`, so churn-free runs stay bit-identical
         // to the legacy path.
@@ -799,6 +803,10 @@ impl crate::scenario::Scenario for TokenSystem {
 
     fn report(&self) -> TokenReport {
         TokenSystem::report(self)
+    }
+
+    fn arm_trace(&self) -> Option<&[crate::adaptive::TraceEntry]> {
+        self.schedule.arm_trace()
     }
 }
 

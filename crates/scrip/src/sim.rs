@@ -232,7 +232,7 @@ impl ScripSim {
             }
         }
 
-        let schedule_state = ScheduleState::new(cfg.schedule);
+        let schedule_state = ScheduleState::seeded(cfg.schedule, rng.fork("adaptive"));
         let population = Population::new(n, cfg.churn, rng.fork("population"));
         ScripSim {
             cfg,
@@ -599,6 +599,10 @@ impl lotus_core::scenario::Scenario for ScripSim {
 
     fn report(&self) -> ScripReport {
         ScripSim::report(self)
+    }
+
+    fn arm_trace(&self) -> Option<&[lotus_core::adaptive::TraceEntry]> {
+        self.schedule_state.arm_trace()
     }
 }
 

@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# tools/bench_gate.sh — the CI bench-regression gate.
+#
+# Times registered scenarios with the built-in `lotus-bench --bench`
+# harness (the same dependency-free timing mode that produced the
+# committed BENCH_<date>.json records), then diffs per-(scenario, attack)
+# run-min nanoseconds against the newest committed record and fails when
+# any pair regresses by more than the threshold. The threshold is
+# deliberately generous — run-min is the least noisy single number, but
+# shared runners still jitter — and pairs present on only one side are
+# reported without failing, so adding a scenario never breaks the gate.
+#
+# usage: tools/bench_gate.sh [fresh-output.json] [-- <extra lotus-bench args>]
+#   e.g. tools/bench_gate.sh                         # full gate, all scenarios
+#        tools/bench_gate.sh out.json -- --scenario bar-gossip
+#
+# environment:
+#   BENCH_GATE_BASELINE    baseline record (default: newest BENCH_*.json)
+#   BENCH_GATE_THRESHOLD   allowed run-min regression in percent (default 25;
+#                          raise it when baseline and fresh run on different
+#                          machines — absolute nanoseconds only compare
+#                          within one machine)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="bench_fresh.json"
+if [ $# -gt 0 ] && [ "$1" != "--" ]; then
+  OUT="$1"
+  shift
+fi
+if [ "${1:-}" = "--" ]; then
+  shift
+fi
+
+BASELINE="${BENCH_GATE_BASELINE:-$(ls BENCH_*.json 2>/dev/null | sort | tail -n 1 || true)}"
+THRESHOLD="${BENCH_GATE_THRESHOLD:-25}"
+if [ -z "$BASELINE" ] || [ ! -f "$BASELINE" ]; then
+  echo "bench gate: no committed BENCH_*.json baseline found" >&2
+  exit 2
+fi
+
+echo "bench gate: baseline $BASELINE, threshold ${THRESHOLD}%, extra args: ${*:-(none)}"
+cargo run --release -p lotus-bench --bin lotus-bench -- \
+  --bench --format json "$@" >"$OUT"
+echo "bench gate: fresh record written to $OUT"
+
+python3 - "$BASELINE" "$OUT" "$THRESHOLD" <<'PY'
+import json
+import sys
+
+base_path, fresh_path, threshold = sys.argv[1], sys.argv[2], float(sys.argv[3])
+
+
+def index(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return {(r["scenario"], r["attack"]): r for r in doc["scenarios"]}
+
+
+base, fresh = index(base_path), index(fresh_path)
+failed, compared = [], 0
+print(f"{'scenario':<14} {'attack':<12} {'base run-min':>14} {'fresh run-min':>14} {'delta':>9}")
+for key, rec in fresh.items():
+    scenario, attack = key
+    ref = base.get(key)
+    f_min = rec["run_ns"]["min"]
+    if ref is None:
+        print(f"{scenario:<14} {attack:<12} {'(new)':>14} {f_min:>14} {'-':>9}")
+        continue
+    compared += 1
+    b_min = ref["run_ns"]["min"]
+    delta = 100.0 * (f_min - b_min) / b_min
+    flag = "  REGRESSION" if delta > threshold else ""
+    print(f"{scenario:<14} {attack:<12} {b_min:>14} {f_min:>14} {delta:>+8.1f}%{flag}")
+    if delta > threshold:
+        failed.append((key, delta))
+for key in sorted(set(base) - set(fresh)):
+    print(f"{key[0]:<14} {key[1]:<12} {base[key]['run_ns']['min']:>14} {'(not run)':>14} {'-':>9}")
+if compared == 0:
+    print("bench gate: nothing to compare (no shared scenario/attack pairs)", file=sys.stderr)
+    sys.exit(2)
+if failed:
+    summary = ", ".join(f"{s}/{a} {d:+.1f}%" for (s, a), d in failed)
+    print(f"bench gate: run-min regressions above {threshold}%: {summary}", file=sys.stderr)
+    sys.exit(1)
+print(f"bench gate: OK — {compared} pair(s) within {threshold}%")
+PY
