@@ -16,7 +16,7 @@
 //! report-and-evict).
 
 use crate::update::MAX_UPDATES_PER_ROUND;
-use lotus_core::population::ChurnSpec;
+use lotus_core::population::{ArrivalProcess, ChurnProfile};
 
 /// Report-and-evict defense settings (§4 "leveraging obedience").
 ///
@@ -101,11 +101,19 @@ pub struct BarGossipConfig {
     /// exchanges to limit the damage Byzantine nodes can do; the paper's
     /// §4 discusses this as the trade-opportunity parameter `c`.
     pub responder_cap: Option<u32>,
-    /// Population churn: per-round node departure/return rates
-    /// ([`ChurnSpec::none`] by default — the paper's closed population).
-    /// Absent nodes neither initiate nor respond and receive no seeds,
-    /// but keep their windows and rejoin where they left off.
-    pub churn: ChurnSpec,
+    /// Population churn: per-round node departure/return rates, possibly
+    /// heterogeneous across cohorts (none by default — the paper's
+    /// closed population; a uniform
+    /// [`ChurnSpec`](lotus_core::population::ChurnSpec) converts to the
+    /// degenerate one-class profile). Absent nodes neither initiate nor
+    /// respond and receive no seeds, but keep their windows and rejoin
+    /// where they left off.
+    pub churn: ChurnProfile,
+    /// Flash-crowd arrival process: held-back nodes enter with empty
+    /// windows at their wave's round, having never gossiped (default:
+    /// none). Attacker nodes are never held back — a flash crowd is an
+    /// honest-node phenomenon.
+    pub arrival: ArrivalProcess,
 }
 
 impl Default for BarGossipConfig {
@@ -124,7 +132,8 @@ impl Default for BarGossipConfig {
             defenses: DefenseSuite::default(),
             attacker_receives: false,
             responder_cap: Some(2),
-            churn: ChurnSpec::none(),
+            churn: ChurnProfile::none(),
+            arrival: ArrivalProcess::None,
         }
     }
 }
@@ -357,9 +366,16 @@ impl BarGossipConfigBuilder {
         self
     }
 
-    /// Population churn rates (default: none).
-    pub fn churn(mut self, churn: ChurnSpec) -> Self {
-        self.cfg.churn = churn;
+    /// Population churn profile (default: none; a uniform spec converts
+    /// to the one-class profile).
+    pub fn churn(mut self, churn: impl Into<ChurnProfile>) -> Self {
+        self.cfg.churn = churn.into();
+        self
+    }
+
+    /// Flash-crowd arrival process (default: none).
+    pub fn arrival(mut self, arrival: ArrivalProcess) -> Self {
+        self.cfg.arrival = arrival;
         self
     }
 

@@ -222,7 +222,15 @@ impl ScripGossipSim {
                 target: target[i],
             })
             .collect();
-        let population = Population::new(n as usize, cfg.base.churn, rng.fork("population"));
+        let mut population = Population::new(n as usize, cfg.base.churn, rng.fork("population"));
+        // As in BAR Gossip: the flash crowd is honest — attacker nodes
+        // churn like anyone but are never held back.
+        for (i, &is_attacker) in attacker.iter().enumerate() {
+            if is_attacker {
+                population.exempt_arrival(i);
+            }
+        }
+        population.set_arrival(cfg.base.arrival);
         ScripGossipSim {
             pool: window.clone(),
             full: window,
@@ -260,8 +268,12 @@ impl ScripGossipSim {
 
     /// Canonical-metric observation for metric-threshold schedules,
     /// computed from the running delivery counters (no allocation).
-    /// `None` until the first measured expiry.
+    /// `None` until the first measured expiry; presence observes live
+    /// membership from round 0.
     fn observe(&self, key: MetricKey) -> Option<f64> {
+        if key == MetricKey::PresentFraction {
+            return Some(self.population.present_fraction());
+        }
         schedule::class_delivery_observation(&self.delivered, &self.totals, key)
     }
 

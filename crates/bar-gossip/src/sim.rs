@@ -301,7 +301,18 @@ impl BarGossipSim {
             })
             .collect();
 
-        let population = Population::new(n as usize, cfg.churn, rng.fork("population"));
+        let mut population = Population::new(n as usize, cfg.churn, rng.fork("population"));
+        // Flash-crowd nodes are withdrawn now (index-ordered, no
+        // randomness) and enter with empty windows at their wave's
+        // round. Attackers are exempt from the holdback — they churn
+        // like anyone but the crowd itself is honest — so the defection
+        // and the crowd stay independently timed dimensions.
+        for (i, &class) in classes.iter().enumerate() {
+            if class == NodeClass::Attacker {
+                population.exempt_arrival(i);
+            }
+        }
+        population.set_arrival(cfg.arrival);
         BarGossipSim {
             full: window.clone(),
             pool: window,
@@ -411,8 +422,13 @@ impl BarGossipSim {
     /// Canonical-metric observation for metric-threshold schedules,
     /// computed from the running delivery counters (no report, no
     /// allocation). `None` until the first measured expiry — an
-    /// unmeasured metric must not latch a threshold trigger.
+    /// unmeasured metric must not latch a threshold trigger. Presence is
+    /// answered from live membership, so `presence-*` triggers observe
+    /// from round 0.
     fn observe(&self, key: MetricKey) -> Option<f64> {
+        if key == MetricKey::PresentFraction {
+            return Some(self.population.present_fraction());
+        }
         schedule::class_delivery_observation(&self.delivered, &self.totals, key)
     }
 

@@ -27,7 +27,7 @@ use bar_gossip::scrip_gossip::{ScripGossipConfig, ScripGossipSim};
 use bar_gossip::{AttackPlan, BarGossipConfig, BarGossipSim, ReportConfig};
 use lotus_core::adaptive::{AdaptiveSpec, AttackMode, PolicyKind};
 use lotus_core::attack::{SatiateCut, TokenAttack};
-use lotus_core::population::ChurnSpec;
+use lotus_core::population::{ArrivalProcess, ChurnProfile, ChurnSpec};
 use lotus_core::scenario::{boxed, DynScenario, ScenarioReport};
 use lotus_core::schedule::AttackSchedule;
 use lotus_core::token::{
@@ -318,7 +318,8 @@ impl ScenarioRegistry {
 const SCHEDULE_PARAM_DOC: (&str, &str) = (
     "schedule",
     "attack timing: always | at:<r> | window:<a>:<b> | periodic:<p>:<a> | \
-     delivery-above:<x> | delivery-below:<x> | targeted-above:<x> | targeted-below:<x>",
+     delivery-above:<x> | delivery-below:<x> | targeted-above:<x> | targeted-below:<x> | \
+     presence-above:<x> | presence-below:<x>",
 );
 const CHURN_LEAVE_DOC: (&str, &str) = (
     "churn_leave",
@@ -327,6 +328,21 @@ const CHURN_LEAVE_DOC: (&str, &str) = (
 const CHURN_REJOIN_DOC: (&str, &str) = (
     "churn_rejoin",
     "per-round probability an offline node returns (default 0.25)",
+);
+const CHURN_PROFILE_DOC: (&str, &str) = (
+    "churn_profile",
+    "heterogeneous churn cohorts: none | uniform:<leave>[:<rejoin>] | \
+     <w>:<leave>:<rejoin>[/...] (up to 4 weighted classes; replaces \
+     churn_leave/churn_rejoin)",
+);
+const ARRIVAL_DOC: (&str, &str) = (
+    "arrival",
+    "flash-crowd arrivals: none | burst:<round>:<size>[:<period>] | \
+     ramp:<start>:<size>[:<rate>] (held-back nodes enter with empty state)",
+);
+const ARRIVAL_SIZE_DOC: (&str, &str) = (
+    "arrival_size",
+    "override (or sweep) the flash-crowd size of the configured arrival process",
 );
 
 const ADAPTIVE_PARAM_DOC: (&str, &str) = (
@@ -465,6 +481,48 @@ fn parse_churn(req: &RunRequest<'_>) -> Result<ChurnSpec, String> {
     Ok(ChurnSpec::new(leave, rejoin))
 }
 
+/// Resolve the full population axis: the heterogeneous `churn_profile`
+/// (which supersedes the uniform `churn_leave`/`churn_rejoin` pair — the
+/// two spellings are mutually exclusive) plus the `arrival` flash-crowd
+/// process with its sweepable `arrival_size` override.
+fn parse_population(req: &RunRequest<'_>) -> Result<(ChurnProfile, ArrivalProcess), String> {
+    let profile = match req.params.get("churn_profile") {
+        Some(spec) => {
+            let uniform_axis = ["churn_leave", "churn_rejoin"];
+            if uniform_axis.iter().any(|k| req.params.get(k).is_some())
+                || uniform_axis.contains(&req.sweep)
+            {
+                return Err(
+                    "churn_profile replaces the uniform axis: drop churn_leave/churn_rejoin \
+                     (use uniform:<leave>:<rejoin> inside the profile instead)"
+                        .to_string(),
+                );
+            }
+            ChurnProfile::parse(spec)?
+        }
+        None => ChurnProfile::uniform(parse_churn(req)?),
+    };
+    let mut arrival = match req.params.get("arrival") {
+        Some(spec) => ArrivalProcess::parse(spec)?,
+        None => ArrivalProcess::None,
+    };
+    if let Some(size) = req.opt_num("arrival_size")? {
+        if !arrival.is_some() {
+            return Err(
+                "arrival_size needs an arrival process: pass arrival=burst:... or ramp:..."
+                    .to_string(),
+            );
+        }
+        if size < 0.0 || size.fract() != 0.0 {
+            return Err(format!(
+                "parameter arrival_size={size} is not a non-negative node count"
+            ));
+        }
+        arrival = arrival.with_size(size as u32);
+    }
+    Ok((profile, arrival))
+}
+
 // ---------------------------------------------------------------------
 // bar-gossip
 // ---------------------------------------------------------------------
@@ -525,6 +583,9 @@ fn bar_gossip_spec() -> ScenarioSpec {
             ADAPTIVE_PHASE_DOC,
             CHURN_LEAVE_DOC,
             CHURN_REJOIN_DOC,
+            CHURN_PROFILE_DOC,
+            ARRIVAL_DOC,
+            ARRIVAL_SIZE_DOC,
         ],
         sweeps: &[
             "rate_limit",
@@ -534,6 +595,7 @@ fn bar_gossip_spec() -> ScenarioSpec {
             "satiate_fraction",
             "churn_leave",
             "churn_rejoin",
+            "arrival_size",
             "adaptive_epsilon",
             "adaptive_phase",
         ],
@@ -603,7 +665,8 @@ fn bar_gossip_config(req: &RunRequest<'_>) -> Result<BarGossipConfig, String> {
             excess_slack: req.num("report_excess_slack", 1.0)? as u32,
         });
     }
-    b = b.churn(parse_churn(req)?);
+    let (churn, arrival) = parse_population(req)?;
+    b = b.churn(churn).arrival(arrival);
     b.build()
         .map_err(|e| format!("invalid bar-gossip config: {e}"))
 }
@@ -682,6 +745,9 @@ fn scrip_spec() -> ScenarioSpec {
             ADAPTIVE_PHASE_DOC,
             CHURN_LEAVE_DOC,
             CHURN_REJOIN_DOC,
+            CHURN_PROFILE_DOC,
+            ARRIVAL_DOC,
+            ARRIVAL_SIZE_DOC,
         ],
         sweeps: &[
             "altruists",
@@ -689,6 +755,7 @@ fn scrip_spec() -> ScenarioSpec {
             "threshold",
             "churn_leave",
             "churn_rejoin",
+            "arrival_size",
             "adaptive_epsilon",
             "adaptive_phase",
         ],
@@ -738,7 +805,8 @@ fn build_scrip(req: &RunRequest<'_>) -> Result<Box<dyn DynScenario>, String> {
     if let Some(v) = req.opt_num("warmup")? {
         b = b.warmup(v as u64);
     }
-    b = b.schedule(parse_timing(req)?).churn(parse_churn(req)?);
+    let (churn, arrival) = parse_population(req)?;
+    b = b.schedule(parse_timing(req)?).churn(churn).arrival(arrival);
     let cfg = b
         .build()
         .map_err(|e| format!("invalid scrip config: {e}"))?;
@@ -794,6 +862,9 @@ fn bittorrent_spec() -> ScenarioSpec {
             ADAPTIVE_PHASE_DOC,
             CHURN_LEAVE_DOC,
             CHURN_REJOIN_DOC,
+            CHURN_PROFILE_DOC,
+            ARRIVAL_DOC,
+            ARRIVAL_SIZE_DOC,
         ],
         sweeps: &[
             "attacker_peers",
@@ -801,6 +872,7 @@ fn bittorrent_spec() -> ScenarioSpec {
             "leechers",
             "churn_leave",
             "churn_rejoin",
+            "arrival_size",
             "adaptive_epsilon",
             "adaptive_phase",
         ],
@@ -844,7 +916,8 @@ fn build_bittorrent(req: &RunRequest<'_>) -> Result<Box<dyn DynScenario>, String
         Some("random") => b = b.piece_policy(PiecePolicy::Random),
         Some(other) => return Err(format!("unknown piece_policy {other:?} (rarest | random)")),
     }
-    b = b.churn(parse_churn(req)?);
+    let (churn, arrival) = parse_population(req)?;
+    b = b.churn(churn).arrival(arrival);
     let cfg = b
         .build()
         .map_err(|e| format!("invalid bittorrent config: {e}"))?;
@@ -939,6 +1012,9 @@ fn token_spec() -> ScenarioSpec {
             ADAPTIVE_PHASE_DOC,
             CHURN_LEAVE_DOC,
             CHURN_REJOIN_DOC,
+            CHURN_PROFILE_DOC,
+            ARRIVAL_DOC,
+            ARRIVAL_SIZE_DOC,
         ],
         sweeps: &[
             "altruism",
@@ -948,6 +1024,7 @@ fn token_spec() -> ScenarioSpec {
             "budget",
             "churn_leave",
             "churn_rejoin",
+            "arrival_size",
             "adaptive_epsilon",
             "adaptive_phase",
         ],
@@ -1095,9 +1172,11 @@ fn build_token(req: &RunRequest<'_>) -> Result<Box<dyn DynScenario>, String> {
         .build()
         .map_err(|e| format!("invalid token config: {e}"))?;
     let rounds = req.num("rounds", 150.0)? as u64;
+    let (churn, arrival) = parse_population(req)?;
     let scenario_cfg = TokenScenarioConfig::new(cfg, rounds)
         .with_schedule(parse_timing(req)?)
-        .with_churn(parse_churn(req)?);
+        .with_churn(churn)
+        .with_arrival(arrival);
     Ok(boxed::<TokenSystem>(scenario_cfg, attack, req.seed))
 }
 
@@ -1137,10 +1216,14 @@ fn scrip_gossip_spec() -> ScenarioSpec {
             ADAPTIVE_PHASE_DOC,
             CHURN_LEAVE_DOC,
             CHURN_REJOIN_DOC,
+            CHURN_PROFILE_DOC,
+            ARRIVAL_DOC,
+            ARRIVAL_SIZE_DOC,
         ],
         sweeps: &[
             "churn_leave",
             "churn_rejoin",
+            "arrival_size",
             "adaptive_epsilon",
             "adaptive_phase",
         ],

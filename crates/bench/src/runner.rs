@@ -271,6 +271,18 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
                 opts.params.set("churn_leave", churn.leave.to_string());
                 opts.params.set("churn_rejoin", churn.rejoin.to_string());
             }
+            "--churn-profile" => {
+                // Validate eagerly (as for --schedule), then pass the
+                // spec through the ordinary parameter channel.
+                let v = take("--churn-profile")?;
+                lotus_core::population::ChurnProfile::parse(v)?;
+                opts.params.set("churn_profile", v);
+            }
+            "--arrival" => {
+                let v = take("--arrival")?;
+                lotus_core::population::ArrivalProcess::parse(v)?;
+                opts.params.set("arrival", v);
+            }
             "--adaptive" => {
                 // Validate eagerly (as for --schedule), then pass the
                 // spec through the ordinary parameter channel.
@@ -338,11 +350,23 @@ options:
   --schedule SPEC       attack timing: always (default) | at:<round> |
                         window:<from>:<until> | periodic:<period>:<active> |
                         delivery-above:<x> | delivery-below:<x> |
-                        targeted-above:<x> | targeted-below:<x>
+                        targeted-above:<x> | targeted-below:<x> |
+                        presence-above:<x> | presence-below:<x>
                         (sugar for --param schedule=SPEC)
   --churn L[:R]         population churn: per-round leave probability L and
                         rejoin probability R (default 0.25); sugar for
                         --param churn_leave=L / churn_rejoin=R
+  --churn-profile SPEC  heterogeneous churn cohorts: none |
+                        uniform:<leave>[:<rejoin>] |
+                        <w>:<leave>:<rejoin>[/...] (up to 4 weighted classes,
+                        e.g. 0.9:0.002:0.5/0.1:0.2:0.3 = stable core +
+                        transient fringe); replaces --churn
+                        (sugar for --param churn_profile=SPEC)
+  --arrival SPEC        flash-crowd arrivals: none (default) |
+                        burst:<round>:<size>[:<period>] |
+                        ramp:<start>:<size>[:<rate>] — held-back nodes enter
+                        with empty state; sweep arrival_size to scale the
+                        crowd (sugar for --param arrival=SPEC)
   --adaptive SPEC       bandit attacker re-planning each phase from observed
                         damage: <policy>,<phase-len>,<epsilon>[,<metric>] with
                         policy epsilon-greedy | ucb | fixed-<arm> and metric
@@ -891,13 +915,28 @@ pub fn render_list(registry: &ScenarioRegistry) -> String {
             let _ = writeln!(
                 out,
                 "    schedule: --schedule always|at:<r>|window:<a>:<b>|periodic:<p>:<a>|\
-                 delivery-above:<x>|delivery-below:<x>|targeted-above:<x>|targeted-below:<x>"
+                 delivery-above:<x>|delivery-below:<x>|targeted-above:<x>|targeted-below:<x>|\
+                 presence-above:<x>|presence-below:<x>"
             );
         }
         if spec.has_param("churn_leave") {
             let _ = writeln!(
                 out,
                 "    churn:   --churn <leave>[:<rejoin>]  (params churn_leave, churn_rejoin)"
+            );
+        }
+        if spec.has_param("churn_profile") {
+            let _ = writeln!(
+                out,
+                "    profile: --churn-profile none|uniform:<leave>[:<rejoin>]|\
+                 <w>:<leave>:<rejoin>[/...]  (heterogeneous cohorts; replaces --churn)"
+            );
+        }
+        if spec.has_param("arrival") {
+            let _ = writeln!(
+                out,
+                "    arrival: --arrival burst:<round>:<size>[:<period>]|\
+                 ramp:<start>:<size>[:<rate>]  (flash crowds; sweep arrival_size)"
             );
         }
         if spec.has_param("adaptive") {

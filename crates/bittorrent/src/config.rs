@@ -9,7 +9,7 @@
 //! unchokes, rarest-first / random-first / endgame piece selection, origin
 //! seeds and post-completion seeding.
 
-use lotus_core::population::ChurnSpec;
+use lotus_core::population::{ArrivalProcess, ChurnProfile};
 
 /// How a downloader picks the next piece to request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -48,10 +48,16 @@ pub struct SwarmConfig {
     pub seed_after_completion: u32,
     /// Hard stop for the simulation.
     pub max_rounds: u64,
-    /// Leecher churn: per-round offline/return rates (default: none).
-    /// Origin seeds and attacker peers never churn; offline leechers
-    /// keep their pieces and resume downloading on return.
-    pub churn: ChurnSpec,
+    /// Leecher churn (default: none; a uniform
+    /// [`ChurnSpec`](lotus_core::population::ChurnSpec) converts to the
+    /// degenerate one-class profile). Origin seeds and attacker peers
+    /// never churn; offline leechers keep their pieces and resume
+    /// downloading on return.
+    pub churn: ChurnProfile,
+    /// Flash-crowd arrival process: held-back leechers join with no
+    /// pieces at their wave's round (default: none). Origin seeds and
+    /// attacker peers are never held back.
+    pub arrival: ArrivalProcess,
 }
 
 impl Default for SwarmConfig {
@@ -67,7 +73,8 @@ impl Default for SwarmConfig {
             piece_policy: PiecePolicy::RarestFirst,
             seed_after_completion: 0,
             max_rounds: 2_000,
-            churn: ChurnSpec::none(),
+            churn: ChurnProfile::none(),
+            arrival: ArrivalProcess::None,
         }
     }
 }
@@ -191,9 +198,16 @@ impl SwarmConfigBuilder {
         self
     }
 
-    /// Set the leecher churn rates (default: none).
-    pub fn churn(mut self, churn: ChurnSpec) -> Self {
-        self.cfg.churn = churn;
+    /// Set the leecher churn profile (default: none; a uniform spec
+    /// converts to the one-class profile).
+    pub fn churn(mut self, churn: impl Into<ChurnProfile>) -> Self {
+        self.cfg.churn = churn.into();
+        self
+    }
+
+    /// Set the flash-crowd arrival process (default: none).
+    pub fn arrival(mut self, arrival: ArrivalProcess) -> Self {
+        self.cfg.arrival = arrival;
         self
     }
 

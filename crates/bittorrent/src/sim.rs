@@ -263,6 +263,10 @@ impl SwarmSim {
                 population.protect(i);
             }
         }
+        // Flash-crowd leechers are withdrawn now (index-ordered, no
+        // randomness) and join with no pieces at their wave's round;
+        // protected seeds/attackers are never held back.
+        population.set_arrival(cfg.arrival);
         SwarmSim {
             credit: vec![vec![0.0; n]; n],
             scratch: Scratch::new(cfg.pieces as usize),
@@ -342,6 +346,8 @@ impl SwarmSim {
                     frac(done[1], count[1])
                 }
             }
+            // Live membership state, not completion accounting.
+            MetricKey::PresentFraction => self.population.present_fraction(),
         })
     }
 

@@ -21,9 +21,14 @@
 //!   [`AdaptivePolicy`](adaptive::AdaptivePolicy) bandit that treats
 //!   {dormant, cooperate, defect, rotate} as arms and re-plans each
 //!   phase from the damage it observes;
-//! * [`population`] — population *churn*: deterministic arrival/departure
-//!   dynamics ([`Population`](population::Population)) every simulator
-//!   can run under;
+//! * [`population`] — population dynamics: heterogeneous churn
+//!   ([`ChurnProfile`](population::ChurnProfile)) and flash-crowd
+//!   arrivals ([`ArrivalProcess`](population::ArrivalProcess)) driving a
+//!   deterministic membership tracker
+//!   ([`Population`](population::Population)) every simulator runs under;
+//! * [`proptest_lite`] — the dependency-free property-test harness
+//!   (seeded case generation + shrink-by-halving) the population
+//!   invariant suites run on;
 //! * [`defense`] — the four §4 defense principles and their mechanisms;
 //! * [`scenario`] — the unified experiment API: the
 //!   [`Scenario`](scenario::Scenario) trait every substrate implements,
@@ -66,6 +71,7 @@ pub mod attack;
 pub mod bitset;
 pub mod defense;
 pub mod population;
+pub mod proptest_lite;
 pub mod report;
 pub mod satiation;
 pub mod scenario;

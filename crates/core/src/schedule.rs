@@ -49,14 +49,25 @@ pub enum MetricKey {
     OverallDelivery,
     /// Service enjoyed by the attacker's targets (`targeted_service`).
     TargetedService,
+    /// The fraction of the population currently present
+    /// (`present_fraction`, from
+    /// [`Population::present_fraction`](crate::population::Population::present_fraction)).
+    /// Lets a schedule key on membership dynamics — e.g. `presence-above`
+    /// strikes the instant a flash crowd lands, `presence-below` waits
+    /// for churn to thin the honest pool. Unlike the delivery metrics
+    /// this is live membership state, not a report metric.
+    PresentFraction,
 }
 
 impl MetricKey {
-    /// The metric's name in the common report vocabulary.
+    /// The metric's name in the common report vocabulary (for
+    /// [`MetricKey::PresentFraction`], the observation's own name — the
+    /// value is live membership state, not a report metric).
     pub fn name(self) -> &'static str {
         match self {
             MetricKey::OverallDelivery => "overall_delivery",
             MetricKey::TargetedService => "targeted_service",
+            MetricKey::PresentFraction => "present_fraction",
         }
     }
 }
@@ -260,6 +271,10 @@ impl AttackSchedule {
     /// delivery-below:<x>         latch on once overall_delivery <= x
     /// targeted-above:<x>         latch on once targeted_service >= x
     /// targeted-below:<x>         latch on once targeted_service <= x
+    /// presence-above:<x>         latch on once present_fraction >= x
+    ///                            (strike when the flash crowd lands)
+    /// presence-below:<x>         latch on once present_fraction <= x
+    ///                            (strike when churn thins the pool)
     /// ```
     ///
     /// Rotation stays a separate per-substrate knob (`rotation_period` /
@@ -299,7 +314,8 @@ impl AttackSchedule {
                 }
                 AttackSchedule::oscillating(period, active)
             }
-            key @ ("delivery-above" | "delivery-below" | "targeted-above" | "targeted-below") => {
+            key @ ("delivery-above" | "delivery-below" | "targeted-above" | "targeted-below"
+            | "presence-above" | "presence-below") => {
                 let value = parts
                     .next()
                     .ok_or_else(|| format!("schedule {spec:?}: missing threshold"))?
@@ -307,6 +323,8 @@ impl AttackSchedule {
                     .map_err(|_| format!("schedule {spec:?}: threshold is not a number"))?;
                 let metric = if key.starts_with("delivery") {
                     MetricKey::OverallDelivery
+                } else if key.starts_with("presence") {
+                    MetricKey::PresentFraction
                 } else {
                     MetricKey::TargetedService
                 };
@@ -320,7 +338,8 @@ impl AttackSchedule {
                 return Err(format!(
                     "unknown schedule {other:?} (always | at:<r> | window:<a>:<b> | \
                      periodic:<p>:<a> | delivery-above:<x> | delivery-below:<x> | \
-                     targeted-above:<x> | targeted-below:<x>)"
+                     targeted-above:<x> | targeted-below:<x> | presence-above:<x> | \
+                     presence-below:<x>)"
                 ))
             }
         };
@@ -477,6 +496,10 @@ pub fn class_delivery_observation(
     match key {
         MetricKey::OverallDelivery => frac(delivered[0] + delivered[1], totals[0] + totals[1]),
         MetricKey::TargetedService => frac(delivered[1], totals[1]),
+        // Presence is population state, not delivery accounting: callers
+        // answer it from their `Population` before reaching for this
+        // helper, so a counter-only caller simply has no observation.
+        MetricKey::PresentFraction => None,
     }
 }
 
@@ -628,6 +651,25 @@ mod tests {
             AttackSchedule::parse("targeted-below:0.5").unwrap(),
             AttackSchedule::when_below(MetricKey::TargetedService, 0.5)
         );
+        assert_eq!(
+            AttackSchedule::parse("presence-above:0.95").unwrap(),
+            AttackSchedule::when_above(MetricKey::PresentFraction, 0.95)
+        );
+        assert_eq!(
+            AttackSchedule::parse("presence-below:0.6").unwrap(),
+            AttackSchedule::when_below(MetricKey::PresentFraction, 0.6)
+        );
+    }
+
+    #[test]
+    fn presence_trigger_latches_on_membership() {
+        // The flash-crowd striker: dormant while the crowd is outside,
+        // latched the round the presence fraction crosses the bar.
+        let mut s = ScheduleState::new(AttackSchedule::when_above(MetricKey::PresentFraction, 0.9));
+        assert_eq!(s.needs_observation(), Some(MetricKey::PresentFraction));
+        assert!(!s.is_active(0, Some(0.6)));
+        assert!(s.is_active(1, Some(0.95)), "crowd landed: attack on");
+        assert!(s.is_active(2, Some(0.3)), "latch holds through departures");
     }
 
     #[test]

@@ -657,7 +657,7 @@ impl Satiable for TokenSystem {
 
 /// Scenario configuration for the token model: a [`TokenSystemConfig`]
 /// plus the horizon the legacy [`TokenSystem::run`] took as an argument,
-/// plus the cross-substrate attack-timing and churn dimensions.
+/// plus the cross-substrate attack-timing and population dimensions.
 #[derive(Debug, Clone)]
 pub struct TokenScenarioConfig {
     /// The underlying system configuration.
@@ -667,8 +667,13 @@ pub struct TokenScenarioConfig {
     /// When the attacker strikes (default: always on, the pre-schedule
     /// behaviour).
     pub schedule: crate::schedule::AttackSchedule,
-    /// Arrival/departure churn (default: none).
-    pub churn: crate::population::ChurnSpec,
+    /// Arrival/departure churn (default: none; a uniform
+    /// [`ChurnSpec`](crate::population::ChurnSpec) converts to the
+    /// degenerate one-class profile).
+    pub churn: crate::population::ChurnProfile,
+    /// Flash-crowd arrival process (default: none — everyone present
+    /// from round 0).
+    pub arrival: crate::population::ArrivalProcess,
 }
 
 impl TokenScenarioConfig {
@@ -679,7 +684,8 @@ impl TokenScenarioConfig {
             system,
             rounds,
             schedule: crate::schedule::AttackSchedule::always(),
-            churn: crate::population::ChurnSpec::none(),
+            churn: crate::population::ChurnProfile::none(),
+            arrival: crate::population::ArrivalProcess::None,
         }
     }
 
@@ -689,9 +695,16 @@ impl TokenScenarioConfig {
         self
     }
 
-    /// Set the churn rates (builder style).
-    pub fn with_churn(mut self, churn: crate::population::ChurnSpec) -> Self {
-        self.churn = churn;
+    /// Set the churn profile (builder style; a uniform
+    /// [`ChurnSpec`](crate::population::ChurnSpec) converts).
+    pub fn with_churn(mut self, churn: impl Into<crate::population::ChurnProfile>) -> Self {
+        self.churn = churn.into();
+        self
+    }
+
+    /// Set the flash-crowd arrival process (builder style).
+    pub fn with_arrival(mut self, arrival: crate::population::ArrivalProcess) -> Self {
+        self.arrival = arrival;
         self
     }
 }
@@ -734,6 +747,8 @@ impl TokenSystem {
                     attacked_sum / attacked_n as f64
                 }
             }
+            // Live membership state, not a holdings metric.
+            crate::schedule::MetricKey::PresentFraction => self.population.present_fraction(),
         })
     }
 }
@@ -761,6 +776,10 @@ impl crate::scenario::Scenario for TokenSystem {
             cfg.churn,
             sys.rng.fork("population"),
         );
+        // Flash-crowd members are withdrawn now (index-ordered, no
+        // randomness) and re-enter with whatever their initial allocation
+        // gave them — they have never gossiped.
+        sys.population.set_arrival(cfg.arrival);
         sys
     }
 

@@ -17,7 +17,7 @@
 //! analysis rests on conservation: satiating a `φ` fraction locks
 //! `φ·n·k` scrip, and the system only has `m·n`.
 
-use lotus_core::population::ChurnSpec;
+use lotus_core::population::{ArrivalProcess, ChurnProfile};
 use lotus_core::schedule::AttackSchedule;
 
 /// Configuration of a scrip-economy run.
@@ -58,8 +58,14 @@ pub struct ScripConfig {
     /// bids for paid requests.
     pub schedule: AttackSchedule,
     /// Population churn: absent agents cannot request, volunteer or be
-    /// topped up (default: none).
-    pub churn: ChurnSpec,
+    /// topped up (default: none; a uniform
+    /// [`ChurnSpec`](lotus_core::population::ChurnSpec) converts to the
+    /// degenerate one-class profile).
+    pub churn: ChurnProfile,
+    /// Flash-crowd arrival process: held-back agents enter with their
+    /// initial balance, having never requested or served (default:
+    /// none).
+    pub arrival: ArrivalProcess,
 }
 
 impl Default for ScripConfig {
@@ -78,7 +84,8 @@ impl Default for ScripConfig {
             rounds: 20_000,
             warmup: 2_000,
             schedule: AttackSchedule::always(),
-            churn: ChurnSpec::none(),
+            churn: ChurnProfile::none(),
+            arrival: ArrivalProcess::None,
         }
     }
 }
@@ -259,9 +266,17 @@ impl ScripConfigBuilder {
         self
     }
 
-    /// Set the churn rates (default: none).
-    pub fn churn(mut self, churn: ChurnSpec) -> Self {
-        self.cfg.churn = churn;
+    /// Set the churn profile (default: none; a uniform
+    /// [`ChurnSpec`](lotus_core::population::ChurnSpec) converts to the
+    /// degenerate one-class profile).
+    pub fn churn(mut self, churn: impl Into<ChurnProfile>) -> Self {
+        self.cfg.churn = churn.into();
+        self
+    }
+
+    /// Set the flash-crowd arrival process (default: none).
+    pub fn arrival(mut self, arrival: ArrivalProcess) -> Self {
+        self.cfg.arrival = arrival;
         self
     }
 

@@ -233,7 +233,11 @@ impl ScripSim {
         }
 
         let schedule_state = ScheduleState::seeded(cfg.schedule, rng.fork("adaptive"));
-        let population = Population::new(n, cfg.churn, rng.fork("population"));
+        let mut population = Population::new(n, cfg.churn, rng.fork("population"));
+        // Flash-crowd agents are withdrawn now (index-ordered, no
+        // randomness) and enter with their initial balance, having never
+        // requested or served.
+        population.set_arrival(cfg.arrival);
         ScripSim {
             cfg,
             attack,
@@ -321,6 +325,8 @@ impl ScripSim {
                     Some(self.target_satiated_samples as f64 / self.target_samples as f64)
                 }
             }
+            // Live membership state, not a service counter.
+            MetricKey::PresentFraction => Some(self.population.present_fraction()),
         }
     }
 
@@ -348,8 +354,9 @@ impl ScripSim {
         let requester = rng.index(n);
         let special = rng.chance(self.cfg.special_request_prob);
         // One per-round flag keeps the per-agent presence probe out of
-        // the closed-population hot path entirely.
-        let churning = self.population.spec().is_active();
+        // the closed-population hot path entirely (any active churn
+        // cohort or an arrival process means membership can vary).
+        let churning = self.population.has_dynamics();
         if churning && !self.population.is_present(requester) {
             return; // the drawn requester is offline: no request this round
         }
