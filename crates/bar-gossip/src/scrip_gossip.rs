@@ -463,6 +463,7 @@ impl ScripGossipSim {
 }
 
 impl RoundSim for ScripGossipSim {
+    // lint: hot-loop
     fn round(&mut self, t: Round) {
         debug_assert_eq!(t, self.round, "rounds must be sequential");
         self.population.begin_round(t);

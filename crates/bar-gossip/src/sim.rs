@@ -330,7 +330,10 @@ impl BarGossipSim {
             attacker_union_total: 0,
             reporters: vec![BitSet::new(n as usize); n as usize],
             evictions: 0,
-            isolated_series: Vec::new(),
+            // One sample per measured round; reserved up front so the
+            // per-round push in `advance_windows` never reallocates
+            // mid-run (the steady-state step stays allocation-free).
+            isolated_series: Vec::with_capacity(cfg.rounds as usize),
             served_balanced: vec![0; n as usize],
             served_push: vec![0; n as usize],
             fed: BitSet::new(n as usize),
@@ -612,12 +615,9 @@ impl BarGossipSim {
             .transfer(attacker, target, MsgClass::Payload, gift.len() as u64);
         self.meter
             .transfer(target, attacker, MsgClass::Payload, returned.len() as u64);
-        self.trace.emit(
-            now,
-            target,
-            EventKind::Attack,
-            format!("gift of {} from {attacker}", gift.len()),
-        );
+        self.trace.emit_with(now, target, EventKind::Attack, || {
+            format!("gift of {} from {attacker}", gift.len())
+        });
 
         if let Some(report) = self.cfg.defenses.report {
             // In a push slot, service up to push_size is protocol-legal;
@@ -685,12 +685,9 @@ impl BarGossipSim {
         if self.authority.verify(&evidence).is_err() {
             return; // forged evidence is dropped
         }
-        self.trace.emit(
-            now,
-            reported,
-            EventKind::Report,
-            format!("excess service reported by {reporter}"),
-        );
+        self.trace.emit_with(now, reported, EventKind::Report, || {
+            format!("excess service reported by {reporter}")
+        });
         let set = &mut self.reporters[reported.index()];
         set.insert(reporter.index());
         if set.len() as u32 >= report_cfg.quorum && !self.nodes[reported.index()].evicted {
@@ -1003,6 +1000,7 @@ impl BarGossipSim {
 }
 
 impl RoundSim for BarGossipSim {
+    // lint: hot-loop
     fn round(&mut self, t: Round) {
         debug_assert_eq!(t, self.round, "rounds must be sequential");
         // Timing layer first: churn membership, then the schedule decides

@@ -1,0 +1,113 @@
+//! Dynamic twin of `lotus-lint`'s static hot-loop rule: with a counting
+//! global allocator installed, every registered scenario must execute its
+//! steady-state step with **zero heap allocations** — under an active
+//! attack, so attacker target selection, scheduling and churn timing are
+//! all on the measured path.
+//!
+//! Build and warm-up may allocate freely (that is where scratch buffers
+//! and series reservations happen); the measured steps may not. A canary
+//! test proves the allocator shim is actually installed — without it the
+//! thread-local counters would sit at zero and every assertion here would
+//! pass vacuously.
+
+lotus_core::install_counting_allocator!();
+
+use lotus_bench::registry::{Params, RunRequest, ScenarioRegistry};
+use lotus_core::alloc_guard::measure;
+use lotus_core::scenario::StepOutcome;
+
+/// Steps to run before measuring: enough for every substrate to reach
+/// steady state (lazy series growth done, all scratch at final size).
+const WARMUP_STEPS: u32 = 30;
+/// Steps measured one by one, each asserted allocation-free.
+const MEASURED_STEPS: u32 = 10;
+
+/// Build `scenario` under `attack` from its registry `bench_params`
+/// (plus `overrides`, for scenarios whose bench horizon is shorter than
+/// the warm-up), warm it up, then assert zero allocations per step.
+fn assert_steady_steps_alloc_free(scenario: &str, attack: &str, overrides: &[(&str, &str)]) {
+    let reg = ScenarioRegistry::standard();
+    let spec = reg.get(scenario).expect("scenario is registered");
+    let mut params = Params::new();
+    for (k, v) in spec.bench_params {
+        params.set(*k, *v);
+    }
+    for (k, v) in overrides {
+        params.set(*k, *v);
+    }
+    let req = RunRequest::new(0.3, 1, attack, "fraction", &params);
+    let mut sim = reg
+        .build(scenario, &req)
+        .unwrap_or_else(|e| panic!("build {scenario}/{attack}: {e}"));
+
+    for s in 0..WARMUP_STEPS {
+        assert_eq!(
+            sim.step_dyn(),
+            StepOutcome::Continue,
+            "{scenario} finished during warm-up step {s} — lengthen its horizon"
+        );
+    }
+    for s in 0..MEASURED_STEPS {
+        let mut outcome = StepOutcome::Done;
+        let stats = measure(|| outcome = sim.step_dyn());
+        assert_eq!(
+            outcome,
+            StepOutcome::Continue,
+            "{scenario} finished during measured step {s} — lengthen its horizon"
+        );
+        assert!(
+            stats.is_zero(),
+            "{scenario}/{attack} steady-state step {s} allocated: \
+             {} allocation(s), {} bytes",
+            stats.allocations,
+            stats.bytes
+        );
+    }
+}
+
+/// If this fails, the `install_counting_allocator!` expansion above is
+/// not the active global allocator and every other test here is vacuous.
+#[test]
+fn canary_deliberate_allocation_trips_the_guard() {
+    let stats = measure(|| {
+        std::hint::black_box(Vec::<u8>::with_capacity(64));
+    });
+    assert!(
+        stats.allocations > 0,
+        "counting allocator not installed — zero-alloc assertions are vacuous"
+    );
+    assert!(stats.bytes >= 64, "{stats:?}");
+}
+
+#[test]
+fn bar_gossip_steady_step_is_alloc_free() {
+    // Bench horizon is 12 rounds; stretch it past warm-up + measurement.
+    assert_steady_steps_alloc_free("bar-gossip", "trade", &[("rounds", "60")]);
+}
+
+#[test]
+fn scrip_gossip_steady_step_is_alloc_free() {
+    assert_steady_steps_alloc_free("scrip-gossip", "trade", &[("rounds", "60")]);
+}
+
+#[test]
+fn scrip_steady_step_is_alloc_free() {
+    assert_steady_steps_alloc_free("scrip", "lotus-eater", &[]);
+}
+
+#[test]
+fn reputation_steady_step_is_alloc_free() {
+    assert_steady_steps_alloc_free("reputation", "inflate", &[]);
+}
+
+#[test]
+fn token_steady_step_is_alloc_free() {
+    assert_steady_steps_alloc_free("token", "random-fraction", &[]);
+}
+
+#[test]
+fn bittorrent_steady_step_is_alloc_free() {
+    // More pieces than the bench default so no leecher completes inside
+    // the measured window.
+    assert_steady_steps_alloc_free("bittorrent", "satiate", &[("pieces", "128")]);
+}

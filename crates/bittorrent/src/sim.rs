@@ -684,6 +684,7 @@ impl SwarmSim {
 }
 
 impl RoundSim for SwarmSim {
+    // lint: hot-loop
     fn round(&mut self, t: Round) {
         debug_assert_eq!(t, self.round, "rounds must be sequential");
         // Timing layer first: churn membership, then the schedule decides

@@ -18,8 +18,23 @@ use netsim::NodeId;
 /// read-only [`SystemView`]; every returned node receives the full token
 /// set before gossip begins.
 pub trait Attacker {
-    /// Nodes to satiate at the start of this round.
-    fn targets(&mut self, view: &SystemView<'_>, rng: &mut DetRng) -> Vec<NodeId>;
+    /// Append this round's targets to `out`.
+    ///
+    /// The caller owns (and clears) the buffer, so a per-round consult
+    /// costs no allocation once the buffer has grown to its steady-state
+    /// size — the contract the zero-alloc-per-step regression suite
+    /// holds every simulator to.
+    fn targets_into(&mut self, view: &SystemView<'_>, rng: &mut DetRng, out: &mut Vec<NodeId>);
+
+    /// Nodes to satiate at the start of this round, as a fresh vector.
+    ///
+    /// Allocating convenience over [`Attacker::targets_into`] for tests
+    /// and one-shot call sites; hot loops keep a scratch buffer instead.
+    fn targets(&mut self, view: &SystemView<'_>, rng: &mut DetRng) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        self.targets_into(view, rng, &mut out);
+        out
+    }
 
     /// Human-readable strategy name for reports.
     fn label(&self) -> &'static str {
@@ -32,9 +47,7 @@ pub trait Attacker {
 pub struct NoAttack;
 
 impl Attacker for NoAttack {
-    fn targets(&mut self, _view: &SystemView<'_>, _rng: &mut DetRng) -> Vec<NodeId> {
-        Vec::new()
-    }
+    fn targets_into(&mut self, _view: &SystemView<'_>, _rng: &mut DetRng, _out: &mut Vec<NodeId>) {}
 
     fn label(&self) -> &'static str {
         "no attack"
@@ -66,7 +79,7 @@ impl SatiateRandomFraction {
 }
 
 impl Attacker for SatiateRandomFraction {
-    fn targets(&mut self, view: &SystemView<'_>, rng: &mut DetRng) -> Vec<NodeId> {
+    fn targets_into(&mut self, view: &SystemView<'_>, rng: &mut DetRng, out: &mut Vec<NodeId>) {
         if self.chosen.is_none() {
             let n = view.graph.len() as usize;
             let k = ((n as f64) * self.fraction).round() as usize;
@@ -77,7 +90,7 @@ impl Attacker for SatiateRandomFraction {
                 .collect();
             self.chosen = Some(picks);
         }
-        self.chosen.clone().unwrap_or_default()
+        out.extend_from_slice(self.chosen.as_deref().unwrap_or_default());
     }
 
     fn label(&self) -> &'static str {
@@ -134,8 +147,8 @@ impl SatiateCut {
 }
 
 impl Attacker for SatiateCut {
-    fn targets(&mut self, _view: &SystemView<'_>, _rng: &mut DetRng) -> Vec<NodeId> {
-        self.cut.clone()
+    fn targets_into(&mut self, _view: &SystemView<'_>, _rng: &mut DetRng, out: &mut Vec<NodeId>) {
+        out.extend_from_slice(&self.cut);
     }
 
     fn label(&self) -> &'static str {
@@ -165,8 +178,12 @@ impl SatiateRareHolders {
 }
 
 impl Attacker for SatiateRareHolders {
-    fn targets(&mut self, view: &SystemView<'_>, _rng: &mut DetRng) -> Vec<NodeId> {
-        view.holders_of(self.token)
+    fn targets_into(&mut self, view: &SystemView<'_>, _rng: &mut DetRng, out: &mut Vec<NodeId>) {
+        for (i, h) in view.holdings.iter().enumerate() {
+            if h.contains(self.token) {
+                out.push(NodeId(i as u32));
+            }
+        }
     }
 
     fn label(&self) -> &'static str {
@@ -208,19 +225,17 @@ impl RotatingSatiation {
 }
 
 impl Attacker for RotatingSatiation {
-    fn targets(&mut self, view: &SystemView<'_>, _rng: &mut DetRng) -> Vec<NodeId> {
+    fn targets_into(&mut self, view: &SystemView<'_>, _rng: &mut DetRng, out: &mut Vec<NodeId>) {
         let n = view.graph.len() as usize;
         let k = ((n as f64) * self.fraction).round() as usize;
         if k == 0 {
-            return Vec::new();
+            return;
         }
         let phase = self
             .schedule
             .rotation_phase(view.round)
             .expect("rotating satiation always has a rotation period");
-        crate::schedule::rotating_window(phase, k, n)
-            .map(|i| NodeId(i as u32))
-            .collect()
+        out.extend(crate::schedule::rotating_window(phase, k, n).map(|i| NodeId(i as u32)));
     }
 
     fn label(&self) -> &'static str {
@@ -261,11 +276,13 @@ impl<A: Attacker> BudgetedAttacker<A> {
 }
 
 impl<A: Attacker> Attacker for BudgetedAttacker<A> {
-    fn targets(&mut self, view: &SystemView<'_>, rng: &mut DetRng) -> Vec<NodeId> {
-        let mut t = self.inner.targets(view, rng);
-        t.truncate(self.budget);
-        self.spent += t.len() as u64;
-        t
+    fn targets_into(&mut self, view: &SystemView<'_>, rng: &mut DetRng, out: &mut Vec<NodeId>) {
+        // Truncate only what the inner strategy appended this round: the
+        // buffer may already carry another attacker's targets.
+        let start = out.len();
+        self.inner.targets_into(view, rng, out);
+        out.truncate(start + self.budget);
+        self.spent += (out.len() - start) as u64;
     }
 
     fn label(&self) -> &'static str {
@@ -338,14 +355,14 @@ impl TokenAttack {
 }
 
 impl Attacker for TokenAttack {
-    fn targets(&mut self, view: &SystemView<'_>, rng: &mut DetRng) -> Vec<NodeId> {
+    fn targets_into(&mut self, view: &SystemView<'_>, rng: &mut DetRng, out: &mut Vec<NodeId>) {
         match self {
-            TokenAttack::None(a) => a.targets(view, rng),
-            TokenAttack::RandomFraction(a) => a.targets(view, rng),
-            TokenAttack::Cut(a) => a.targets(view, rng),
-            TokenAttack::RareHolders(a) => a.targets(view, rng),
-            TokenAttack::Rotating(a) => a.targets(view, rng),
-            TokenAttack::Budgeted(a) => a.targets(view, rng),
+            TokenAttack::None(a) => a.targets_into(view, rng, out),
+            TokenAttack::RandomFraction(a) => a.targets_into(view, rng, out),
+            TokenAttack::Cut(a) => a.targets_into(view, rng, out),
+            TokenAttack::RareHolders(a) => a.targets_into(view, rng, out),
+            TokenAttack::Rotating(a) => a.targets_into(view, rng, out),
+            TokenAttack::Budgeted(a) => a.targets_into(view, rng, out),
         }
     }
 

@@ -262,6 +262,17 @@ impl BitSet {
         self.check_compat(other);
         self.words.copy_from_slice(&other.words);
     }
+
+    /// Insert every universe element in place — the allocation-free
+    /// counterpart of [`BitSet::full`], used where a hot loop would
+    /// otherwise construct a fresh full set (e.g. satiating a node).
+    #[inline]
+    pub fn fill(&mut self) {
+        for w in self.words.iter_mut() {
+            *w = u64::MAX;
+        }
+        self.trim();
+    }
 }
 
 /// Iterator over the elements of a [`BitSet`], produced by [`BitSet::iter`].
@@ -348,6 +359,20 @@ mod tests {
         let e = BitSet::full(0);
         assert!(e.is_empty());
         assert!(e.is_full()); // vacuously: 0 of 0
+    }
+
+    #[test]
+    fn fill_matches_full_across_word_boundaries() {
+        for n in [0, 1, 63, 64, 65, 70, 128, 129] {
+            let mut s = BitSet::new(n);
+            if n > 0 {
+                s.insert(n / 2); // fill must absorb prior contents
+            }
+            s.fill();
+            assert_eq!(s, BitSet::full(n), "universe {n}");
+            assert!(s.is_full(), "universe {n}");
+            assert_eq!(s.len(), n, "universe {n}");
+        }
     }
 
     #[test]

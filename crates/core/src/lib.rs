@@ -29,6 +29,9 @@
 //! * [`proptest_lite`] — the dependency-free property-test harness
 //!   (seeded case generation + shrink-by-halving) the population
 //!   invariant suites run on;
+//! * [`alloc_guard`] — the counting test allocator behind the
+//!   zero-allocations-per-steady-state-step regression suite (the
+//!   dynamic twin of `lotus-lint`'s static hot-loop rule);
 //! * [`defense`] — the four §4 defense principles and their mechanisms;
 //! * [`scenario`] — the unified experiment API: the
 //!   [`Scenario`](scenario::Scenario) trait every substrate implements,
@@ -67,6 +70,7 @@
 #![warn(missing_docs)]
 
 pub mod adaptive;
+pub mod alloc_guard;
 pub mod attack;
 pub mod bitset;
 pub mod defense;

@@ -707,6 +707,7 @@ impl Population {
     /// A no-op (no rng draws, no allocation) when the profile is
     /// inactive — including explicitly configured zero-rate profiles —
     /// and no arrivals are configured.
+    // lint: hot-loop
     pub fn begin_round(&mut self, t: Round) {
         match self.arrival {
             ArrivalProcess::None => {}

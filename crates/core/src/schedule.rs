@@ -435,6 +435,7 @@ impl ScheduleState {
     /// observation is the bandit's reward signal and the chosen arm
     /// decides activity. Never allocates (the bandit's once-per-phase
     /// trace entry aside).
+    // lint: hot-loop
     pub fn is_active(&mut self, t: Round, observed: Option<f64>) -> bool {
         if let Some(policy) = &mut self.adaptive {
             return policy.step(t, observed);

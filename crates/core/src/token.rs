@@ -347,7 +347,7 @@ impl TokenReport {
 
     /// Mean final coverage over nodes the attacker never touched.
     pub fn untouched_mean_coverage(&self) -> f64 {
-        let attacked: std::collections::HashSet<NodeId> =
+        let attacked: std::collections::BTreeSet<NodeId> =
             self.attacked_nodes.iter().copied().collect();
         let vals: Vec<f64> = self
             .coverage
@@ -389,6 +389,15 @@ impl TokenReport {
 pub struct TokenSystem {
     cfg: TokenSystemConfig,
     holdings: Vec<BitSet>,
+    /// Start-of-round copy of `holdings`, overwritten in place each round
+    /// so the gossip loop never clones the holdings vector.
+    snapshot: Vec<BitSet>,
+    /// Per-node "satiated at start of round" flags, refilled in place.
+    satiated_scratch: Vec<bool>,
+    /// Reused buffer for per-node partner picks.
+    picks_scratch: Vec<usize>,
+    /// Reused buffer for the attacker's per-round target list.
+    targets_scratch: Vec<NodeId>,
     served: Vec<u64>,
     round: Round,
     rng: DetRng,
@@ -450,9 +459,14 @@ impl TokenSystem {
             }
         }
         let _ = rng.next_u64(); // decouple run stream from allocation stream
+        let snapshot = holdings.clone();
         TokenSystem {
             cfg,
             holdings,
+            snapshot,
+            satiated_scratch: vec![false; n],
+            picks_scratch: Vec::new(),
+            targets_scratch: Vec::new(),
             served: vec![0; n],
             round: 0,
             attack: crate::attack::TokenAttack::none(),
@@ -488,7 +502,9 @@ impl TokenSystem {
 
     /// Grant `node` the full token set (the attacker's power).
     pub fn satiate(&mut self, node: NodeId) {
-        self.holdings[node.index()] = BitSet::full(self.cfg.tokens);
+        // In-place fill: re-satiating an already-attacked node each round
+        // (the common steady-state case) must not allocate.
+        self.holdings[node.index()].fill();
         self.attacked.insert(node);
     }
 
@@ -514,38 +530,41 @@ impl TokenSystem {
     }
 
     /// Execute one gossip round (without any attacker action).
+    // lint: hot-loop
     fn gossip_round(&mut self) {
         let n = self.holdings.len();
-        let snapshot = self.holdings.clone();
-        let satiated: Vec<bool> = snapshot
-            .iter()
-            .map(|h| self.cfg.sat.is_satiated(h))
-            .collect();
+        // Start-of-round state into the persistent scratch buffers: the
+        // steady-state round touches no allocator.
+        for (snap, h) in self.snapshot.iter_mut().zip(&self.holdings) {
+            snap.copy_from(h);
+        }
+        for (s, h) in self.satiated_scratch.iter_mut().zip(&self.snapshot) {
+            *s = self.cfg.sat.is_satiated(h);
+        }
         let mut round_rng = self.rng.fork_idx("round", self.round);
         for i in 0..n {
-            if satiated[i] || !self.population.is_present(i) {
+            if self.satiated_scratch[i] || !self.population.is_present(i) {
                 continue; // satiated nodes stop initiating; absent ones can't
             }
-            let neighbors = self.cfg.graph.neighbors(NodeId(i as u32));
-            if neighbors.is_empty() {
+            let degree = self.cfg.graph.degree(NodeId(i as u32));
+            if degree == 0 {
                 continue;
             }
-            let c = self.cfg.contacts_per_round.min(neighbors.len());
-            let picks = round_rng.sample_indices(neighbors.len(), c);
-            for p in picks {
-                let j = neighbors[p] as usize;
+            let c = self.cfg.contacts_per_round.min(degree);
+            round_rng.sample_indices_into(degree, c, &mut self.picks_scratch);
+            for p in 0..c {
+                let j = self.cfg.graph.neighbors(NodeId(i as u32))[self.picks_scratch[p]] as usize;
                 if !self.population.is_present(j) {
                     continue; // absent partner: the contact is wasted
                 }
-                if satiated[j] && !round_rng.chance(self.cfg.altruism) {
+                if self.satiated_scratch[j] && !round_rng.chance(self.cfg.altruism) {
                     continue; // satiated partner declined (insufficient altruism)
                 }
                 // Bidirectional copy of start-of-round holdings.
-                self.served[j] += snapshot[j].difference_count(&snapshot[i]) as u64;
-                self.served[i] += snapshot[i].difference_count(&snapshot[j]) as u64;
-                let (a, b) = (&snapshot[j], &snapshot[i]);
-                self.holdings[i].union_with(a);
-                self.holdings[j].union_with(b);
+                self.served[j] += self.snapshot[j].difference_count(&self.snapshot[i]) as u64;
+                self.served[i] += self.snapshot[i].difference_count(&self.snapshot[j]) as u64;
+                self.holdings[i].union_with(&self.snapshot[j]);
+                self.holdings[j].union_with(&self.snapshot[i]);
             }
         }
         self.round += 1;
@@ -570,11 +589,15 @@ impl TokenSystem {
         rounds: Round,
     ) -> TokenReport {
         let mut attack_rng = self.rng.fork("attacker");
+        self.satiated_series.reserve(rounds as usize);
         netsim::round::run_with(self, rounds, |sys, _t| {
-            let targets = attacker.targets(&sys.view(), &mut attack_rng);
-            for t in targets {
+            let mut targets = std::mem::take(&mut sys.targets_scratch);
+            targets.clear();
+            attacker.targets_into(&sys.view(), &mut attack_rng, &mut targets);
+            for &t in &targets {
                 sys.satiate(t);
             }
+            sys.targets_scratch = targets;
         });
         self.report()
     }
@@ -763,6 +786,9 @@ impl crate::scenario::Scenario for TokenSystem {
         let mut sys = TokenSystem::new(cfg.system, seed);
         sys.attack = attack;
         sys.horizon = cfg.rounds;
+        // Pre-size the per-round series so steady-state pushes never
+        // reallocate mid-run.
+        sys.satiated_series.reserve(cfg.rounds as usize);
         // Seed the adaptive policy (if any) from a dedicated fork;
         // forking never advances `sys.rng`, so non-adaptive runs stay
         // bit-identical to the legacy path.
@@ -787,6 +813,7 @@ impl crate::scenario::Scenario for TokenSystem {
     /// attacker is consulted on the start-of-round state (when the
     /// schedule says the attack is on), its present targets are satiated,
     /// then gossip happens among present nodes.
+    // lint: hot-loop
     fn step(&mut self) -> crate::scenario::StepOutcome {
         use crate::attack::Attacker;
         if self.round >= self.horizon {
@@ -798,19 +825,23 @@ impl crate::scenario::Scenario for TokenSystem {
             .needs_observation()
             .and_then(|k| self.observe(k));
         if self.schedule.is_active(self.round, observed) {
-            // The attack and its rng move out during the round so the
-            // borrow checker lets the attacker inspect `self.view()`.
+            // The attack, its rng and the target buffer move out during
+            // the round so the borrow checker lets the attacker inspect
+            // `self.view()`; DetRng clone and Vec take are heap-free.
             let mut attack =
                 std::mem::replace(&mut self.attack, crate::attack::TokenAttack::none());
             let mut attack_rng = self.attack_rng.clone();
-            let targets = attack.targets(&self.view(), &mut attack_rng);
+            let mut targets = std::mem::take(&mut self.targets_scratch);
+            targets.clear();
+            attack.targets_into(&self.view(), &mut attack_rng, &mut targets);
             self.attack = attack;
             self.attack_rng = attack_rng;
-            for t in targets {
+            for &t in &targets {
                 if self.population.is_present(t.index()) {
                     self.satiate(t);
                 }
             }
+            self.targets_scratch = targets;
         }
         self.gossip_round();
         if self.round >= self.horizon {
@@ -840,7 +871,7 @@ impl crate::scenario::Summarize for TokenReport {
     ///   [`UsabilityThreshold::BAR_GOSSIP`](crate::report::UsabilityThreshold),
     ///   the 93 % bar the workspace uses everywhere.
     fn summarize(&self) -> crate::scenario::ScenarioReport {
-        let attacked: std::collections::HashSet<NodeId> =
+        let attacked: std::collections::BTreeSet<NodeId> =
             self.attacked_nodes.iter().copied().collect();
         let targeted: Vec<f64> = self
             .coverage

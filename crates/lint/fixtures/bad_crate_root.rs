@@ -1,0 +1,6 @@
+//! Known-bad fixture: a crate root missing `#![forbid(unsafe_code)]` and
+//! `#![warn(missing_docs)]`.
+
+pub fn lib_fn() -> u32 {
+    7
+}

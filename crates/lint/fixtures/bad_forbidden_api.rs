@@ -1,0 +1,36 @@
+//! Known-bad fixture: every forbidden-API pattern, one per function.
+//! Scanned by the self-tests as a Sim-tier file; never compiled.
+
+use std::collections::{HashMap, HashSet};
+
+fn hashes() {
+    let _m: HashMap<u32, u32> = HashMap::new();
+    let _s: HashSet<u32> = HashSet::new();
+}
+
+fn clocks() {
+    let _t = std::time::SystemTime::now();
+    let _i = std::time::Instant::now();
+}
+
+fn ambient() {
+    let _v = std::env::var("SEED");
+}
+
+// None of these may fire: the names are hidden in strings, comments and
+// test items.
+fn immune() {
+    let _s = "HashMap SystemTime std::env";
+    let _r = r#"HashSet Instant::now"#;
+    // HashMap in a comment is fine.
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn tests_may_hash() {
+        let _m: HashMap<u32, u32> = HashMap::new();
+    }
+}

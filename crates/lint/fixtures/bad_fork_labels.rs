@@ -1,0 +1,12 @@
+//! Known-bad fixture: fork-label hygiene violations. `"documented"` is in
+//! the self-test registry; `"mystery"` is not; `"twice"` is duplicated.
+
+fn streams(rng: &mut DetRng) {
+    let _a = rng.fork("documented");
+    let _b = rng.fork("mystery");
+    let _c = rng.fork("twice");
+    let _d = rng.fork("twice");
+    // Indexed forks reuse a label by design — never a duplicate.
+    let _e = rng.fork_idx("documented-indexed", 0);
+    let _f = rng.fork_idx("documented-indexed", 1);
+}

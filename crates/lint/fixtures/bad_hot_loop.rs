@@ -1,0 +1,17 @@
+//! Known-bad fixture: allocating constructs inside a `// lint: hot-loop`
+//! function, plus an unmarked twin that may allocate freely.
+
+// lint: hot-loop
+fn hot(xs: &[u32]) -> u32 {
+    let copied = xs.to_vec();
+    let doubled: Vec<u32> = copied.iter().map(|x| x * 2).collect();
+    let label = format!("{}", doubled.len());
+    let mut fresh = Vec::new();
+    fresh.push(label.clone());
+    doubled.iter().sum()
+}
+
+fn cold(xs: &[u32]) -> Vec<u32> {
+    // Not marked: collect/clone here must not fire.
+    xs.to_vec().iter().map(|x| x + 1).collect()
+}

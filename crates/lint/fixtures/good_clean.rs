@@ -1,0 +1,36 @@
+//! Known-good fixture: a Sim-tier crate root the engine must pass with
+//! zero findings — including a hot loop built on the scratch-buffer idiom.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Scratch-reusing accumulator in the house hot-loop style.
+pub struct Acc {
+    scratch: Vec<u32>,
+}
+
+impl Acc {
+    // lint: hot-loop
+    /// Sums doubled inputs without allocating.
+    pub fn step(&mut self, xs: &[u32]) -> u32 {
+        self.scratch.clear();
+        self.scratch.extend(xs.iter().map(|x| x * 2));
+        self.scratch.iter().sum()
+    }
+}
+
+fn streams(rng: &mut DetRng) {
+    let _a = rng.fork("documented");
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+    use std::time::Instant;
+
+    #[test]
+    fn test_code_is_exempt() {
+        let _m: HashMap<u32, u32> = HashMap::new();
+        let _t = Instant::now();
+    }
+}

@@ -1,0 +1,355 @@
+//! A deliberately small Rust lexer — just enough syntax awareness for the
+//! lint rules in this workspace, with zero dependencies.
+//!
+//! The scanner distinguishes the four things the rules care about:
+//!
+//! * **identifiers** (and keywords — the rules tell them apart by name),
+//! * **punctuation**, one token per character (`::` arrives as two `:`),
+//! * **string literals** (plain, byte and raw, any `#` depth), so that a
+//!   banned name inside a string never trips a rule,
+//! * **line comments**, preserved verbatim because `// lint: hot-loop`
+//!   markers live in them; block comments are skipped (markers must be
+//!   line comments, which keeps the marker grammar one-dimensional).
+//!
+//! Everything else — numbers, char literals, lifetimes — is consumed and
+//! discarded. The lexer never fails: unterminated constructs simply run to
+//! end of file, which is the forgiving behaviour a lint pass wants (the
+//! compiler proper will complain about the real error).
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`HashMap`, `fn`, `cfg`, ...).
+    Ident(String),
+    /// A single punctuation character (`#`, `[`, `(`, `:`, `{`, ...).
+    Punct(char),
+    /// The contents of a string literal, escapes left unprocessed.
+    Str(String),
+    /// The text of a `//` line comment, leading slashes stripped.
+    LineComment(String),
+}
+
+/// One lexed token plus the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token payload.
+    pub kind: TokKind,
+    /// 1-based source line of the token's first character.
+    pub line: u32,
+}
+
+impl Token {
+    /// The identifier text, if this token is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokKind::Ident(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// True if this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+}
+
+/// Lex `src` into a token stream. Infallible by design.
+pub fn lex(src: &str) -> Vec<Token> {
+    let b: Vec<char> = src.chars().collect();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if i + 1 < b.len() && b[i + 1] == '/' => {
+                let start = i + 2;
+                let mut j = start;
+                while j < b.len() && b[j] != '\n' {
+                    j += 1;
+                }
+                let text: String = b[start..j].iter().collect();
+                toks.push(Token {
+                    kind: TokKind::LineComment(text),
+                    line,
+                });
+                i = j;
+            }
+            '/' if i + 1 < b.len() && b[i + 1] == '*' => {
+                // Block comment, honouring nesting as Rust does.
+                let mut depth = 1usize;
+                let mut j = i + 2;
+                while j < b.len() && depth > 0 {
+                    if b[j] == '\n' {
+                        line += 1;
+                        j += 1;
+                    } else if b[j] == '/' && j + 1 < b.len() && b[j + 1] == '*' {
+                        depth += 1;
+                        j += 2;
+                    } else if b[j] == '*' && j + 1 < b.len() && b[j + 1] == '/' {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                i = j;
+            }
+            '"' => {
+                let (s, ni, nl) = scan_string(&b, i + 1, line);
+                toks.push(Token {
+                    kind: TokKind::Str(s),
+                    line,
+                });
+                i = ni;
+                line = nl;
+            }
+            'r' | 'b' if starts_raw_or_byte_string(&b, i) => {
+                let (tok_line, s, ni, nl) = scan_prefixed_string(&b, i, line);
+                toks.push(Token {
+                    kind: TokKind::Str(s),
+                    line: tok_line,
+                });
+                i = ni;
+                line = nl;
+            }
+            '\'' => {
+                // Lifetime (`'a`) or char literal (`'x'`, `'\n'`, `'\''`).
+                if i + 1 < b.len() && (b[i + 1].is_alphanumeric() || b[i + 1] == '_') {
+                    let close = i + 2 < b.len() && b[i + 2] == '\'';
+                    if close {
+                        i += 3; // plain char literal like 'x'
+                    } else {
+                        // Lifetime: consume the identifier after the quote.
+                        let mut j = i + 1;
+                        while j < b.len() && (b[j].is_alphanumeric() || b[j] == '_') {
+                            j += 1;
+                        }
+                        i = j;
+                    }
+                } else {
+                    // Escaped or punctuation char literal: scan to closing quote.
+                    let mut j = i + 1;
+                    while j < b.len() && b[j] != '\'' {
+                        if b[j] == '\\' {
+                            j += 1;
+                        }
+                        j += 1;
+                    }
+                    i = (j + 1).min(b.len());
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut j = i;
+                while j < b.len() && (b[j].is_alphanumeric() || b[j] == '_') {
+                    j += 1;
+                }
+                let text: String = b[i..j].iter().collect();
+                toks.push(Token {
+                    kind: TokKind::Ident(text),
+                    line,
+                });
+                i = j;
+            }
+            c if c.is_ascii_digit() => {
+                // Numbers (with suffixes like 0u64, 1_000, 0x3f) — discard.
+                let mut j = i;
+                while j < b.len() && (b[j].is_alphanumeric() || b[j] == '_' || b[j] == '.') {
+                    // Stop a float scan from eating `..` range syntax.
+                    if b[j] == '.' && j + 1 < b.len() && b[j + 1] == '.' {
+                        break;
+                    }
+                    j += 1;
+                }
+                i = j;
+            }
+            c => {
+                toks.push(Token {
+                    kind: TokKind::Punct(c),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    toks
+}
+
+/// Scan a plain `"…"` body starting just past the opening quote. Returns
+/// (contents, index past closing quote, updated line).
+fn scan_string(b: &[char], mut i: usize, mut line: u32) -> (String, usize, u32) {
+    let mut s = String::new();
+    while i < b.len() {
+        match b[i] {
+            '\\' if i + 1 < b.len() => {
+                s.push(b[i]);
+                s.push(b[i + 1]);
+                if b[i + 1] == '\n' {
+                    line += 1;
+                }
+                i += 2;
+            }
+            '"' => return (s, i + 1, line),
+            c => {
+                if c == '\n' {
+                    line += 1;
+                }
+                s.push(c);
+                i += 1;
+            }
+        }
+    }
+    (s, i, line)
+}
+
+/// Does the text at `i` begin a raw (`r"`, `r#"`) or byte (`b"`, `br"`)
+/// string literal, as opposed to an identifier starting with r/b?
+fn starts_raw_or_byte_string(b: &[char], i: usize) -> bool {
+    let mut j = i;
+    if b[j] == 'b' {
+        j += 1;
+    }
+    if j < b.len() && b[j] == 'r' {
+        j += 1;
+    }
+    if j == i {
+        return false;
+    }
+    while j < b.len() && b[j] == '#' {
+        j += 1;
+    }
+    j < b.len() && b[j] == '"'
+}
+
+/// Scan a raw/byte string starting at its `r`/`b` prefix. Returns
+/// (line of the opening quote, contents, index past the close, updated line).
+fn scan_prefixed_string(b: &[char], mut i: usize, mut line: u32) -> (u32, String, usize, u32) {
+    let tok_line = line;
+    let mut raw = false;
+    if b[i] == 'b' {
+        i += 1;
+    }
+    if i < b.len() && b[i] == 'r' {
+        raw = true;
+        i += 1;
+    }
+    let mut hashes = 0usize;
+    while i < b.len() && b[i] == '#' {
+        hashes += 1;
+        i += 1;
+    }
+    debug_assert!(i < b.len() && b[i] == '"');
+    i += 1; // past the opening quote
+    if !raw {
+        let (s, ni, nl) = scan_string(b, i, line);
+        return (tok_line, s, ni, nl);
+    }
+    // Raw string: no escapes; close on `"` followed by `hashes` hash marks.
+    let mut s = String::new();
+    while i < b.len() {
+        if b[i] == '"'
+            && b[i + 1..]
+                .iter()
+                .take(hashes)
+                .filter(|&&c| c == '#')
+                .count()
+                == hashes
+        {
+            return (tok_line, s, i + 1 + hashes, line);
+        }
+        if b[i] == '\n' {
+            line += 1;
+        }
+        s.push(b[i]);
+        i += 1;
+    }
+    (tok_line, s, i, line)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokKind::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_puncts_survive() {
+        let toks = lex("use std::collections::HashMap;");
+        assert_eq!(
+            idents("use std::collections::HashMap;"),
+            ["use", "std", "collections", "HashMap"]
+        );
+        assert!(toks.iter().any(|t| t.is_punct(';')));
+    }
+
+    #[test]
+    fn strings_hide_their_contents_from_ident_scan() {
+        assert_eq!(idents(r#"let x = "HashMap inside string";"#), ["let", "x"]);
+        let toks = lex(r#"let x = "HashMap inside string";"#);
+        assert!(toks
+            .iter()
+            .any(|t| matches!(&t.kind, TokKind::Str(s) if s.contains("HashMap"))));
+    }
+
+    #[test]
+    fn raw_and_byte_strings_are_single_tokens() {
+        assert_eq!(
+            idents(r##"let x = r#"HashMap "quoted" here"#;"##),
+            ["let", "x"]
+        );
+        assert_eq!(idents(r#"let y = b"HashMap bytes";"#), ["let", "y"]);
+    }
+
+    #[test]
+    fn comments_are_kept_but_inert() {
+        let toks = lex("// lint: hot-loop\nfn f() {}");
+        assert_eq!(toks[0].kind, TokKind::LineComment(" lint: hot-loop".into()));
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].kind, TokKind::Ident("fn".into()));
+        assert_eq!(toks[1].line, 2);
+    }
+
+    #[test]
+    fn block_comments_vanish_but_count_lines() {
+        let toks = lex("/* HashMap\n nested /* deeper */ still */\nfn g() {}");
+        assert_eq!(toks[0].kind, TokKind::Ident("fn".into()));
+        assert_eq!(toks[0].line, 3);
+    }
+
+    #[test]
+    fn lifetimes_and_char_literals_do_not_derail() {
+        // Lifetime names are consumed with their quote — they can never
+        // collide with a banned API name.
+        assert_eq!(
+            idents("fn f<'a>(x: &'a str) -> char { '\\'' }"),
+            ["fn", "f", "x", "str", "char"]
+        );
+        assert_eq!(
+            idents("let c = 'x'; let d = '\\n';"),
+            ["let", "c", "let", "d"]
+        );
+    }
+
+    #[test]
+    fn numeric_literals_are_discarded_and_ranges_survive() {
+        let toks = lex("for i in 0..10u32 { a[i] = 1.5; }");
+        assert_eq!(
+            idents("for i in 0..10u32 { a[i] = 1.5; }"),
+            ["for", "i", "in", "a", "i"]
+        );
+        assert_eq!(toks.iter().filter(|t| t.is_punct('.')).count(), 2);
+    }
+}

@@ -1,0 +1,135 @@
+//! `lotus-lint` — a dependency-free determinism and hot-path invariant
+//! checker for this workspace.
+//!
+//! The whole reproduction rests on two properties that `rustc` cannot
+//! enforce: **bit-for-bit determinism** (same seed ⇒ byte-identical
+//! reports, across thread counts and platforms) and **allocation-free
+//! steady-state stepping** (the bench gate times hot loops; a stray
+//! `collect()` shows up as noise, not as a failure). This crate makes
+//! both mechanically checkable:
+//!
+//! * a hand-rolled [`lexer`] tokenizes Rust source just deeply enough to
+//!   tell identifiers from strings and comments (so `"HashMap"` in a
+//!   string or doc comment never fires a rule);
+//! * a [`rules`] engine runs four checks — per-tier forbidden APIs, rng
+//!   fork-label hygiene, `// lint: hot-loop` allocation bans and
+//!   crate-root lint policy — over the [`walk`]ed workspace;
+//! * sanctioned exceptions live in `allowlist.txt` next to this crate,
+//!   and every rng stream label is documented in `fork_labels.txt`
+//!   (regenerate with `lotus-lint --update-registry`). Both files are
+//!   themselves linted: stale entries are violations.
+//!
+//! Like `lotus_core::proptest_lite`, this is deliberately not a general
+//! tool. It is ~600 lines of std-only Rust that knows this workspace's
+//! invariants, so the CI gate (`tools/lint.sh`) costs one `cargo run`
+//! and zero dependencies.
+//!
+//! The dynamic twin of the hot-loop rule lives in
+//! `lotus_core::alloc_guard`: the static rule catches allocating *syntax*
+//! in marked functions, the counting allocator proves the *runtime*
+//! allocation count per steady-state step is zero for every registered
+//! scenario (`crates/bench/tests/alloc_steady.rs`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod rules;
+pub mod walk;
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+pub use rules::{check, collect_forks, AllowEntry, SourceFile, Tier, Violation};
+
+/// Where, relative to the workspace root, the exception list lives.
+pub const ALLOWLIST_PATH: &str = "crates/lint/allowlist.txt";
+/// Where, relative to the workspace root, the fork-label registry lives.
+pub const REGISTRY_PATH: &str = "crates/lint/fork_labels.txt";
+
+/// Outcome of a full workspace run.
+#[derive(Debug)]
+pub struct Report {
+    /// Sorted rule findings (empty means the gate passes).
+    pub violations: Vec<Violation>,
+    /// How many files were scanned.
+    pub files_scanned: usize,
+    /// How many distinct fork labels were seen.
+    pub fork_labels: usize,
+}
+
+/// Run every rule over the workspace rooted at `root`, resolving the
+/// allowlist and fork-label registry from their committed locations.
+pub fn run_workspace(root: &Path) -> io::Result<Report> {
+    let files = walk::workspace_files(root)?;
+    let registry = load_registry(root)?;
+    let allowlist = load_allowlist(root)?;
+    let labels = {
+        let forks = rules::collect_forks(&files);
+        let mut seen: Vec<&str> = forks.iter().map(|f| f.label.as_str()).collect();
+        seen.dedup();
+        seen.len()
+    };
+    let violations = rules::check(&files, &registry, &allowlist);
+    Ok(Report {
+        violations,
+        files_scanned: files.len(),
+        fork_labels: labels,
+    })
+}
+
+/// Load `fork_labels.txt` (empty registry if the file does not exist yet).
+pub fn load_registry(root: &Path) -> io::Result<BTreeMap<String, String>> {
+    match fs::read_to_string(root.join(REGISTRY_PATH)) {
+        Ok(text) => Ok(rules::parse_registry(&text)),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(BTreeMap::new()),
+        Err(e) => Err(e),
+    }
+}
+
+/// Load `allowlist.txt` (empty list if the file does not exist yet).
+pub fn load_allowlist(root: &Path) -> io::Result<Vec<AllowEntry>> {
+    match fs::read_to_string(root.join(ALLOWLIST_PATH)) {
+        Ok(text) => Ok(rules::parse_allowlist(&text)),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(Vec::new()),
+        Err(e) => Err(e),
+    }
+}
+
+/// Regenerate `fork_labels.txt` from the labels actually used: keep the
+/// existing description for known labels, seed `TODO: describe` for new
+/// ones, drop labels no longer used. Returns (added, removed) label
+/// counts. The emitted file is sorted, so regeneration is idempotent.
+pub fn update_registry(root: &Path) -> io::Result<(usize, usize)> {
+    let files = walk::workspace_files(root)?;
+    let old = load_registry(root)?;
+    let forks = rules::collect_forks(&files);
+
+    let mut new: BTreeMap<String, String> = BTreeMap::new();
+    for f in &forks {
+        let desc = old
+            .get(&f.label)
+            .cloned()
+            .unwrap_or_else(|| "TODO: describe this stream".to_string());
+        new.entry(f.label.clone()).or_insert(desc);
+    }
+    let added = new.keys().filter(|l| !old.contains_key(*l)).count();
+    let removed = old.keys().filter(|l| !new.contains_key(*l)).count();
+
+    let mut out = String::from(
+        "# rng fork-label registry — every stream label used by `fork(..)` /\n\
+         # `fork_idx(..)` in non-test code, with what the stream drives.\n\
+         # Regenerate the label set with `lotus-lint --update-registry`;\n\
+         # descriptions are written by humans and preserved across updates.\n",
+    );
+    for (label, desc) in &new {
+        out.push_str(label);
+        out.push_str(": ");
+        out.push_str(desc);
+        out.push('\n');
+    }
+    fs::write(root.join(REGISTRY_PATH), out)?;
+    Ok((added, removed))
+}

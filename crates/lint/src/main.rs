@@ -1,0 +1,116 @@
+//! `lotus-lint` CLI — run the workspace determinism/hot-path checks.
+//!
+//! ```text
+//! lotus-lint [--root DIR] [--quiet]    # check; exit 1 on violations
+//! lotus-lint --update-registry [...]   # regenerate fork_labels.txt
+//! ```
+//!
+//! With no `--root`, the workspace root is found by walking up from the
+//! current directory to the first `Cargo.toml` containing `[workspace]`,
+//! so the binary works from any subdirectory and from `cargo run -p lint`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut update = false;
+    let mut quiet = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return usage("--root needs a directory"),
+            },
+            "--update-registry" => update = true,
+            "--quiet" | "-q" => quiet = true,
+            "--help" | "-h" => {
+                println!(
+                    "lotus-lint: determinism & hot-path invariant checker\n\n\
+                     usage: lotus-lint [--root DIR] [--quiet] [--update-registry]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let root = match root.or_else(find_workspace_root) {
+        Some(r) => r,
+        None => {
+            eprintln!("lotus-lint: no workspace root found (pass --root)");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if update {
+        return match lotus_lint::update_registry(&root) {
+            Ok((added, removed)) => {
+                println!(
+                    "lotus-lint: registry updated ({added} label(s) added, {removed} removed) \
+                     — fill in any TODO descriptions"
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("lotus-lint: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    match lotus_lint::run_workspace(&root) {
+        Ok(report) => {
+            for v in &report.violations {
+                println!("{v}");
+            }
+            if report.violations.is_empty() {
+                if !quiet {
+                    println!(
+                        "lotus-lint: {} files scanned, {} rng stream labels, 0 violations",
+                        report.files_scanned, report.fork_labels
+                    );
+                }
+                ExitCode::SUCCESS
+            } else {
+                println!(
+                    "lotus-lint: {} violation(s) in {} files scanned",
+                    report.violations.len(),
+                    report.files_scanned
+                );
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("lotus-lint: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Walk up from the current directory to the first `Cargo.toml` that
+/// declares `[workspace]`.
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("lotus-lint: {msg} (try --help)");
+    ExitCode::FAILURE
+}

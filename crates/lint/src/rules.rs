@@ -1,0 +1,625 @@
+//! The lint rules and the engine that runs them over a set of files.
+//!
+//! Four rules, all determinism- or hot-path-motivated:
+//!
+//! * **forbidden-api** — per-tier API bans. Simulation crates may not name
+//!   `HashMap`/`HashSet` (randomized iteration order), `SystemTime`,
+//!   `Instant::now` (wall-clock reads) or `std::env` (ambient config);
+//!   harness crates keep the hash-container and `SystemTime` bans but may
+//!   read clocks and the environment. Sanctioned exceptions live in
+//!   `allowlist.txt`.
+//! * **fork-label** — every `fork("…")`/`fork_idx("…", i)` label must be
+//!   documented in `fork_labels.txt`, and a plain-`fork` label may not be
+//!   used twice in one function (two forks of the same parent with the
+//!   same label yield *identical* streams, which is always a bug;
+//!   `fork_idx` is exempt — reusing one label across indices is exactly
+//!   what it is for).
+//! * **hot-loop** — a function annotated `// lint: hot-loop` may not use
+//!   allocating constructs (`Vec::new`, `vec!`, `collect`, `clone`, ...).
+//! * **crate-root** — every crate root carries `#![forbid(unsafe_code)]`
+//!   and `#![warn(missing_docs)]`.
+//!
+//! Test code (`tests/` trees and `#[cfg(test)]` items) is exempt from the
+//! API and fork-label rules: tests may hash, time and fork ad hoc.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::lexer::{lex, TokKind, Token};
+
+/// Which ban set applies to a file's crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tier {
+    /// Simulation/model crates: full determinism ban set.
+    Sim,
+    /// Harness/tooling crates: hash containers and `SystemTime` only.
+    Harness,
+}
+
+/// One file presented to the engine, already read and classified.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Repo-relative path with `/` separators (stable across platforms).
+    pub path: String,
+    /// Ban set for this file's crate.
+    pub tier: Tier,
+    /// True for `src/lib.rs` of a crate (rule `crate-root` applies).
+    pub is_crate_root: bool,
+    /// Full file contents.
+    pub text: String,
+}
+
+/// A rule finding. Ordered so reports are stable.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Violation {
+    /// File the finding is in (repo-relative).
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Rule id: `forbidden-api`, `fork-label`, `hot-loop`, `crate-root`
+    /// or `allowlist` (a stale allowlist entry).
+    pub rule: &'static str,
+    /// The offending token as the allowlist would name it
+    /// (`HashMap`, `Instant::now`, `clone`, a fork label, ...).
+    pub token: String,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// One sanctioned exception: `path rule token`, whitespace-separated, with
+/// an optional `-- reason` tail. Suppresses every matching violation in
+/// that file; entries that suppress nothing are themselves reported stale.
+#[derive(Debug, Clone)]
+pub struct AllowEntry {
+    /// Repo-relative path the entry applies to.
+    pub path: String,
+    /// Rule id the entry suppresses.
+    pub rule: String,
+    /// Token the entry suppresses (matches [`Violation::token`]).
+    pub token: String,
+}
+
+/// Parse `allowlist.txt` contents. `#` lines and blanks are ignored.
+pub fn parse_allowlist(text: &str) -> Vec<AllowEntry> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.split("--").next().unwrap_or("").trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        if let (Some(path), Some(rule), Some(token)) = (parts.next(), parts.next(), parts.next()) {
+            out.push(AllowEntry {
+                path: path.to_string(),
+                rule: rule.to_string(),
+                token: token.to_string(),
+            });
+        }
+    }
+    out
+}
+
+/// Parse `fork_labels.txt` contents into label → description. Lines are
+/// `label: description`; `#` lines and blanks are ignored.
+pub fn parse_registry(text: &str) -> BTreeMap<String, String> {
+    let mut out = BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some((label, desc)) = line.split_once(':') {
+            out.insert(label.trim().to_string(), desc.trim().to_string());
+        }
+    }
+    out
+}
+
+/// A `fork("label")` use site, for registry generation and checking.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ForkUse {
+    /// The stream label.
+    pub label: String,
+    /// File of the call site.
+    pub file: String,
+    /// 1-based line of the call site.
+    pub line: u32,
+    /// Name of the enclosing function (`?` at module scope).
+    pub func: String,
+}
+
+/// Hot-loop allocation ban set, as (pattern, reported token). A pattern is
+/// 1–3 idents/puncts matched in sequence, comments skipped.
+const HOT_BANNED: &[(&[&str], &str)] = &[
+    (&["Vec", "::", "new"], "Vec::new"),
+    (&["Vec", "::", "with_capacity"], "Vec::with_capacity"),
+    (&["vec", "!"], "vec!"),
+    (&["format", "!"], "format!"),
+    (&["Box", "::", "new"], "Box::new"),
+    (&["String", "::", "from"], "String::from"),
+    (&["String", "::", "new"], "String::new"),
+    (&["collect"], "collect"),
+    (&["to_vec"], "to_vec"),
+    (&["to_string"], "to_string"),
+    (&["to_owned"], "to_owned"),
+    (&["clone"], "clone"),
+];
+
+/// Everything a single-file scan produces.
+struct FileScan {
+    violations: Vec<Violation>,
+    forks: Vec<ForkUse>,
+}
+
+/// Run every rule over `files`, resolving exceptions against `allowlist`
+/// and fork labels against `registry`. Returns sorted violations.
+pub fn check(
+    files: &[SourceFile],
+    registry: &BTreeMap<String, String>,
+    allowlist: &[AllowEntry],
+) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let mut all_forks: Vec<ForkUse> = Vec::new();
+    for f in files {
+        let scan = scan_file(f);
+        violations.extend(scan.violations);
+        all_forks.extend(scan.forks);
+    }
+
+    // Registry hygiene: every used label documented, every documented
+    // label used. Sites are sorted, so "first use" is deterministic.
+    all_forks.sort();
+    let mut used: BTreeSet<&str> = BTreeSet::new();
+    for fork in &all_forks {
+        if used.insert(&fork.label) {
+            match registry.get(&fork.label) {
+                None => violations.push(Violation {
+                    file: fork.file.clone(),
+                    line: fork.line,
+                    rule: "fork-label",
+                    token: fork.label.clone(),
+                    message: format!(
+                        "rng stream label \"{}\" is not documented in fork_labels.txt \
+                         (run `lotus-lint --update-registry`, then describe it)",
+                        fork.label
+                    ),
+                }),
+                Some(desc) if desc.is_empty() || desc.starts_with("TODO") => {
+                    violations.push(Violation {
+                        file: fork.file.clone(),
+                        line: fork.line,
+                        rule: "fork-label",
+                        token: fork.label.clone(),
+                        message: format!(
+                            "rng stream label \"{}\" has a placeholder description in \
+                             fork_labels.txt — document what the stream drives",
+                            fork.label
+                        ),
+                    })
+                }
+                Some(_) => {}
+            }
+        }
+    }
+    for label in registry.keys() {
+        if !used.contains(label.as_str()) {
+            violations.push(Violation {
+                file: "crates/lint/fork_labels.txt".to_string(),
+                line: 0,
+                rule: "fork-label",
+                token: label.clone(),
+                message: format!("registry entry \"{label}\" matches no fork() call — remove it"),
+            });
+        }
+    }
+
+    // Apply the allowlist, tracking which entries earned their keep.
+    let mut entry_used = vec![false; allowlist.len()];
+    violations.retain(|v| {
+        for (i, e) in allowlist.iter().enumerate() {
+            if e.path == v.file && e.rule == v.rule && e.token == v.token {
+                entry_used[i] = true;
+                return false;
+            }
+        }
+        true
+    });
+    for (i, e) in allowlist.iter().enumerate() {
+        if !entry_used[i] {
+            violations.push(Violation {
+                file: "crates/lint/allowlist.txt".to_string(),
+                line: 0,
+                rule: "allowlist",
+                token: e.token.clone(),
+                message: format!(
+                    "stale allowlist entry `{} {} {}` suppresses nothing — remove it",
+                    e.path, e.rule, e.token
+                ),
+            });
+        }
+    }
+
+    violations.sort();
+    violations
+}
+
+/// Collect every fork-label use site across `files` (for `--update-registry`).
+pub fn collect_forks(files: &[SourceFile]) -> Vec<ForkUse> {
+    let mut out: Vec<ForkUse> = files.iter().flat_map(|f| scan_file(f).forks).collect();
+    out.sort();
+    out
+}
+
+/// Scan one file against every per-file rule.
+fn scan_file(f: &SourceFile) -> FileScan {
+    let toks = lex(&f.text);
+    let test_spans = test_item_spans(&toks);
+    let in_test = |i: usize| test_spans.iter().any(|&(s, e)| i >= s && i <= e);
+
+    let mut violations = Vec::new();
+    let mut forks = Vec::new();
+
+    // ---- crate-root policy -------------------------------------------
+    if f.is_crate_root {
+        for (attr, why) in [
+            ("unsafe_code", "#![forbid(unsafe_code)]"),
+            ("missing_docs", "#![warn(missing_docs)]"),
+        ] {
+            if !has_inner_attr(&toks, attr) {
+                violations.push(Violation {
+                    file: f.path.clone(),
+                    line: 1,
+                    rule: "crate-root",
+                    token: attr.to_string(),
+                    message: format!("crate root is missing the workspace-standard `{why}`"),
+                });
+            }
+        }
+    }
+
+    // ---- token-stream rules ------------------------------------------
+    let mut depth = 0usize;
+    let mut fn_stack: Vec<(String, usize)> = Vec::new();
+    let mut pending_fn: Option<String> = None;
+    let mut fn_labels: BTreeSet<(String, String)> = BTreeSet::new();
+    // Hot-loop state: the marker arms the *next* function; its body span
+    // is the brace depth recorded when that function opens.
+    let mut hot_armed = false;
+    let mut hot_region: Option<usize> = None; // depth of the hot fn body
+
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        match &t.kind {
+            TokKind::LineComment(c) if c.trim() == "lint: hot-loop" => {
+                hot_armed = true;
+            }
+            TokKind::LineComment(_) => {}
+            TokKind::Punct('{') => {
+                depth += 1;
+                if let Some(name) = pending_fn.take() {
+                    if hot_armed {
+                        hot_armed = false;
+                        hot_region = Some(depth);
+                    }
+                    fn_stack.push((name, depth));
+                }
+            }
+            TokKind::Punct('}') => {
+                if let Some(&(_, d)) = fn_stack.last() {
+                    if d == depth {
+                        fn_stack.pop();
+                    }
+                }
+                if hot_region == Some(depth) {
+                    hot_region = None;
+                }
+                depth = depth.saturating_sub(1);
+            }
+            TokKind::Punct(';') => {
+                // A trait method signature ends without a body.
+                pending_fn = None;
+            }
+            TokKind::Ident(name) => {
+                if name == "fn" {
+                    if let Some(TokKind::Ident(fname)) =
+                        next_code(&toks, i + 1).map(|j| &toks[j].kind)
+                    {
+                        pending_fn = Some(fname.clone());
+                    }
+                } else {
+                    // Forbidden APIs (outside test items).
+                    if !in_test(i) {
+                        if let Some((token, msg)) = forbidden_api_at(&toks, i, f.tier) {
+                            violations.push(Violation {
+                                file: f.path.clone(),
+                                line: t.line,
+                                rule: "forbidden-api",
+                                token,
+                                message: msg,
+                            });
+                        }
+                    }
+                    // Fork labels (outside test items).
+                    if !in_test(i) && (name == "fork" || name == "fork_idx") {
+                        if let Some(j) = next_code(&toks, i + 1) {
+                            if toks[j].is_punct('(') {
+                                if let Some(k) = next_code(&toks, j + 1) {
+                                    if let TokKind::Str(label) = &toks[k].kind {
+                                        let func = fn_stack
+                                            .last()
+                                            .map(|(n, _)| n.clone())
+                                            .unwrap_or_else(|| "?".to_string());
+                                        // `fork_idx` reuses one label across
+                                        // indices by design; only plain
+                                        // `fork` duplicates are bugs.
+                                        if name == "fork"
+                                            && !fn_labels.insert((func.clone(), label.clone()))
+                                        {
+                                            violations.push(Violation {
+                                                file: f.path.clone(),
+                                                line: toks[k].line,
+                                                rule: "fork-label",
+                                                token: label.clone(),
+                                                message: format!(
+                                                    "label \"{label}\" forked twice in fn \
+                                                     `{func}` — identical parent state + label \
+                                                     means identical streams"
+                                                ),
+                                            });
+                                        }
+                                        forks.push(ForkUse {
+                                            label: label.clone(),
+                                            file: f.path.clone(),
+                                            line: toks[k].line,
+                                            func,
+                                        });
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    // Hot-loop allocation bans.
+                    if hot_region.is_some() {
+                        if let Some(token) = hot_banned_at(&toks, i) {
+                            let func = fn_stack.last().map(|(n, _)| n.as_str()).unwrap_or("?");
+                            violations.push(Violation {
+                                file: f.path.clone(),
+                                line: t.line,
+                                rule: "hot-loop",
+                                token: token.to_string(),
+                                message: format!(
+                                    "`{token}` allocates inside `// lint: hot-loop` fn `{func}` \
+                                     — reuse a scratch buffer instead"
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+
+    FileScan { violations, forks }
+}
+
+/// Does a banned-API pattern start at token `i`? Returns (token, message).
+fn forbidden_api_at(toks: &[Token], i: usize, tier: Tier) -> Option<(String, String)> {
+    let name = toks[i].ident()?;
+    match name {
+        "HashMap" | "HashSet" => Some((
+            name.to_string(),
+            format!("`{name}` has randomized iteration order — use `BTreeMap`/`BTreeSet`/`BitSet`"),
+        )),
+        "SystemTime" => Some((
+            name.to_string(),
+            "`SystemTime` reads the wall clock — simulations take time from round counters"
+                .to_string(),
+        )),
+        "Instant" if tier == Tier::Sim && follows_path(toks, i, &["now"]) => Some((
+            "Instant::now".to_string(),
+            "`Instant::now` reads the wall clock — sim crates must be replayable".to_string(),
+        )),
+        "std" if tier == Tier::Sim && follows_path(toks, i, &["env"]) => Some((
+            "std::env".to_string(),
+            "`std::env` injects ambient state — sim behaviour must come from explicit config"
+                .to_string(),
+        )),
+        _ => None,
+    }
+}
+
+/// Does `toks[i]` continue as `::seg1::seg2...` for the given segments?
+fn follows_path(toks: &[Token], i: usize, segs: &[&str]) -> bool {
+    let mut at = i;
+    for seg in segs {
+        let Some(c1) = next_code(toks, at + 1) else {
+            return false;
+        };
+        if !toks[c1].is_punct(':') {
+            return false;
+        }
+        let Some(c2) = next_code(toks, c1 + 1) else {
+            return false;
+        };
+        if !toks[c2].is_punct(':') {
+            return false;
+        }
+        let Some(s) = next_code(toks, c2 + 1) else {
+            return false;
+        };
+        if toks[s].ident() != Some(seg) {
+            return false;
+        }
+        at = s;
+    }
+    true
+}
+
+/// Does a hot-loop-banned pattern start at token `i`?
+fn hot_banned_at(toks: &[Token], i: usize) -> Option<&'static str> {
+    'pattern: for (pat, token) in HOT_BANNED {
+        let mut at = i;
+        for (k, want) in pat.iter().enumerate() {
+            if k > 0 {
+                match next_code(toks, at + 1) {
+                    Some(j) => at = j,
+                    None => continue 'pattern,
+                }
+            }
+            // `::` arrives as two `:` tokens; fold the second one here.
+            if *want == "::" {
+                if !toks[at].is_punct(':') {
+                    continue 'pattern;
+                }
+                match next_code(toks, at + 1) {
+                    Some(j) if toks[j].is_punct(':') => at = j,
+                    _ => continue 'pattern,
+                }
+                continue;
+            }
+            let matches = match &toks[at].kind {
+                TokKind::Ident(s) => s == want,
+                TokKind::Punct(c) => want.len() == 1 && want.starts_with(*c),
+                _ => false,
+            };
+            if !matches {
+                continue 'pattern;
+            }
+        }
+        return Some(token);
+    }
+    None
+}
+
+/// Index of the next non-comment token at or after `i`.
+fn next_code(toks: &[Token], i: usize) -> Option<usize> {
+    (i..toks.len()).find(|&j| !matches!(toks[j].kind, TokKind::LineComment(_)))
+}
+
+/// Token spans (inclusive) of items annotated `#[cfg(test)]` (or any cfg
+/// attribute naming `test`), including the whole body of `mod tests { … }`.
+fn test_item_spans(toks: &[Token]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].is_punct('#')
+            && next_code(toks, i + 1).map(|j| toks[j].is_punct('[')) == Some(true)
+        {
+            // Collect the attribute's idents up to the matching `]`.
+            let open = next_code(toks, i + 1).unwrap();
+            let mut j = open + 1;
+            let mut brack = 1usize;
+            let mut names: Vec<&str> = Vec::new();
+            while j < toks.len() && brack > 0 {
+                match &toks[j].kind {
+                    TokKind::Punct('[') => brack += 1,
+                    TokKind::Punct(']') => brack -= 1,
+                    TokKind::Ident(s) => names.push(s),
+                    _ => {}
+                }
+                j += 1;
+            }
+            let is_cfg_test = names.first() == Some(&"cfg") && names.contains(&"test");
+            if is_cfg_test {
+                // Skip further attributes, then span the next item: through
+                // its matching close brace, or its `;` if it has no body.
+                let start = i;
+                let mut k = j;
+                loop {
+                    match toks.get(k).map(|t| &t.kind) {
+                        Some(TokKind::Punct('#'))
+                            if next_code(toks, k + 1).map(|m| toks[m].is_punct('['))
+                                == Some(true) =>
+                        {
+                            let mut brack = 0usize;
+                            while k < toks.len() {
+                                match toks[k].kind {
+                                    TokKind::Punct('[') => brack += 1,
+                                    TokKind::Punct(']') => {
+                                        brack -= 1;
+                                        if brack == 0 {
+                                            k += 1;
+                                            break;
+                                        }
+                                    }
+                                    _ => {}
+                                }
+                                k += 1;
+                            }
+                        }
+                        Some(TokKind::Punct('{')) => {
+                            let mut depth = 0usize;
+                            while k < toks.len() {
+                                match toks[k].kind {
+                                    TokKind::Punct('{') => depth += 1,
+                                    TokKind::Punct('}') => {
+                                        depth -= 1;
+                                        if depth == 0 {
+                                            break;
+                                        }
+                                    }
+                                    _ => {}
+                                }
+                                k += 1;
+                            }
+                            break;
+                        }
+                        Some(TokKind::Punct(';')) | None => break,
+                        _ => k += 1,
+                    }
+                }
+                let end = k.min(toks.len().saturating_sub(1));
+                spans.push((start, end));
+                i = end + 1;
+                continue;
+            }
+            i = j;
+            continue;
+        }
+        i += 1;
+    }
+    spans
+}
+
+/// Is the inner attribute `#![…(attr…)…]` present (e.g. `unsafe_code`
+/// inside `#![forbid(unsafe_code)]`)? Matches on the ident alone, which is
+/// unambiguous for the two attributes the crate-root rule checks.
+fn has_inner_attr(toks: &[Token], attr: &str) -> bool {
+    let mut i = 0usize;
+    while let Some(h) = (i..toks.len()).find(|&j| toks[j].is_punct('#')) {
+        let Some(bang) = next_code(toks, h + 1) else {
+            return false;
+        };
+        if toks[bang].is_punct('!') {
+            if let Some(open) = next_code(toks, bang + 1) {
+                if toks[open].is_punct('[') {
+                    let mut j = open + 1;
+                    let mut brack = 1usize;
+                    while j < toks.len() && brack > 0 {
+                        match &toks[j].kind {
+                            TokKind::Punct('[') => brack += 1,
+                            TokKind::Punct(']') => brack -= 1,
+                            TokKind::Ident(s) if s == attr => return true,
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                }
+            }
+        }
+        i = h + 1;
+    }
+    false
+}

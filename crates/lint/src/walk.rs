@@ -1,0 +1,93 @@
+//! Deterministic workspace traversal: find every `.rs` file the rules
+//! apply to and classify it by crate tier.
+//!
+//! Scope is the `src/` tree of every workspace crate (plus the root
+//! crate's `src/`). Integration tests (`tests/`), benches, examples and
+//! the lint crate's own `fixtures/` are out of scope by construction:
+//! they are harness-side code that may hash, time and allocate freely.
+//! Directory entries are sorted before descent so the scan order — and
+//! therefore the report — is byte-stable across platforms and runs.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::rules::{SourceFile, Tier};
+
+/// Crates whose `src/` gets the full simulation-determinism ban set.
+/// Everything else in the workspace is harness tier.
+const SIM_CRATES: &[&str] = &[
+    "crates/core",
+    "crates/netsim",
+    "crates/bar-gossip",
+    "crates/scrip",
+    "crates/bittorrent",
+];
+
+/// Directory names never descended into.
+const SKIP_DIRS: &[&str] = &["target", ".git", "fixtures", "tests", "benches", "examples"];
+
+/// Collect and classify every in-scope `.rs` file under `root` (the
+/// workspace root). Paths in the result are repo-relative with `/`
+/// separators; the list is sorted.
+pub fn workspace_files(root: &Path) -> io::Result<Vec<SourceFile>> {
+    let mut paths = Vec::new();
+    walk_dir(root, &mut paths)?;
+    paths.sort();
+
+    let mut out = Vec::new();
+    for abs in paths {
+        let rel = relative_slash(&abs, root);
+        // Only files inside some crate's `src/` tree are in scope.
+        if !(rel.starts_with("src/") || rel.contains("/src/")) {
+            continue;
+        }
+        let crate_dir = match rel.split_once("/src/") {
+            Some((prefix, _)) => prefix.to_string(),
+            None => String::new(), // the root crate's own src/
+        };
+        let tier = if SIM_CRATES.contains(&crate_dir.as_str()) {
+            Tier::Sim
+        } else {
+            Tier::Harness
+        };
+        let is_crate_root = rel == "src/lib.rs" || rel.ends_with("/src/lib.rs");
+        let text = fs::read_to_string(&abs)?;
+        out.push(SourceFile {
+            path: rel,
+            tier,
+            is_crate_root,
+            text,
+        });
+    }
+    Ok(out)
+}
+
+/// Recursively collect `.rs` files, sorted at each level.
+fn walk_dir(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .map(|e| e.map(|e| e.path()))
+        .collect::<io::Result<_>>()?;
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if SKIP_DIRS.contains(&name) || name.starts_with('.') {
+                continue;
+            }
+            walk_dir(&path, out)?;
+        } else if path.extension().and_then(|e| e.to_str()) == Some("rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// `abs` relative to `root`, `/`-separated regardless of platform.
+fn relative_slash(abs: &Path, root: &Path) -> String {
+    let rel = abs.strip_prefix(root).unwrap_or(abs);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}

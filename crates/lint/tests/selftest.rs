@@ -1,0 +1,194 @@
+//! Self-tests: the engine must flag every committed known-bad fixture
+//! (each rule, each pattern) and pass the known-good one — so a lint
+//! regression fails `cargo test -p lint` before it silently waves the
+//! real workspace through.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use lotus_lint::rules::{check, parse_allowlist, parse_registry, SourceFile, Tier, Violation};
+
+fn fixture(name: &str, tier: Tier, is_crate_root: bool) -> SourceFile {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name);
+    SourceFile {
+        path: format!("crates/lint/fixtures/{name}"),
+        tier,
+        is_crate_root,
+        text: std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path:?}: {e}")),
+    }
+}
+
+fn registry(labels: &[&str]) -> BTreeMap<String, String> {
+    labels
+        .iter()
+        .map(|l| (l.to_string(), format!("stream {l}")))
+        .collect()
+}
+
+fn tokens(violations: &[Violation], rule: &str) -> Vec<String> {
+    violations
+        .iter()
+        .filter(|v| v.rule == rule)
+        .map(|v| v.token.clone())
+        .collect()
+}
+
+#[test]
+fn forbidden_api_fixture_trips_every_sim_ban() {
+    let files = [fixture("bad_forbidden_api.rs", Tier::Sim, false)];
+    let violations = check(&files, &registry(&[]), &[]);
+    let mut seen = tokens(&violations, "forbidden-api");
+    seen.sort();
+    seen.dedup();
+    assert_eq!(
+        seen,
+        [
+            "HashMap",
+            "HashSet",
+            "Instant::now",
+            "SystemTime",
+            "std::env"
+        ]
+    );
+    // Only the forbidden-api rule fires on this fixture.
+    assert_eq!(
+        violations
+            .iter()
+            .filter(|v| v.rule != "forbidden-api")
+            .count(),
+        0
+    );
+}
+
+#[test]
+fn forbidden_api_is_blind_inside_strings_comments_and_tests() {
+    let files = [fixture("bad_forbidden_api.rs", Tier::Sim, false)];
+    let violations = check(&files, &registry(&[]), &[]);
+    let text = &files[0].text;
+    let line_of = |needle: &str| {
+        text.lines()
+            .position(|l| l.contains(needle))
+            .map(|i| i as u32 + 1)
+            .unwrap()
+    };
+    // Nothing fires at or after the `immune` fn (strings, comments) or
+    // inside the `#[cfg(test)]` module.
+    let immune_start = line_of("fn immune");
+    assert!(
+        violations.iter().all(|v| v.line < immune_start),
+        "late violation: {violations:#?}"
+    );
+}
+
+#[test]
+fn harness_tier_keeps_hash_and_clock_bans_but_allows_env_and_instant() {
+    let files = [fixture("bad_forbidden_api.rs", Tier::Harness, false)];
+    let violations = check(&files, &registry(&[]), &[]);
+    let mut seen = tokens(&violations, "forbidden-api");
+    seen.sort();
+    seen.dedup();
+    assert_eq!(seen, ["HashMap", "HashSet", "SystemTime"]);
+}
+
+#[test]
+fn hot_loop_fixture_trips_each_allocating_construct_only_in_marked_fn() {
+    let files = [fixture("bad_hot_loop.rs", Tier::Sim, false)];
+    let violations = check(&files, &registry(&[]), &[]);
+    let mut seen = tokens(&violations, "hot-loop");
+    seen.sort();
+    assert_eq!(seen, ["Vec::new", "clone", "collect", "format!", "to_vec"]);
+    // The unmarked `cold` fn allocates with impunity: every finding is
+    // before it starts.
+    let cold_start = files[0]
+        .text
+        .lines()
+        .position(|l| l.contains("fn cold"))
+        .unwrap() as u32
+        + 1;
+    assert!(
+        violations.iter().all(|v| v.line < cold_start),
+        "cold fn flagged: {violations:#?}"
+    );
+}
+
+#[test]
+fn fork_label_fixture_flags_unregistered_and_duplicate_labels() {
+    let files = [fixture("bad_fork_labels.rs", Tier::Sim, false)];
+    let violations = check(
+        &files,
+        &registry(&["documented", "documented-indexed", "twice"]),
+        &[],
+    );
+    let seen = tokens(&violations, "fork-label");
+    assert_eq!(seen, ["mystery", "twice"]);
+    assert!(violations
+        .iter()
+        .any(|v| v.message.contains("not documented")));
+    assert!(violations
+        .iter()
+        .any(|v| v.message.contains("forked twice")));
+}
+
+#[test]
+fn placeholder_descriptions_and_stale_registry_entries_are_findings() {
+    let files = [fixture("good_clean.rs", Tier::Sim, true)];
+    let mut reg = registry(&["documented", "never-used"]);
+    reg.insert(
+        "documented".to_string(),
+        "TODO: describe this stream".to_string(),
+    );
+    let violations = check(&files, &reg, &[]);
+    let seen = tokens(&violations, "fork-label");
+    assert_eq!(seen, ["documented", "never-used"]);
+    assert!(violations.iter().any(|v| v.message.contains("placeholder")));
+    assert!(violations
+        .iter()
+        .any(|v| v.message.contains("matches no fork()")));
+}
+
+#[test]
+fn crate_root_fixture_is_missing_both_policy_attributes() {
+    let files = [fixture("bad_crate_root.rs", Tier::Sim, true)];
+    let violations = check(&files, &registry(&[]), &[]);
+    let mut seen = tokens(&violations, "crate-root");
+    seen.sort();
+    assert_eq!(seen, ["missing_docs", "unsafe_code"]);
+}
+
+#[test]
+fn good_fixture_passes_clean() {
+    let files = [fixture("good_clean.rs", Tier::Sim, true)];
+    let violations = check(&files, &registry(&["documented"]), &[]);
+    assert_eq!(violations, [], "clean fixture flagged");
+}
+
+#[test]
+fn allowlist_suppresses_matches_and_flags_stale_entries() {
+    let files = [fixture("bad_forbidden_api.rs", Tier::Sim, false)];
+    let allow = parse_allowlist(
+        "crates/lint/fixtures/bad_forbidden_api.rs forbidden-api std::env -- sanctioned\n\
+         crates/lint/fixtures/bad_forbidden_api.rs forbidden-api Mutex -- stale\n",
+    );
+    let violations = check(&files, &registry(&[]), &allow);
+    assert!(!tokens(&violations, "forbidden-api").contains(&"std::env".to_string()));
+    assert!(tokens(&violations, "forbidden-api").contains(&"HashMap".to_string()));
+    assert_eq!(tokens(&violations, "allowlist"), ["Mutex"]);
+}
+
+#[test]
+fn registry_parser_roundtrips_the_committed_file() {
+    let text =
+        std::fs::read_to_string(Path::new(env!("CARGO_MANIFEST_DIR")).join("fork_labels.txt"))
+            .expect("committed registry");
+    let reg = parse_registry(&text);
+    assert!(
+        reg.len() >= 20,
+        "registry unexpectedly small: {}",
+        reg.len()
+    );
+    assert!(reg
+        .values()
+        .all(|d| !d.is_empty() && !d.starts_with("TODO")));
+}

@@ -1,0 +1,31 @@
+//! The gate itself, as a test: the real workspace must lint clean, and
+//! two scans must agree byte for byte (the walk is sorted, so the report
+//! is deterministic by construction — this pins it).
+
+use std::path::Path;
+
+#[test]
+fn workspace_lints_clean_and_deterministically() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let first = lotus_lint::run_workspace(&root).expect("scan workspace");
+    let errors: Vec<String> = first.violations.iter().map(|v| v.to_string()).collect();
+    assert_eq!(
+        errors,
+        Vec::<String>::new(),
+        "workspace has lint violations"
+    );
+    assert!(
+        first.files_scanned >= 60,
+        "suspiciously few files: {}",
+        first.files_scanned
+    );
+    assert!(
+        first.fork_labels >= 20,
+        "suspiciously few labels: {}",
+        first.fork_labels
+    );
+
+    let second = lotus_lint::run_workspace(&root).expect("rescan workspace");
+    assert_eq!(first.violations, second.violations);
+    assert_eq!(first.files_scanned, second.files_scanned);
+}

@@ -188,14 +188,11 @@ impl Graph {
 
     /// `true` if removing `removed` disconnects the surviving vertices.
     pub fn is_vertex_cut(&self, removed: &[bool]) -> bool {
+        // Survivor component labels are dense from 0, so "more than one
+        // distinct label" is just "some survivor has a label above 0" —
+        // no set needed at all.
         let comp = self.components_without(removed);
-        let mut seen = std::collections::HashSet::new();
-        for (i, &c) in comp.iter().enumerate() {
-            if !removed[i] {
-                seen.insert(c);
-            }
-        }
-        seen.len() > 1
+        comp.iter().enumerate().any(|(i, &c)| !removed[i] && c > 0)
     }
 
     // ----------------------------------------------------------------
@@ -284,7 +281,10 @@ impl Graph {
                 edges.push((v, (v + j) % n));
             }
         }
-        let mut set: std::collections::HashSet<(u32, u32)> =
+        // BTreeSet, not HashSet: membership/removal are order-insensitive
+        // here (`from_edges` sorts), but the sim tier bans hash containers
+        // outright so no iteration-order dependence can creep in later.
+        let mut set: std::collections::BTreeSet<(u32, u32)> =
             edges.iter().map(|&(a, b)| (a.min(b), a.max(b))).collect();
         for e in edges.iter_mut() {
             if rng.chance(beta) {
@@ -348,7 +348,12 @@ impl Graph {
             }
         }
         for v in (m + 1)..n {
-            let mut targets = std::collections::HashSet::new();
+            // A BTreeSet (iterated in sorted order) where a HashSet once
+            // was: HashSet iteration order is randomised per process, and
+            // it fed back into `endpoints` — so two runs of the same seed
+            // in different processes could build different graphs. Sorted
+            // iteration makes the builder genuinely deterministic.
+            let mut targets = std::collections::BTreeSet::new();
             while (targets.len() as u32) < m {
                 let t = endpoints[rng.index(endpoints.len())];
                 targets.insert(t);

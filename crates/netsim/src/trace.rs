@@ -82,6 +82,10 @@ impl TraceBuffer {
     }
 
     /// Record an event (no-op when disabled; evicts oldest when full).
+    ///
+    /// The `detail` argument is built *before* the enabled check, so hot
+    /// paths must not pass a freshly formatted string here — use
+    /// [`TraceBuffer::emit_with`] to keep disabled tracing truly free.
     pub fn emit(&mut self, round: Round, node: NodeId, kind: EventKind, detail: impl Into<String>) {
         if !self.enabled {
             return;
@@ -99,6 +103,26 @@ impl TraceBuffer {
         } else {
             self.dropped += 1;
         }
+    }
+
+    /// Record an event whose detail string is built lazily: `detail()`
+    /// runs only when the buffer is enabled *and* has capacity, so a
+    /// disabled buffer on a hot path costs one branch and zero
+    /// allocations however expensive the formatting would be.
+    pub fn emit_with(
+        &mut self,
+        round: Round,
+        node: NodeId,
+        kind: EventKind,
+        detail: impl FnOnce() -> String,
+    ) {
+        if !self.enabled || self.capacity == 0 {
+            if self.enabled {
+                self.dropped += 1;
+            }
+            return;
+        }
+        self.emit(round, node, kind, detail());
     }
 
     /// Events currently held, oldest first.

@@ -194,6 +194,9 @@ pub struct ReputationSim {
     /// Nodes fed by the Observation 3.1 harness: re-topped after decay
     /// each round ("sufficiently rapidly").
     fed: std::collections::BTreeSet<usize>,
+    /// Reused per-request volunteer list (capacity `agents`), so the
+    /// round loop never allocates in steady state.
+    volunteer_scratch: Vec<usize>,
 }
 
 impl ReputationSim {
@@ -227,6 +230,7 @@ impl ReputationSim {
             target_samples: 0,
             injected: 0.0,
             fed: std::collections::BTreeSet::new(),
+            volunteer_scratch: Vec::with_capacity(n),
             cfg,
             attack,
         }
@@ -326,6 +330,7 @@ impl lotus_core::scenario::Summarize for ReputationReport {
 }
 
 impl RoundSim for ReputationSim {
+    // lint: hot-loop
     fn round(&mut self, t: Round) {
         debug_assert_eq!(t, self.round, "rounds must be sequential");
         let n = self.reputation.len();
@@ -372,14 +377,18 @@ impl RoundSim for ReputationSim {
                 }
                 continue;
             }
-            let volunteers: Vec<usize> = (0..n)
-                .filter(|&i| {
-                    i != requester
-                        && rng.chance(self.cfg.availability)
-                        && self.reputation[i] < self.cfg.threshold
-                })
-                .collect();
-            if let Some(&p) = rng.choose(&volunteers) {
+            // Same draw order as the old collect-based filter, into the
+            // persistent scratch buffer (capacity `n`, so no growth).
+            self.volunteer_scratch.clear();
+            for i in 0..n {
+                if i != requester
+                    && rng.chance(self.cfg.availability)
+                    && self.reputation[i] < self.cfg.threshold
+                {
+                    self.volunteer_scratch.push(i);
+                }
+            }
+            if let Some(&p) = rng.choose(&self.volunteer_scratch) {
                 self.reputation[p] += 1.0; // service earns reputation
                 self.served[p] += 1;
                 if measured {

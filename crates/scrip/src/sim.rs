@@ -558,6 +558,7 @@ impl ScripSim {
 }
 
 impl RoundSim for ScripSim {
+    // lint: hot-loop
     fn round(&mut self, t: Round) {
         debug_assert_eq!(t, self.round, "rounds must be sequential");
         self.population.begin_round(t);

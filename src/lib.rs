@@ -86,6 +86,9 @@
 //! binaries) sweeps any of them; see `EXPERIMENTS.md` for the CLI
 //! grammar and the paper-vs-measured record.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub use bar_gossip;
 pub use lotus_core;
 pub use netsim;

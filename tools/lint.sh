@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# tools/lint.sh — the CI determinism/hot-path lint gate.
+#
+# Runs `lotus-lint` (crates/lint): a dependency-free static pass enforcing
+# per-tier forbidden APIs (hash containers, wall clocks, ambient env in
+# sim crates), rng fork-label hygiene against crates/lint/fork_labels.txt,
+# allocation bans inside `// lint: hot-loop` functions, and crate-root
+# lint policy. Sanctioned exceptions live in crates/lint/allowlist.txt;
+# stale entries in either file fail the gate too.
+#
+# usage: tools/lint.sh [extra lotus-lint args]
+#   e.g. tools/lint.sh                    # full gate, exit 1 on violations
+#        tools/lint.sh --update-registry  # refresh the fork-label registry
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+exec cargo run -q --release -p lint --bin lotus-lint -- "$@"
