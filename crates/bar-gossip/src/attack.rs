@@ -33,6 +33,14 @@ pub enum AttackKind {
     IdealLotusEater,
     /// In-protocol give-everything to the satiated set.
     TradeLotusEater,
+    /// Fault-masquerading defection: attacker nodes trade honestly but
+    /// silently withhold their side of an interaction at the ambient
+    /// network fault rate
+    /// ([`FaultPlan::ambient_silence_rate`](lotus_core::faults::FaultPlan::ambient_silence_rate)),
+    /// so every missed exchange they cause is statistically
+    /// indistinguishable from background loss. On a perfect network this
+    /// attacker is simply honest.
+    Masquerade,
 }
 
 impl AttackKind {
@@ -43,6 +51,7 @@ impl AttackKind {
             AttackKind::Crash => "Crash attack",
             AttackKind::IdealLotusEater => "Ideal lotus-eater attack",
             AttackKind::TradeLotusEater => "Trade lotus-eater attack",
+            AttackKind::Masquerade => "Fault-masquerading attack",
         }
     }
 
@@ -124,6 +133,19 @@ impl AttackPlan {
         }
     }
 
+    /// A fault-masquerading defection attack: attacker nodes defect at
+    /// the run's ambient fault rate (the simulator reads the rate from
+    /// its [`FaultPlan`](lotus_core::faults::FaultPlan)), hiding inside
+    /// the background loss.
+    pub fn masquerade(attacker_fraction: f64) -> Self {
+        AttackPlan {
+            kind: AttackKind::Masquerade,
+            attacker_fraction: attacker_fraction.clamp(0.0, 1.0),
+            satiate_fraction: 0.0,
+            schedule: AttackSchedule::always(),
+        }
+    }
+
     /// Rotate the satiated set every `period` rounds (thin alias for
     /// `self.schedule.with_rotation(period)` — the timing layer owns the
     /// rotation arithmetic now).
@@ -197,6 +219,15 @@ mod tests {
         assert!(!AttackKind::Crash.satiates());
         assert!(AttackKind::IdealLotusEater.satiates());
         assert!(AttackKind::TradeLotusEater.satiates());
+        assert!(!AttackKind::Masquerade.satiates());
+    }
+
+    #[test]
+    fn masquerade_plan_has_no_satiated_set() {
+        let plan = AttackPlan::masquerade(0.2);
+        assert_eq!(plan.kind.label(), "Fault-masquerading attack");
+        assert_eq!(plan.attacker_count(250), 50);
+        assert_eq!(plan.satiated_honest_count(250), 0);
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //! report-and-evict).
 
 use crate::update::MAX_UPDATES_PER_ROUND;
+use lotus_core::faults::FaultPlan;
 use lotus_core::population::{ArrivalProcess, ChurnProfile};
 
 /// Report-and-evict defense settings (§4 "leveraging obedience").
@@ -58,6 +59,14 @@ pub struct DefenseSuite {
     pub rate_limit: Option<u32>,
     /// Report-and-evict excessive service (experiment X8).
     pub report: Option<ReportConfig>,
+    /// Silence cut-off: when a present scheduled partner delivers
+    /// nothing while the initiator wanted something, the initiator files
+    /// a silence strike; this many *distinct* accusers get the partner
+    /// cut from the protocol (`None`/0 = off). On a perfect network
+    /// silence is always defection and this defense is surgical; under
+    /// ambient faults it must trade false positives against letting
+    /// masquerading defectors hide — the X19 robustness axis.
+    pub cutoff_quorum: Option<u32>,
 }
 
 /// Full configuration of a BAR Gossip run.
@@ -114,6 +123,12 @@ pub struct BarGossipConfig {
     /// none). Attacker nodes are never held back — a flash crowd is an
     /// honest-node phenomenon.
     pub arrival: ArrivalProcess,
+    /// Fault injection: message loss/duplication/delay, state-losing
+    /// crashes and an epoch partition (default:
+    /// [`FaultPlan::none`] — the paper's perfect network). Crashed
+    /// nodes re-enter cold, with empty windows — unlike churned-out
+    /// nodes, which keep their state while absent.
+    pub faults: FaultPlan,
 }
 
 impl Default for BarGossipConfig {
@@ -134,6 +149,7 @@ impl Default for BarGossipConfig {
             responder_cap: Some(2),
             churn: ChurnProfile::none(),
             arrival: ArrivalProcess::None,
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -254,6 +270,11 @@ impl BarGossipConfig {
                 "responder cap of 0 would forbid all exchanges".into(),
             ));
         }
+        if let Some(0) = self.defenses.cutoff_quorum {
+            return Err(ConfigError::BadReportConfig(
+                "cutoff quorum of 0 would cut every node immediately".into(),
+            ));
+        }
         Ok(())
     }
 
@@ -352,6 +373,13 @@ impl BarGossipConfigBuilder {
         self
     }
 
+    /// Enable the silence cut-off defense with the given accuser quorum
+    /// (`None` = off).
+    pub fn cutoff_quorum(mut self, quorum: Option<u32>) -> Self {
+        self.cfg.defenses.cutoff_quorum = quorum;
+        self
+    }
+
     /// Whether trade attackers accept updates back (see
     /// [`BarGossipConfig::attacker_receives`]).
     pub fn attacker_receives(mut self, yes: bool) -> Self {
@@ -376,6 +404,12 @@ impl BarGossipConfigBuilder {
     /// Flash-crowd arrival process (default: none).
     pub fn arrival(mut self, arrival: ArrivalProcess) -> Self {
         self.cfg.arrival = arrival;
+        self
+    }
+
+    /// Fault-injection plan (default: [`FaultPlan::none`]).
+    pub fn faults(mut self, faults: FaultPlan) -> Self {
+        self.cfg.faults = faults;
         self
     }
 
@@ -548,5 +582,23 @@ mod tests {
         assert!(!d.unbalanced_exchanges);
         assert!(d.rate_limit.is_none());
         assert!(d.report.is_none());
+        assert!(d.cutoff_quorum.is_none());
+    }
+
+    #[test]
+    fn faults_default_off_and_cutoff_validated() {
+        let cfg = BarGossipConfig::default();
+        assert!(!cfg.faults.is_active());
+        assert!(matches!(
+            BarGossipConfig::builder().cutoff_quorum(Some(0)).build(),
+            Err(ConfigError::BadReportConfig(_))
+        ));
+        let cfg = BarGossipConfig::builder()
+            .cutoff_quorum(Some(3))
+            .faults(FaultPlan::parse("loss:0.1").unwrap())
+            .build()
+            .unwrap();
+        assert_eq!(cfg.defenses.cutoff_quorum, Some(3));
+        assert_eq!(cfg.faults.loss, 0.1);
     }
 }

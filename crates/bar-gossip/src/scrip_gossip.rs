@@ -40,6 +40,8 @@
 use crate::attack::{AttackKind, AttackPlan};
 use crate::config::BarGossipConfig;
 use crate::update::WindowSet;
+use lotus_core::bitset::BitSet;
+use lotus_core::faults::{CutStats, Fate, FaultCounters, FaultState};
 use lotus_core::population::Population;
 use lotus_core::schedule::{self, MetricKey, ScheduleState};
 use netsim::partner::{PartnerSchedule, Protocol};
@@ -51,9 +53,10 @@ use netsim::{NodeId, Round};
 /// monetary parameters.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScripGossipConfig {
-    /// The gossip substrate (nodes, batches, lifetimes, seeding, horizon).
-    /// `defenses` and `attacker_receives` are ignored — the monetary
-    /// mechanism replaces them.
+    /// The gossip substrate (nodes, batches, lifetimes, seeding, horizon,
+    /// churn, faults). Of `defenses`, only `cutoff_quorum` (the silence
+    /// cut-off) is honored — the monetary mechanism replaces the report
+    /// and rate-limit defenses; `attacker_receives` is ignored.
     pub base: BarGossipConfig,
     /// Initial scrip per node (the fixed supply is `nodes x this`).
     pub money_per_node: u32,
@@ -115,8 +118,14 @@ pub struct ScripGossipReport {
     pub refusal_rate: f64,
     /// Purchases that failed because the buyer was broke.
     pub broke_rate: f64,
-    /// Total scrip at the end (conserved: equals the initial supply).
+    /// Total scrip at the end (conserved: equals the initial supply —
+    /// crashes lose a node's *window*, never its balance, so the supply
+    /// invariant survives fault injection).
     pub total_money: u64,
+    /// Silence cut-off outcomes; `None` when the defense is off.
+    pub cuts: Option<CutStats>,
+    /// Fault-injection counters; `None` when the fault plan is inactive.
+    pub fault_counters: Option<FaultCounters>,
 }
 
 impl ScripGossipReport {
@@ -132,6 +141,8 @@ struct ScripNode {
     money: u64,
     attacker: bool,
     target: bool,
+    /// Cut by the silence cut-off defense: excluded from all trade.
+    cut: bool,
 }
 
 /// The scrip-gossip simulator.
@@ -175,6 +186,15 @@ pub struct ScripGossipSim {
     attack_active: bool,
     /// Membership under churn (from `cfg.base.churn`).
     population: Population,
+    /// Fault injection (from `cfg.base.faults`); inert by default.
+    faults: FaultState,
+    /// Masquerade attackers' silence draws; draw-free on a perfect
+    /// network (see `BarGossipSim::masq_rng`).
+    masq_rng: DetRng,
+    /// Distinct silence accusers per node (cut-off defense).
+    accusers: Vec<BitSet>,
+    cut_honest: u32,
+    cut_attacker: u32,
     // Scratch buffers for the allocation-free round loop (see module
     // docs); contents are meaningless between rounds.
     order_scratch: Vec<NodeId>,
@@ -220,6 +240,7 @@ impl ScripGossipSim {
                 money: u64::from(cfg.money_per_node),
                 attacker: attacker[i],
                 target: target[i],
+                cut: false,
             })
             .collect();
         let mut population = Population::new(n as usize, cfg.base.churn, rng.fork("population"));
@@ -231,6 +252,7 @@ impl ScripGossipSim {
             }
         }
         population.set_arrival(cfg.base.arrival);
+        let faults = FaultState::new(n as usize, cfg.base.faults, &rng);
         ScripGossipSim {
             pool: window.clone(),
             full: window,
@@ -238,6 +260,11 @@ impl ScripGossipSim {
             schedule_state: ScheduleState::seeded(plan.schedule, rng.fork("adaptive")),
             attack_active: false,
             population,
+            faults,
+            masq_rng: rng.fork("masquerade"),
+            accusers: vec![BitSet::new(n as usize); n as usize],
+            cut_honest: 0,
+            cut_attacker: 0,
             served_this_round: vec![0; n as usize],
             order_scratch: Vec::with_capacity(n as usize),
             want_scratch: Vec::new(),
@@ -274,7 +301,54 @@ impl ScripGossipSim {
         if key == MetricKey::PresentFraction {
             return Some(self.population.present_fraction());
         }
+        if key == MetricKey::FalseCutRate {
+            self.cfg.base.defenses.cutoff_quorum?;
+            let honest = self.nodes.iter().filter(|n| !n.attacker).count();
+            return Some(if honest == 0 {
+                0.0
+            } else {
+                f64::from(self.cut_honest) / honest as f64
+            });
+        }
         schedule::class_delivery_observation(&self.delivered, &self.totals, key)
+    }
+
+    /// A node trades only while present, not crashed and not cut.
+    fn alive(&self, i: usize) -> bool {
+        !self.nodes[i].cut && !self.faults.is_down(i) && self.population.is_present(i)
+    }
+
+    /// Masquerade silence draw — see `BarGossipSim::masquerade_silent`.
+    fn masquerade_silent(&mut self, sender: usize) -> bool {
+        if !self.attack_active
+            || self.plan.kind != AttackKind::Masquerade
+            || !self.nodes[sender].attacker
+        {
+            return false;
+        }
+        self.masq_rng
+            .chance(self.cfg.base.faults.ambient_silence_rate())
+    }
+
+    /// Silence strike by `observer` against `partner` — see
+    /// `BarGossipSim::note_silence` for the defense's contract.
+    fn note_silence(&mut self, observer: usize, partner: usize) {
+        let Some(quorum) = self.cfg.base.defenses.cutoff_quorum else {
+            return;
+        };
+        if self.nodes[observer].attacker {
+            return;
+        }
+        let set = &mut self.accusers[partner];
+        set.insert(observer);
+        if set.len() as u32 >= quorum && !self.nodes[partner].cut {
+            self.nodes[partner].cut = true;
+            if self.nodes[partner].attacker {
+                self.cut_attacker += 1;
+            } else {
+                self.cut_honest += 1;
+            }
+        }
     }
 
     /// Total scrip across all nodes (conserved).
@@ -313,7 +387,9 @@ impl ScripGossipSim {
     fn seed_round(&mut self, t: Round) {
         let mut present = std::mem::take(&mut self.present_scratch);
         present.clear();
-        present.extend((0..self.nodes.len()).filter(|&i| self.population.is_present(i)));
+        // The broadcaster is reliable infrastructure: seeding skips
+        // crashed and cut nodes but is not subject to message faults.
+        present.extend((0..self.nodes.len()).filter(|&i| self.alive(i)));
         let mut picks = std::mem::take(&mut self.picks_scratch);
         let copies = (self.cfg.base.copies_seeded as usize).min(present.len());
         let mut seed_rng = self.rng.fork_idx("seeding", t);
@@ -356,7 +432,10 @@ impl ScripGossipSim {
     /// updates to targets instead of selling, and never buy.
     fn interaction(&mut self, buyer: NodeId, seller: NodeId, now: Round, cap: u32) {
         let (b, s) = (buyer.index(), seller.index());
-        if self.attack_active && self.nodes[s].attacker {
+        // Masquerade attackers take the honest path throughout — their
+        // defection is the silence draw at the delivery step below.
+        if self.attack_active && self.plan.kind != AttackKind::Masquerade && self.nodes[s].attacker
+        {
             // Attacker seller: gift everything, free, to targets only.
             if self.plan.kind == AttackKind::TradeLotusEater && self.nodes[b].target {
                 let mut gift = std::mem::take(&mut self.want_scratch);
@@ -379,7 +458,11 @@ impl ScripGossipSim {
             // Trade attackers replenish their stock by buying like anyone
             // else would — but they pay with their own scrip, which the
             // supply bounds. (They start with the same endowment.)
-            if self.plan.kind != AttackKind::TradeLotusEater {
+            // Masquerade attackers also buy honestly.
+            if !matches!(
+                self.plan.kind,
+                AttackKind::TradeLotusEater | AttackKind::Masquerade
+            ) {
                 return;
             }
         }
@@ -411,6 +494,17 @@ impl ScripGossipSim {
             &mut bought,
         );
         if bought.is_empty() {
+            self.want_scratch = bought;
+            return;
+        }
+        // The goods ride the faulty link; payment is on delivery, so a
+        // lost (or masquerade-withheld) shipment voids the sale — no
+        // goods, no money moved, supply conserved — and the buyer, who
+        // agreed the trade and got silence, files a cut-off strike.
+        // Duplicates are idempotent here (no bandwidth meter to junk).
+        let delivered = !self.masquerade_silent(s) && self.faults.fate(s, b) != Fate::Drop;
+        if !delivered {
+            self.note_silence(b, s);
             self.want_scratch = bought;
             return;
         }
@@ -458,6 +552,20 @@ impl ScripGossipSim {
             refusal_rate: self.purchases_refused as f64 / attempted,
             broke_rate: self.purchases_broke as f64 / attempted,
             total_money: self.total_money(),
+            cuts: self.cfg.base.defenses.cutoff_quorum.map(|_| {
+                let attackers = self.nodes.iter().filter(|n| n.attacker).count() as u32;
+                CutStats {
+                    cut_honest: self.cut_honest,
+                    cut_attacker: self.cut_attacker,
+                    honest: self.nodes.len() as u32 - attackers,
+                    attackers,
+                }
+            }),
+            fault_counters: if self.faults.is_active() {
+                Some(self.faults.counters())
+            } else {
+                None
+            },
         }
     }
 }
@@ -467,6 +575,18 @@ impl RoundSim for ScripGossipSim {
     fn round(&mut self, t: Round) {
         debug_assert_eq!(t, self.round, "rounds must be sequential");
         self.population.begin_round(t);
+        self.faults.begin_round(t);
+        if !self.faults.just_crashed().is_empty() {
+            // State-losing crash: the window empties but the balance
+            // survives (scrip is a ledger, not local state), keeping the
+            // supply invariant intact under fault injection.
+            let crashed = self.faults.just_crashed();
+            for (i, node) in self.nodes.iter_mut().enumerate() {
+                if crashed.contains(i) {
+                    node.window.clear();
+                }
+            }
+        }
         let observed = self
             .schedule_state
             .needs_observation()
@@ -492,18 +612,24 @@ impl RoundSim for ScripGossipSim {
                 .fork_idx("order", t.wrapping_mul(4).wrapping_add(proto_tag))
                 .shuffle(&mut order);
             for &v in &order {
-                if !self.population.is_present(v.index()) {
-                    continue; // absent nodes neither buy nor sell
+                if !self.alive(v.index()) {
+                    continue; // absent, crashed or cut nodes neither buy nor sell
                 }
                 if self.attack_active
                     && self.nodes[v.index()].attacker
-                    && self.plan.kind != AttackKind::TradeLotusEater
+                    && matches!(
+                        self.plan.kind,
+                        AttackKind::Crash | AttackKind::IdealLotusEater
+                    )
                 {
                     continue; // crash/ideal attackers never interact
                 }
                 let p = self.schedule.partner_of(v, t, proto);
-                if !self.population.is_present(p.index()) {
+                if !self.alive(p.index()) {
                     continue; // absent partner: the slot is wasted
+                }
+                if !self.faults.link_ok(v.index(), p.index()) {
+                    continue; // partitioned apart
                 }
                 self.interaction(v, p, t, cap);
             }
@@ -554,7 +680,7 @@ impl lotus_core::scenario::Summarize for ScripGossipReport {
     /// Common vocabulary for scrip-mediated gossip: delivery fractions as
     /// in BAR Gossip, with the market-health rates as custom metrics.
     fn summarize(&self) -> lotus_core::scenario::ScenarioReport {
-        lotus_core::scenario::ScenarioReport::new(
+        let mut r = lotus_core::scenario::ScenarioReport::new(
             "scrip-gossip",
             self.rounds,
             self.overall_delivery,
@@ -565,7 +691,25 @@ impl lotus_core::scenario::Summarize for ScripGossipReport {
         .with_metric("satiated_delivery", self.satiated_delivery)
         .with_metric("refusal_rate", self.refusal_rate)
         .with_metric("broke_rate", self.broke_rate)
-        .with_metric("total_money", self.total_money as f64)
+        .with_metric("total_money", self.total_money as f64);
+        // Conditional metrics: absent without the cut-off defense or an
+        // active fault plan, so pre-fault goldens stay byte-identical.
+        if let Some(c) = self.cuts {
+            r = r
+                .with_metric("false_cut_rate", c.false_cut_rate())
+                .with_metric("attacker_cut_rate", c.attacker_cut_rate())
+                .with_metric("cut_precision", c.precision())
+                .with_metric("cut_recall", c.attacker_cut_rate());
+        }
+        if let Some(f) = self.fault_counters {
+            r = r
+                .with_metric("faults_dropped", f.dropped as f64)
+                .with_metric("faults_duplicated", f.duplicated as f64)
+                .with_metric("faults_delayed", f.delayed as f64)
+                .with_metric("faults_crashes", f.crashes as f64)
+                .with_metric("faults_partition_blocked", f.partition_blocked as f64);
+        }
+        r
     }
 }
 
@@ -647,6 +791,64 @@ mod tests {
         c.threshold = c.money_per_node; // everyone starts money-satiated
         let report = ScripGossipSim::new(c, AttackPlan::none(), 3).run_to_report();
         assert!(report.refusal_rate > 0.0, "got {}", report.refusal_rate);
+    }
+
+    #[test]
+    fn money_survives_faults_and_masquerade() {
+        // Crashes empty windows but never balances; voided sales move no
+        // money — the supply invariant holds under the full fault plan.
+        let mut b = base();
+        b.faults =
+            lotus_core::faults::FaultPlan::parse("loss:0.2/crash:0.03:0.3/partition:8:6:0.4")
+                .unwrap();
+        let mut sim =
+            ScripGossipSim::new(ScripGossipConfig::new(b), AttackPlan::masquerade(0.2), 4);
+        let supply = sim.total_money();
+        for t in 0..30 {
+            sim.round(t);
+            assert_eq!(sim.total_money(), supply, "supply must never change");
+        }
+        let report = sim.report();
+        let counters = report.fault_counters.expect("active plan reports counters");
+        assert!(counters.dropped > 0);
+    }
+
+    #[test]
+    fn zero_fault_plan_is_report_invisible() {
+        let mut b = base();
+        b.faults = lotus_core::faults::FaultPlan::parse("loss:0/dup:0").unwrap();
+        let faulted = ScripGossipSim::new(
+            ScripGossipConfig::new(b),
+            AttackPlan::trade_lotus_eater(0.2, 0.7),
+            9,
+        )
+        .run_to_report();
+        let plain =
+            ScripGossipSim::new(cfg(), AttackPlan::trade_lotus_eater(0.2, 0.7), 9).run_to_report();
+        assert_eq!(faulted, plain);
+        assert!(faulted.cuts.is_none());
+        assert!(faulted.fault_counters.is_none());
+    }
+
+    #[test]
+    fn cutoff_is_surgical_without_faults() {
+        let mut b = base();
+        b.defenses.cutoff_quorum = Some(2);
+        let report =
+            ScripGossipSim::new(ScripGossipConfig::new(b), AttackPlan::none(), 3).run_to_report();
+        let cuts = report.cuts.expect("cutoff defense reports cut stats");
+        assert_eq!((cuts.cut_honest, cuts.cut_attacker), (0, 0));
+    }
+
+    #[test]
+    fn cutoff_under_loss_cuts_honest_nodes() {
+        let mut b = base();
+        b.defenses.cutoff_quorum = Some(2);
+        b.faults = lotus_core::faults::FaultPlan::parse("loss:0.3").unwrap();
+        let report =
+            ScripGossipSim::new(ScripGossipConfig::new(b), AttackPlan::none(), 3).run_to_report();
+        let cuts = report.cuts.expect("cutoff defense reports cut stats");
+        assert!(cuts.cut_honest > 0, "voided sales read as silence");
     }
 
     #[test]

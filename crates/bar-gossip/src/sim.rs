@@ -52,6 +52,7 @@ use crate::exchange::{
 };
 use crate::update::{UpdateId, WindowSet};
 use lotus_core::bitset::BitSet;
+use lotus_core::faults::{CutStats, Fate, FaultCounters, FaultState};
 use lotus_core::population::Population;
 use lotus_core::schedule::{self, MetricKey, ScheduleState};
 use netsim::bandwidth::{BandwidthMeter, MsgClass};
@@ -85,6 +86,8 @@ struct NodeState {
     target: bool,
     obedient: bool,
     evicted: bool,
+    /// Cut by the silence cut-off defense (excluded like `evicted`).
+    cut: bool,
 }
 
 /// Per-class delivery fractions measured at expiry.
@@ -144,6 +147,11 @@ pub struct BarGossipReport {
     /// Fraction of honest (node, measured round) samples below the
     /// usability threshold.
     pub unusable_node_rounds: f64,
+    /// Silence cut-off outcomes; `None` when the defense is off, so
+    /// defense-free reports are unchanged by the cut machinery existing.
+    pub cuts: Option<CutStats>,
+    /// Fault-injection counters; `None` when the fault plan is inactive.
+    pub fault_counters: Option<FaultCounters>,
 }
 
 impl BarGossipReport {
@@ -227,6 +235,19 @@ pub struct BarGossipSim {
     attack_active: bool,
     /// Membership under churn; everyone present without churn.
     population: Population,
+    /// Fault injection (from `cfg.faults`); inert under the default plan.
+    faults: FaultState,
+    /// Fault-masquerading attackers' silence draws. Forked at
+    /// construction (stream-invisible) and drawn from only when a
+    /// masquerade attacker sends — `chance(0.0)` draws nothing, so on a
+    /// perfect network the attacker is bit-for-bit honest.
+    masq_rng: DetRng,
+    /// Distinct silence accusers per node (cut-off defense).
+    accusers: Vec<BitSet>,
+    /// Honest nodes cut by the silence defense.
+    cut_honest: u32,
+    /// Attacker nodes cut by the silence defense.
+    cut_attacker: u32,
     // Scratch buffers for the allocation-free round loop (see module
     // docs); contents are meaningless between phases.
     alive_scratch: Vec<usize>,
@@ -298,6 +319,7 @@ impl BarGossipSim {
                 target: classes[i] == NodeClass::Satiated,
                 obedient: obedient[i],
                 evicted: false,
+                cut: false,
             })
             .collect();
 
@@ -313,6 +335,7 @@ impl BarGossipSim {
             }
         }
         population.set_arrival(cfg.arrival);
+        let faults = FaultState::new(n as usize, cfg.faults, &rng);
         BarGossipSim {
             full: window.clone(),
             pool: window,
@@ -320,6 +343,11 @@ impl BarGossipSim {
             schedule_state: ScheduleState::seeded(plan.schedule, rng.fork("adaptive")),
             attack_active: false,
             population,
+            faults,
+            masq_rng: rng.fork("masquerade"),
+            accusers: vec![BitSet::new(n as usize); n as usize],
+            cut_honest: 0,
+            cut_attacker: 0,
             authority: Authority::new(rng.fork("authority").next_u64(), n),
             meter: BandwidthMeter::new(n),
             trace: TraceBuffer::disabled(),
@@ -395,13 +423,20 @@ impl BarGossipSim {
     }
 
     fn alive(&self, node: NodeId) -> bool {
-        !self.nodes[node.index()].evicted && self.population.is_present(node.index())
+        let s = &self.nodes[node.index()];
+        !s.evicted
+            && !s.cut
+            && !self.faults.is_down(node.index())
+            && self.population.is_present(node.index())
     }
 
     /// Honest responders serve at most `responder_cap` incoming
-    /// interactions per protocol per round; attackers accept everything.
+    /// interactions per protocol per round; attackers accept everything
+    /// — except masquerade attackers, who stay protocol-obedient to
+    /// remain indistinguishable.
     fn responder_accepts(&mut self, node: NodeId, push: bool) -> bool {
-        if self.attack_active && self.is_attacker(node) {
+        if self.attack_active && self.plan.kind != AttackKind::Masquerade && self.is_attacker(node)
+        {
             return true;
         }
         let cap = self.cfg.responder_cap.map_or(u32::MAX, |c| c);
@@ -418,6 +453,81 @@ impl BarGossipSim {
         }
     }
 
+    /// Whether `sender`'s side of this interaction goes silent: a
+    /// fault-masquerading attacker withholds at the ambient fault rate
+    /// ([`lotus_core::faults::FaultPlan::ambient_silence_rate`]), so its
+    /// defections are statistically indistinguishable from background
+    /// loss. Draws nothing for honest senders, other attack kinds, or a
+    /// zero ambient rate (`chance(0.0)` is draw-free).
+    fn masquerade_silent(&mut self, sender: NodeId) -> bool {
+        if !self.attack_active
+            || self.plan.kind != AttackKind::Masquerade
+            || !self.is_attacker(sender)
+        {
+            return false;
+        }
+        self.masq_rng.chance(self.cfg.faults.ambient_silence_rate())
+    }
+
+    /// Deliver one directed batch `from → to` through the masquerade
+    /// filter and the fault layer; returns whether the receiver got it.
+    /// Uploads are metered on send (a lost message still cost the sender
+    /// bandwidth); a masquerade-silent sender sends nothing and meters
+    /// nothing; a duplicated batch meters its surplus as junk. Draw-free
+    /// when no message faults and no masquerade attack are configured,
+    /// so fault-free runs stay bit-identical.
+    // lint: hot-loop
+    fn faulty_send(&mut self, from: NodeId, to: NodeId, payload: u64, junk: u64) -> bool {
+        let units = payload + junk;
+        if units == 0 || self.masquerade_silent(from) {
+            return false;
+        }
+        let fate = self.faults.fate(from.index(), to.index());
+        if payload > 0 {
+            self.meter.transfer(from, to, MsgClass::Payload, payload);
+        }
+        if junk > 0 {
+            self.meter.transfer(from, to, MsgClass::Junk, junk);
+        }
+        match fate {
+            Fate::Drop => false,
+            Fate::Duplicate => {
+                self.meter.transfer(from, to, MsgClass::Junk, units);
+                true
+            }
+            Fate::Deliver => true,
+        }
+    }
+
+    /// The silence cut-off defense: `observer` expected a delivery from
+    /// `partner` inside an established balanced exchange (digests were
+    /// traded, so the want was mutual knowledge) and got nothing. One
+    /// strike per distinct accuser; `cutoff_quorum` accusers cut the
+    /// node from the protocol. Attacker nodes never file — a
+    /// masquerading defector wants less scrutiny, not more. Silence in a
+    /// push is not actionable: a lost offer and a withheld payment look
+    /// identical to the initiator.
+    fn note_silence(&mut self, observer: NodeId, partner: NodeId, now: Round) {
+        let Some(quorum) = self.cfg.defenses.cutoff_quorum else {
+            return;
+        };
+        if self.nodes[observer.index()].class == NodeClass::Attacker {
+            return;
+        }
+        let set = &mut self.accusers[partner.index()];
+        set.insert(observer.index());
+        if set.len() as u32 >= quorum && !self.nodes[partner.index()].cut {
+            self.nodes[partner.index()].cut = true;
+            if self.nodes[partner.index()].class == NodeClass::Attacker {
+                self.cut_attacker += 1;
+            } else {
+                self.cut_honest += 1;
+            }
+            self.trace
+                .emit(now, partner, EventKind::Evict, "cut on silence quorum");
+        }
+    }
+
     // ------------------------------------------------------------------
     // Round phases.
     // ------------------------------------------------------------------
@@ -431,6 +541,21 @@ impl BarGossipSim {
     fn observe(&self, key: MetricKey) -> Option<f64> {
         if key == MetricKey::PresentFraction {
             return Some(self.population.present_fraction());
+        }
+        if key == MetricKey::FalseCutRate {
+            // Running honest collateral of the cut-off defense; absent
+            // when the defense is off (nothing to observe).
+            self.cfg.defenses.cutoff_quorum?;
+            let honest = self
+                .nodes
+                .iter()
+                .filter(|n| n.class != NodeClass::Attacker)
+                .count();
+            return Some(if honest == 0 {
+                0.0
+            } else {
+                f64::from(self.cut_honest) / honest as f64
+            });
         }
         schedule::class_delivery_observation(&self.delivered, &self.totals, key)
     }
@@ -512,10 +637,15 @@ impl BarGossipSim {
     fn seed_round(&mut self, t: Round) {
         let mut alive = std::mem::take(&mut self.alive_scratch);
         alive.clear();
-        alive.extend(
-            (0..self.nodes.len())
-                .filter(|&i| !self.nodes[i].evicted && self.population.is_present(i)),
-        );
+        // The broadcaster itself is reliable infrastructure (the paper's
+        // content source): seeding is not subject to message faults, but
+        // crashed and cut nodes receive no seeds.
+        alive.extend((0..self.nodes.len()).filter(|&i| {
+            !self.nodes[i].evicted
+                && !self.nodes[i].cut
+                && !self.faults.is_down(i)
+                && self.population.is_present(i)
+        }));
         let mut picks = std::mem::take(&mut self.picks_scratch);
         let copies = (self.cfg.copies_seeded as usize).min(alive.len());
         let mut seed_rng = self.rng.fork_idx("seeding", t);
@@ -593,6 +723,13 @@ impl BarGossipSim {
             self.gift_scratch = gift;
             return;
         }
+        // The gift rides the same faulty links as honest traffic; a
+        // dropped gift is never seen by the target, so it neither
+        // satiates nor triggers the excess-service detector.
+        if !self.faulty_send(attacker, target, gift.len() as u64, 0) {
+            self.gift_scratch = gift;
+            return;
+        }
         let mut returned = std::mem::take(&mut self.returned_scratch);
         returned.clear();
         if self.cfg.attacker_receives {
@@ -608,13 +745,11 @@ impl BarGossipSim {
         for &id in &gift {
             self.nodes[target.index()].window.insert(id);
         }
-        for &id in &returned {
-            self.nodes[attacker.index()].window.insert(id);
+        if self.faulty_send(target, attacker, returned.len() as u64, 0) {
+            for &id in &returned {
+                self.nodes[attacker.index()].window.insert(id);
+            }
         }
-        self.meter
-            .transfer(attacker, target, MsgClass::Payload, gift.len() as u64);
-        self.meter
-            .transfer(target, attacker, MsgClass::Payload, returned.len() as u64);
         self.trace.emit_with(now, target, EventKind::Attack, || {
             format!("gift of {} from {attacker}", gift.len())
         });
@@ -754,10 +889,15 @@ impl BarGossipSim {
             if !self.alive(p) {
                 continue;
             }
+            if !self.faults.link_ok(v.index(), p.index()) {
+                continue; // partitioned apart: the interaction never happens
+            }
             // While the schedule has the attack off, attacker nodes run
             // the honest protocol (the cooperate phase), so both classes
-            // collapse to honest in the dispatch below.
-            let classes = if self.attack_active {
+            // collapse to honest in the dispatch below. Masquerade
+            // attackers *always* take the honest path — their defection
+            // lives inside `faulty_send`, not in the dispatch.
+            let classes = if self.attack_active && self.plan.kind != AttackKind::Masquerade {
                 (self.nodes[v.index()].class, self.nodes[p.index()].class)
             } else {
                 (NodeClass::Isolated, NodeClass::Isolated)
@@ -800,16 +940,24 @@ impl BarGossipSim {
                         self.cfg.defenses.rate_limit,
                         &mut out,
                     );
-                    for &id in &out.to_initiator {
-                        self.nodes[v.index()].window.insert(id);
+                    // Each direction is one message through the fault
+                    // layer; an expected-but-silent direction is what the
+                    // cut-off defense strikes on (loss and masquerade are
+                    // indistinguishable here — by design).
+                    if self.faulty_send(p, v, out.to_initiator.len() as u64, 0) {
+                        for &id in &out.to_initiator {
+                            self.nodes[v.index()].window.insert(id);
+                        }
+                    } else if !out.to_initiator.is_empty() {
+                        self.note_silence(v, p, t);
                     }
-                    for &id in &out.to_responder {
-                        self.nodes[p.index()].window.insert(id);
+                    if self.faulty_send(v, p, out.to_responder.len() as u64, 0) {
+                        for &id in &out.to_responder {
+                            self.nodes[p.index()].window.insert(id);
+                        }
+                    } else if !out.to_responder.is_empty() {
+                        self.note_silence(p, v, t);
                     }
-                    self.meter
-                        .transfer(p, v, MsgClass::Payload, out.to_initiator.len() as u64);
-                    self.meter
-                        .transfer(v, p, MsgClass::Payload, out.to_responder.len() as u64);
                     self.balanced_scratch = out;
                 }
             }
@@ -827,8 +975,10 @@ impl BarGossipSim {
             }
             // Attacker-specific push behaviour only while the attack is
             // on; a cooperating attacker falls through to the honest
-            // rational-push logic below.
-            if self.attack_active && self.is_attacker(v) {
+            // rational-push logic below, as do masquerade attackers
+            // (whose defection lives inside `faulty_send`).
+            if self.attack_active && self.plan.kind != AttackKind::Masquerade && self.is_attacker(v)
+            {
                 if self.plan.kind == AttackKind::TradeLotusEater {
                     let p = self.schedule.partner_of(v, t, Protocol::OptimisticPush);
                     if self.alive(p) {
@@ -854,7 +1004,11 @@ impl BarGossipSim {
             if !self.alive(p) {
                 continue;
             }
-            if self.attack_active && self.is_attacker(p) {
+            if !self.faults.link_ok(v.index(), p.index()) {
+                continue; // partitioned apart
+            }
+            if self.attack_active && self.plan.kind != AttackKind::Masquerade && self.is_attacker(p)
+            {
                 if self.plan.kind == AttackKind::TradeLotusEater && self.nodes[v.index()].target {
                     self.attacker_gift(p, v, t, true);
                 }
@@ -878,23 +1032,24 @@ impl BarGossipSim {
                 self.push_scratch = out;
                 continue;
             }
-            for &id in &out.to_responder {
-                self.nodes[p.index()].window.insert(id);
+            // The offer and the payment are each one message through the
+            // fault layer (the payment's junk rides along with its
+            // useful updates). No silence strikes here: the initiator
+            // cannot tell a lost offer from a withheld payment.
+            if self.faulty_send(v, p, out.to_responder.len() as u64, 0) {
+                for &id in &out.to_responder {
+                    self.nodes[p.index()].window.insert(id);
+                }
             }
-            for &id in &out.useful_to_initiator {
-                self.nodes[v.index()].window.insert(id);
-            }
-            self.meter
-                .transfer(v, p, MsgClass::Payload, out.to_responder.len() as u64);
-            self.meter.transfer(
+            if self.faulty_send(
                 p,
                 v,
-                MsgClass::Payload,
                 out.useful_to_initiator.len() as u64,
-            );
-            if out.junk_to_initiator > 0 {
-                self.meter
-                    .transfer(p, v, MsgClass::Junk, u64::from(out.junk_to_initiator));
+                u64::from(out.junk_to_initiator),
+            ) {
+                for &id in &out.useful_to_initiator {
+                    self.nodes[v.index()].window.insert(id);
+                }
             }
             self.push_scratch = out;
         }
@@ -995,6 +1150,17 @@ impl BarGossipSim {
                         / samples as f64
                 }
             },
+            cuts: self.cfg.defenses.cutoff_quorum.map(|_| CutStats {
+                cut_honest: self.cut_honest,
+                cut_attacker: self.cut_attacker,
+                honest: counts.isolated + counts.satiated,
+                attackers: counts.attacker,
+            }),
+            fault_counters: if self.faults.is_active() {
+                Some(self.faults.counters())
+            } else {
+                None
+            },
         }
     }
 }
@@ -1003,11 +1169,22 @@ impl RoundSim for BarGossipSim {
     // lint: hot-loop
     fn round(&mut self, t: Round) {
         debug_assert_eq!(t, self.round, "rounds must be sequential");
-        // Timing layer first: churn membership, then the schedule decides
-        // whether this round is a cooperate or defect round. Both are
-        // no-ops (no rng draws, no allocation) under the default
-        // always-on, churn-free configuration.
+        // Timing layer first: churn membership and faults, then the
+        // schedule decides whether this round is a cooperate or defect
+        // round. All are no-ops (no rng draws, no allocation) under the
+        // default always-on, churn-free, fault-free configuration.
         self.population.begin_round(t);
+        self.faults.begin_round(t);
+        if !self.faults.just_crashed().is_empty() {
+            // State-losing crash: unlike churned-out nodes, which keep
+            // their windows while away, a crashed node re-enters cold.
+            let crashed = self.faults.just_crashed();
+            for (i, node) in self.nodes.iter_mut().enumerate() {
+                if crashed.contains(i) {
+                    node.window.clear();
+                }
+            }
+        }
         let observed = self
             .schedule_state
             .needs_observation()
@@ -1114,7 +1291,7 @@ impl lotus_core::scenario::Summarize for BarGossipReport {
         } else {
             f64::from(self.evictions) / f64::from(self.counts.attacker)
         };
-        lotus_core::scenario::ScenarioReport::new(
+        let mut r = lotus_core::scenario::ScenarioReport::new(
             "bar-gossip",
             self.rounds,
             self.overall_delivery(),
@@ -1131,7 +1308,26 @@ impl lotus_core::scenario::Summarize for BarGossipReport {
         .with_metric("mean_honest_upload", self.mean_honest_upload)
         .with_metric("min_node_delivery", self.min_node_delivery)
         .with_metric("nodes_ever_unusable", self.nodes_ever_unusable)
-        .with_metric("unusable_node_rounds", self.unusable_node_rounds)
+        .with_metric("unusable_node_rounds", self.unusable_node_rounds);
+        // Defense- and fault-conditional metrics: absent from reports of
+        // runs that configured neither, so pre-fault goldens stay
+        // byte-identical.
+        if let Some(c) = self.cuts {
+            r = r
+                .with_metric("false_cut_rate", c.false_cut_rate())
+                .with_metric("attacker_cut_rate", c.attacker_cut_rate())
+                .with_metric("cut_precision", c.precision())
+                .with_metric("cut_recall", c.attacker_cut_rate());
+        }
+        if let Some(f) = self.fault_counters {
+            r = r
+                .with_metric("faults_dropped", f.dropped as f64)
+                .with_metric("faults_duplicated", f.duplicated as f64)
+                .with_metric("faults_delayed", f.delayed as f64)
+                .with_metric("faults_crashes", f.crashes as f64)
+                .with_metric("faults_partition_blocked", f.partition_blocked as f64);
+        }
+        r
     }
 }
 
@@ -1405,6 +1601,128 @@ mod tests {
             report.unusable_node_rounds
         );
         assert!(report.min_node_delivery > 0.8);
+    }
+
+    #[test]
+    fn zero_rate_fault_plan_is_report_invisible() {
+        // An explicitly configured all-zero plan must leave every report
+        // field byte-identical to the default (no fault layer at all).
+        let mut cfg = small_cfg();
+        cfg.faults = lotus_core::faults::FaultPlan::parse("loss:0/crash:0:0.5").unwrap();
+        let faulted =
+            BarGossipSim::new(cfg, AttackPlan::trade_lotus_eater(0.2, 0.7), 5).run_to_report();
+        let plain = BarGossipSim::new(small_cfg(), AttackPlan::trade_lotus_eater(0.2, 0.7), 5)
+            .run_to_report();
+        assert_eq!(faulted, plain);
+        assert!(faulted.fault_counters.is_none());
+        assert!(faulted.cuts.is_none());
+    }
+
+    #[test]
+    fn message_loss_degrades_delivery() {
+        let mut cfg = small_cfg();
+        cfg.faults = lotus_core::faults::FaultPlan::parse("loss:0.4").unwrap();
+        let lossy = BarGossipSim::new(cfg, AttackPlan::none(), 3).run_to_report();
+        let clean = BarGossipSim::new(small_cfg(), AttackPlan::none(), 3).run_to_report();
+        assert!(
+            lossy.overall_delivery() < clean.overall_delivery(),
+            "40% loss must hurt: {} vs {}",
+            lossy.overall_delivery(),
+            clean.overall_delivery()
+        );
+        let counters = lossy.fault_counters.expect("active plan reports counters");
+        assert!(counters.dropped > 0);
+    }
+
+    #[test]
+    fn crashes_lose_state_and_count() {
+        let mut cfg = small_cfg();
+        cfg.faults = lotus_core::faults::FaultPlan::parse("crash:0.05:0.3").unwrap();
+        let crashy = BarGossipSim::new(cfg, AttackPlan::none(), 7).run_to_report();
+        let clean = BarGossipSim::new(small_cfg(), AttackPlan::none(), 7).run_to_report();
+        let counters = crashy.fault_counters.expect("active plan reports counters");
+        assert!(counters.crashes > 0, "5% per round crashes someone");
+        assert!(
+            crashy.overall_delivery() < clean.overall_delivery(),
+            "cold re-entry costs delivery: {} vs {}",
+            crashy.overall_delivery(),
+            clean.overall_delivery()
+        );
+    }
+
+    #[test]
+    fn partition_blocks_interactions_for_its_epoch() {
+        let mut cfg = small_cfg();
+        cfg.faults = lotus_core::faults::FaultPlan::parse("partition:10:10:0.5").unwrap();
+        let split = BarGossipSim::new(cfg, AttackPlan::none(), 2).run_to_report();
+        let counters = split.fault_counters.expect("active plan reports counters");
+        assert!(counters.partition_blocked > 0, "cross-cell pairs blocked");
+    }
+
+    #[test]
+    fn masquerade_is_honest_on_a_perfect_network() {
+        let report = BarGossipSim::new(small_cfg(), AttackPlan::masquerade(0.2), 4).run_to_report();
+        assert!(
+            report.overall_delivery() > 0.95,
+            "no ambient faults, nothing to hide behind: delivery {}",
+            report.overall_delivery()
+        );
+    }
+
+    #[test]
+    fn masquerade_defects_at_the_ambient_rate() {
+        let mut cfg = small_cfg();
+        cfg.faults = lotus_core::faults::FaultPlan::parse("loss:0.2").unwrap();
+        let attacked =
+            BarGossipSim::new(cfg.clone(), AttackPlan::masquerade(0.3), 4).run_to_report();
+        let unattacked = BarGossipSim::new(cfg, AttackPlan::none(), 4).run_to_report();
+        assert!(
+            attacked.overall_delivery() < unattacked.overall_delivery(),
+            "masquerade defection compounds the ambient loss: {} vs {}",
+            attacked.overall_delivery(),
+            unattacked.overall_delivery()
+        );
+    }
+
+    #[test]
+    fn cutoff_never_cuts_anyone_on_a_perfect_network() {
+        // Without faults silence never happens among honest nodes, so
+        // the defense is surgical: zero cuts with no attack.
+        let cfg = BarGossipConfig::builder()
+            .nodes(60)
+            .updates_per_round(4)
+            .update_lifetime(8)
+            .copies_seeded(6)
+            .rounds(20)
+            .warmup_rounds(8)
+            .cutoff_quorum(Some(2))
+            .build()
+            .unwrap();
+        let report = BarGossipSim::new(cfg, AttackPlan::none(), 6).run_to_report();
+        let cuts = report.cuts.expect("cutoff defense reports cut stats");
+        assert_eq!((cuts.cut_honest, cuts.cut_attacker), (0, 0));
+        assert_eq!(cuts.precision(), 1.0, "vacuous precision");
+    }
+
+    #[test]
+    fn cutoff_under_loss_cuts_honest_nodes() {
+        // The robustness trade-off: ambient loss makes honest nodes look
+        // silent, so a quorum-2 cutoff racks up false positives.
+        let cfg = BarGossipConfig::builder()
+            .nodes(60)
+            .updates_per_round(4)
+            .update_lifetime(8)
+            .copies_seeded(6)
+            .rounds(20)
+            .warmup_rounds(8)
+            .cutoff_quorum(Some(2))
+            .faults(lotus_core::faults::FaultPlan::parse("loss:0.3").unwrap())
+            .build()
+            .unwrap();
+        let report = BarGossipSim::new(cfg, AttackPlan::none(), 6).run_to_report();
+        let cuts = report.cuts.expect("cutoff defense reports cut stats");
+        assert!(cuts.cut_honest > 0, "loss-induced silence gets punished");
+        assert!(cuts.false_cut_rate() > 0.0);
     }
 
     #[test]

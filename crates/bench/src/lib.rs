@@ -109,6 +109,7 @@ pub fn attack_curve(
             AttackKind::TradeLotusEater => {
                 AttackPlan::trade_lotus_eater(x, AttackPlan::PAPER_SATIATE_FRACTION)
             }
+            AttackKind::Masquerade => AttackPlan::masquerade(x),
         };
         BarGossipSim::new(cfg.clone(), plan, seed)
             .run_to_report()

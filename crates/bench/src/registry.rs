@@ -27,6 +27,7 @@ use bar_gossip::scrip_gossip::{ScripGossipConfig, ScripGossipSim};
 use bar_gossip::{AttackPlan, BarGossipConfig, BarGossipSim, ReportConfig};
 use lotus_core::adaptive::{AdaptiveSpec, AttackMode, PolicyKind};
 use lotus_core::attack::{SatiateCut, TokenAttack};
+use lotus_core::faults::FaultPlan;
 use lotus_core::population::{ArrivalProcess, ChurnProfile, ChurnSpec};
 use lotus_core::scenario::{boxed, DynScenario, ScenarioReport};
 use lotus_core::schedule::AttackSchedule;
@@ -344,6 +345,15 @@ const ARRIVAL_SIZE_DOC: (&str, &str) = (
     "arrival_size",
     "override (or sweep) the flash-crowd size of the configured arrival process",
 );
+const FAULTS_PARAM_DOC: (&str, &str) = (
+    "faults",
+    "fault plan: loss:<p> | dup:<p> | delay:<p> | crash:<p>:<recover> | \
+     partition:<start>:<len>:<frac>, combined with '/' (default: none)",
+);
+const FAULT_LOSS_DOC: (&str, &str) = (
+    "fault_loss",
+    "override (or sweep) the message-loss rate of the fault plan",
+);
 
 const ADAPTIVE_PARAM_DOC: (&str, &str) = (
     "adaptive",
@@ -371,6 +381,23 @@ pub const ADAPTIVE_METRICS: &[&str] = &[
     "adaptive_rotate_share",
     "adaptive_final_arm",
 ];
+
+/// Parse the `faults` / `fault_loss` parameters into a fault plan. The
+/// sweepable `fault_loss` override lets X19 drive the loss rate through
+/// x while the rest of the plan (crashes, partitions) stays fixed.
+fn parse_faults(req: &RunRequest<'_>) -> Result<FaultPlan, String> {
+    let mut plan = match req.params.get("faults") {
+        Some(spec) => FaultPlan::parse(spec)?,
+        None => FaultPlan::none(),
+    };
+    if let Some(loss) = req.opt_num("fault_loss")? {
+        if !(0.0..=1.0).contains(&loss) {
+            return Err(format!("parameter fault_loss={loss} outside [0, 1]"));
+        }
+        plan = plan.with_loss(loss);
+    }
+    Ok(plan)
+}
 
 /// Parse the `schedule` parameter (default: always-on).
 fn parse_schedule(req: &RunRequest<'_>) -> Result<AttackSchedule, String> {
@@ -536,6 +563,10 @@ fn bar_gossip_spec() -> ScenarioSpec {
             ("crash", "attacker nodes go silent"),
             ("ideal", "ideal lotus-eater: out-of-band instant forwarding"),
             ("trade", "trade lotus-eater: in-protocol give-everything"),
+            (
+                "masquerade",
+                "plausibly-deniable defection: silence rate tracks the ambient fault rate",
+            ),
         ],
         params: &[
             ("nodes", "number of nodes (Table 1: 250)"),
@@ -577,6 +608,12 @@ fn bar_gossip_spec() -> ScenarioSpec {
                 "report_excess_slack",
                 "updates above the cap tolerated before reporting (default 1)",
             ),
+            (
+                "cutoff",
+                "silence cut-off defense: distinct accusers needed to cut a silent node (0 = off)",
+            ),
+            FAULTS_PARAM_DOC,
+            FAULT_LOSS_DOC,
             SCHEDULE_PARAM_DOC,
             ADAPTIVE_PARAM_DOC,
             ADAPTIVE_EPSILON_DOC,
@@ -593,6 +630,8 @@ fn bar_gossip_spec() -> ScenarioSpec {
             "report_obedient",
             "push_size",
             "satiate_fraction",
+            "fault_loss",
+            "cutoff",
             "churn_leave",
             "churn_rejoin",
             "arrival_size",
@@ -611,6 +650,15 @@ fn bar_gossip_spec() -> ScenarioSpec {
             "min_node_delivery",
             "nodes_ever_unusable",
             "unusable_node_rounds",
+            "false_cut_rate",
+            "attacker_cut_rate",
+            "cut_precision",
+            "cut_recall",
+            "faults_dropped",
+            "faults_duplicated",
+            "faults_delayed",
+            "faults_crashes",
+            "faults_partition_blocked",
         ],
         default_metric: "isolated_delivery",
         build: build_bar_gossip,
@@ -665,8 +713,14 @@ fn bar_gossip_config(req: &RunRequest<'_>) -> Result<BarGossipConfig, String> {
             excess_slack: req.num("report_excess_slack", 1.0)? as u32,
         });
     }
+    if let Some(q) = req.opt_num("cutoff")? {
+        if q < 0.0 || q.fract() != 0.0 {
+            return Err(format!("parameter cutoff={q} is not a whole quorum size"));
+        }
+        b = b.cutoff_quorum(if q == 0.0 { None } else { Some(q as u32) });
+    }
     let (churn, arrival) = parse_population(req)?;
-    b = b.churn(churn).arrival(arrival);
+    b = b.churn(churn).arrival(arrival).faults(parse_faults(req)?);
     b.build()
         .map_err(|e| format!("invalid bar-gossip config: {e}"))
 }
@@ -679,6 +733,7 @@ fn bar_gossip_plan(req: &RunRequest<'_>) -> Result<AttackPlan, String> {
         "crash" => AttackPlan::crash(fraction),
         "ideal" => AttackPlan::ideal_lotus_eater(fraction, satiate),
         "trade" => AttackPlan::trade_lotus_eater(fraction, satiate),
+        "masquerade" => AttackPlan::masquerade(fraction),
         other => return Err(format!("unknown bar-gossip attack {other:?}")),
     };
     let timing = parse_timing(req)?;
@@ -739,6 +794,8 @@ fn scrip_spec() -> ScenarioSpec {
                 "endowment",
                 "attacker's share of the money supply (default 1.0 = all of it)",
             ),
+            FAULTS_PARAM_DOC,
+            FAULT_LOSS_DOC,
             SCHEDULE_PARAM_DOC,
             ADAPTIVE_PARAM_DOC,
             ADAPTIVE_EPSILON_DOC,
@@ -753,6 +810,7 @@ fn scrip_spec() -> ScenarioSpec {
             "altruists",
             "money_per_agent",
             "threshold",
+            "fault_loss",
             "churn_leave",
             "churn_rejoin",
             "arrival_size",
@@ -772,6 +830,12 @@ fn scrip_spec() -> ScenarioSpec {
             "gini",
             "attacker_money",
             "total_money",
+            "fail_faulted_rate",
+            "faults_dropped",
+            "faults_duplicated",
+            "faults_delayed",
+            "faults_crashes",
+            "faults_partition_blocked",
         ],
         default_metric: "target_satiation",
         build: build_scrip,
@@ -806,7 +870,11 @@ fn build_scrip(req: &RunRequest<'_>) -> Result<Box<dyn DynScenario>, String> {
         b = b.warmup(v as u64);
     }
     let (churn, arrival) = parse_population(req)?;
-    b = b.schedule(parse_timing(req)?).churn(churn).arrival(arrival);
+    b = b
+        .schedule(parse_timing(req)?)
+        .churn(churn)
+        .arrival(arrival)
+        .faults(parse_faults(req)?);
     let cfg = b
         .build()
         .map_err(|e| format!("invalid scrip config: {e}"))?;
@@ -856,6 +924,8 @@ fn bittorrent_spec() -> ScenarioSpec {
                 "target_policy",
                 "target choice: random | rare (rare-piece holders)",
             ),
+            FAULTS_PARAM_DOC,
+            FAULT_LOSS_DOC,
             SCHEDULE_PARAM_DOC,
             ADAPTIVE_PARAM_DOC,
             ADAPTIVE_EPSILON_DOC,
@@ -870,6 +940,7 @@ fn bittorrent_spec() -> ScenarioSpec {
             "attacker_peers",
             "pieces",
             "leechers",
+            "fault_loss",
             "churn_leave",
             "churn_rejoin",
             "arrival_size",
@@ -884,6 +955,11 @@ fn bittorrent_spec() -> ScenarioSpec {
             "attacker_upload",
             "honest_upload",
             "duplicates",
+            "faults_dropped",
+            "faults_duplicated",
+            "faults_delayed",
+            "faults_crashes",
+            "faults_partition_blocked",
         ],
         default_metric: "mean_completion_nontargeted",
         build: build_bittorrent,
@@ -917,7 +993,7 @@ fn build_bittorrent(req: &RunRequest<'_>) -> Result<Box<dyn DynScenario>, String
         Some(other) => return Err(format!("unknown piece_policy {other:?} (rarest | random)")),
     }
     let (churn, arrival) = parse_population(req)?;
-    b = b.churn(churn).arrival(arrival);
+    b = b.churn(churn).arrival(arrival).faults(parse_faults(req)?);
     let cfg = b
         .build()
         .map_err(|e| format!("invalid bittorrent config: {e}"))?;
@@ -1006,6 +1082,8 @@ fn token_spec() -> ScenarioSpec {
             ),
             ("period", "rotation period in rounds (rotating attack)"),
             ("cut_col", "which grid column to cut (default cols/2)"),
+            FAULTS_PARAM_DOC,
+            FAULT_LOSS_DOC,
             SCHEDULE_PARAM_DOC,
             ADAPTIVE_PARAM_DOC,
             ADAPTIVE_EPSILON_DOC,
@@ -1022,6 +1100,7 @@ fn token_spec() -> ScenarioSpec {
             "redundancy",
             "tokens",
             "budget",
+            "fault_loss",
             "churn_leave",
             "churn_rejoin",
             "arrival_size",
@@ -1037,6 +1116,11 @@ fn token_spec() -> ScenarioSpec {
             "final_satiated_fraction",
             "all_satiated_at",
             "token0_reach",
+            "faults_dropped",
+            "faults_duplicated",
+            "faults_delayed",
+            "faults_crashes",
+            "faults_partition_blocked",
         ],
         default_metric: "untouched_mean_coverage",
         build: build_token,
@@ -1176,7 +1260,8 @@ fn build_token(req: &RunRequest<'_>) -> Result<Box<dyn DynScenario>, String> {
     let scenario_cfg = TokenScenarioConfig::new(cfg, rounds)
         .with_schedule(parse_timing(req)?)
         .with_churn(churn)
-        .with_arrival(arrival);
+        .with_arrival(arrival)
+        .with_faults(parse_faults(req)?);
     Ok(boxed::<TokenSystem>(scenario_cfg, attack, req.seed))
 }
 
@@ -1196,6 +1281,10 @@ fn scrip_gossip_spec() -> ScenarioSpec {
                 "trade",
                 "trade lotus-eater (update gifts cannot silence a seller)",
             ),
+            (
+                "masquerade",
+                "plausibly-deniable defection: silence rate tracks the ambient fault rate",
+            ),
         ],
         params: &[
             ("nodes", "number of nodes"),
@@ -1210,6 +1299,12 @@ fn scrip_gossip_spec() -> ScenarioSpec {
                 "satiate_fraction",
                 "fraction targeted for satiation (paper: 0.70)",
             ),
+            (
+                "cutoff",
+                "silence cut-off defense: distinct accusers needed to cut a silent node (0 = off)",
+            ),
+            FAULTS_PARAM_DOC,
+            FAULT_LOSS_DOC,
             SCHEDULE_PARAM_DOC,
             ADAPTIVE_PARAM_DOC,
             ADAPTIVE_EPSILON_DOC,
@@ -1221,6 +1316,8 @@ fn scrip_gossip_spec() -> ScenarioSpec {
             ARRIVAL_SIZE_DOC,
         ],
         sweeps: &[
+            "fault_loss",
+            "cutoff",
             "churn_leave",
             "churn_rejoin",
             "arrival_size",
@@ -1233,6 +1330,15 @@ fn scrip_gossip_spec() -> ScenarioSpec {
             "refusal_rate",
             "broke_rate",
             "total_money",
+            "false_cut_rate",
+            "attacker_cut_rate",
+            "cut_precision",
+            "cut_recall",
+            "faults_dropped",
+            "faults_duplicated",
+            "faults_delayed",
+            "faults_crashes",
+            "faults_partition_blocked",
         ],
         default_metric: "isolated_delivery",
         build: build_scrip_gossip,

@@ -283,6 +283,13 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
                 lotus_core::population::ArrivalProcess::parse(v)?;
                 opts.params.set("arrival", v);
             }
+            "--faults" => {
+                // Validate eagerly (as for --schedule), then pass the
+                // spec through the ordinary parameter channel.
+                let v = take("--faults")?;
+                lotus_core::faults::FaultPlan::parse(v)?;
+                opts.params.set("faults", v);
+            }
             "--adaptive" => {
                 // Validate eagerly (as for --schedule), then pass the
                 // spec through the ordinary parameter channel.
@@ -367,6 +374,11 @@ options:
                         ramp:<start>:<size>[:<rate>] — held-back nodes enter
                         with empty state; sweep arrival_size to scale the
                         crowd (sugar for --param arrival=SPEC)
+  --faults SPEC         fault injection: loss:<p> | dup:<p> | delay:<p> |
+                        crash:<p>:<recover> | partition:<start>:<len>:<frac>,
+                        combined with '/' (e.g. loss:0.05/crash:0.01:0.2);
+                        sweep fault_loss to drive the loss rate through x
+                        (sugar for --param faults=SPEC)
   --adaptive SPEC       bandit attacker re-planning each phase from observed
                         damage: <policy>,<phase-len>,<epsilon>[,<metric>] with
                         policy epsilon-greedy | ucb | fixed-<arm> and metric
@@ -939,6 +951,13 @@ pub fn render_list(registry: &ScenarioRegistry) -> String {
                  ramp:<start>:<size>[:<rate>]  (flash crowds; sweep arrival_size)"
             );
         }
+        if spec.has_param("faults") {
+            let _ = writeln!(
+                out,
+                "    faults:  --faults loss:<p>|dup:<p>|delay:<p>|crash:<p>:<recover>|\
+                 partition:<start>:<len>:<frac> ('/'-combined; sweep fault_loss)"
+            );
+        }
         if spec.has_param("adaptive") {
             let _ = writeln!(
                 out,
@@ -1107,6 +1126,41 @@ mod tests {
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"scenario\":\"token\""));
         assert!(json.contains("\"points\":[[0,"));
+    }
+
+    #[test]
+    fn faults_sugar_validates_and_sweeps_fault_loss() {
+        assert!(run_args(&args(&["--faults", "bogus"])).is_err());
+        let out = run_args(&args(&[
+            "--scenario",
+            "bar-gossip",
+            "--attack",
+            "masquerade",
+            "--sweep",
+            "fault_loss",
+            "--x-values",
+            "0.05,0.3",
+            "--seeds",
+            "1",
+            "--metric",
+            "attacker_cut_rate",
+            "--param",
+            "cutoff=3",
+            "--param",
+            "fraction=0.2",
+            "--param",
+            "nodes=40",
+            "--param",
+            "rounds=8",
+            "--param",
+            "warmup_rounds=4",
+            "--param",
+            "updates_per_round=4",
+            "--param",
+            "copies_seeded=5",
+        ]))
+        .unwrap();
+        assert!(out.contains("masquerade"), "{out}");
     }
 
     #[test]

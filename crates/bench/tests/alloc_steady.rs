@@ -106,6 +106,29 @@ fn token_steady_step_is_alloc_free() {
 }
 
 #[test]
+fn faulted_steady_steps_are_alloc_free() {
+    // The fault layer's own acceptance bar: with every fault component
+    // active (loss, dup, delay, crash/recover, a partition epoch that
+    // spans the measured window) plus the masquerade attacker and the
+    // cutoff defense, the steady-state step must stay allocation-free —
+    // fate draws, crash scans and partition checks all run on fixed
+    // scratch.
+    let faults = &[
+        ("rounds", "60"),
+        (
+            "faults",
+            "loss:0.1/dup:0.05/delay:0.05/crash:0.02:0.2/partition:10:40:0.4",
+        ),
+        ("cutoff", "3"),
+    ];
+    assert_steady_steps_alloc_free("bar-gossip", "masquerade", faults);
+    assert_steady_steps_alloc_free("scrip-gossip", "masquerade", faults);
+    assert_steady_steps_alloc_free("scrip", "lotus-eater", &faults[1..2]);
+    assert_steady_steps_alloc_free("token", "random-fraction", &faults[1..2]);
+    assert_steady_steps_alloc_free("bittorrent", "satiate", &[("pieces", "128"), faults[1]]);
+}
+
+#[test]
 fn bittorrent_steady_step_is_alloc_free() {
     // More pieces than the bench default so no leecher completes inside
     // the measured window.

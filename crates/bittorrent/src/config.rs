@@ -9,6 +9,7 @@
 //! unchokes, rarest-first / random-first / endgame piece selection, origin
 //! seeds and post-completion seeding.
 
+use lotus_core::faults::FaultPlan;
 use lotus_core::population::{ArrivalProcess, ChurnProfile};
 
 /// How a downloader picks the next piece to request.
@@ -58,6 +59,13 @@ pub struct SwarmConfig {
     /// pieces at their wave's round (default: none). Origin seeds and
     /// attacker peers are never held back.
     pub arrival: ArrivalProcess,
+    /// Fault plan (default: none). Unlike churned-out leechers, a
+    /// *crashed* leecher loses its pieces and reciprocity memory and
+    /// re-enters cold; origin seeds and attacker peers are exempt from
+    /// crashing (the file must survive, and the attacker's infrastructure
+    /// is assumed reliable). Message faults drop or duplicate piece
+    /// transfers; the partition stops cross-cell transfers.
+    pub faults: FaultPlan,
 }
 
 impl Default for SwarmConfig {
@@ -75,6 +83,7 @@ impl Default for SwarmConfig {
             max_rounds: 2_000,
             churn: ChurnProfile::none(),
             arrival: ArrivalProcess::None,
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -208,6 +217,12 @@ impl SwarmConfigBuilder {
     /// Set the flash-crowd arrival process (default: none).
     pub fn arrival(mut self, arrival: ArrivalProcess) -> Self {
         self.cfg.arrival = arrival;
+        self
+    }
+
+    /// Set the fault plan (default: none).
+    pub fn faults(mut self, faults: FaultPlan) -> Self {
+        self.cfg.faults = faults;
         self
     }
 

@@ -36,6 +36,7 @@
 use crate::attack::{SwarmAttack, TargetPolicy};
 use crate::config::{PiecePolicy, SwarmConfig};
 use lotus_core::bitset::BitSet;
+use lotus_core::faults::{Fate, FaultCounters, FaultState};
 use lotus_core::population::Population;
 use lotus_core::satiation::Satiable;
 use lotus_core::schedule::{MetricKey, ScheduleState};
@@ -83,6 +84,9 @@ pub struct SwarmReport {
     pub honest_upload: u64,
     /// Duplicate piece receipts (wasted transfers).
     pub duplicates: u64,
+    /// Fault-injection counters, present only when the plan was active
+    /// (so fault-free reports stay byte-identical to pre-fault ones).
+    pub fault_counters: Option<FaultCounters>,
 }
 
 impl SwarmReport {
@@ -212,6 +216,9 @@ pub struct SwarmSim {
     /// Leecher membership under churn (seeds and attacker peers are
     /// protected and never leave).
     population: Population,
+    /// Fault injection (lost/duplicated transfers, leecher crashes, the
+    /// partition); a guaranteed no-op under an inactive plan.
+    faults: FaultState,
     scratch: Scratch,
 }
 
@@ -258,9 +265,16 @@ impl SwarmSim {
             Vec::new()
         };
         let mut population = Population::new(n, cfg.churn, rng.fork("population"));
+        // Forking never advances the parent, so adding the fault layer
+        // is stream-invisible to every existing draw. Non-leechers are
+        // crash-exempt, mirroring their churn protection: the origin
+        // seed's copy must survive, and the attacker's infrastructure is
+        // assumed reliable.
+        let mut faults = FaultState::new(n, cfg.faults, &rng);
         for (i, peer) in peers.iter().enumerate() {
             if peer.role != PeerRole::Leecher {
                 population.protect(i);
+                faults.exempt(i);
             }
         }
         // Flash-crowd leechers are withdrawn now (index-ordered, no
@@ -273,6 +287,7 @@ impl SwarmSim {
             schedule_state: ScheduleState::seeded(attack.schedule, rng.fork("adaptive")),
             attack_active: false,
             population,
+            faults,
             cfg,
             attack,
             peers,
@@ -307,7 +322,7 @@ impl SwarmSim {
     }
 
     fn active(&self, i: usize) -> bool {
-        !self.peers[i].departed && self.population.is_present(i)
+        !self.peers[i].departed && self.population.is_present(i) && !self.faults.is_down(i)
     }
 
     /// Canonical-metric observation for metric-threshold schedules,
@@ -348,6 +363,8 @@ impl SwarmSim {
             }
             // Live membership state, not completion accounting.
             MetricKey::PresentFraction => self.population.present_fraction(),
+            // The swarm has no silence cut-off defense to report.
+            MetricKey::FalseCutRate => return None,
         })
     }
 
@@ -592,6 +609,14 @@ impl SwarmSim {
         let mut rarest = std::mem::take(&mut self.scratch.rarest);
         for (i, downloaders) in unchoked.iter().enumerate() {
             for &j in downloaders {
+                // The partition blocks cross-cell transfers outright;
+                // on a live link each transfer then draws its fate. A
+                // dropped piece costs the uploader its slot for nothing;
+                // a duplicated one arrives twice (counted as endgame-style
+                // waste — receivers are idempotent).
+                if !self.faults.link_ok(i, j) {
+                    continue;
+                }
                 if let Some(p) = self.select_piece(
                     j,
                     i,
@@ -601,7 +626,14 @@ impl SwarmSim {
                     &mut needed,
                     &mut rarest,
                 ) {
-                    transfers.push((i, j, p));
+                    match self.faults.fate(i, j) {
+                        Fate::Drop => {}
+                        Fate::Duplicate => {
+                            self.duplicates += 1;
+                            transfers.push((i, j, p));
+                        }
+                        Fate::Deliver => transfers.push((i, j, p)),
+                    }
                 }
             }
         }
@@ -679,6 +711,11 @@ impl SwarmSim {
                 .map(|p| p.uploads)
                 .sum(),
             duplicates: self.duplicates,
+            fault_counters: if self.faults.is_active() {
+                Some(self.faults.counters())
+            } else {
+                None
+            },
         }
     }
 }
@@ -691,6 +728,24 @@ impl RoundSim for SwarmSim {
         // whether this is a cooperate or defect round. Both are no-ops
         // under the default always-on, churn-free configuration.
         self.population.begin_round(t);
+        self.faults.begin_round(t);
+        if !self.faults.just_crashed().is_empty() {
+            // State-losing crash: unlike a churned-out leecher, which
+            // resumes where it left off, a crashed leecher loses its
+            // pieces, its reciprocity memory and its optimistic pick and
+            // re-downloads from scratch. A past completion stays on
+            // record (the download did finish); only non-leechers are
+            // exempt, so the file itself survives on the origin seed.
+            for i in 0..self.peers.len() {
+                if self.faults.just_crashed().contains(i) {
+                    self.peers[i].have.clear();
+                    self.peers[i].optimistic = None;
+                    for c in self.credit[i].iter_mut() {
+                        *c = 0.0;
+                    }
+                }
+            }
+        }
         let observed = self
             .schedule_state
             .needs_observation()
@@ -782,7 +837,7 @@ impl lotus_core::scenario::Summarize for SwarmReport {
         let nontargeted = self
             .mean_completion_nontargeted()
             .unwrap_or_else(|| self.mean_completion());
-        lotus_core::scenario::ScenarioReport::new(
+        let mut report = lotus_core::scenario::ScenarioReport::new(
             "bittorrent",
             self.rounds,
             overall,
@@ -802,7 +857,18 @@ impl lotus_core::scenario::Summarize for SwarmReport {
         )
         .with_metric("attacker_upload", self.attacker_upload as f64)
         .with_metric("honest_upload", self.honest_upload as f64)
-        .with_metric("duplicates", self.duplicates as f64)
+        .with_metric("duplicates", self.duplicates as f64);
+        // Fault metrics appear only under an active plan, keeping
+        // fault-free report output byte-identical to pre-fault runs.
+        if let Some(fc) = self.fault_counters {
+            report = report
+                .with_metric("faults_dropped", fc.dropped as f64)
+                .with_metric("faults_duplicated", fc.duplicated as f64)
+                .with_metric("faults_delayed", fc.delayed as f64)
+                .with_metric("faults_crashes", fc.crashes as f64)
+                .with_metric("faults_partition_blocked", fc.partition_blocked as f64);
+        }
+        report
     }
 }
 
@@ -970,6 +1036,72 @@ mod tests {
         }
         let targeted: Vec<usize> = (0..25).filter(|&i| sim.peers[i].targeted).collect();
         assert!(!targeted.is_empty(), "targets exist once pieces spread");
+    }
+
+    #[test]
+    fn zero_rate_fault_plan_is_report_invisible() {
+        use lotus_core::faults::FaultPlan;
+        let mut zeroed = quick_cfg();
+        zeroed.faults = FaultPlan::parse("loss:0/dup:0/crash:0:0.5/partition:10:5:0").unwrap();
+        let a = SwarmSim::new(quick_cfg(), SwarmAttack::none(), 31).run_to_report();
+        let b = SwarmSim::new(zeroed, SwarmAttack::none(), 31).run_to_report();
+        assert_eq!(a, b, "zero-rate plans must be byte-invisible");
+        assert!(b.fault_counters.is_none());
+    }
+
+    #[test]
+    fn loss_slows_the_swarm() {
+        use lotus_core::faults::FaultPlan;
+        let clean = SwarmSim::new(quick_cfg(), SwarmAttack::none(), 32).run_to_report();
+        let mut cfg = quick_cfg();
+        cfg.faults = FaultPlan::parse("loss:0.3").unwrap();
+        let lossy = SwarmSim::new(cfg, SwarmAttack::none(), 32).run_to_report();
+        let fc = lossy.fault_counters.expect("plan was active");
+        assert!(fc.dropped > 0, "losses happened");
+        assert!(
+            lossy.mean_completion() > clean.mean_completion() * 1.2,
+            "30% loss slows completion: {} vs {}",
+            lossy.mean_completion(),
+            clean.mean_completion()
+        );
+    }
+
+    #[test]
+    fn crashed_leechers_lose_pieces_but_seeds_survive() {
+        use lotus_core::faults::FaultPlan;
+        let mut cfg = quick_cfg();
+        cfg.max_rounds = 2_000;
+        cfg.faults = FaultPlan::parse("crash:0.01:0.3").unwrap();
+        let mut sim = SwarmSim::new(cfg, SwarmAttack::none(), 33);
+        let mut saw_wipe = false;
+        for t in 0..400 {
+            sim.round(t);
+            for i in 0..25 {
+                if sim.faults.just_crashed().contains(i) && sim.peers[i].have.is_empty() {
+                    saw_wipe = true;
+                }
+            }
+            // The origin seed is crash-exempt: the file always survives.
+            assert!(sim.peers[25].have.is_full());
+            assert!(!sim.faults.is_down(25));
+        }
+        assert!(saw_wipe, "some leecher crashed with pieces wiped");
+    }
+
+    #[test]
+    fn duplicate_faults_surface_in_the_waste_counter() {
+        use lotus_core::faults::FaultPlan;
+        let clean = SwarmSim::new(quick_cfg(), SwarmAttack::none(), 34).run_to_report();
+        let mut cfg = quick_cfg();
+        cfg.faults = FaultPlan::parse("dup:0.3").unwrap();
+        let dupy = SwarmSim::new(cfg, SwarmAttack::none(), 34).run_to_report();
+        assert!(
+            dupy.duplicates > clean.duplicates,
+            "duplicated transfers count as waste: {} vs {}",
+            dupy.duplicates,
+            clean.duplicates
+        );
+        assert!(dupy.fault_counters.expect("active").duplicated > 0);
     }
 
     #[test]

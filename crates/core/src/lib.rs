@@ -26,6 +26,11 @@
 //!   arrivals ([`ArrivalProcess`](population::ArrivalProcess)) driving a
 //!   deterministic membership tracker
 //!   ([`Population`](population::Population)) every simulator runs under;
+//! * [`faults`] — fault injection: lossy links, state-losing crashes and
+//!   epoch partitions ([`FaultPlan`](faults::FaultPlan) /
+//!   [`FaultState`](faults::FaultState)), the realistic-network
+//!   dimension that lets defection hide inside the background fault
+//!   rate;
 //! * [`proptest_lite`] — the dependency-free property-test harness
 //!   (seeded case generation + shrink-by-halving) the population
 //!   invariant suites run on;
@@ -74,6 +79,7 @@ pub mod alloc_guard;
 pub mod attack;
 pub mod bitset;
 pub mod defense;
+pub mod faults;
 pub mod population;
 pub mod proptest_lite;
 pub mod report;

@@ -57,6 +57,13 @@ pub enum MetricKey {
     /// for churn to thin the honest pool. Unlike the delivery metrics
     /// this is live membership state, not a report metric.
     PresentFraction,
+    /// The fraction of honest nodes a cut-off defense has wrongly cut so
+    /// far (`false_cut_rate`). Only substrates running such a defense
+    /// can answer it (from their cut counters, allocation-free); others
+    /// report no observation. Lets schedules and defense-side bandits
+    /// key on collateral damage — e.g. `falsecut-above` backs a defense
+    /// off once it starts cutting everyone.
+    FalseCutRate,
 }
 
 impl MetricKey {
@@ -68,6 +75,7 @@ impl MetricKey {
             MetricKey::OverallDelivery => "overall_delivery",
             MetricKey::TargetedService => "targeted_service",
             MetricKey::PresentFraction => "present_fraction",
+            MetricKey::FalseCutRate => "false_cut_rate",
         }
     }
 }
@@ -275,6 +283,9 @@ impl AttackSchedule {
     ///                            (strike when the flash crowd lands)
     /// presence-below:<x>         latch on once present_fraction <= x
     ///                            (strike when churn thins the pool)
+    /// falsecut-above:<x>         latch on once false_cut_rate >= x
+    ///                            (react once the defense cuts everyone)
+    /// falsecut-below:<x>         latch on once false_cut_rate <= x
     /// ```
     ///
     /// Rotation stays a separate per-substrate knob (`rotation_period` /
@@ -315,7 +326,7 @@ impl AttackSchedule {
                 AttackSchedule::oscillating(period, active)
             }
             key @ ("delivery-above" | "delivery-below" | "targeted-above" | "targeted-below"
-            | "presence-above" | "presence-below") => {
+            | "presence-above" | "presence-below" | "falsecut-above" | "falsecut-below") => {
                 let value = parts
                     .next()
                     .ok_or_else(|| format!("schedule {spec:?}: missing threshold"))?
@@ -325,6 +336,8 @@ impl AttackSchedule {
                     MetricKey::OverallDelivery
                 } else if key.starts_with("presence") {
                     MetricKey::PresentFraction
+                } else if key.starts_with("falsecut") {
+                    MetricKey::FalseCutRate
                 } else {
                     MetricKey::TargetedService
                 };
@@ -339,7 +352,7 @@ impl AttackSchedule {
                     "unknown schedule {other:?} (always | at:<r> | window:<a>:<b> | \
                      periodic:<p>:<a> | delivery-above:<x> | delivery-below:<x> | \
                      targeted-above:<x> | targeted-below:<x> | presence-above:<x> | \
-                     presence-below:<x>)"
+                     presence-below:<x> | falsecut-above:<x> | falsecut-below:<x>)"
                 ))
             }
         };
@@ -497,10 +510,11 @@ pub fn class_delivery_observation(
     match key {
         MetricKey::OverallDelivery => frac(delivered[0] + delivered[1], totals[0] + totals[1]),
         MetricKey::TargetedService => frac(delivered[1], totals[1]),
-        // Presence is population state, not delivery accounting: callers
-        // answer it from their `Population` before reaching for this
-        // helper, so a counter-only caller simply has no observation.
-        MetricKey::PresentFraction => None,
+        // Presence is population state and false cuts are defense
+        // accounting, not delivery: callers answer those from their
+        // `Population` / cut counters before reaching for this helper,
+        // so a counter-only caller simply has no observation.
+        MetricKey::PresentFraction | MetricKey::FalseCutRate => None,
     }
 }
 
@@ -659,6 +673,14 @@ mod tests {
         assert_eq!(
             AttackSchedule::parse("presence-below:0.6").unwrap(),
             AttackSchedule::when_below(MetricKey::PresentFraction, 0.6)
+        );
+        assert_eq!(
+            AttackSchedule::parse("falsecut-above:0.1").unwrap(),
+            AttackSchedule::when_above(MetricKey::FalseCutRate, 0.1)
+        );
+        assert_eq!(
+            AttackSchedule::parse("falsecut-below:0.01").unwrap(),
+            AttackSchedule::when_below(MetricKey::FalseCutRate, 0.01)
         );
     }
 

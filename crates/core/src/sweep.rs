@@ -99,16 +99,95 @@ where
     series
 }
 
+/// One salvaged job failure from a hardened sweep: the job panicked on
+/// its first run *and* on its deterministic retry, so its measurement is
+/// missing from the per-x statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepFailure {
+    /// Job index in x-major, seed-minor order.
+    pub job: usize,
+    /// The x value the job was evaluating.
+    pub x: f64,
+    /// The replication seed the job was running.
+    pub seed: u64,
+    /// The panic payload, when it was a string (best effort).
+    pub message: String,
+}
+
+impl std::fmt::Display for SweepFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "sweep job {} (x = {}, seed = {}) panicked twice: {}",
+            self.job, self.x, self.seed, self.message
+        )
+    }
+}
+
+/// Render a panic payload as a string (panics carry `&str` or `String`
+/// payloads in practice; anything else gets a placeholder).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Run one `(x, seed)` job with panic isolation: a panicking job gets
+/// exactly one retry (the measurement is required to be pure, so a
+/// deterministic panic fails twice and is reported; the retry guards
+/// against environmental flakes, not logic bugs).
+fn run_job<F>(measure: &F, x: f64, seed: u64) -> Result<f64, String>
+where
+    F: Fn(f64, u64) -> f64,
+{
+    let mut attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| measure(x, seed)));
+    if attempt.is_err() {
+        attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| measure(x, seed)));
+    }
+    attempt.map_err(|payload| panic_message(payload.as_ref()))
+}
+
 /// Like [`sweep_fraction`] but returns the full per-x statistics
 /// (mean/min/max/std-dev across seeds) for error reporting.
 ///
+/// This is the hardened form behind every sweep entry point: a panicking
+/// job is retried once and, if it panics again, *salvaged out* — its
+/// failure is reported to stderr and the remaining jobs' statistics are
+/// returned — instead of aborting the whole sweep. Use
+/// [`sweep_stats_salvaged`] to receive the failure notes programmatically.
+pub fn sweep_stats<F>(xs: &[f64], cfg: &SweepConfig, measure: &F) -> Vec<Running>
+where
+    F: Fn(f64, u64) -> f64 + Sync,
+{
+    let (stats, failures) = sweep_stats_salvaged(xs, cfg, measure);
+    for failure in &failures {
+        eprintln!("warning: {failure} (partial results salvaged)");
+    }
+    stats
+}
+
+/// The salvaging sweep core: evaluate every `(x, seed)` job under panic
+/// isolation and return the per-x statistics **plus** the failure notes
+/// for jobs that panicked twice (their measurements are simply missing
+/// from the statistics — a sweep with one poisoned point still yields
+/// every other point).
+///
 /// Results are **bit-identical for any worker count**: workers record
-/// each `(x, seed)` measurement into its job slot and the accumulators
-/// are folded sequentially in job order afterwards, so no floating-point
+/// each `(x, seed)` outcome into its job slot and the accumulators are
+/// folded sequentially in job order afterwards, so no floating-point
 /// summation order depends on scheduling (the CI determinism matrix runs
 /// the golden suites under `LOTUS_SWEEP_THREADS=1` and `=8` to pin
-/// this).
-pub fn sweep_stats<F>(xs: &[f64], cfg: &SweepConfig, measure: &F) -> Vec<Running>
+/// this). On the panic-free path the fold sees exactly the values the
+/// pre-hardening harness saw, so results are unchanged byte for byte.
+pub fn sweep_stats_salvaged<F>(
+    xs: &[f64],
+    cfg: &SweepConfig,
+    measure: &F,
+) -> (Vec<Running>, Vec<SweepFailure>)
 where
     F: Fn(f64, u64) -> f64 + Sync,
 {
@@ -120,7 +199,7 @@ where
         .collect();
     let threads = cfg.threads.max(1).min(jobs.len().max(1));
 
-    let mut ys = vec![f64::NAN; jobs.len()];
+    let mut outcomes: Vec<Option<Result<f64, String>>> = vec![None; jobs.len()];
     let next = std::sync::atomic::AtomicUsize::new(0);
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
@@ -132,24 +211,33 @@ where
                         let Some(&(_, x, seed)) = jobs.get(j) else {
                             break;
                         };
-                        local.push((j, measure(x, seed)));
+                        local.push((j, run_job(measure, x, seed)));
                     }
                     local
                 })
             })
             .collect();
         for handle in handles {
-            for (j, y) in handle.join().expect("sweep worker panicked") {
-                ys[j] = y;
+            for (j, outcome) in handle.join().expect("sweep worker panicked") {
+                outcomes[j] = Some(outcome);
             }
         }
     });
 
     let mut stats = vec![Running::new(); xs.len()];
-    for (&(i, _, _), &y) in jobs.iter().zip(&ys) {
-        stats[i].push(y);
+    let mut failures = Vec::new();
+    for (j, (&(i, x, seed), outcome)) in jobs.iter().zip(&outcomes).enumerate() {
+        match outcome.as_ref().expect("every job ran") {
+            Ok(y) => stats[i].push(*y),
+            Err(message) => failures.push(SweepFailure {
+                job: j,
+                x,
+                seed,
+                message: message.clone(),
+            }),
+        }
     }
-    stats
+    (stats, failures)
 }
 
 /// Sweep any [`Scenario`] over a grid of x values, replicated across the
@@ -365,6 +453,51 @@ mod tests {
         assert_eq!(stats[0].min(), 0.0);
         assert_eq!(stats[0].max(), 2.0);
         assert_eq!(stats[0].mean(), 1.0);
+    }
+
+    #[test]
+    fn panicking_job_is_salvaged_not_fatal() {
+        let cfg = SweepConfig {
+            seeds: vec![1, 2, 3],
+            threads: 2,
+        };
+        // The job at (x = 0.5, seed = 2) always panics; everything else
+        // must come through untouched.
+        let (stats, failures) = sweep_stats_salvaged(&[0.0, 0.5, 1.0], &cfg, &|x, seed| {
+            assert!(!(x == 0.5 && seed == 2), "poisoned job");
+            x + seed as f64
+        });
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].job, 4); // x-major, seed-minor: 3 + 1
+        assert_eq!(failures[0].x, 0.5);
+        assert_eq!(failures[0].seed, 2);
+        assert!(failures[0].message.contains("poisoned job"));
+        assert!(format!("{}", failures[0]).contains("seed = 2"));
+        // Clean x values keep all three seeds; the poisoned x keeps two.
+        assert_eq!(stats[0].len(), 3);
+        assert_eq!(stats[1].len(), 2);
+        assert_eq!(stats[2].len(), 3);
+        assert_eq!(stats[1].mean(), 0.5 + 2.0); // seeds 1 and 3 average to 2
+    }
+
+    #[test]
+    fn flaky_job_succeeds_on_the_single_retry() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let cfg = SweepConfig {
+            seeds: vec![7],
+            threads: 1,
+        };
+        let calls = AtomicUsize::new(0);
+        let (stats, failures) = sweep_stats_salvaged(&[1.0], &cfg, &|x, _| {
+            if calls.fetch_add(1, Ordering::Relaxed) == 0 {
+                panic!("transient flake");
+            }
+            x * 2.0
+        });
+        assert!(failures.is_empty(), "retry should have absorbed the flake");
+        assert_eq!(stats[0].len(), 1);
+        assert_eq!(stats[0].mean(), 2.0);
+        assert_eq!(calls.load(Ordering::Relaxed), 2);
     }
 
     #[test]

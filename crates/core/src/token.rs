@@ -334,6 +334,9 @@ pub struct TokenReport {
     /// the configured satiation function (the coding-defense metric:
     /// "did the untouched population get the content?").
     pub untouched_satisfied: f64,
+    /// Fault-injection counters, present only when the plan was active
+    /// (so fault-free reports stay byte-identical to pre-fault ones).
+    pub fault_counters: Option<crate::faults::FaultCounters>,
 }
 
 impl TokenReport {
@@ -419,6 +422,9 @@ pub struct TokenSystem {
     /// Membership under churn; closed (everyone always present) unless
     /// the scenario config asks for churn.
     population: crate::population::Population,
+    /// Fault injection for the scenario path (inactive by default, so
+    /// the legacy entry points are unaffected).
+    faults: crate::faults::FaultState,
 }
 
 impl TokenSystem {
@@ -478,6 +484,7 @@ impl TokenSystem {
                 crate::population::ChurnSpec::none(),
                 rng.fork("population"),
             ),
+            faults: crate::faults::FaultState::new(n, crate::faults::FaultPlan::none(), &rng),
             rng,
             satiated_series: Vec::new(),
             all_satiated_at: None,
@@ -543,8 +550,9 @@ impl TokenSystem {
         }
         let mut round_rng = self.rng.fork_idx("round", self.round);
         for i in 0..n {
-            if self.satiated_scratch[i] || !self.population.is_present(i) {
-                continue; // satiated nodes stop initiating; absent ones can't
+            if self.satiated_scratch[i] || !self.population.is_present(i) || self.faults.is_down(i)
+            {
+                continue; // satiated nodes stop initiating; absent/crashed can't
             }
             let degree = self.cfg.graph.degree(NodeId(i as u32));
             if degree == 0 {
@@ -554,17 +562,27 @@ impl TokenSystem {
             round_rng.sample_indices_into(degree, c, &mut self.picks_scratch);
             for p in 0..c {
                 let j = self.cfg.graph.neighbors(NodeId(i as u32))[self.picks_scratch[p]] as usize;
-                if !self.population.is_present(j) {
-                    continue; // absent partner: the contact is wasted
+                if !self.population.is_present(j) || self.faults.is_down(j) {
+                    continue; // absent or crashed partner: the contact is wasted
+                }
+                if !self.faults.link_ok(i, j) {
+                    continue; // the partition separates the pair
                 }
                 if self.satiated_scratch[j] && !round_rng.chance(self.cfg.altruism) {
                     continue; // satiated partner declined (insufficient altruism)
                 }
-                // Bidirectional copy of start-of-round holdings.
-                self.served[j] += self.snapshot[j].difference_count(&self.snapshot[i]) as u64;
-                self.served[i] += self.snapshot[i].difference_count(&self.snapshot[j]) as u64;
-                self.holdings[i].union_with(&self.snapshot[j]);
-                self.holdings[j].union_with(&self.snapshot[i]);
+                // Bidirectional copy of start-of-round holdings; each
+                // direction draws its own fate (a lost half leaves a
+                // one-way exchange — under an inactive plan both always
+                // deliver without drawing).
+                if self.faults.fate(j, i) != crate::faults::Fate::Drop {
+                    self.served[j] += self.snapshot[j].difference_count(&self.snapshot[i]) as u64;
+                    self.holdings[i].union_with(&self.snapshot[j]);
+                }
+                if self.faults.fate(i, j) != crate::faults::Fate::Drop {
+                    self.served[i] += self.snapshot[i].difference_count(&self.snapshot[j]) as u64;
+                    self.holdings[j].union_with(&self.snapshot[i]);
+                }
             }
         }
         self.round += 1;
@@ -649,6 +667,11 @@ impl TokenSystem {
             attacked_nodes: self.attacked.iter().copied().collect(),
             token_reach,
             untouched_satisfied,
+            fault_counters: if self.faults.is_active() {
+                Some(self.faults.counters())
+            } else {
+                None
+            },
         }
     }
 }
@@ -697,6 +720,11 @@ pub struct TokenScenarioConfig {
     /// Flash-crowd arrival process (default: none — everyone present
     /// from round 0).
     pub arrival: crate::population::ArrivalProcess,
+    /// Fault plan (default: none). A crashed node loses its *holdings*
+    /// (unlike a churned-out node, which keeps them while away); the
+    /// rare-token holder of [`Allocation::RareToken`] is crash-exempt so
+    /// injected faults cannot destroy the content outright.
+    pub faults: crate::faults::FaultPlan,
 }
 
 impl TokenScenarioConfig {
@@ -709,6 +737,7 @@ impl TokenScenarioConfig {
             schedule: crate::schedule::AttackSchedule::always(),
             churn: crate::population::ChurnProfile::none(),
             arrival: crate::population::ArrivalProcess::None,
+            faults: crate::faults::FaultPlan::none(),
         }
     }
 
@@ -728,6 +757,12 @@ impl TokenScenarioConfig {
     /// Set the flash-crowd arrival process (builder style).
     pub fn with_arrival(mut self, arrival: crate::population::ArrivalProcess) -> Self {
         self.arrival = arrival;
+        self
+    }
+
+    /// Set the fault plan (builder style).
+    pub fn with_faults(mut self, faults: crate::faults::FaultPlan) -> Self {
+        self.faults = faults;
         self
     }
 }
@@ -772,6 +807,8 @@ impl TokenSystem {
             }
             // Live membership state, not a holdings metric.
             crate::schedule::MetricKey::PresentFraction => self.population.present_fraction(),
+            // The token substrate has no cut defense to report on.
+            crate::schedule::MetricKey::FalseCutRate => return None,
         })
     }
 }
@@ -806,6 +843,14 @@ impl crate::scenario::Scenario for TokenSystem {
         // randomness) and re-enter with whatever their initial allocation
         // gave them — they have never gossiped.
         sys.population.set_arrival(cfg.arrival);
+        // Re-fork the fault layer with the configured plan; forking never
+        // advances `sys.rng`, so fault-free runs stay bit-identical. The
+        // rare-token holder is crash-exempt: faults degrade dissemination,
+        // they must not destroy the content outright.
+        sys.faults = crate::faults::FaultState::new(sys.holdings.len(), cfg.faults, &sys.rng);
+        if let Allocation::RareToken { holder, .. } = sys.cfg.allocation {
+            sys.faults.exempt(holder.index());
+        }
         sys
     }
 
@@ -820,6 +865,17 @@ impl crate::scenario::Scenario for TokenSystem {
             return crate::scenario::StepOutcome::Done;
         }
         self.population.begin_round(self.round);
+        self.faults.begin_round(self.round);
+        if !self.faults.just_crashed().is_empty() {
+            // State-losing crash: unlike a churned-out node, which keeps
+            // its holdings while away, a crashed node re-enters with
+            // nothing and must regather tokens from its neighbors.
+            for i in 0..self.holdings.len() {
+                if self.faults.just_crashed().contains(i) {
+                    self.holdings[i].clear();
+                }
+            }
+        }
         let observed = self
             .schedule
             .needs_observation()
@@ -911,6 +967,16 @@ impl crate::scenario::Summarize for TokenReport {
         if let Some(&reach) = self.token_reach.first() {
             report.set_metric("token0_reach", reach);
         }
+        // Fault metrics appear only under an active plan, keeping
+        // fault-free report output byte-identical to pre-fault runs.
+        if let Some(fc) = self.fault_counters {
+            report = report
+                .with_metric("faults_dropped", fc.dropped as f64)
+                .with_metric("faults_duplicated", fc.duplicated as f64)
+                .with_metric("faults_delayed", fc.delayed as f64)
+                .with_metric("faults_crashes", fc.crashes as f64)
+                .with_metric("faults_partition_blocked", fc.partition_blocked as f64);
+        }
         report
     }
 }
@@ -926,6 +992,72 @@ mod tests {
             .allocation(Allocation::UniformCopies { copies: 2 })
             .build()
             .unwrap()
+    }
+
+    #[test]
+    fn zero_rate_fault_plan_is_report_invisible() {
+        let plan = crate::faults::FaultPlan::parse("loss:0/crash:0:0.5/partition:5:5:0").unwrap();
+        let base = TokenScenarioConfig::new(small_cfg(20, 6), 40);
+        let zeroed = base.clone().with_faults(plan);
+        let a = crate::scenario::run::<TokenSystem>(base, crate::attack::TokenAttack::none(), 41);
+        let b = crate::scenario::run::<TokenSystem>(zeroed, crate::attack::TokenAttack::none(), 41);
+        assert_eq!(a, b, "zero-rate plans must be byte-invisible");
+        assert!(b.fault_counters.is_none());
+    }
+
+    #[test]
+    fn loss_slows_global_satiation() {
+        // a > 0 guarantees eventual global satiation on a fault-free
+        // network (§3); loss should visibly delay it.
+        let cfg = || {
+            TokenSystemConfig::builder(Graph::complete(20))
+                .tokens(6)
+                .allocation(Allocation::UniformCopies { copies: 2 })
+                .altruism(0.5)
+                .build()
+                .unwrap()
+        };
+        let clean = crate::scenario::run::<TokenSystem>(
+            TokenScenarioConfig::new(cfg(), 200),
+            crate::attack::TokenAttack::none(),
+            42,
+        );
+        let lossy = crate::scenario::run::<TokenSystem>(
+            TokenScenarioConfig::new(cfg(), 200)
+                .with_faults(crate::faults::FaultPlan::parse("loss:0.5").unwrap()),
+            crate::attack::TokenAttack::none(),
+            42,
+        );
+        let fc = lossy.fault_counters.expect("plan was active");
+        assert!(fc.dropped > 0);
+        let done = clean.all_satiated_at.expect("clean run satiates");
+        assert!(
+            lossy.all_satiated_at.is_none_or(|r| r > done),
+            "50% loss slows satiation: clean {done}, lossy {:?}",
+            lossy.all_satiated_at
+        );
+    }
+
+    #[test]
+    fn crashes_wipe_holdings_but_spare_the_rare_holder() {
+        let cfg = TokenSystemConfig::builder(Graph::complete(16))
+            .tokens(4)
+            .allocation(Allocation::RareToken {
+                holder: NodeId(3),
+                copies: 3,
+            })
+            .build()
+            .unwrap();
+        let scenario = TokenScenarioConfig::new(cfg, 300)
+            .with_faults(crate::faults::FaultPlan::parse("crash:0.05:0.2").unwrap());
+        let report =
+            crate::scenario::run::<TokenSystem>(scenario, crate::attack::TokenAttack::none(), 43);
+        let fc = report.fault_counters.expect("plan was active");
+        assert!(fc.crashes > 0, "crashes happened");
+        assert!(
+            report.token_reach[0] > 0.0,
+            "the exempt rare holder keeps token 0 alive"
+        );
     }
 
     #[test]

@@ -57,6 +57,33 @@ pub fn run_while<S: RoundSim>(
     executed
 }
 
+/// Drive `sim` until `stop` returns `true` or `max_rounds` total rounds
+/// have run, invoking `before` with the simulator and the round index
+/// ahead of every executed round. Returns the number of rounds executed
+/// by this call.
+///
+/// This composes [`run_while`]'s early-stopping contract with
+/// [`run_with`]'s pre-round hook seam, so per-round environment dynamics
+/// (churn, schedule flips, fault injection) work under early-stopping
+/// drivers too. As in [`run_while`], the predicate is checked first; a
+/// round that does not execute never sees the hook.
+pub fn run_while_with<S: RoundSim>(
+    sim: &mut S,
+    max_rounds: Round,
+    mut before: impl FnMut(&mut S, Round),
+    mut stop: impl FnMut(&S) -> bool,
+) -> Round {
+    let start = sim.rounds_run();
+    let mut executed = 0;
+    while sim.rounds_run() < max_rounds && !stop(sim) {
+        let t = sim.rounds_run();
+        before(sim, t);
+        sim.round(t);
+        executed = sim.rounds_run() - start;
+    }
+    executed
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -133,5 +160,42 @@ mod tests {
         };
         let executed = run_while(&mut c, 10, |_| true);
         assert_eq!(executed, 0);
+    }
+
+    #[test]
+    fn run_while_with_sequences_hook_check_round() {
+        let mut c = Counter {
+            t: 0,
+            history: vec![],
+        };
+        let mut hooked = Vec::new();
+        let executed = run_while_with(
+            &mut c,
+            100,
+            |sim, t| {
+                assert_eq!(sim.rounds_run(), t, "hook sees the pre-round state");
+                hooked.push(t);
+            },
+            |s| s.rounds_run() >= 3,
+        );
+        assert_eq!(executed, 3);
+        assert_eq!(c.history, vec![0, 1, 2]);
+        // The predicate stopped the fourth round before its hook ran:
+        // a round that does not execute never sees the hook.
+        assert_eq!(hooked, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn run_while_with_respects_max_and_immediate_stop() {
+        let mut c = Counter {
+            t: 0,
+            history: vec![],
+        };
+        let mut hooks = 0;
+        let executed = run_while_with(&mut c, 4, |_, _| hooks += 1, |_| false);
+        assert_eq!((executed, hooks), (4, 4));
+        let mut hooks = 0;
+        let executed = run_while_with(&mut c, 10, |_, _| hooks += 1, |_| true);
+        assert_eq!((executed, hooks), (0, 0), "already stopped: no hook runs");
     }
 }

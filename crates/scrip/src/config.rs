@@ -17,6 +17,7 @@
 //! analysis rests on conservation: satiating a `φ` fraction locks
 //! `φ·n·k` scrip, and the system only has `m·n`.
 
+use lotus_core::faults::FaultPlan;
 use lotus_core::population::{ArrivalProcess, ChurnProfile};
 use lotus_core::schedule::AttackSchedule;
 
@@ -66,6 +67,12 @@ pub struct ScripConfig {
     /// initial balance, having never requested or served (default:
     /// none).
     pub arrival: ArrivalProcess,
+    /// Fault plan (default: none). Crashed agents cannot request,
+    /// volunteer or be topped up, and lose their adaptive bookkeeping —
+    /// but *not* their balance: scrip is a bank ledger, so crashes
+    /// conserve the money supply. Message faults void service
+    /// deliveries; the partition stops requesters hiring across cells.
+    pub faults: FaultPlan,
 }
 
 impl Default for ScripConfig {
@@ -86,6 +93,7 @@ impl Default for ScripConfig {
             schedule: AttackSchedule::always(),
             churn: ChurnProfile::none(),
             arrival: ArrivalProcess::None,
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -280,6 +288,12 @@ impl ScripConfigBuilder {
         self
     }
 
+    /// Set the fault plan (default: none).
+    pub fn faults(mut self, faults: FaultPlan) -> Self {
+        self.cfg.faults = faults;
+        self
+    }
+
     /// Validate and build.
     ///
     /// # Errors
@@ -349,6 +363,17 @@ mod tests {
             ..ScripConfig::default()
         };
         assert!(matches!(cfg.validate(), Err(ConfigError::BadCounts(_))));
+    }
+
+    #[test]
+    fn faults_default_off() {
+        let cfg = ScripConfig::default();
+        assert!(!cfg.faults.is_active());
+        let faulty = ScripConfig::builder()
+            .faults(FaultPlan::parse("loss:0.1").unwrap())
+            .build()
+            .unwrap();
+        assert!(faulty.faults.is_active());
     }
 
     #[test]

@@ -32,6 +32,7 @@
 
 use crate::attack::ScripAttack;
 use crate::config::ScripConfig;
+use lotus_core::faults::{Fate, FaultCounters, FaultState};
 use lotus_core::population::Population;
 use lotus_core::satiation::Satiable;
 use lotus_core::schedule::{MetricKey, ScheduleState};
@@ -79,6 +80,9 @@ pub struct ScripReport {
     pub fail_broke_rate: f64,
     /// Fraction of measured requests that failed for lack of volunteers.
     pub fail_no_volunteer_rate: f64,
+    /// Fraction of measured requests whose service delivery was lost to
+    /// an injected message fault (always 0 on a perfect network).
+    pub fail_faulted_rate: f64,
     /// Service rate restricted to special requests (1.0 when none occur).
     pub special_service_rate: f64,
     /// Mean over measured rounds of the fraction of rational agents at or
@@ -95,6 +99,9 @@ pub struct ScripReport {
     pub attacker_money: u64,
     /// Total money (agents + attacker) — always the initial supply.
     pub total_money: u64,
+    /// Fault-injection counters, present only when the plan was active
+    /// (so fault-free reports stay byte-identical to pre-fault ones).
+    pub fault_counters: Option<FaultCounters>,
 }
 
 /// Gini coefficient of a distribution (0 = perfectly equal).
@@ -149,6 +156,7 @@ pub struct ScripSim {
     served_paid: u64,
     failed_broke: u64,
     failed_no_volunteer: u64,
+    failed_faulted: u64,
     special_requests: u64,
     special_served: u64,
     satiated_samples: f64,
@@ -161,6 +169,9 @@ pub struct ScripSim {
     attack_active: bool,
     /// Membership under churn; everyone present without churn.
     population: Population,
+    /// Fault injection (crashes, lost deliveries, the partition); a
+    /// guaranteed no-op under an inactive plan.
+    faults: FaultState,
     // Volunteer-pool scratch buffers for the allocation-free request
     // loop (see module docs).
     free_scratch: Vec<usize>,
@@ -233,6 +244,9 @@ impl ScripSim {
         }
 
         let schedule_state = ScheduleState::seeded(cfg.schedule, rng.fork("adaptive"));
+        // Forking never advances the parent, so adding the fault layer
+        // is stream-invisible to every existing draw.
+        let faults = FaultState::new(n, cfg.faults, &rng);
         let mut population = Population::new(n, cfg.churn, rng.fork("population"));
         // Flash-crowd agents are withdrawn now (index-ordered, no
         // randomness) and enter with their initial balance, having never
@@ -245,6 +259,7 @@ impl ScripSim {
             schedule_state,
             attack_active: false,
             population,
+            faults,
             attacker_money: endowment,
             initial_supply: supply,
             rng,
@@ -254,6 +269,7 @@ impl ScripSim {
             served_paid: 0,
             failed_broke: 0,
             failed_no_volunteer: 0,
+            failed_faulted: 0,
             special_requests: 0,
             special_served: 0,
             satiated_samples: 0.0,
@@ -327,6 +343,8 @@ impl ScripSim {
             }
             // Live membership state, not a service counter.
             MetricKey::PresentFraction => Some(self.population.present_fraction()),
+            // The bank economy has no silence cut-off defense to report.
+            MetricKey::FalseCutRate => None,
         }
     }
 
@@ -337,7 +355,8 @@ impl ScripSim {
             return;
         }
         for (i, agent) in self.agents.iter_mut().enumerate() {
-            if !agent.targeted || !self.population.is_present(i) {
+            // A crashed target cannot be topped up, same as an absent one.
+            if !agent.targeted || !self.population.is_present(i) || self.faults.is_down(i) {
                 continue;
             }
             let need = u64::from(agent.threshold).saturating_sub(agent.money);
@@ -360,6 +379,9 @@ impl ScripSim {
         if churning && !self.population.is_present(requester) {
             return; // the drawn requester is offline: no request this round
         }
+        if self.faults.is_down(requester) {
+            return; // a crashed requester cannot request either
+        }
 
         // Volunteer pools (reused scratch buffers).
         let mut free = std::mem::take(&mut self.free_scratch);
@@ -367,8 +389,13 @@ impl ScripSim {
         free.clear();
         paid.clear();
         for (i, agent) in self.agents.iter().enumerate() {
+            // Fault gates precede the availability draw; under an
+            // inactive plan both pass without drawing, so the round
+            // stream is untouched (byte-identity guarantee).
             if i == requester
                 || (churning && !self.population.is_present(i))
+                || self.faults.is_down(i)
+                || !self.faults.link_ok(requester, i)
                 || !rng.chance(self.cfg.availability)
             {
                 continue;
@@ -400,12 +427,22 @@ impl ScripSim {
         }
 
         let outcome = if let Some(&p) = rng.choose(&free) {
-            self.agents[p].served += 1;
-            self.agents[requester].free_received += 1;
-            if measured {
-                self.served_free += 1;
+            // Free service still rides the network: a lost delivery
+            // means the requester got nothing (and the altruist's effort
+            // is wasted — no served credit for a unit never received).
+            if self.faults.fate(p, requester) == Fate::Drop {
+                if measured {
+                    self.failed_faulted += 1;
+                }
+                false
+            } else {
+                self.agents[p].served += 1;
+                self.agents[requester].free_received += 1;
+                if measured {
+                    self.served_free += 1;
+                }
+                true
             }
-            true
         } else if self.agents[requester].money == 0 {
             self.agents[requester].broke_failures += 1;
             if measured {
@@ -413,6 +450,8 @@ impl ScripSim {
             }
             false
         } else if attacker_bids {
+            // The attacker's channel is out-of-band infrastructure (like
+            // the ideal-attack sync), exempt from injected faults.
             self.agents[requester].money -= 1;
             self.attacker_money += 1;
             if measured {
@@ -420,13 +459,22 @@ impl ScripSim {
             }
             true
         } else if let Some(&p) = rng.choose(&paid) {
-            self.agents[requester].money -= 1;
-            self.agents[p].money += 1;
-            self.agents[p].served += 1;
-            if measured {
-                self.served_paid += 1;
+            // Payment on delivery: a lost shipment voids the sale — no
+            // goods, no money movement, so the supply stays conserved.
+            if self.faults.fate(p, requester) == Fate::Drop {
+                if measured {
+                    self.failed_faulted += 1;
+                }
+                false
+            } else {
+                self.agents[requester].money -= 1;
+                self.agents[p].money += 1;
+                self.agents[p].served += 1;
+                if measured {
+                    self.served_paid += 1;
+                }
+                true
             }
-            true
         } else {
             if measured {
                 self.failed_no_volunteer += 1;
@@ -530,6 +578,7 @@ impl ScripSim {
             paid_rate: self.served_paid as f64 / req,
             fail_broke_rate: self.failed_broke as f64 / req,
             fail_no_volunteer_rate: self.failed_no_volunteer as f64 / req,
+            fail_faulted_rate: self.failed_faulted as f64 / req,
             special_service_rate: if self.special_requests == 0 {
                 1.0
             } else {
@@ -553,6 +602,11 @@ impl ScripSim {
             gini: gini(&rationals),
             attacker_money: self.attacker_money,
             total_money: self.total_money(),
+            fault_counters: if self.faults.is_active() {
+                Some(self.faults.counters())
+            } else {
+                None
+            },
         }
     }
 }
@@ -562,6 +616,21 @@ impl RoundSim for ScripSim {
     fn round(&mut self, t: Round) {
         debug_assert_eq!(t, self.round, "rounds must be sequential");
         self.population.begin_round(t);
+        self.faults.begin_round(t);
+        if !self.faults.just_crashed().is_empty() {
+            // State-losing crash: the agent forgets its learned threshold
+            // and interval bookkeeping, but keeps its balance — scrip is
+            // a bank ledger, so crashes conserve the money supply.
+            let initial = self.cfg.initial_threshold;
+            let crashed = self.faults.just_crashed();
+            for (i, agent) in self.agents.iter_mut().enumerate() {
+                if crashed.contains(i) {
+                    agent.threshold = initial;
+                    agent.broke_failures = 0;
+                    agent.free_received = 0;
+                }
+            }
+        }
         let observed = self
             .schedule_state
             .needs_observation()
@@ -623,7 +692,7 @@ impl lotus_core::scenario::Summarize for ScripReport {
     ///   (0 when the attack has no targets);
     /// * `usable` — a functioning market: most requests get served.
     fn summarize(&self) -> lotus_core::scenario::ScenarioReport {
-        lotus_core::scenario::ScenarioReport::new(
+        let mut report = lotus_core::scenario::ScenarioReport::new(
             "scrip",
             self.rounds,
             self.service_rate,
@@ -643,7 +712,19 @@ impl lotus_core::scenario::Summarize for ScripReport {
         .with_metric("total_money", self.total_money as f64)
         // 0.0 when the attack has no targets, so fraction sweeps that
         // include the no-attack point stay total.
-        .with_metric("target_satiation", self.target_satiation.unwrap_or(0.0))
+        .with_metric("target_satiation", self.target_satiation.unwrap_or(0.0));
+        // Fault metrics appear only under an active plan, keeping
+        // fault-free report output byte-identical to pre-fault runs.
+        if let Some(fc) = self.fault_counters {
+            report = report
+                .with_metric("fail_faulted_rate", self.fail_faulted_rate)
+                .with_metric("faults_dropped", fc.dropped as f64)
+                .with_metric("faults_duplicated", fc.duplicated as f64)
+                .with_metric("faults_delayed", fc.delayed as f64)
+                .with_metric("faults_crashes", fc.crashes as f64)
+                .with_metric("faults_partition_blocked", fc.partition_blocked as f64);
+        }
+        report
     }
 }
 
@@ -854,6 +935,55 @@ mod tests {
         // Some agent should have served by now.
         let served: u64 = (0..60).map(|i| sim.service_provided(NodeId(i))).sum();
         assert!(served > 0);
+    }
+
+    #[test]
+    fn zero_rate_fault_plan_is_report_invisible() {
+        use lotus_core::faults::FaultPlan;
+        let mut zeroed = quick_cfg();
+        zeroed.faults = FaultPlan::parse("loss:0/dup:0/delay:0/crash:0:0.5").unwrap();
+        let plain = ScripSim::new(quick_cfg(), ScripAttack::lotus_eater(0.2, 0.3), 21);
+        let faulted = ScripSim::new(zeroed, ScripAttack::lotus_eater(0.2, 0.3), 21);
+        let a = plain.run_to_report();
+        let b = faulted.run_to_report();
+        assert_eq!(a, b, "zero-rate plans must be byte-invisible");
+        assert!(b.fault_counters.is_none());
+    }
+
+    #[test]
+    fn money_is_conserved_under_faults() {
+        use lotus_core::faults::FaultPlan;
+        // No attack: the providing attacker's fault-exempt channel would
+        // otherwise absorb every paid request and starve the fate draws.
+        let mut cfg = quick_cfg();
+        cfg.faults = FaultPlan::parse("loss:0.2/crash:0.02:0.3/partition:100:200:0.4").unwrap();
+        let mut sim = ScripSim::new(cfg, ScripAttack::None, 22);
+        for t in 0..2_000 {
+            netsim::round::RoundSim::round(&mut sim, t);
+            assert_eq!(sim.total_money(), 120, "faults must not mint or burn");
+        }
+        let report = sim.report();
+        let fc = report.fault_counters.expect("plan was active");
+        assert!(fc.crashes > 0, "crashes happened");
+        assert!(
+            report.fail_faulted_rate > 0.05,
+            "lost deliveries fail requests"
+        );
+    }
+
+    #[test]
+    fn loss_degrades_service() {
+        use lotus_core::faults::FaultPlan;
+        let clean = ScripSim::new(quick_cfg(), ScripAttack::None, 23).run_to_report();
+        let mut cfg = quick_cfg();
+        cfg.faults = FaultPlan::parse("loss:0.4").unwrap();
+        let lossy = ScripSim::new(cfg, ScripAttack::None, 23).run_to_report();
+        assert!(
+            lossy.service_rate < clean.service_rate - 0.1,
+            "40% loss must hurt: {} vs {}",
+            lossy.service_rate,
+            clean.service_rate
+        );
     }
 
     #[test]

@@ -34,6 +34,7 @@ fn curve(kind: AttackKind, xs: &[f64]) -> netsim::metrics::Series {
             AttackKind::Crash => AttackPlan::crash(x),
             AttackKind::IdealLotusEater => AttackPlan::ideal_lotus_eater(x, 0.70),
             AttackKind::TradeLotusEater => AttackPlan::trade_lotus_eater(x, 0.70),
+            AttackKind::Masquerade => AttackPlan::masquerade(x),
         };
         BarGossipSim::new(cfg.clone(), plan, seed)
             .run_to_report()
