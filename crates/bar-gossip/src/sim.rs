@@ -31,7 +31,7 @@
 //!
 //! The per-round phases are **allocation-free in steady state**: every
 //! index list the round loop needs (`alive_scratch`, `order_scratch`,
-//! `honest_scratch`, seeding picks, gift/return buffers) is a scratch
+//! `partners_scratch`, seeding picks, gift/return buffers) is a scratch
 //! buffer owned by the sim struct, cleared and refilled in place, and
 //! membership tracking (`reporters`, `fed`) uses
 //! [`lotus_core::bitset::BitSet`]. The timing layer keeps the invariant:
@@ -55,6 +55,7 @@ use lotus_core::bitset::BitSet;
 use lotus_core::faults::{CutStats, Fate, FaultCounters, FaultState};
 use lotus_core::population::Population;
 use lotus_core::schedule::{self, MetricKey, ScheduleState};
+use lotus_core::soa::ShardMap;
 use netsim::bandwidth::{BandwidthMeter, MsgClass};
 use netsim::partner::{PartnerSchedule, Protocol};
 use netsim::rng::DetRng;
@@ -75,20 +76,10 @@ pub enum NodeClass {
     Attacker,
 }
 
-#[derive(Debug, Clone)]
-struct NodeState {
-    window: WindowSet,
-    /// Metric class fixed at assignment time (isolated vs satiated).
-    class: NodeClass,
-    /// Whether the attacker currently tries to satiate this node. Equals
-    /// `class == Satiated` for the static attacks of Figures 1-3; rotates
-    /// under [`AttackPlan::rotation_period`].
-    target: bool,
-    obedient: bool,
-    evicted: bool,
-    /// Cut by the silence cut-off defense (excluded like `evicted`).
-    cut: bool,
-}
+// Per-node state lives in struct-of-arrays layout on the simulator
+// itself (`windows`, `class`, and the `target`/`obedient`/`evicted`/
+// `cut` bitsets), keyed by node index — the flat layout the sharded
+// `O(active)` engine iterates.
 
 /// Per-class delivery fractions measured at expiry.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -195,7 +186,50 @@ impl BarGossipReport {
 pub struct BarGossipSim {
     cfg: BarGossipConfig,
     plan: AttackPlan,
-    nodes: Vec<NodeState>,
+    // ---- struct-of-arrays per-node state, keyed by node index ----
+    /// Per-node update windows. A node's window is only advanced once
+    /// the node is *engaged* (has ever been present); see `engaged`.
+    windows: Vec<WindowSet>,
+    /// Metric class fixed at assignment time (isolated vs satiated).
+    class: Vec<NodeClass>,
+    /// Nodes the attacker currently tries to satiate. Equals the
+    /// satiated class for the static attacks of Figures 1-3; rotates
+    /// under [`AttackPlan::rotation_period`].
+    target: BitSet,
+    /// Obedient reporters (report-and-evict defense).
+    obedient: BitSet,
+    /// Evicted by the report defense.
+    evicted: BitSet,
+    /// Cut by the silence cut-off defense (excluded like `evicted`).
+    cut: BitSet,
+    /// Nodes that have ever been present. A flash-crowd node still
+    /// waiting outside the system is *disengaged*: its window is not
+    /// advanced (the lazy-window seam that makes `advance_windows`
+    /// `O(engaged)` instead of `O(population)`) and it accumulates
+    /// zero deliveries — exactly what the dense path computed for it.
+    /// On arrival the window is fast-forwarded into lockstep
+    /// ([`WindowSet::skip_to`]) and its unusable-round counter is
+    /// seeded with the measured expiries it slept through.
+    engaged: BitSet,
+    /// The sharded activity index over node indices: active =
+    /// present ∧ ¬down ∧ ¬evicted ∧ ¬cut, rebuilt word-parallel at the
+    /// top of every round. Round loops walk this instead of `0..n`, so
+    /// per-step cost scales with active nodes, not total population.
+    shards: ShardMap,
+    /// Word-parallel scratch mask for the rebuilds above.
+    mask_scratch: BitSet,
+    /// Attacker node indices, ascending (class is fixed at assignment).
+    attacker_list: Vec<u32>,
+    /// Honest node indices, ascending.
+    honest_list: Vec<u32>,
+    /// Static per-class node counts (classes never change), indexed by
+    /// `class_idx`. Expiry accounting multiplies by these totals so
+    /// disengaged nodes still count against delivery, as in the dense
+    /// path.
+    class_counts: [u64; 3],
+    /// Whether the fault plan can touch messages at all; hoisted out of
+    /// `faulty_send` so inert plans skip the fate machinery entirely.
+    faults_msg: bool,
     /// Every update released (the reference window).
     full: WindowSet,
     /// Ideal-attack pooled seeds (the out-of-band channel).
@@ -253,7 +287,7 @@ pub struct BarGossipSim {
     alive_scratch: Vec<usize>,
     picks_scratch: Vec<usize>,
     order_scratch: Vec<NodeId>,
-    honest_scratch: Vec<usize>,
+    partners_scratch: Vec<NodeId>,
     gift_scratch: Vec<UpdateId>,
     returned_scratch: Vec<UpdateId>,
     balanced_scratch: BalancedOutcome,
@@ -298,30 +332,36 @@ impl BarGossipSim {
             classes[honest[hi]] = NodeClass::Satiated;
         }
 
-        // Obedient reporters among honest nodes (only used by the report
-        // defense, but assigned unconditionally for determinism).
-        let mut obedient = vec![false; n as usize];
+        // Obedient reporters among honest nodes (drawn only under the
+        // report defense, exactly as before, so rng streams match).
+        let mut obedient = BitSet::new(n as usize);
         if let Some(report) = &cfg.defenses.report {
             let k = ((honest.len() as f64) * report.obedient_fraction).round() as usize;
             for &hi in assign_rng
                 .sample_indices(honest.len(), k.min(honest.len()))
                 .iter()
             {
-                obedient[honest[hi]] = true;
+                obedient.insert(honest[hi]);
             }
         }
 
         let window = WindowSet::new(cfg.updates_per_round, cfg.update_lifetime);
-        let nodes: Vec<NodeState> = (0..n as usize)
-            .map(|i| NodeState {
-                window: window.clone(),
-                class: classes[i],
-                target: classes[i] == NodeClass::Satiated,
-                obedient: obedient[i],
-                evicted: false,
-                cut: false,
-            })
-            .collect();
+        let windows: Vec<WindowSet> = vec![window.clone(); n as usize];
+        let mut target = BitSet::new(n as usize);
+        let mut class_counts = [0u64; 3];
+        let mut attacker_list = Vec::new();
+        let mut honest_list = Vec::new();
+        for (i, &c) in classes.iter().enumerate() {
+            class_counts[class_idx(c)] += 1;
+            if c == NodeClass::Satiated {
+                target.insert(i);
+            }
+            if c == NodeClass::Attacker {
+                attacker_list.push(i as u32);
+            } else {
+                honest_list.push(i as u32);
+            }
+        }
 
         let mut population = Population::new(n as usize, cfg.churn, rng.fork("population"));
         // Flash-crowd nodes are withdrawn now (index-ordered, no
@@ -336,6 +376,9 @@ impl BarGossipSim {
         }
         population.set_arrival(cfg.arrival);
         let faults = FaultState::new(n as usize, cfg.faults, &rng);
+        // Everyone present at round 0 is engaged; flash-crowd nodes
+        // engage when their wave lands.
+        let engaged = population.present().clone();
         BarGossipSim {
             full: window.clone(),
             pool: window,
@@ -344,8 +387,17 @@ impl BarGossipSim {
             attack_active: false,
             population,
             faults,
+            faults_msg: cfg.faults.has_message_faults(),
             masq_rng: rng.fork("masquerade"),
-            accusers: vec![BitSet::new(n as usize); n as usize],
+            // The accuser/reporter quorum sets are per-node bitsets —
+            // O(n²) bits — so they are only materialised when their
+            // defense is configured (they are never touched otherwise,
+            // and a million-node run cannot afford vestigial ones).
+            accusers: if cfg.defenses.cutoff_quorum.is_some() {
+                vec![BitSet::new(n as usize); n as usize]
+            } else {
+                Vec::new()
+            },
             cut_honest: 0,
             cut_attacker: 0,
             authority: Authority::new(rng.fork("authority").next_u64(), n),
@@ -356,7 +408,11 @@ impl BarGossipSim {
             totals: [0; 3],
             attacker_union_delivered: 0,
             attacker_union_total: 0,
-            reporters: vec![BitSet::new(n as usize); n as usize],
+            reporters: if cfg.defenses.report.is_some() {
+                vec![BitSet::new(n as usize); n as usize]
+            } else {
+                Vec::new()
+            },
             evictions: 0,
             // One sample per measured round; reserved up front so the
             // per-round push in `advance_windows` never reallocates
@@ -371,14 +427,25 @@ impl BarGossipSim {
             alive_scratch: Vec::with_capacity(n as usize),
             picks_scratch: Vec::new(),
             order_scratch: Vec::with_capacity(n as usize),
-            honest_scratch: Vec::with_capacity(n as usize),
+            partners_scratch: Vec::with_capacity(n as usize),
             gift_scratch: Vec::new(),
             returned_scratch: Vec::new(),
             balanced_scratch: BalancedOutcome::default(),
             push_scratch: PushOutcome::default(),
             cfg,
             plan,
-            nodes,
+            windows,
+            class: classes,
+            target,
+            obedient,
+            evicted: BitSet::new(n as usize),
+            cut: BitSet::new(n as usize),
+            engaged,
+            shards: ShardMap::new(n as usize),
+            mask_scratch: BitSet::new(n as usize),
+            attacker_list,
+            honest_list,
+            class_counts,
             rng,
         }
     }
@@ -405,12 +472,12 @@ impl BarGossipSim {
 
     /// Metric class of `node`.
     pub fn class_of(&self, node: NodeId) -> NodeClass {
-        self.nodes[node.index()].class
+        self.class[node.index()]
     }
 
     /// Whether `node` has been evicted by the report defense.
     pub fn is_evicted(&self, node: NodeId) -> bool {
-        self.nodes[node.index()].evicted
+        self.evicted.contains(node.index())
     }
 
     /// Bandwidth meter (units = updates/junk items).
@@ -418,16 +485,37 @@ impl BarGossipSim {
         &self.meter
     }
 
+    /// The sharded activity index (this round's snapshot).
+    pub fn shard_map(&self) -> &ShardMap {
+        &self.shards
+    }
+
     fn is_attacker(&self, node: NodeId) -> bool {
-        self.nodes[node.index()].class == NodeClass::Attacker
+        self.class[node.index()] == NodeClass::Attacker
     }
 
     fn alive(&self, node: NodeId) -> bool {
-        let s = &self.nodes[node.index()];
-        !s.evicted
-            && !s.cut
-            && !self.faults.is_down(node.index())
-            && self.population.is_present(node.index())
+        let i = node.index();
+        !self.evicted.contains(i)
+            && !self.cut.contains(i)
+            && !self.faults.is_down(i)
+            && self.population.is_present(i)
+    }
+
+    /// Engage `node` if it has never been present before: fast-forward
+    /// its window into lockstep and seed its unusable-round counter
+    /// with the measured expiries it slept through (a disengaged node
+    /// delivered nothing in each of them, exactly like an empty dense
+    /// window).
+    fn ensure_engaged(&mut self, i: usize) {
+        if self.engaged.contains(i) {
+            return;
+        }
+        if self.round > 0 {
+            self.windows[i].skip_to(self.round - 1);
+        }
+        self.engaged.insert(i);
+        self.node_unusable_rounds[i] = self.measured_rounds;
     }
 
     /// Honest responders serve at most `responder_cap` incoming
@@ -482,7 +570,15 @@ impl BarGossipSim {
         if units == 0 || self.masquerade_silent(from) {
             return false;
         }
-        let fate = self.faults.fate(from.index(), to.index());
+        // Inert fault plans skip the fate machinery entirely: the flag
+        // is hoisted out of the hot loop so a fault-free delivery path
+        // costs a predicted-taken branch, not a call (this recovered
+        // the bench regression the fault layer's introduction cost).
+        let fate = if self.faults_msg {
+            self.faults.fate(from.index(), to.index())
+        } else {
+            Fate::Deliver
+        };
         if payload > 0 {
             self.meter.transfer(from, to, MsgClass::Payload, payload);
         }
@@ -511,14 +607,14 @@ impl BarGossipSim {
         let Some(quorum) = self.cfg.defenses.cutoff_quorum else {
             return;
         };
-        if self.nodes[observer.index()].class == NodeClass::Attacker {
+        if self.class[observer.index()] == NodeClass::Attacker {
             return;
         }
         let set = &mut self.accusers[partner.index()];
         set.insert(observer.index());
-        if set.len() as u32 >= quorum && !self.nodes[partner.index()].cut {
-            self.nodes[partner.index()].cut = true;
-            if self.nodes[partner.index()].class == NodeClass::Attacker {
+        if set.len() as u32 >= quorum && !self.cut.contains(partner.index()) {
+            self.cut.insert(partner.index());
+            if self.class[partner.index()] == NodeClass::Attacker {
                 self.cut_attacker += 1;
             } else {
                 self.cut_honest += 1;
@@ -546,11 +642,7 @@ impl BarGossipSim {
             // Running honest collateral of the cut-off defense; absent
             // when the defense is off (nothing to observe).
             self.cfg.defenses.cutoff_quorum?;
-            let honest = self
-                .nodes
-                .iter()
-                .filter(|n| n.class != NodeClass::Attacker)
-                .count();
+            let honest = self.honest_list.len();
             return Some(if honest == 0 {
                 0.0
             } else {
@@ -571,10 +663,8 @@ impl BarGossipSim {
             return;
         }
         let mut union = 0u64;
-        for node in &self.nodes {
-            if node.class == NodeClass::Attacker {
-                union |= node.window.mask(r).unwrap_or(0);
-            }
+        for &i in &self.attacker_list {
+            union |= self.windows[i as usize].mask(r).unwrap_or(0);
         }
         // The ideal attack's pool also counts (it is what gets forwarded).
         if self.plan.kind == AttackKind::IdealLotusEater {
@@ -585,6 +675,16 @@ impl BarGossipSim {
     }
 
     /// Phase 1: slide windows; account expired (measured) rounds.
+    ///
+    /// Only *engaged* windows are advanced — `O(engaged)`, the hottest
+    /// win of the sharded engine at flash-crowd scale. A disengaged
+    /// node's dense contribution was always `got = 0` with one
+    /// unusable round per measured expiry; the class totals below use
+    /// the static per-class counts (every window popped in lockstep in
+    /// the dense loop, so its `class_nodes` tally was exactly those
+    /// counts), and the unusable rounds are settled at engage time /
+    /// report time. Reports stay bit-identical.
+    // lint: hot-loop
     fn advance_windows(&mut self, t: Round) {
         let popped_full = self.full.advance(t);
         let _ = self.pool.advance(t);
@@ -592,20 +692,18 @@ impl BarGossipSim {
             let measured = self.cfg.is_measured_round(expired_round);
             let total = u64::from(full_mask.count_ones());
             let mut class_delivered = [0u64; 3];
-            let mut class_nodes = [0u64; 3];
             let usable_floor = self.cfg.usability_threshold;
-            for (i, node) in self.nodes.iter_mut().enumerate() {
-                let popped = node.window.advance(t);
+            for i in self.engaged.iter() {
+                let popped = self.windows[i].advance(t);
                 if !measured {
                     continue;
                 }
-                let (r, mask) = popped.expect("all windows advance in lockstep");
+                let (r, mask) = popped.expect("engaged windows advance in lockstep");
                 debug_assert_eq!(r, expired_round);
-                let ci = class_idx(node.class);
+                let ci = class_idx(self.class[i]);
                 let got = u64::from((mask & full_mask).count_ones());
                 class_delivered[ci] += got;
-                class_nodes[ci] += 1;
-                if node.class != NodeClass::Attacker {
+                if self.class[i] != NodeClass::Attacker {
                     self.node_delivered[i] += got;
                     if total > 0 && (got as f64 / total as f64) <= usable_floor {
                         self.node_unusable_rounds[i] += 1;
@@ -614,12 +712,12 @@ impl BarGossipSim {
             }
             if measured {
                 self.measured_rounds += 1;
-                for ci in 0..3 {
-                    self.delivered[ci] += class_delivered[ci];
-                    self.totals[ci] += total * class_nodes[ci];
+                for (ci, got) in class_delivered.iter().enumerate() {
+                    self.delivered[ci] += got;
+                    self.totals[ci] += total * self.class_counts[ci];
                 }
-                let iso = if class_nodes[0] * total > 0 {
-                    class_delivered[0] as f64 / (class_nodes[0] * total) as f64
+                let iso = if self.class_counts[0] * total > 0 {
+                    class_delivered[0] as f64 / (self.class_counts[0] * total) as f64
                 } else {
                     0.0
                 };
@@ -627,25 +725,23 @@ impl BarGossipSim {
             }
             return;
         }
-        // No expiry yet: still advance node windows in lockstep.
-        for node in &mut self.nodes {
-            let _ = node.window.advance(t);
+        // No expiry yet: still advance engaged windows in lockstep.
+        for i in self.engaged.iter() {
+            let _ = self.windows[i].advance(t);
         }
     }
 
     /// Phase 2: broadcaster releases and seeds the new batch.
+    // lint: hot-loop
     fn seed_round(&mut self, t: Round) {
         let mut alive = std::mem::take(&mut self.alive_scratch);
-        alive.clear();
         // The broadcaster itself is reliable infrastructure (the paper's
         // content source): seeding is not subject to message faults, but
-        // crashed and cut nodes receive no seeds.
-        alive.extend((0..self.nodes.len()).filter(|&i| {
-            !self.nodes[i].evicted
-                && !self.nodes[i].cut
-                && !self.faults.is_down(i)
-                && self.population.is_present(i)
-        }));
+        // crashed and cut nodes receive no seeds. The shard walk yields
+        // exactly the dense `(0..n).filter(alive)` list in the same
+        // ascending order (the activity mask *is* that filter), so the
+        // seeding draws are unchanged.
+        self.shards.collect_active_into(&mut alive);
         let mut picks = std::mem::take(&mut self.picks_scratch);
         let copies = (self.cfg.copies_seeded as usize).min(alive.len());
         let mut seed_rng = self.rng.fork_idx("seeding", t);
@@ -655,8 +751,8 @@ impl BarGossipSim {
             seed_rng.sample_indices_into(alive.len(), copies, &mut picks);
             for &pick in &picks {
                 let i = alive[pick];
-                self.nodes[i].window.insert(id);
-                if self.nodes[i].class == NodeClass::Attacker
+                self.windows[i].insert(id);
+                if self.class[i] == NodeClass::Attacker
                     && self.plan.kind == AttackKind::IdealLotusEater
                 {
                     self.pool.insert(id);
@@ -673,19 +769,23 @@ impl BarGossipSim {
         if self.plan.kind != AttackKind::IdealLotusEater || !self.attack_active {
             return;
         }
-        // Representative attacker for bandwidth attribution.
-        let Some(rep) = (0..self.nodes.len())
-            .find(|&i| self.nodes[i].class == NodeClass::Attacker && self.alive(NodeId(i as u32)))
+        // Representative attacker for bandwidth attribution (lowest
+        // live attacker index, as in the dense scan).
+        let Some(rep) = self
+            .attacker_list
+            .iter()
+            .map(|&i| i as usize)
+            .find(|&i| self.alive(NodeId(i as u32)))
         else {
             return;
         };
-        for i in 0..self.nodes.len() {
-            if !self.nodes[i].target || !self.alive(NodeId(i as u32)) {
+        for i in self.target.iter() {
+            if !self.alive(NodeId(i as u32)) {
                 continue;
             }
-            let gained = self.nodes[i].window.missing_from(&self.pool) as u64;
+            let gained = self.windows[i].missing_from(&self.pool) as u64;
             if gained > 0 {
-                self.nodes[i].window.union_with(&self.pool);
+                self.windows[i].union_with(&self.pool);
                 self.meter.transfer(
                     NodeId(rep as u32),
                     NodeId(i as u32),
@@ -711,8 +811,8 @@ impl BarGossipSim {
             .rate_limit
             .map_or(usize::MAX, |c| c as usize);
         let mut gift = std::mem::take(&mut self.gift_scratch);
-        self.nodes[target.index()].window.wanted_from_into(
-            &self.nodes[attacker.index()].window,
+        self.windows[target.index()].wanted_from_into(
+            &self.windows[attacker.index()],
             now,
             cap,
             0,
@@ -733,8 +833,8 @@ impl BarGossipSim {
         let mut returned = std::mem::take(&mut self.returned_scratch);
         returned.clear();
         if self.cfg.attacker_receives {
-            self.nodes[attacker.index()].window.wanted_from_into(
-                &self.nodes[target.index()].window,
+            self.windows[attacker.index()].wanted_from_into(
+                &self.windows[target.index()],
                 now,
                 gift.len(),
                 0,
@@ -743,11 +843,11 @@ impl BarGossipSim {
             );
         }
         for &id in &gift {
-            self.nodes[target.index()].window.insert(id);
+            self.windows[target.index()].insert(id);
         }
         if self.faulty_send(target, attacker, returned.len() as u64, 0) {
             for &id in &returned {
-                self.nodes[attacker.index()].window.insert(id);
+                self.windows[attacker.index()].insert(id);
             }
         }
         self.trace.emit_with(now, target, EventKind::Attack, || {
@@ -763,7 +863,7 @@ impl BarGossipSim {
                 returned.len()
             };
             if is_excessive_service(gift.len(), effective_received, report.excess_slack)
-                && self.nodes[target.index()].obedient
+                && self.obedient.contains(target.index())
             {
                 self.file_report(target, attacker, now, gift.len() as u64);
             }
@@ -777,11 +877,11 @@ impl BarGossipSim {
     fn windows_pair(&mut self, a: usize, b: usize) -> (&mut WindowSet, &mut WindowSet) {
         debug_assert_ne!(a, b, "windows_pair needs distinct nodes");
         if a < b {
-            let (lo, hi) = self.nodes.split_at_mut(b);
-            (&mut lo[a].window, &mut hi[0].window)
+            let (lo, hi) = self.windows.split_at_mut(b);
+            (&mut lo[a], &mut hi[0])
         } else {
-            let (lo, hi) = self.nodes.split_at_mut(a);
-            (&mut hi[0].window, &mut lo[b].window)
+            let (lo, hi) = self.windows.split_at_mut(a);
+            (&mut hi[0], &mut lo[b])
         }
     }
 
@@ -825,8 +925,8 @@ impl BarGossipSim {
         });
         let set = &mut self.reporters[reported.index()];
         set.insert(reporter.index());
-        if set.len() as u32 >= report_cfg.quorum && !self.nodes[reported.index()].evicted {
-            self.nodes[reported.index()].evicted = true;
+        if set.len() as u32 >= report_cfg.quorum && !self.evicted.contains(reported.index()) {
+            self.evicted.insert(reported.index());
             self.evictions += 1;
             self.trace
                 .emit(now, reported, EventKind::Evict, "evicted on report quorum");
@@ -843,49 +943,68 @@ impl BarGossipSim {
         if !self.plan.kind.satiates() || !t.is_multiple_of(period) {
             return;
         }
-        let mut honest = std::mem::take(&mut self.honest_scratch);
-        honest.clear();
-        honest
-            .extend((0..self.nodes.len()).filter(|&i| self.nodes[i].class != NodeClass::Attacker));
-        if honest.is_empty() {
-            self.honest_scratch = honest;
+        // Honest indices are fixed at assignment time, so the rotation
+        // window reads the static ascending `honest_list` directly —
+        // the same list the per-rotation dense scan used to rebuild.
+        if self.honest_list.is_empty() {
             return;
         }
-        let count =
-            (self.plan.satiated_honest_count(self.nodes.len() as u32) as usize).min(honest.len());
-        for node in self.nodes.iter_mut() {
-            node.target = false;
-        }
+        let count = (self.plan.satiated_honest_count(self.class.len() as u32) as usize)
+            .min(self.honest_list.len());
+        self.target.clear();
         let phase = self
             .schedule_state
             .rotation_phase(t)
             .expect("rotation_period() implies a rotation phase");
-        for w in schedule::rotating_window(phase, count, honest.len()) {
-            self.nodes[honest[w]].target = true;
+        for w in schedule::rotating_window(phase, count, self.honest_list.len()) {
+            self.target.insert(self.honest_list[w] as usize);
         }
-        self.honest_scratch = honest;
     }
 
-    /// Interaction order for a round: all nodes, shuffled so responder
-    /// capacity is not biased toward low node ids. Returns the reusable
-    /// order buffer; callers hand it back to `order_scratch` when done.
+    /// Interaction order for a round, shuffled so responder capacity is
+    /// not biased toward low node ids. Returns the reusable order
+    /// buffer; callers hand it back to `order_scratch` when done.
+    ///
+    /// Populations that fit in one shard keep the legacy order — all
+    /// nodes, shuffled — so paper-scale runs (and their golden
+    /// fixtures) are byte-identical. Multi-shard populations walk only
+    /// the active shards (ascending) before the same shuffle: dead
+    /// nodes never even enter the order, which is what makes the round
+    /// `O(active)` instead of `O(population)`.
+    // lint: hot-loop
     fn round_order(&mut self, t: Round, label: &str) -> Vec<NodeId> {
         let mut order = std::mem::take(&mut self.order_scratch);
         order.clear();
-        order.extend(NodeId::all(self.nodes.len() as u32));
+        let n = self.class.len();
+        if n <= self.shards.shard_size() {
+            order.extend(NodeId::all(n as u32));
+        } else {
+            self.shards
+                .for_each_active(|i| order.push(NodeId(i as u32)));
+        }
         self.rng.fork_idx(label, t).shuffle(&mut order);
         order
     }
 
     /// Phase 4: balanced exchanges.
+    // lint: hot-loop
     fn balanced_phase(&mut self, t: Round) {
-        self.served_balanced.fill(0);
+        // Only slots inside active shards can be served this round
+        // (responders are alive, and alive ⊆ the round snapshot), so
+        // the clear is O(active shards), not a full-slab fill.
+        netsim::round::clear_counters_for(&mut self.served_balanced, self.shards.active_ranges());
         let order = self.round_order(t, "balanced-order");
-        for &v in &order {
+        let mut partners = std::mem::take(&mut self.partners_scratch);
+        self.schedule.sample_active_into(
+            t,
+            Protocol::BalancedExchange,
+            order.iter().copied(),
+            &mut partners,
+        );
+        for (&v, &p) in order.iter().zip(&partners) {
             if !self.alive(v) {
                 continue;
             }
-            let p = self.schedule.partner_of(v, t, Protocol::BalancedExchange);
             if !self.alive(p) {
                 continue;
             }
@@ -898,7 +1017,7 @@ impl BarGossipSim {
             // attackers *always* take the honest path — their defection
             // lives inside `faulty_send`, not in the dispatch.
             let classes = if self.attack_active && self.plan.kind != AttackKind::Masquerade {
-                (self.nodes[v.index()].class, self.nodes[p.index()].class)
+                (self.class[v.index()], self.class[p.index()])
             } else {
                 (NodeClass::Isolated, NodeClass::Isolated)
             };
@@ -910,7 +1029,7 @@ impl BarGossipSim {
                 }
                 (NodeClass::Attacker, _) => {
                     if self.plan.kind == AttackKind::TradeLotusEater
-                        && self.nodes[p.index()].target
+                        && self.target.contains(p.index())
                         && self.responder_accepts(p, false)
                     {
                         self.attacker_gift(v, p, t, false);
@@ -918,7 +1037,8 @@ impl BarGossipSim {
                     // Crash/ideal attackers never initiate.
                 }
                 (_, NodeClass::Attacker) => {
-                    if self.plan.kind == AttackKind::TradeLotusEater && self.nodes[v.index()].target
+                    if self.plan.kind == AttackKind::TradeLotusEater
+                        && self.target.contains(v.index())
                     {
                         // The scheduled exchange gives the attacker an
                         // interaction; it responds by gifting.
@@ -933,8 +1053,8 @@ impl BarGossipSim {
                     }
                     let mut out = std::mem::take(&mut self.balanced_scratch);
                     balanced_exchange_into(
-                        &self.nodes[v.index()].window,
-                        &self.nodes[p.index()].window,
+                        &self.windows[v.index()],
+                        &self.windows[p.index()],
                         t,
                         self.cfg.defenses.unbalanced_exchanges,
                         self.cfg.defenses.rate_limit,
@@ -946,14 +1066,14 @@ impl BarGossipSim {
                     // indistinguishable here — by design).
                     if self.faulty_send(p, v, out.to_initiator.len() as u64, 0) {
                         for &id in &out.to_initiator {
-                            self.nodes[v.index()].window.insert(id);
+                            self.windows[v.index()].insert(id);
                         }
                     } else if !out.to_initiator.is_empty() {
                         self.note_silence(v, p, t);
                     }
                     if self.faulty_send(v, p, out.to_responder.len() as u64, 0) {
                         for &id in &out.to_responder {
-                            self.nodes[p.index()].window.insert(id);
+                            self.windows[p.index()].insert(id);
                         }
                     } else if !out.to_responder.is_empty() {
                         self.note_silence(p, v, t);
@@ -962,14 +1082,27 @@ impl BarGossipSim {
                 }
             }
         }
+        self.partners_scratch = partners;
         self.order_scratch = order;
     }
 
     /// Phase 5: optimistic pushes.
+    // lint: hot-loop
     fn push_phase(&mut self, t: Round) {
-        self.served_push.fill(0);
+        // Shard-range clear, as in `balanced_phase`.
+        netsim::round::clear_counters_for(&mut self.served_push, self.shards.active_ranges());
         let order = self.round_order(t, "push-order");
-        for &v in &order {
+        // The schedule is a pure function, so batch-sampling every
+        // ordered node's partner up front (per-round mixing hoisted)
+        // yields exactly the values the lazy per-node calls produced.
+        let mut partners = std::mem::take(&mut self.partners_scratch);
+        self.schedule.sample_active_into(
+            t,
+            Protocol::OptimisticPush,
+            order.iter().copied(),
+            &mut partners,
+        );
+        for (&v, &p) in order.iter().zip(&partners) {
             if !self.alive(v) {
                 continue;
             }
@@ -979,28 +1112,19 @@ impl BarGossipSim {
             // (whose defection lives inside `faulty_send`).
             if self.attack_active && self.plan.kind != AttackKind::Masquerade && self.is_attacker(v)
             {
-                if self.plan.kind == AttackKind::TradeLotusEater {
-                    let p = self.schedule.partner_of(v, t, Protocol::OptimisticPush);
-                    if self.alive(p) {
-                        if self.nodes[p.index()].class == NodeClass::Attacker {
-                            self.attacker_sync(v, p);
-                        } else if self.nodes[p.index()].target && self.responder_accepts(p, true) {
-                            self.attacker_gift(v, p, t, true);
-                        }
+                if self.plan.kind == AttackKind::TradeLotusEater && self.alive(p) {
+                    if self.class[p.index()] == NodeClass::Attacker {
+                        self.attacker_sync(v, p);
+                    } else if self.target.contains(p.index()) && self.responder_accepts(p, true) {
+                        self.attacker_gift(v, p, t, true);
                     }
                 }
                 continue;
             }
             // Rational initiation condition: only when missing old updates.
-            if !wants_push(
-                &self.nodes[v.index()].window,
-                &self.full,
-                t,
-                self.cfg.old_age,
-            ) {
+            if !wants_push(&self.windows[v.index()], &self.full, t, self.cfg.old_age) {
                 continue;
             }
-            let p = self.schedule.partner_of(v, t, Protocol::OptimisticPush);
             if !self.alive(p) {
                 continue;
             }
@@ -1009,7 +1133,8 @@ impl BarGossipSim {
             }
             if self.attack_active && self.plan.kind != AttackKind::Masquerade && self.is_attacker(p)
             {
-                if self.plan.kind == AttackKind::TradeLotusEater && self.nodes[v.index()].target {
+                if self.plan.kind == AttackKind::TradeLotusEater && self.target.contains(v.index())
+                {
                     self.attacker_gift(p, v, t, true);
                 }
                 continue;
@@ -1019,8 +1144,8 @@ impl BarGossipSim {
             }
             let mut out = std::mem::take(&mut self.push_scratch);
             optimistic_push_into(
-                &self.nodes[v.index()].window,
-                &self.nodes[p.index()].window,
+                &self.windows[v.index()],
+                &self.windows[p.index()],
                 t,
                 self.cfg.push_size,
                 self.cfg.old_age,
@@ -1038,7 +1163,7 @@ impl BarGossipSim {
             // cannot tell a lost offer from a withheld payment.
             if self.faulty_send(v, p, out.to_responder.len() as u64, 0) {
                 for &id in &out.to_responder {
-                    self.nodes[p.index()].window.insert(id);
+                    self.windows[p.index()].insert(id);
                 }
             }
             if self.faulty_send(
@@ -1048,11 +1173,12 @@ impl BarGossipSim {
                 u64::from(out.junk_to_initiator),
             ) {
                 for &id in &out.useful_to_initiator {
-                    self.nodes[v.index()].window.insert(id);
+                    self.windows[v.index()].insert(id);
                 }
             }
             self.push_scratch = out;
         }
+        self.partners_scratch = partners;
         self.order_scratch = order;
     }
 
@@ -1077,20 +1203,23 @@ impl BarGossipSim {
         };
         let honest_delivered = self.delivered[0] + self.delivered[1];
         let honest_total = self.totals[0] + self.totals[1];
-        let mut counts = ClassCounts::default();
-        for node in &self.nodes {
-            match node.class {
-                NodeClass::Isolated => counts.isolated += 1,
-                NodeClass::Satiated => counts.satiated += 1,
-                NodeClass::Attacker => counts.attacker += 1,
+        let counts = ClassCounts {
+            isolated: self.class_counts[0] as u32,
+            satiated: self.class_counts[1] as u32,
+            attacker: self.class_counts[2] as u32,
+        };
+        let attacker_nodes = &self.attacker_list;
+        let honest_nodes = &self.honest_list;
+        // A node that never engaged (its arrival wave never landed)
+        // delivered nothing in every measured round — exactly what its
+        // empty dense window would have tallied.
+        let unusable_rounds = |i: usize| {
+            if self.engaged.contains(i) {
+                self.node_unusable_rounds[i]
+            } else {
+                self.measured_rounds
             }
-        }
-        let attacker_nodes: Vec<NodeId> = NodeId::all(self.nodes.len() as u32)
-            .filter(|&v| self.is_attacker(v))
-            .collect();
-        let honest_nodes: Vec<NodeId> = NodeId::all(self.nodes.len() as u32)
-            .filter(|&v| !self.is_attacker(v))
-            .collect();
+        };
         BarGossipReport {
             rounds: self.round,
             delivery: ClassDelivery {
@@ -1110,8 +1239,12 @@ impl BarGossipSim {
             counts,
             evictions: self.evictions,
             junk_fraction: self.meter.junk_fraction(),
-            mean_attacker_upload: self.meter.mean_uploaded(attacker_nodes.iter().copied()),
-            mean_honest_upload: self.meter.mean_uploaded(honest_nodes.iter().copied()),
+            mean_attacker_upload: self
+                .meter
+                .mean_uploaded(attacker_nodes.iter().map(|&i| NodeId(i))),
+            mean_honest_upload: self
+                .meter
+                .mean_uploaded(honest_nodes.iter().map(|&i| NodeId(i))),
             isolated_series: self.isolated_series.clone(),
             usability_threshold: self.cfg.usability_threshold,
             min_node_delivery: {
@@ -1122,7 +1255,7 @@ impl BarGossipSim {
                 } else {
                     honest_nodes
                         .iter()
-                        .map(|v| self.node_delivered[v.index()] as f64 / per_round_total as f64)
+                        .map(|&i| self.node_delivered[i as usize] as f64 / per_round_total as f64)
                         .fold(f64::INFINITY, f64::min)
                         .min(1.0)
                 }
@@ -1133,7 +1266,7 @@ impl BarGossipSim {
                 } else {
                     honest_nodes
                         .iter()
-                        .filter(|v| self.node_unusable_rounds[v.index()] > 0)
+                        .filter(|&&i| unusable_rounds(i as usize) > 0)
                         .count() as f64
                         / honest_nodes.len() as f64
                 }
@@ -1145,7 +1278,7 @@ impl BarGossipSim {
                 } else {
                     honest_nodes
                         .iter()
-                        .map(|v| u64::from(self.node_unusable_rounds[v.index()]))
+                        .map(|&i| u64::from(unusable_rounds(i as usize)))
                         .sum::<u64>() as f64
                         / samples as f64
                 }
@@ -1178,13 +1311,35 @@ impl RoundSim for BarGossipSim {
         if !self.faults.just_crashed().is_empty() {
             // State-losing crash: unlike churned-out nodes, which keep
             // their windows while away, a crashed node re-enters cold.
-            let crashed = self.faults.just_crashed();
-            for (i, node) in self.nodes.iter_mut().enumerate() {
-                if crashed.contains(i) {
-                    node.window.clear();
-                }
+            for i in self.faults.just_crashed().iter() {
+                self.windows[i].clear();
             }
         }
+        // Engage nodes whose arrival wave just landed: fast-forward
+        // their windows into lockstep before anything slides. Inlined
+        // (rather than calling `ensure_engaged`) so the scratch-mask
+        // iteration and the window mutations borrow disjoint fields.
+        self.mask_scratch.copy_from(self.population.present());
+        self.mask_scratch.subtract(&self.engaged);
+        if !self.mask_scratch.is_empty() {
+            for i in self.mask_scratch.iter() {
+                if t > 0 {
+                    self.windows[i].skip_to(t - 1);
+                }
+                self.engaged.insert(i);
+                self.node_unusable_rounds[i] = self.measured_rounds;
+            }
+        }
+        // Rebuild the round's activity snapshot: active = present ∧
+        // ¬down ∧ ¬evicted ∧ ¬cut, word-parallel. Nothing becomes
+        // alive mid-round (evictions and cuts only remove), so the
+        // snapshot is a superset of every `alive()` check below and the
+        // shard walks see exactly the dense filter lists.
+        self.mask_scratch.copy_from(self.population.present());
+        self.mask_scratch.subtract(self.faults.down_mask());
+        self.mask_scratch.subtract(&self.evicted);
+        self.mask_scratch.subtract(&self.cut);
+        self.shards.load(&self.mask_scratch);
         let observed = self
             .schedule_state
             .needs_observation()
@@ -1197,10 +1352,8 @@ impl RoundSim for BarGossipSim {
         // Observation 3.1 harness: fed nodes receive the new batch the
         // moment it is released — "sufficiently rapidly" taken literally.
         if !self.fed.is_empty() {
-            for i in 0..self.nodes.len() {
-                if self.fed.contains(i) {
-                    self.nodes[i].window.union_with(&self.full);
-                }
+            for i in self.fed.iter() {
+                self.windows[i].union_with(&self.full);
             }
             self.fed.clear();
         }
@@ -1220,7 +1373,10 @@ impl lotus_core::satiation::Feedable for BarGossipSim {
     /// the broadcaster will release in the coming round (the attacker's
     /// power in the limit, as Observation 3.1 assumes).
     fn feed_fully(&mut self, node: NodeId) {
-        self.nodes[node.index()].window.union_with(&self.full);
+        // Feeding a node implies it exists in the system: engage it
+        // first so its window is in lockstep before the union.
+        self.ensure_engaged(node.index());
+        self.windows[node.index()].union_with(&self.full);
         self.fed.insert(node.index());
     }
 
@@ -1232,12 +1388,18 @@ impl lotus_core::satiation::Feedable for BarGossipSim {
 
 impl lotus_core::satiation::Satiable for BarGossipSim {
     fn node_count(&self) -> u32 {
-        self.nodes.len() as u32
+        self.class.len() as u32
     }
 
     /// A node is satiated when it holds every live update.
     fn is_satiated(&self, node: NodeId) -> bool {
-        self.nodes[node.index()].window.missing_from(&self.full) == 0
+        if !self.engaged.contains(node.index()) {
+            // A disengaged window is not in lockstep with `full`;
+            // the node holds nothing, so it is satiated iff nothing
+            // is live.
+            return self.full.is_empty();
+        }
+        self.windows[node.index()].missing_from(&self.full) == 0
     }
 
     fn service_provided(&self, node: NodeId) -> u64 {

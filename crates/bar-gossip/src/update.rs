@@ -119,6 +119,37 @@ impl WindowSet {
         }
     }
 
+    /// Fast-forward an *empty*, never-scrolled window to the alignment
+    /// that advancing it through `round` one step at a time would have
+    /// produced: `min(round + 1, lifetime)` all-zero masks ending at
+    /// release round `round`. The lazy-engagement seam of the sharded
+    /// engine — a flash-crowd node's window is not advanced while the
+    /// node waits outside the system (`O(pending)` saved per round),
+    /// then snapped into lockstep the round it arrives. An empty window
+    /// advanced `round + 1` times holds exactly these zero masks, so
+    /// the fast-forward is observationally identical to the dense path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window holds any update or has already expired a
+    /// round (those histories cannot be reproduced by zero-fill), or if
+    /// the fast-forward would rewind the window.
+    pub fn skip_to(&mut self, round: Round) {
+        assert!(
+            self.start == 0 && self.is_empty(),
+            "skip_to requires a fresh, empty window"
+        );
+        let len = (round + 1).min(Round::from(self.lifetime)) as usize;
+        assert!(
+            len >= self.masks.len(),
+            "skip_to({round}) would rewind past {} queued rounds",
+            self.masks.len()
+        );
+        self.masks.clear();
+        self.masks.resize(len, 0);
+        self.start = round + 1 - len as Round;
+    }
+
     fn mask_index(&self, round: Round) -> Option<usize> {
         if round < self.start {
             return None;
@@ -324,6 +355,39 @@ mod tests {
         assert!(w.contains(id));
         assert!(!w.contains(UpdateId { round: 0, slot: 8 }));
         assert_eq!(w.len(), 1);
+    }
+
+    #[test]
+    fn skip_to_matches_dense_advancement() {
+        // Both before the first expiry and well after it, a fast-forward
+        // must land on exactly the state a round-at-a-time advance of an
+        // empty window reaches: same alignment, same (zero) masks, and
+        // the next advance behaves identically.
+        for upto in [0, 2, 4, 5, 17] {
+            let dense = window(4, 5, upto);
+            let mut lazy = WindowSet::new(4, 5);
+            lazy.skip_to(upto);
+            assert_eq!(lazy.start(), dense.start(), "start after skip_to({upto})");
+            assert_eq!(lazy.len(), 0);
+            assert_eq!(lazy.missing_from(&dense), 0);
+            let mut d2 = dense.clone();
+            assert_eq!(lazy.advance(upto + 1), d2.advance(upto + 1));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "fresh, empty window")]
+    fn skip_to_rejects_populated_windows() {
+        let mut w = window(4, 5, 1);
+        w.insert(UpdateId { round: 1, slot: 0 });
+        w.skip_to(3);
+    }
+
+    #[test]
+    #[should_panic(expected = "rewind")]
+    fn skip_to_rejects_rewinds() {
+        let mut w = window(4, 8, 3); // empty, start still 0, 4 masks queued
+        w.skip_to(1);
     }
 
     #[test]

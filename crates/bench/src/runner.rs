@@ -20,7 +20,7 @@
 //! inputs.
 
 use crate::registry::{Params, RunRequest, ScenarioRegistry};
-use crate::timing::{bench_scenario, BenchRecord};
+use crate::timing::{bench_scenario, BenchRecord, TimingStats};
 use crate::Fidelity;
 use lotus_core::report::{CrossoverRecord, UsabilityThreshold};
 use lotus_core::sweep::{grid, sweep_fraction, SweepConfig};
@@ -130,6 +130,9 @@ pub struct Options {
     pub quick: bool,
     /// Timing-bench mode: time scenario hot loops instead of sweeping.
     pub bench: bool,
+    /// Scale-curve mode: step-ns versus total N and versus active
+    /// fraction, proving the sharded engine's `O(active)` claim.
+    pub bench_scale: bool,
     /// Timed iterations per benched scenario (default from fidelity).
     pub bench_iters: Option<u32>,
     /// Untimed warmup runs per benched scenario (default from fidelity).
@@ -164,6 +167,7 @@ impl Default for Options {
             threshold: UsabilityThreshold::BAR_GOSSIP.0,
             quick: false,
             bench: false,
+            bench_scale: false,
             bench_iters: None,
             bench_warmup: None,
             arm_trace: false,
@@ -314,6 +318,7 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
             "--x-label" => opts.x_label = Some(take("--x-label")?.to_string()),
             "--y-label" => opts.y_label = Some(take("--y-label")?.to_string()),
             "--bench" => opts.bench = true,
+            "--bench-scale" => opts.bench_scale = true,
             "--bench-iters" => {
                 opts.bench_iters = Some(
                     take("--bench-iters")?
@@ -341,6 +346,7 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
 pub const USAGE: &str = "\
 usage: lotus-bench --scenario NAME [--attack A[,B,...]] [options]
        lotus-bench --bench [--scenario NAME] [options]
+       lotus-bench --bench-scale [options]
        lotus-bench --list
 
 options:
@@ -397,8 +403,17 @@ options:
                         for every registered scenario (or just --scenario);
                         save the JSON as BENCH_<date>.json to track the
                         perf trajectory across PRs
-  --bench-iters N       timed runs per benched scenario (default 12, 3 with --quick)
-  --bench-warmup N      untimed warmup runs (default 3, 1 with --quick)
+  --bench-scale         emit the sharded engine's O(active) scale curves:
+                        step-ns for bar-gossip versus total N at ~10k active
+                        (10k, 100k, 1M nodes; the surplus held back by a
+                        flash-crowd burst that never fires) and versus active
+                        fraction at 1M total (1 %, 2 %, 4 %), plus the
+                        headline step-ns ratio of 1M total / 1 % active
+                        against 10k total / 100 % active
+  --bench-iters N       timed runs per benched scenario (default 12, 3 with --quick;
+                        3 under --bench-scale)
+  --bench-warmup N      untimed warmup runs (default 3, 1 with --quick;
+                        1 under --bench-scale)
   --list                list scenarios, attacks, parameters and metrics";
 
 /// One curve's representative adaptive arm trace (`--arm-trace`).
@@ -759,6 +774,226 @@ fn render_bench_table(bench: &Bench) -> String {
     out
 }
 
+/// One timed point of the `O(active)` scale curve: a bar-gossip
+/// configuration with `nodes` total and `active` present nodes (the
+/// surplus held back by a flash-crowd burst scheduled far beyond the
+/// run's horizon, so membership never changes mid-measurement).
+#[derive(Debug, Clone)]
+pub struct ScalePoint {
+    /// Total nodes in the universe (`--param nodes`).
+    pub nodes: u64,
+    /// Present (active) nodes during the measured steps.
+    pub active: u64,
+    /// Steps a single run executes.
+    pub steps_per_run: u64,
+    /// Full-run wall-clock statistics.
+    pub run_ns: TimingStats,
+    /// Per-step wall-clock statistics.
+    pub step_ns: TimingStats,
+}
+
+impl ScalePoint {
+    fn active_pct(&self) -> f64 {
+        100.0 * self.active as f64 / self.nodes as f64
+    }
+}
+
+/// The evaluated `--bench-scale` curves.
+#[derive(Debug, Clone)]
+pub struct BenchScale {
+    /// Untimed warmup runs per point.
+    pub warmup: u32,
+    /// Timed iterations per point.
+    pub iters: u32,
+    /// Replication seeds the iterations cycled through.
+    pub seeds: usize,
+    /// Timed points: total-N curve at ~10k active, then the
+    /// active-fraction curve at 1M total.
+    pub points: Vec<ScalePoint>,
+    /// Headline ratio: median step-ns at 1M total / 1 % active over
+    /// median step-ns at 10k total / 100 % active. The `O(active)` claim
+    /// is that this stays near 1 (acceptance: within ~2x) even though
+    /// the universe grew 100-fold.
+    pub ratio_1m_1pct_vs_10k_full: f64,
+}
+
+/// The `(nodes, active)` grid `--bench-scale` times: a total-N curve at
+/// a fixed ~10k-node active set, then an active-fraction curve at 1M
+/// total. The first point (10k total, 100 % active) is the reference of
+/// the headline ratio; the third (1M total, 1 % active = the same 10k
+/// active nodes) is its numerator.
+pub const BENCH_SCALE_GRID: &[(u64, u64)] = &[
+    (10_000, 10_000),
+    (100_000, 10_000),
+    (1_000_000, 10_000),
+    (1_000_000, 20_000),
+    (1_000_000, 40_000),
+];
+
+/// Time the `O(active)` scale curves against `registry`.
+///
+/// Each grid point builds bar-gossip through the ordinary registry
+/// factory with `nodes` total nodes and the surplus held back by
+/// `arrival=burst:1000000:<surplus>` — a flash crowd whose round never
+/// arrives, leaving exactly `active` nodes present. Global `--param`s
+/// overlay the per-point round counts, but the grid's `nodes`/`arrival`
+/// axes always win (they *are* the curve).
+///
+/// # Errors
+///
+/// Propagates factory and validation errors as messages.
+pub fn evaluate_bench_scale(
+    registry: &ScenarioRegistry,
+    opts: &Options,
+) -> Result<BenchScale, String> {
+    let iters = opts.bench_iters.unwrap_or(3);
+    let warmup = opts.bench_warmup.unwrap_or(1);
+    if iters == 0 {
+        return Err("--bench-iters must be at least 1".to_string());
+    }
+    let seeds = SweepConfig::with_seeds(opts.seeds.unwrap_or(1)).seeds;
+    if seeds.is_empty() {
+        return Err("--seeds must be at least 1".to_string());
+    }
+    let mut points = Vec::with_capacity(BENCH_SCALE_GRID.len());
+    for &(nodes, active) in BENCH_SCALE_GRID {
+        let mut params = Params::new()
+            .with("rounds", "8")
+            .with("warmup_rounds", "2")
+            .with("updates_per_round", "4")
+            .with("copies_seeded", "6")
+            .merged_with(&opts.params);
+        params.set("nodes", nodes.to_string());
+        params.set(
+            "arrival",
+            if active < nodes {
+                format!("burst:1000000:{}", nodes - active)
+            } else {
+                "none".to_string()
+            },
+        );
+        let (run_ns, step_ns, steps_per_run) = bench_scenario(
+            |i| {
+                let seed = seeds[i as usize % seeds.len()];
+                let req = RunRequest::new(0.0, seed, "none", "fraction", &params);
+                registry.build("bar-gossip", &req)
+            },
+            warmup,
+            iters,
+        )?;
+        points.push(ScalePoint {
+            nodes,
+            active,
+            steps_per_run,
+            run_ns,
+            step_ns,
+        });
+    }
+    let step_med = |nodes: u64, active: u64| {
+        points
+            .iter()
+            .find(|p| p.nodes == nodes && p.active == active)
+            .map(|p| p.step_ns.median_ns as f64)
+            .unwrap_or(f64::NAN)
+    };
+    let reference = step_med(10_000, 10_000);
+    let ratio = if reference > 0.0 {
+        step_med(1_000_000, 10_000) / reference
+    } else {
+        f64::NAN
+    };
+    Ok(BenchScale {
+        warmup,
+        iters,
+        seeds: seeds.len(),
+        points,
+        ratio_1m_1pct_vs_10k_full: ratio,
+    })
+}
+
+/// Render `scale` in the requested format.
+pub fn render_bench_scale(scale: &BenchScale, opts: &Options) -> String {
+    match opts.format {
+        Format::Json => render_bench_scale_json(scale),
+        Format::Table => render_bench_scale_table(scale),
+    }
+}
+
+fn render_bench_scale_json(scale: &BenchScale) -> String {
+    use std::fmt::Write;
+    let unix_time = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let mut out = String::from("{\"bench_scale\":true");
+    let _ = write!(out, ",\"unix_time\":{unix_time}");
+    let _ = write!(out, ",\"warmup\":{}", scale.warmup);
+    let _ = write!(out, ",\"iters\":{}", scale.iters);
+    let _ = write!(out, ",\"seeds\":{}", scale.seeds);
+    out.push_str(",\"points\":[");
+    for (i, p) in scale.points.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"nodes\":{},\"active\":{},\"steps_per_run\":{},\"run_ns\":{},\"step_ns\":{}}}",
+            p.nodes,
+            p.active,
+            p.steps_per_run,
+            p.run_ns.to_json(),
+            p.step_ns.to_json()
+        );
+    }
+    let _ = write!(
+        out,
+        "],\"ratio_1m_1pct_vs_10k_full\":{:.4}}}",
+        scale.ratio_1m_1pct_vs_10k_full
+    );
+    out
+}
+
+fn render_bench_scale_table(scale: &BenchScale) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# lotus-bench O(active) scale curves ({} warmup + {} timed iterations, {} seed{})",
+        scale.warmup,
+        scale.iters,
+        scale.seeds,
+        if scale.seeds == 1 { "" } else { "s" }
+    );
+    let _ = writeln!(out);
+    let mut t = Table::new(vec![
+        "nodes",
+        "active",
+        "active %",
+        "steps/run",
+        "step med (ns)",
+        "step p90 (ns)",
+        "run min (ns)",
+    ]);
+    for p in &scale.points {
+        t.row(vec![
+            p.nodes.to_string(),
+            p.active.to_string(),
+            format!("{:.1}", p.active_pct()),
+            p.steps_per_run.to_string(),
+            p.step_ns.median_ns.to_string(),
+            p.step_ns.p90_ns.to_string(),
+            p.run_ns.min_ns.to_string(),
+        ]);
+    }
+    let _ = writeln!(out, "{}", t.render());
+    let _ = writeln!(
+        out,
+        "step-ns ratio, 1M total / 1% active vs 10k total / 100% active: {:.2}",
+        scale.ratio_1m_1pct_vs_10k_full
+    );
+    out
+}
+
 /// Render `figure` in the requested format.
 pub fn render_figure(figure: &Figure, opts: &Options) -> String {
     match opts.format {
@@ -997,6 +1232,10 @@ pub fn run_args(args: &[String]) -> Result<String, String> {
     if opts.list {
         return Ok(render_list(&registry));
     }
+    if opts.bench_scale {
+        let scale = evaluate_bench_scale(&registry, &opts)?;
+        return Ok(render_bench_scale(&scale, &opts));
+    }
     if opts.bench {
         let bench = evaluate_bench(&registry, &opts)?;
         return Ok(render_bench(&bench, &opts));
@@ -1161,6 +1400,62 @@ mod tests {
         ]))
         .unwrap();
         assert!(out.contains("masquerade"), "{out}");
+    }
+
+    #[test]
+    fn bench_scale_flag_parses_and_grid_is_sane() {
+        let opts = parse_args(&args(&["--bench-scale", "--bench-iters", "1"])).unwrap();
+        assert!(opts.bench_scale);
+        assert_eq!(opts.bench_iters, Some(1));
+        assert_eq!(
+            BENCH_SCALE_GRID[0],
+            (10_000, 10_000),
+            "first point is the headline ratio's reference"
+        );
+        assert!(
+            BENCH_SCALE_GRID.contains(&(1_000_000, 10_000)),
+            "the 1M / 1% headline point must be on the grid"
+        );
+        for &(nodes, active) in BENCH_SCALE_GRID {
+            assert!((1..=nodes).contains(&active), "{nodes}/{active}");
+        }
+    }
+
+    #[test]
+    fn bench_scale_render_shapes() {
+        let stats = TimingStats::from_samples(&mut [1, 2, 3]).unwrap();
+        let scale = BenchScale {
+            warmup: 1,
+            iters: 3,
+            seeds: 1,
+            points: vec![ScalePoint {
+                nodes: 10_000,
+                active: 10_000,
+                steps_per_run: 10,
+                run_ns: stats,
+                step_ns: stats,
+            }],
+            ratio_1m_1pct_vs_10k_full: 0.59,
+        };
+        let table = render_bench_scale(&scale, &Options::default());
+        assert!(table.contains("O(active) scale curves"), "{table}");
+        assert!(table.contains("0.59"), "{table}");
+        let json = render_bench_scale(
+            &scale,
+            &Options {
+                format: Format::Json,
+                ..Options::default()
+            },
+        );
+        assert!(json.contains("\"bench_scale\":true"), "{json}");
+        assert!(
+            json.contains("\"ratio_1m_1pct_vs_10k_full\":0.5900"),
+            "{json}"
+        );
+        assert!(
+            json.contains("\"points\":[{\"nodes\":10000,\"active\":10000"),
+            "{json}"
+        );
     }
 
     #[test]

@@ -129,6 +129,47 @@ fn faulted_steady_steps_are_alloc_free() {
 }
 
 #[test]
+fn sharded_multi_shard_steady_step_is_alloc_free() {
+    // Above the single-shard cutoff (1024 indices) the round loops run
+    // the sharded O(active) paths: shard-ordered round order, batched
+    // partner sampling and shard-range counter clears must all stay on
+    // preallocated scratch. The burst pool is held back beyond the
+    // horizon, so the measured steps walk a sparse multi-shard map.
+    assert_steady_steps_alloc_free(
+        "bar-gossip",
+        "trade",
+        &[
+            ("nodes", "2500"),
+            ("rounds", "60"),
+            ("arrival", "burst:100000:2000"),
+        ],
+    );
+}
+
+#[test]
+fn flash_crowd_landing_leaves_steady_steps_alloc_free() {
+    // The crowd lands during warm-up (round 10 < the 30 warm-up steps):
+    // the engage step may allocate then, but every measured step
+    // afterwards — now at full multi-shard occupancy — must be
+    // allocation-free.
+    assert_steady_steps_alloc_free(
+        "bar-gossip",
+        "trade",
+        &[
+            ("nodes", "2500"),
+            ("rounds", "60"),
+            ("arrival", "burst:10:2000"),
+        ],
+    );
+}
+
+#[test]
+fn scrip_multi_shard_steady_step_is_alloc_free() {
+    // The scrip volunteer scan walks active shards above the cutoff.
+    assert_steady_steps_alloc_free("scrip", "lotus-eater", &[("agents", "2500")]);
+}
+
+#[test]
 fn bittorrent_steady_step_is_alloc_free() {
     // More pieces than the bench default so no leecher completes inside
     // the measured window.

@@ -99,16 +99,17 @@ fn runner_list_documents_attacks_and_schedule_churn_axes() {
     ] {
         assert!(out.contains(needle), "missing {needle:?} in:\n{out}");
     }
-    // The schedule/churn axes appear for every substrate that takes them.
+    // The schedule/churn axes appear for every substrate config that
+    // takes them (bar-gossip twice: the paper scale and the 1M scale).
     assert_eq!(
         out.matches("schedule: --schedule always|at:<r>").count(),
-        5,
-        "five substrates advertise the schedule axis:\n{out}"
+        6,
+        "six scenario configs advertise the schedule axis:\n{out}"
     );
     assert_eq!(
         out.matches("churn:   --churn <leave>[:<rejoin>]").count(),
-        5,
-        "five substrates advertise the churn axis:\n{out}"
+        6,
+        "six scenario configs advertise the churn axis:\n{out}"
     );
     // The runner help documents the flags themselves.
     let help = run_runner(&["--help"]);

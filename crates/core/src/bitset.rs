@@ -201,6 +201,16 @@ impl BitSet {
             .sum()
     }
 
+    /// The backing words in index order (bit `i` lives at
+    /// `words()[i / 64] & (1 << (i % 64))`). Read-only seam for
+    /// word-parallel consumers — the sharded activity index
+    /// ([`crate::soa::ShardMap`]) popcounts per-shard word slices
+    /// through this. Bits at or above the universe are always zero.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
     /// `true` if `self ⊆ other`.
     pub fn is_subset(&self, other: &BitSet) -> bool {
         self.check_compat(other);

@@ -359,6 +359,13 @@ impl FaultState {
         &self.crashed_now
     }
 
+    /// Nodes currently crashed, as a mask — the word-parallel seam the
+    /// sharded engine folds into its per-round activity mask
+    /// (present ∧ not-crashed ∧ not-evicted).
+    pub fn down_mask(&self) -> &BitSet {
+        &self.down
+    }
+
     /// Nodes currently crashed.
     pub fn down_count(&self) -> usize {
         self.down.len()

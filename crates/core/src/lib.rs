@@ -31,6 +31,10 @@
 //!   [`FaultState`](faults::FaultState)), the realistic-network
 //!   dimension that lets defection hide inside the background fault
 //!   rate;
+//! * [`soa`] — the sharded struct-of-arrays activity index
+//!   ([`ShardMap`](soa::ShardMap)): fixed-size shards over the node
+//!   index space with cached activity popcounts, so round loops cost
+//!   `O(active)` instead of `O(population)` at million-node scale;
 //! * [`proptest_lite`] — the dependency-free property-test harness
 //!   (seeded case generation + shrink-by-halving) the population
 //!   invariant suites run on;
@@ -86,5 +90,6 @@ pub mod report;
 pub mod satiation;
 pub mod scenario;
 pub mod schedule;
+pub mod soa;
 pub mod sweep;
 pub mod token;

@@ -474,6 +474,13 @@ pub struct Population {
     /// Cohort index per node (empty for single-class profiles: everyone
     /// is class 0 and no assignment randomness is drawn).
     class: Vec<u8>,
+    /// Cached `present.len()`, maintained incrementally at every
+    /// membership mutation so `present_fraction` observations (the
+    /// `presence-*` schedule triggers) and the flash-crowd withdrawal
+    /// loop are `O(1)` instead of an `O(n/64)` popcount scan — at a
+    /// million nodes the scan inside `set_arrival`'s per-withdrawal
+    /// check was quadratic.
+    n_present: usize,
     rng: DetRng,
 }
 
@@ -521,6 +528,7 @@ impl Population {
             pending: BitSet::new(n),
             arrival_exempt: BitSet::new(n),
             class,
+            n_present: n,
             rng,
         }
     }
@@ -535,7 +543,9 @@ impl Population {
     pub fn protect(&mut self, node: usize) {
         self.protected.insert(node);
         self.pending.remove(node);
-        self.present.insert(node);
+        if self.present.insert(node) {
+            self.n_present += 1;
+        }
     }
 
     /// Exclude `node` from ever being held back by
@@ -569,10 +579,12 @@ impl Population {
             {
                 continue;
             }
-            if self.present.len() <= 1 {
+            if self.n_present <= 1 {
                 break; // keep at least one node in the system
             }
-            self.present.remove(i);
+            if self.present.remove(i) {
+                self.n_present -= 1;
+            }
             self.pending.insert(i);
             want -= 1;
         }
@@ -627,9 +639,11 @@ impl Population {
         &self.rng
     }
 
-    /// Nodes currently present.
+    /// Nodes currently present. `O(1)`: served from the incrementally
+    /// maintained count, not a popcount scan.
     pub fn present_count(&self) -> usize {
-        self.present.len()
+        debug_assert_eq!(self.n_present, self.present.len(), "count cache drift");
+        self.n_present
     }
 
     /// Flash-crowd nodes still waiting to arrive.
@@ -639,19 +653,20 @@ impl Population {
 
     /// The fraction of the universe currently present — the
     /// `present_fraction` observation `presence-above`/`presence-below`
-    /// schedule triggers key on. Allocation-free.
+    /// schedule triggers key on. Allocation-free and `O(1)`.
     pub fn present_fraction(&self) -> f64 {
         let n = self.present.universe();
         if n == 0 {
             1.0
         } else {
-            self.present.len() as f64 / n as f64
+            self.present_count() as f64 / n as f64
         }
     }
 
     /// Whether every node is present (always true without dynamics).
+    /// `O(1)` via the cached count.
     pub fn all_present(&self) -> bool {
-        self.present.is_full()
+        self.present_count() == self.present.universe()
     }
 
     /// The cohort `node` belongs to.
@@ -679,7 +694,9 @@ impl Population {
             }
             if self.pending.contains(i) {
                 self.pending.remove(i);
-                self.present.insert(i);
+                if self.present.insert(i) {
+                    self.n_present += 1;
+                }
                 left -= 1;
             }
         }
@@ -691,7 +708,9 @@ impl Population {
                 return;
             }
             if !self.present.contains(i) && !self.arrival_exempt.contains(i) {
-                self.present.insert(i);
+                if self.present.insert(i) {
+                    self.n_present += 1;
+                }
                 left -= 1;
             }
         }
@@ -743,11 +762,14 @@ impl Population {
             }
             let spec = *self.class_spec(i);
             if self.present.contains(i) {
-                if !self.protected.contains(i) && self.rng.chance(spec.leave) {
-                    self.present.remove(i);
+                if !self.protected.contains(i)
+                    && self.rng.chance(spec.leave)
+                    && self.present.remove(i)
+                {
+                    self.n_present -= 1;
                 }
-            } else if self.rng.chance(spec.rejoin) {
-                self.present.insert(i);
+            } else if self.rng.chance(spec.rejoin) && self.present.insert(i) {
+                self.n_present += 1;
             }
         }
     }

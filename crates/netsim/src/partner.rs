@@ -109,6 +109,48 @@ impl PartnerSchedule {
         }
     }
 
+    /// Batched partner selection for an explicit initiator set: clears
+    /// `out` and pushes the partner of each node `nodes` yields, in
+    /// yield order — bit-identical to calling
+    /// [`PartnerSchedule::partner_of`] per node.
+    ///
+    /// This is the shard-aware sampling path of the `O(active)` engine:
+    /// the caller walks only its active shards (ascending index order)
+    /// and the per-round and rejection-threshold mixing is hoisted out
+    /// of the per-node loop instead of being recomputed for every
+    /// initiator. Allocation-free once `out` has capacity.
+    // lint: hot-loop
+    pub fn sample_active_into(
+        &self,
+        round: Round,
+        proto: Protocol,
+        nodes: impl IntoIterator<Item = NodeId>,
+        out: &mut Vec<NodeId>,
+    ) {
+        out.clear();
+        let round_h = split_mix64(self.seed ^ round.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let tag = proto.tag();
+        let m = u64::from(self.n - 1);
+        let threshold = m.wrapping_neg() % m;
+        for node in nodes {
+            let mut h = round_h;
+            h = split_mix64(h ^ u64::from(node.0).wrapping_mul(0xC2B2_AE3D_27D4_EB4F));
+            h = split_mix64(h ^ tag);
+            let mut draw = h;
+            let r = loop {
+                if draw >= threshold {
+                    break draw % m;
+                }
+                draw = split_mix64(draw);
+            } as u32;
+            out.push(if r >= node.0 {
+                NodeId(r + 1)
+            } else {
+                NodeId(r)
+            });
+        }
+    }
+
     /// All initiations for a round under `proto`: `(initiator, partner)`
     /// pairs in node order.
     pub fn round_pairs(
@@ -198,6 +240,29 @@ mod tests {
         // Expect ~210 per other node.
         for (i, &c) in counts.iter().enumerate().skip(1) {
             assert!((130..300).contains(&c), "node {i} chosen {c} times");
+        }
+    }
+
+    #[test]
+    fn sample_active_into_matches_partner_of() {
+        let s = PartnerSchedule::new(23, 97);
+        let mut out = Vec::new();
+        for round in 0..50 {
+            for proto in [
+                Protocol::BalancedExchange,
+                Protocol::OptimisticPush,
+                Protocol::Other(3),
+            ] {
+                // An arbitrary sparse "active" subset, ascending.
+                let active: Vec<NodeId> = NodeId::all(97)
+                    .filter(|v| v.0 % 7 == round as u32 % 7)
+                    .collect();
+                s.sample_active_into(round, proto, active.iter().copied(), &mut out);
+                assert_eq!(out.len(), active.len());
+                for (v, p) in active.iter().zip(&out) {
+                    assert_eq!(*p, s.partner_of(*v, round, proto), "{v:?} round {round}");
+                }
+            }
         }
     }
 

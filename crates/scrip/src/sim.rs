@@ -32,10 +32,12 @@
 
 use crate::attack::ScripAttack;
 use crate::config::ScripConfig;
+use lotus_core::bitset::BitSet;
 use lotus_core::faults::{Fate, FaultCounters, FaultState};
 use lotus_core::population::Population;
 use lotus_core::satiation::Satiable;
 use lotus_core::schedule::{MetricKey, ScheduleState};
+use lotus_core::soa::ShardMap;
 use netsim::rng::DetRng;
 use netsim::round::RoundSim;
 use netsim::{NodeId, Round};
@@ -49,20 +51,10 @@ pub enum AgentRole {
     Altruist,
 }
 
-#[derive(Debug, Clone)]
-struct Agent {
-    money: u64,
-    threshold: u32,
-    role: AgentRole,
-    /// Provider of the rare special service.
-    special: bool,
-    /// Attack target (kept topped up).
-    targeted: bool,
-    served: u64,
-    // Adaptive bookkeeping for the current interval.
-    broke_failures: u32,
-    free_received: u32,
-}
+// Per-agent state lives in struct-of-arrays layout on the simulator
+// itself (`money`, `threshold`, `served`, and the `altruist`/`special`/
+// `targeted` bitsets), keyed by agent index — the flat layout the
+// sharded volunteer scan iterates.
 
 /// Final report of a scrip-economy run.
 #[derive(Debug, Clone, PartialEq)]
@@ -145,7 +137,29 @@ pub fn gini(values: &[u64]) -> f64 {
 pub struct ScripSim {
     cfg: ScripConfig,
     attack: ScripAttack,
-    agents: Vec<Agent>,
+    // ---- struct-of-arrays per-agent state, keyed by agent index ----
+    money: Vec<u64>,
+    threshold: Vec<u32>,
+    /// Altruists (serve for free); everyone else is a threshold agent.
+    altruist: BitSet,
+    /// Providers of the rare special service.
+    special: BitSet,
+    /// Attack targets (kept topped up).
+    targeted: BitSet,
+    served: Vec<u64>,
+    // Adaptive bookkeeping for the current interval.
+    broke_failures: Vec<u32>,
+    free_received: Vec<u32>,
+    /// Rational agent indices, ascending (roles are fixed at build).
+    rational_list: Vec<u32>,
+    /// Attack-target indices, ascending (targets are fixed at build).
+    target_list: Vec<u32>,
+    /// Sharded activity index over agents: active = present ∧ ¬down,
+    /// rebuilt word-parallel each round. The volunteer scan walks this
+    /// instead of `0..n`, so its cost scales with live agents.
+    shards: ShardMap,
+    /// Word-parallel scratch mask for the rebuild above.
+    mask_scratch: BitSet,
     attacker_money: u64,
     initial_supply: u64,
     rng: DetRng,
@@ -194,54 +208,50 @@ impl ScripSim {
 
         // Roles: special providers first, altruists last (disjoint by
         // validation).
-        let mut agents: Vec<Agent> = (0..n)
-            .map(|i| Agent {
-                money: 0,
-                threshold: cfg.initial_threshold,
-                role: if i >= n - cfg.altruists as usize {
-                    AgentRole::Altruist
-                } else {
-                    AgentRole::Rational
-                },
-                special: i < cfg.special_providers as usize,
-                targeted: false,
-                served: 0,
-                broke_failures: 0,
-                free_received: 0,
-            })
-            .collect();
+        let mut money = vec![0u64; n];
+        let threshold = vec![cfg.initial_threshold; n];
+        let mut altruist = BitSet::new(n);
+        let mut special = BitSet::new(n);
+        let mut rational_list = Vec::new();
+        for i in 0..n {
+            if i >= n - cfg.altruists as usize {
+                altruist.insert(i);
+            } else {
+                rational_list.push(i as u32);
+            }
+            if i < cfg.special_providers as usize {
+                special.insert(i);
+            }
+        }
 
         // Distribute circulating scrip round-robin (near-equal start).
         for c in 0..circulating {
-            agents[(c % n as u64) as usize].money += 1;
+            money[(c % n as u64) as usize] += 1;
         }
 
         // Attack targets.
+        let mut targeted = BitSet::new(n);
         match attack {
             ScripAttack::None => {}
             ScripAttack::LotusEater {
                 target_fraction, ..
             } => {
-                let rationals: Vec<usize> = (0..n)
-                    .filter(|&i| agents[i].role == AgentRole::Rational)
-                    .collect();
                 let k = ((n as f64) * target_fraction).round() as usize;
                 let mut pick_rng = rng.fork("targets");
                 for &idx in pick_rng
-                    .sample_indices(rationals.len(), k.min(rationals.len()))
+                    .sample_indices(rational_list.len(), k.min(rational_list.len()))
                     .iter()
                 {
-                    agents[rationals[idx]].targeted = true;
+                    targeted.insert(rational_list[idx] as usize);
                 }
             }
             ScripAttack::Retainer { .. } => {
-                for agent in agents.iter_mut() {
-                    if agent.special {
-                        agent.targeted = true;
-                    }
+                for i in special.iter() {
+                    targeted.insert(i);
                 }
             }
         }
+        let target_list: Vec<u32> = targeted.iter().map(|i| i as u32).collect();
 
         let schedule_state = ScheduleState::seeded(cfg.schedule, rng.fork("adaptive"));
         // Forking never advances the parent, so adding the fault layer
@@ -255,7 +265,18 @@ impl ScripSim {
         ScripSim {
             cfg,
             attack,
-            agents,
+            money,
+            threshold,
+            altruist,
+            special,
+            targeted,
+            served: vec![0; n],
+            broke_failures: vec![0; n],
+            free_received: vec![0; n],
+            rational_list,
+            target_list,
+            shards: ShardMap::new(n),
+            mask_scratch: BitSet::new(n),
             schedule_state,
             attack_active: false,
             population,
@@ -288,12 +309,17 @@ impl ScripSim {
 
     /// Current balance of `agent`.
     pub fn money(&self, agent: NodeId) -> u64 {
-        self.agents[agent.index()].money
+        self.money[agent.index()]
     }
 
     /// Current threshold of `agent`.
     pub fn threshold(&self, agent: NodeId) -> u32 {
-        self.agents[agent.index()].threshold
+        self.threshold[agent.index()]
+    }
+
+    /// The sharded activity index (this round's snapshot).
+    pub fn shard_map(&self) -> &ShardMap {
+        &self.shards
     }
 
     /// The attacker's current war chest.
@@ -303,7 +329,7 @@ impl ScripSim {
 
     /// Total money across agents and attacker (conserved).
     pub fn total_money(&self) -> u64 {
-        self.attacker_money + self.agents.iter().map(|a| a.money).sum::<u64>()
+        self.attacker_money + self.money.iter().sum::<u64>()
     }
 
     /// The supply the system started with; [`Self::total_money`] must
@@ -314,7 +340,7 @@ impl ScripSim {
 
     /// Whether `agent` is an attack target.
     pub fn is_targeted(&self, agent: NodeId) -> bool {
-        self.agents[agent.index()].targeted
+        self.targeted.contains(agent.index())
     }
 
     fn measured(&self) -> bool {
@@ -354,29 +380,30 @@ impl ScripSim {
         if matches!(self.attack, ScripAttack::None) {
             return;
         }
-        for (i, agent) in self.agents.iter_mut().enumerate() {
+        // Targets are fixed, so the top-up walks the static target list
+        // — O(targets), not O(agents) — in the same ascending order the
+        // dense scan hit them (draw-free either way).
+        for &ti in &self.target_list {
+            let i = ti as usize;
             // A crashed target cannot be topped up, same as an absent one.
-            if !agent.targeted || !self.population.is_present(i) || self.faults.is_down(i) {
+            if !self.population.is_present(i) || self.faults.is_down(i) {
                 continue;
             }
-            let need = u64::from(agent.threshold).saturating_sub(agent.money);
+            let need = u64::from(self.threshold[i]).saturating_sub(self.money[i]);
             let transfer = need.min(self.attacker_money);
-            agent.money += transfer;
+            self.money[i] += transfer;
             self.attacker_money -= transfer;
         }
     }
 
     /// One request round.
+    // lint: hot-loop
     fn request_round(&mut self) {
-        let n = self.agents.len();
+        let n = self.money.len();
         let mut rng = self.rng.fork_idx("round", self.round);
         let requester = rng.index(n);
         let special = rng.chance(self.cfg.special_request_prob);
-        // One per-round flag keeps the per-agent presence probe out of
-        // the closed-population hot path entirely (any active churn
-        // cohort or an arrival process means membership can vary).
-        let churning = self.population.has_dynamics();
-        if churning && !self.population.is_present(requester) {
+        if !self.population.is_present(requester) {
             return; // the drawn requester is offline: no request this round
         }
         if self.faults.is_down(requester) {
@@ -388,30 +415,27 @@ impl ScripSim {
         let mut paid = std::mem::take(&mut self.paid_scratch);
         free.clear();
         paid.clear();
-        for (i, agent) in self.agents.iter().enumerate() {
-            // Fault gates precede the availability draw; under an
-            // inactive plan both pass without drawing, so the round
-            // stream is untouched (byte-identity guarantee).
-            if i == requester
-                || (churning && !self.population.is_present(i))
-                || self.faults.is_down(i)
-                || !self.faults.link_ok(requester, i)
-                || !rng.chance(self.cfg.availability)
-            {
-                continue;
+        // Shard walk over present ∧ ¬down agents in ascending index
+        // order — exactly the agents the dense scan let through to the
+        // availability draw (absent and down agents drew nothing under
+        // the `||` short-circuit, and `link_ok`'s partition counter was
+        // only reached past those gates), so the round's rng stream and
+        // the fault counters are unchanged while the scan cost drops to
+        // O(live agents).
+        let availability = self.cfg.availability;
+        self.shards.for_each_active(|i| {
+            if i == requester || !self.faults.link_ok(requester, i) || !rng.chance(availability) {
+                return;
             }
-            if special && !agent.special {
-                continue;
+            if special && !self.special.contains(i) {
+                return;
             }
-            match agent.role {
-                AgentRole::Altruist => free.push(i),
-                AgentRole::Rational => {
-                    if agent.money < u64::from(agent.threshold) {
-                        paid.push(i);
-                    }
-                }
+            if self.altruist.contains(i) {
+                free.push(i);
+            } else if self.money[i] < u64::from(self.threshold[i]) {
+                paid.push(i);
             }
-        }
+        });
         // The attacker volunteers for ordinary paid requests, undercutting
         // honest providers ("providing cheap service", §1): a rational
         // requester prefers him whenever he bids, which both funds the
@@ -436,15 +460,15 @@ impl ScripSim {
                 }
                 false
             } else {
-                self.agents[p].served += 1;
-                self.agents[requester].free_received += 1;
+                self.served[p] += 1;
+                self.free_received[requester] += 1;
                 if measured {
                     self.served_free += 1;
                 }
                 true
             }
-        } else if self.agents[requester].money == 0 {
-            self.agents[requester].broke_failures += 1;
+        } else if self.money[requester] == 0 {
+            self.broke_failures[requester] += 1;
             if measured {
                 self.failed_broke += 1;
             }
@@ -452,7 +476,7 @@ impl ScripSim {
         } else if attacker_bids {
             // The attacker's channel is out-of-band infrastructure (like
             // the ideal-attack sync), exempt from injected faults.
-            self.agents[requester].money -= 1;
+            self.money[requester] -= 1;
             self.attacker_money += 1;
             if measured {
                 self.served_paid += 1;
@@ -467,9 +491,9 @@ impl ScripSim {
                 }
                 false
             } else {
-                self.agents[requester].money -= 1;
-                self.agents[p].money += 1;
-                self.agents[p].served += 1;
+                self.money[requester] -= 1;
+                self.money[p] += 1;
+                self.served[p] += 1;
                 if measured {
                     self.served_paid += 1;
                 }
@@ -504,17 +528,15 @@ impl ScripSim {
             return;
         }
         let max = self.cfg.max_threshold;
-        for agent in self.agents.iter_mut() {
-            if agent.role != AgentRole::Rational {
-                continue;
+        for &ri in &self.rational_list {
+            let i = ri as usize;
+            if self.broke_failures[i] > 0 {
+                self.threshold[i] = (self.threshold[i] + 1).min(max);
+            } else if self.free_received[i] > 0 {
+                self.threshold[i] = self.threshold[i].saturating_sub(1);
             }
-            if agent.broke_failures > 0 {
-                agent.threshold = (agent.threshold + 1).min(max);
-            } else if agent.free_received > 0 {
-                agent.threshold = agent.threshold.saturating_sub(1);
-            }
-            agent.broke_failures = 0;
-            agent.free_received = 0;
+            self.broke_failures[i] = 0;
+            self.free_received[i] = 0;
         }
     }
 
@@ -522,18 +544,15 @@ impl ScripSim {
         if !self.measured() {
             return;
         }
-        let mut rational = 0u64;
+        let rational = self.rational_list.len() as u64;
         let mut satiated = 0u64;
-        for agent in &self.agents {
-            if agent.role != AgentRole::Rational {
-                continue;
-            }
-            rational += 1;
-            let is_sat = agent.money >= u64::from(agent.threshold);
+        for &ri in &self.rational_list {
+            let i = ri as usize;
+            let is_sat = self.money[i] >= u64::from(self.threshold[i]);
             if is_sat {
                 satiated += 1;
             }
-            if agent.targeted {
+            if self.targeted.contains(i) {
                 self.target_samples += 1;
                 if is_sat {
                     self.target_satiated_samples += 1;
@@ -560,16 +579,14 @@ impl ScripSim {
     pub fn report(&self) -> ScripReport {
         let req = self.requests.max(1) as f64;
         let rationals: Vec<u64> = self
-            .agents
+            .rational_list
             .iter()
-            .filter(|a| a.role == AgentRole::Rational)
-            .map(|a| a.money)
+            .map(|&i| self.money[i as usize])
             .collect();
         let thresholds: Vec<f64> = self
-            .agents
+            .rational_list
             .iter()
-            .filter(|a| a.role == AgentRole::Rational)
-            .map(|a| f64::from(a.threshold))
+            .map(|&i| f64::from(self.threshold[i as usize]))
             .collect();
         ScripReport {
             rounds: self.round,
@@ -622,15 +639,18 @@ impl RoundSim for ScripSim {
             // and interval bookkeeping, but keeps its balance — scrip is
             // a bank ledger, so crashes conserve the money supply.
             let initial = self.cfg.initial_threshold;
-            let crashed = self.faults.just_crashed();
-            for (i, agent) in self.agents.iter_mut().enumerate() {
-                if crashed.contains(i) {
-                    agent.threshold = initial;
-                    agent.broke_failures = 0;
-                    agent.free_received = 0;
-                }
+            for i in self.faults.just_crashed().iter() {
+                self.threshold[i] = initial;
+                self.broke_failures[i] = 0;
+                self.free_received[i] = 0;
             }
         }
+        // Rebuild the round's activity snapshot: active = present ∧
+        // ¬down, word-parallel. Both the top-up and the volunteer scan
+        // below see exactly the dense filter set.
+        self.mask_scratch.copy_from(self.population.present());
+        self.mask_scratch.subtract(self.faults.down_mask());
+        self.shards.load(&self.mask_scratch);
         let observed = self
             .schedule_state
             .needs_observation()
@@ -735,8 +755,8 @@ impl lotus_core::satiation::Feedable for ScripSim {
     /// conservation invariant is deliberately suspended here (in-model
     /// attacks go through [`crate::attack::ScripAttack`], which conserves).
     fn feed_fully(&mut self, node: NodeId) {
-        let agent = &mut self.agents[node.index()];
-        agent.money = agent.money.max(u64::from(agent.threshold));
+        let i = node.index();
+        self.money[i] = self.money[i].max(u64::from(self.threshold[i]));
     }
 
     fn step(&mut self) {
@@ -747,18 +767,18 @@ impl lotus_core::satiation::Feedable for ScripSim {
 
 impl Satiable for ScripSim {
     fn node_count(&self) -> u32 {
-        self.agents.len() as u32
+        self.money.len() as u32
     }
 
     /// A rational agent is satiated at or above its threshold; altruists
     /// are never satiated (they serve regardless).
     fn is_satiated(&self, node: NodeId) -> bool {
-        let agent = &self.agents[node.index()];
-        agent.role == AgentRole::Rational && agent.money >= u64::from(agent.threshold)
+        let i = node.index();
+        !self.altruist.contains(i) && self.money[i] >= u64::from(self.threshold[i])
     }
 
     fn service_provided(&self, node: NodeId) -> u64 {
-        self.agents[node.index()].served
+        self.served[node.index()]
     }
 }
 

@@ -20,6 +20,9 @@
 #                          raise it when baseline and fresh run on different
 #                          machines — absolute nanoseconds only compare
 #                          within one machine)
+#   BENCH_GATE_SCALE       set to 0 to skip the informational O(active)
+#                          scale curve (`lotus-bench --bench-scale`) that
+#                          is printed after the gate verdict
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -85,3 +88,15 @@ if failed:
     sys.exit(1)
 print(f"bench gate: OK — {compared} pair(s) within {threshold}%")
 PY
+
+# Informational O(active) scale curve: step-ns versus total N and versus
+# active fraction, proving the sharded engine's cost tracks the active
+# set, not the universe. Printed, not gated — the ratio moves with the
+# runner's memory subsystem, and the 1M-node scenario's run-min is
+# already gated above via the bar-gossip-1m registry entry.
+if [ "${BENCH_GATE_SCALE:-1}" != "0" ]; then
+  echo
+  echo "bench gate: O(active) scale curve (informational, not gated)"
+  cargo run --release -p lotus-bench --bin lotus-bench -- \
+    --bench-scale --bench-iters 2 --bench-warmup 1
+fi
