@@ -129,6 +129,12 @@ pub struct BarGossipConfig {
     /// nodes re-enter cold, with empty windows — unlike churned-out
     /// nodes, which keep their state while absent.
     pub faults: FaultPlan,
+    /// Worker threads for the intra-round exchange-plan phase (`0` =
+    /// auto: the `LOTUS_RUN_THREADS` env var if set, else the machine's
+    /// available parallelism). Only the read-only plan fill is
+    /// partitioned; shards fold back in ascending order and apply runs
+    /// sequentially, so every figure is byte-identical for any value.
+    pub run_threads: usize,
 }
 
 impl Default for BarGossipConfig {
@@ -150,6 +156,7 @@ impl Default for BarGossipConfig {
             churn: ChurnProfile::none(),
             arrival: ArrivalProcess::None,
             faults: FaultPlan::none(),
+            run_threads: 0,
         }
     }
 }
@@ -413,6 +420,13 @@ impl BarGossipConfigBuilder {
         self
     }
 
+    /// Worker threads for the plan phase (`0` = auto; see
+    /// [`BarGossipConfig::run_threads`]). Figures never depend on this.
+    pub fn run_threads(mut self, threads: usize) -> Self {
+        self.cfg.run_threads = threads;
+        self
+    }
+
     /// Validate and build.
     ///
     /// # Errors
@@ -437,6 +451,7 @@ mod tests {
         assert_eq!(cfg.copies_seeded, 12);
         assert_eq!(cfg.push_size, 2);
         assert_eq!(cfg.usability_threshold, 0.93);
+        assert_eq!(cfg.run_threads, 0, "auto worker count by default");
         assert!(cfg.validate().is_ok());
     }
 

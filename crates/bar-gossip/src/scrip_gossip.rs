@@ -45,6 +45,7 @@ use lotus_core::faults::{CutStats, Fate, FaultCounters, FaultState};
 use lotus_core::population::Population;
 use lotus_core::schedule::{self, MetricKey, ScheduleState};
 use netsim::partner::{PartnerSchedule, Protocol};
+use netsim::plan::{ExchangePlan, LINKED, VIABLE};
 use netsim::rng::DetRng;
 use netsim::round::RoundSim;
 use netsim::{NodeId, Round};
@@ -197,7 +198,11 @@ pub struct ScripGossipSim {
     cut_attacker: u32,
     // Scratch buffers for the allocation-free round loop (see module
     // docs); contents are meaningless between rounds.
-    order_scratch: Vec<NodeId>,
+    /// Reusable exchange-plan batch: partner selection and viability
+    /// snapshots are planned up front (`netsim::plan`), then the
+    /// shuffled batch is applied in order — the same rng draws as the
+    /// legacy shuffled-initiator walk.
+    plan_batch: ExchangePlan,
     want_scratch: Vec<crate::update::UpdateId>,
     present_scratch: Vec<usize>,
     picks_scratch: Vec<usize>,
@@ -266,7 +271,7 @@ impl ScripGossipSim {
             cut_honest: 0,
             cut_attacker: 0,
             served_this_round: vec![0; n as usize],
-            order_scratch: Vec::with_capacity(n as usize),
+            plan_batch: ExchangePlan::new(),
             want_scratch: Vec::new(),
             present_scratch: Vec::with_capacity(n as usize),
             picks_scratch: Vec::new(),
@@ -600,20 +605,48 @@ impl RoundSim for ScripGossipSim {
         // Two purchase opportunities per node per round, mirroring BAR
         // Gossip's two sub-protocols.
         for proto in [Protocol::BalancedExchange, Protocol::OptimisticPush] {
-            let mut order = std::mem::take(&mut self.order_scratch);
-            order.clear();
-            order.extend(NodeId::all(self.nodes.len() as u32));
+            // Plan: batch every node's scheduled partner and a viability
+            // snapshot (ascending), then shuffle the batch — the same
+            // length, so the same draws as the legacy initiator shuffle.
+            let mut plan = std::mem::take(&mut self.plan_batch);
+            let n = self.nodes.len();
+            plan.reset(n);
+            let planner = self.schedule.planner(t, proto);
+            planner.fill(
+                NodeId::all(n as u32),
+                |v, p| {
+                    if !(self.alive(v.index()) && self.alive(p.index())) {
+                        0
+                    } else if self.faults.link_up(v.index(), p.index()) {
+                        VIABLE | LINKED
+                    } else {
+                        VIABLE
+                    }
+                },
+                plan.entries_mut(),
+            );
             let proto_tag = match proto {
                 Protocol::BalancedExchange => 1u64,
                 Protocol::OptimisticPush => 2,
                 Protocol::Other(k) => 0x1_0000 + u64::from(k),
             };
-            self.rng
-                .fork_idx("order", t.wrapping_mul(4).wrapping_add(proto_tag))
-                .shuffle(&mut order);
-            for &v in &order {
-                if !self.alive(v.index()) {
-                    continue; // absent, crashed or cut nodes neither buy nor sell
+            plan.shuffle(
+                &mut self
+                    .rng
+                    .fork_idx("order", t.wrapping_mul(4).wrapping_add(proto_tag)),
+            );
+            // Apply: aliveness only shrinks mid-phase (silence cuts),
+            // so non-viable pairs skip exactly as the legacy per-pair
+            // checks did; the viable remainder rechecks liveness when
+            // the cut-off defense can remove nodes under its feet.
+            let strict = self.cfg.base.defenses.cutoff_quorum.is_some();
+            for &e in plan.entries() {
+                if !e.is_viable() {
+                    continue; // absent/crashed/cut end: the slot is wasted
+                }
+                let (v, p) = (e.initiator, e.partner);
+                if strict && !self.alive(v.index()) {
+                    continue;
                 }
                 if self.attack_active
                     && self.nodes[v.index()].attacker
@@ -624,16 +657,16 @@ impl RoundSim for ScripGossipSim {
                 {
                     continue; // crash/ideal attackers never interact
                 }
-                let p = self.schedule.partner_of(v, t, proto);
-                if !self.alive(p.index()) {
-                    continue; // absent partner: the slot is wasted
+                if strict && !self.alive(p.index()) {
+                    continue;
                 }
-                if !self.faults.link_ok(v.index(), p.index()) {
+                if !e.is_linked() {
+                    self.faults.note_partition_blocked();
                     continue; // partitioned apart
                 }
                 self.interaction(v, p, t, cap);
             }
-            self.order_scratch = order;
+            self.plan_batch = plan;
         }
         self.round = t + 1;
     }

@@ -27,13 +27,29 @@
 //! within its lifetime — exactly the streaming-usability notion the paper
 //! evaluates.
 //!
+//! # Plan/apply exchange rounds
+//!
+//! Phases 4 and 5 run as two sub-phases each (see [`netsim::plan`]):
+//! a read-only **plan** walks the live shards in ascending order,
+//! batch-selecting every initiator's scheduled partner and a snapshot
+//! of pair viability into a flat [`ExchangePlan`]; a sequential
+//! **apply** shuffles the batch with the same `fork_idx` stream the
+//! legacy initiator-list shuffle drew from (a Fisher–Yates shuffle's
+//! draws depend only on length, and the batch has one entry per
+//! initiator) and then commits transfers, counters and rng-consuming
+//! outcomes pair by pair. Because partner selection is a pure hash and
+//! plan-time state is read-only, the plan fill is partitioned along
+//! shard bounds across the [`WorkerPool`] — concatenation in chunk
+//! order reproduces the ascending walk exactly, so every figure is
+//! byte-identical for any `run_threads` value.
+//!
 //! # Hot-loop invariants
 //!
 //! The per-round phases are **allocation-free in steady state**: every
-//! index list the round loop needs (`alive_scratch`, `order_scratch`,
-//! `partners_scratch`, seeding picks, gift/return buffers) is a scratch
-//! buffer owned by the sim struct, cleared and refilled in place, and
-//! membership tracking (`reporters`, `fed`) uses
+//! index list the round loop needs (`alive_scratch`, the exchange-plan
+//! batch and its chunk tables, seeding picks, gift/return buffers) is a
+//! scratch buffer owned by the sim struct, cleared and refilled in
+//! place, and membership tracking (`reporters`, `fed`) uses
 //! [`lotus_core::bitset::BitSet`]. The timing layer keeps the invariant:
 //! the schedule stepper ([`lotus_core::schedule::ScheduleState`]) and the
 //! churn tracker ([`lotus_core::population::Population`]) never allocate,
@@ -53,11 +69,13 @@ use crate::exchange::{
 use crate::update::{UpdateId, WindowSet};
 use lotus_core::bitset::BitSet;
 use lotus_core::faults::{CutStats, Fate, FaultCounters, FaultState};
+use lotus_core::pool::WorkerPool;
 use lotus_core::population::Population;
 use lotus_core::schedule::{self, MetricKey, ScheduleState};
 use lotus_core::soa::ShardMap;
 use netsim::bandwidth::{BandwidthMeter, MsgClass};
 use netsim::partner::{PartnerSchedule, Protocol};
+use netsim::plan::{ExchangePlan, PlannedPair, LINKED, VIABLE};
 use netsim::rng::DetRng;
 use netsim::round::RoundSim;
 use netsim::sign::Authority;
@@ -282,17 +300,31 @@ pub struct BarGossipSim {
     cut_honest: u32,
     /// Attacker nodes cut by the silence defense.
     cut_attacker: u32,
+    /// Intra-run worker pool for the plan phase of each exchange round
+    /// (`cfg.run_threads`; figures are byte-identical for any count).
+    run_pool: WorkerPool,
     // Scratch buffers for the allocation-free round loop (see module
     // docs); contents are meaningless between phases.
     alive_scratch: Vec<usize>,
     picks_scratch: Vec<usize>,
-    order_scratch: Vec<NodeId>,
-    partners_scratch: Vec<NodeId>,
+    /// Reusable exchange-plan batch (the plan/apply split's worklist).
+    plan_batch: ExchangePlan,
+    /// Per-chunk entry counts for the pool's partitioned plan fill.
+    chunk_sizes: Vec<usize>,
+    /// Per-chunk shard-range bounds, parallel to `chunk_sizes`.
+    chunk_bounds: Vec<(usize, usize)>,
     gift_scratch: Vec<UpdateId>,
     returned_scratch: Vec<UpdateId>,
     balanced_scratch: BalancedOutcome,
     push_scratch: PushOutcome,
 }
+
+/// Active-node floor below which the plan phase stays on the calling
+/// thread even when the pool has more workers: at small populations the
+/// spawn/join cost of a scoped chunk fan-out exceeds the walk itself,
+/// and the sequential path is what the alloc-guard suite pins as
+/// allocation-free.
+const PLAN_POOL_MIN_ACTIVE: usize = 1 << 14;
 
 fn class_idx(class: NodeClass) -> usize {
     match class {
@@ -424,10 +456,12 @@ impl BarGossipSim {
             node_delivered: vec![0; n as usize],
             node_unusable_rounds: vec![0; n as usize],
             measured_rounds: 0,
+            run_pool: WorkerPool::new(cfg.run_threads),
             alive_scratch: Vec::with_capacity(n as usize),
             picks_scratch: Vec::new(),
-            order_scratch: Vec::with_capacity(n as usize),
-            partners_scratch: Vec::with_capacity(n as usize),
+            plan_batch: ExchangePlan::new(),
+            chunk_sizes: Vec::new(),
+            chunk_bounds: Vec::new(),
             gift_scratch: Vec::new(),
             returned_scratch: Vec::new(),
             balanced_scratch: BalancedOutcome::default(),
@@ -961,55 +995,167 @@ impl BarGossipSim {
         }
     }
 
-    /// Interaction order for a round, shuffled so responder capacity is
-    /// not biased toward low node ids. Returns the reusable order
-    /// buffer; callers hand it back to `order_scratch` when done.
-    ///
-    /// Populations that fit in one shard keep the legacy order — all
-    /// nodes, shuffled — so paper-scale runs (and their golden
-    /// fixtures) are byte-identical. Multi-shard populations walk only
-    /// the active shards (ascending) before the same shuffle: dead
-    /// nodes never even enter the order, which is what makes the round
-    /// `O(active)` instead of `O(population)`.
-    // lint: hot-loop
-    fn round_order(&mut self, t: Round, label: &str) -> Vec<NodeId> {
-        let mut order = std::mem::take(&mut self.order_scratch);
-        order.clear();
-        let n = self.class.len();
-        if n <= self.shards.shard_size() {
-            order.extend(NodeId::all(n as u32));
-        } else {
-            self.shards
-                .for_each_active(|i| order.push(NodeId(i as u32)));
-        }
-        self.rng.fork_idx(label, t).shuffle(&mut order);
-        order
+    /// Whether a configured defense can remove nodes *during* an
+    /// exchange phase: report-and-evict inserts into `evicted` and the
+    /// silence cut-off inserts into `cut` while pairs are being applied.
+    /// When neither is on, aliveness is fixed for the whole round (churn
+    /// and faults only flip at round start), so the plan's viability
+    /// snapshot stays exact through apply and the hot path can skip the
+    /// per-pair liveness probes entirely.
+    fn mid_phase_removals_possible(&self) -> bool {
+        self.cfg.defenses.report.is_some() || self.cfg.defenses.cutoff_quorum.is_some()
     }
 
-    /// Phase 4: balanced exchanges.
+    /// Plan-time viability snapshot for a pair. In strict mode (a
+    /// defense can remove nodes mid-phase) this probes the live
+    /// [`BarGossipSim::alive`] sets; otherwise the round-top shard
+    /// snapshot *is* aliveness — one probe per endpoint instead of four.
+    /// Link state is static within a round, so it is only sampled for
+    /// viable pairs (apply never reads it on skipped ones).
+    // lint: hot-loop
+    #[inline]
+    fn pair_flags(&self, v: NodeId, p: NodeId, strict: bool) -> u8 {
+        let viable = if strict {
+            self.alive(v) && self.alive(p)
+        } else {
+            self.shards.contains(v.index()) && self.shards.contains(p.index())
+        };
+        if !viable {
+            return 0;
+        }
+        if self.faults.link_up(v.index(), p.index()) {
+            VIABLE | LINKED
+        } else {
+            VIABLE
+        }
+    }
+
+    /// Partition the shard range into at most `run_pool.threads()`
+    /// contiguous chunks of near-equal active counts (from the shard
+    /// map's cached popcounts — no walk). Chunk boundaries depend on
+    /// the worker count, but their concatenation is always the full
+    /// ascending shard walk, so plan content never does. Populations
+    /// under [`PLAN_POOL_MIN_ACTIVE`] stay on one chunk: the fan-out
+    /// costs more than the walk, and the sequential path is what the
+    /// alloc-guard suite pins as allocation-free.
+    fn plan_chunks(&self, total: usize, sizes: &mut Vec<usize>, bounds: &mut Vec<(usize, usize)>) {
+        sizes.clear();
+        bounds.clear();
+        let workers = if total >= PLAN_POOL_MIN_ACTIVE {
+            self.run_pool.threads().max(1)
+        } else {
+            1
+        };
+        let shard_count = self.shards.shard_count();
+        if workers <= 1 {
+            sizes.push(total);
+            bounds.push((0, shard_count));
+            return;
+        }
+        let target = total.div_ceil(workers);
+        let mut lo = 0usize;
+        let mut acc = 0usize;
+        for s in 0..shard_count {
+            acc += self.shards.shard_active_count(s) as usize;
+            if acc >= target && sizes.len() + 1 < workers {
+                sizes.push(acc);
+                bounds.push((lo, s + 1));
+                lo = s + 1;
+                acc = 0;
+            }
+        }
+        sizes.push(acc);
+        bounds.push((lo, shard_count));
+    }
+
+    /// The plan sub-phase shared by both exchange protocols: batch every
+    /// initiator's scheduled partner and viability snapshot into
+    /// `plan_batch` (ascending walk, chunk-partitioned across the
+    /// worker pool), then shuffle the batch with `order_rng` — the same
+    /// stream the legacy path used on its bare initiator list, drawing
+    /// identically because a Fisher–Yates shuffle depends only on
+    /// length. Populations that fit in one shard keep the legacy dense
+    /// order — all nodes, shuffled — so paper-scale runs (and their
+    /// golden fixtures) are byte-identical. Multi-shard populations
+    /// plan only the active shards: dead nodes never even enter the
+    /// batch, which is what keeps the round `O(active)` instead of
+    /// `O(population)`.
+    // lint: hot-loop
+    fn plan_phase(&mut self, t: Round, proto: Protocol, mut order_rng: DetRng) {
+        let mut plan = std::mem::take(&mut self.plan_batch);
+        let planner = self.schedule.planner(t, proto);
+        let strict = self.mid_phase_removals_possible();
+        let n = self.class.len();
+        if n <= self.shards.shard_size() {
+            plan.reset(n);
+            planner.fill(
+                NodeId::all(n as u32),
+                |v, p| self.pair_flags(v, p, strict),
+                plan.entries_mut(),
+            );
+        } else {
+            let total = self.shards.active_count();
+            plan.reset(total);
+            let mut sizes = std::mem::take(&mut self.chunk_sizes);
+            let mut bounds = std::mem::take(&mut self.chunk_bounds);
+            self.plan_chunks(total, &mut sizes, &mut bounds);
+            let sim = &*self;
+            let bounds_ref = &bounds;
+            self.run_pool
+                .run_partitioned(plan.entries_mut(), &sizes, |chunk, out| {
+                    let (lo, hi) = bounds_ref[chunk];
+                    let mut k = 0usize;
+                    sim.shards.for_each_active_in(lo..hi, |i| {
+                        let v = NodeId(i as u32);
+                        let p = planner.partner_of(v);
+                        out[k] = PlannedPair {
+                            initiator: v,
+                            partner: p,
+                            flags: sim.pair_flags(v, p, strict),
+                        };
+                        k += 1;
+                    });
+                    debug_assert_eq!(k, out.len(), "chunk sizes must match the shard walk");
+                });
+            self.chunk_sizes = sizes;
+            self.chunk_bounds = bounds;
+        }
+        plan.shuffle(&mut order_rng);
+        self.plan_batch = plan;
+    }
+
+    /// Phase 4: balanced exchanges — plan, shuffle, sequential apply.
     // lint: hot-loop
     fn balanced_phase(&mut self, t: Round) {
         // Only slots inside active shards can be served this round
         // (responders are alive, and alive ⊆ the round snapshot), so
         // the clear is O(active shards), not a full-slab fill.
         netsim::round::clear_counters_for(&mut self.served_balanced, self.shards.active_ranges());
-        let order = self.round_order(t, "balanced-order");
-        let mut partners = std::mem::take(&mut self.partners_scratch);
-        self.schedule.sample_active_into(
+        self.plan_phase(
             t,
             Protocol::BalancedExchange,
-            order.iter().copied(),
-            &mut partners,
+            self.rng.fork_idx("balanced-order", t),
         );
-        for (&v, &p) in order.iter().zip(&partners) {
-            if !self.alive(v) {
+        let strict = self.mid_phase_removals_possible();
+        let plan = std::mem::take(&mut self.plan_batch);
+        for &e in plan.entries() {
+            // Aliveness only shrinks mid-phase, so a pair planned
+            // non-viable can never revive; strict mode rechecks the
+            // viable remainder against removals applied earlier in this
+            // very loop (report evictions, silence cuts).
+            if !e.is_viable() {
                 continue;
             }
-            if !self.alive(p) {
+            let (v, p) = (e.initiator, e.partner);
+            if strict && (!self.alive(v) || !self.alive(p)) {
                 continue;
             }
-            if !self.faults.link_ok(v.index(), p.index()) {
-                continue; // partitioned apart: the interaction never happens
+            if !e.is_linked() {
+                // Partitioned apart: the interaction never happens. The
+                // blocked-interaction counter ticks here — the position
+                // the legacy walk's counting link check sat at.
+                self.faults.note_partition_blocked();
+                continue;
             }
             // While the schedule has the attack off, attacker nodes run
             // the honest protocol (the cooperate phase), so both classes
@@ -1082,37 +1228,43 @@ impl BarGossipSim {
                 }
             }
         }
-        self.partners_scratch = partners;
-        self.order_scratch = order;
+        self.plan_batch = plan;
     }
 
-    /// Phase 5: optimistic pushes.
+    /// Phase 5: optimistic pushes — plan, shuffle, sequential apply.
     // lint: hot-loop
     fn push_phase(&mut self, t: Round) {
         // Shard-range clear, as in `balanced_phase`.
         netsim::round::clear_counters_for(&mut self.served_push, self.shards.active_ranges());
-        let order = self.round_order(t, "push-order");
-        // The schedule is a pure function, so batch-sampling every
-        // ordered node's partner up front (per-round mixing hoisted)
-        // yields exactly the values the lazy per-node calls produced.
-        let mut partners = std::mem::take(&mut self.partners_scratch);
-        self.schedule.sample_active_into(
+        self.plan_phase(
             t,
             Protocol::OptimisticPush,
-            order.iter().copied(),
-            &mut partners,
+            self.rng.fork_idx("push-order", t),
         );
-        for (&v, &p) in order.iter().zip(&partners) {
-            if !self.alive(v) {
+        let strict = self.mid_phase_removals_possible();
+        let plan = std::mem::take(&mut self.plan_batch);
+        for &e in plan.entries() {
+            // Either end planned dead means the legacy walk did nothing
+            // for this pair (an attacker initiator with a dead partner
+            // entered its branch but took no action), so the skip is
+            // exact; strict mode rechecks against mid-phase removals.
+            if !e.is_viable() {
+                continue;
+            }
+            let (v, p) = (e.initiator, e.partner);
+            if strict && !self.alive(v) {
                 continue;
             }
             // Attacker-specific push behaviour only while the attack is
             // on; a cooperating attacker falls through to the honest
             // rational-push logic below, as do masquerade attackers
-            // (whose defection lives inside `faulty_send`).
+            // (whose defection lives inside `faulty_send`). Note the
+            // attacker arms are deliberately *not* gated on the link —
+            // the legacy path never was (attacker pooling models an
+            // out-of-band channel), and the goldens pin that.
             if self.attack_active && self.plan.kind != AttackKind::Masquerade && self.is_attacker(v)
             {
-                if self.plan.kind == AttackKind::TradeLotusEater && self.alive(p) {
+                if self.plan.kind == AttackKind::TradeLotusEater && (!strict || self.alive(p)) {
                     if self.class[p.index()] == NodeClass::Attacker {
                         self.attacker_sync(v, p);
                     } else if self.target.contains(p.index()) && self.responder_accepts(p, true) {
@@ -1125,10 +1277,11 @@ impl BarGossipSim {
             if !wants_push(&self.windows[v.index()], &self.full, t, self.cfg.old_age) {
                 continue;
             }
-            if !self.alive(p) {
+            if strict && !self.alive(p) {
                 continue;
             }
-            if !self.faults.link_ok(v.index(), p.index()) {
+            if !e.is_linked() {
+                self.faults.note_partition_blocked();
                 continue; // partitioned apart
             }
             if self.attack_active && self.plan.kind != AttackKind::Masquerade && self.is_attacker(p)
@@ -1178,8 +1331,7 @@ impl BarGossipSim {
             }
             self.push_scratch = out;
         }
-        self.partners_scratch = partners;
-        self.order_scratch = order;
+        self.plan_batch = plan;
     }
 
     /// Run the configured horizon and produce the report.

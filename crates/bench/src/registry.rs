@@ -613,6 +613,10 @@ fn bar_gossip_spec() -> ScenarioSpec {
                 "cutoff",
                 "silence cut-off defense: distinct accusers needed to cut a silent node (0 = off)",
             ),
+            (
+                "run_threads",
+                "intra-run plan-phase worker threads (0 = auto: LOTUS_RUN_THREADS, else machine parallelism; figures identical for any value)",
+            ),
             FAULTS_PARAM_DOC,
             FAULT_LOSS_DOC,
             SCHEDULE_PARAM_DOC,
@@ -719,6 +723,14 @@ fn bar_gossip_config(req: &RunRequest<'_>) -> Result<BarGossipConfig, String> {
             return Err(format!("parameter cutoff={q} is not a whole quorum size"));
         }
         b = b.cutoff_quorum(if q == 0.0 { None } else { Some(q as u32) });
+    }
+    if let Some(v) = req.opt_num("run_threads")? {
+        if v < 0.0 || v.fract() != 0.0 {
+            return Err(format!(
+                "parameter run_threads={v} is not a whole worker count"
+            ));
+        }
+        b = b.run_threads(v as usize);
     }
     let (churn, arrival) = parse_population(req)?;
     b = b.churn(churn).arrival(arrival).faults(parse_faults(req)?);

@@ -301,6 +301,17 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
                 lotus_core::adaptive::AdaptiveSpec::parse(v)?;
                 opts.params.set("adaptive", v);
             }
+            "--run-threads" => {
+                // Validate eagerly (as for --faults), then pass the
+                // count through the ordinary parameter channel. This
+                // caps the *intra-run* plan-phase workers — independent
+                // from LOTUS_SWEEP_THREADS, which fans out whole runs.
+                let v = take("--run-threads")?;
+                v.parse::<u32>().map_err(|_| {
+                    format!("bad --run-threads value {v:?} (whole number of workers, 0 = auto)")
+                })?;
+                opts.params.set("run_threads", v);
+            }
             "--arm-trace" => opts.arm_trace = true,
             "--format" => {
                 opts.format = match take("--format")? {
@@ -391,6 +402,13 @@ options:
                         delivery (default) | targeted; replaces --schedule
                         (sugar for --param adaptive=SPEC; inside --curve use
                         colons: adaptive=ucb:20:1.4)
+  --run-threads N       intra-run plan-phase worker threads for scenarios
+                        that support them (bar-gossip family); 0 = auto
+                        (LOTUS_RUN_THREADS env, else machine parallelism).
+                        Figures are byte-identical for any value — only
+                        wall-clock changes. Independent from
+                        LOTUS_SWEEP_THREADS, which parallelizes across runs
+                        (sugar for --param run_threads=N)
   --arm-trace           append each curve's adaptive arm trace (phase, arm,
                         mean observed damage) at x = the middle grid point,
                         first seed — shows the schedule the bandit converged to
@@ -752,8 +770,9 @@ fn render_bench_table(bench: &Bench) -> String {
         "scenario",
         "attack",
         "steps/run",
-        "step med (ns)",
-        "step p90 (ns)",
+        "warm med (ns)",
+        "warm p90 (ns)",
+        "burst med (ns)",
         "run min (ns)",
         "run med (ns)",
         "run p90 (ns)",
@@ -763,8 +782,11 @@ fn render_bench_table(bench: &Bench) -> String {
             rec.scenario.clone(),
             rec.attack.clone(),
             rec.steps_per_run.to_string(),
-            rec.step_ns.median_ns.to_string(),
-            rec.step_ns.p90_ns.to_string(),
+            rec.step_ns.warm.median_ns.to_string(),
+            rec.step_ns.warm.p90_ns.to_string(),
+            rec.step_ns
+                .burst
+                .map_or_else(|| "-".to_string(), |b| b.median_ns.to_string()),
             rec.run_ns.min_ns.to_string(),
             rec.run_ns.median_ns.to_string(),
             rec.run_ns.p90_ns.to_string(),
@@ -798,6 +820,20 @@ impl ScalePoint {
     }
 }
 
+/// One timed point of the worker-count curve: the busiest grid point
+/// re-run with an explicit `run_threads` cap.
+#[derive(Debug, Clone)]
+pub struct WorkerPoint {
+    /// The `run_threads` cap the point ran with.
+    pub threads: u32,
+    /// Steps each timed run executed.
+    pub steps_per_run: u64,
+    /// Whole-run wall time stats.
+    pub run_ns: TimingStats,
+    /// Per-step wall time stats.
+    pub step_ns: TimingStats,
+}
+
 /// The evaluated `--bench-scale` curves.
 #[derive(Debug, Clone)]
 pub struct BenchScale {
@@ -815,6 +851,11 @@ pub struct BenchScale {
     /// is that this stays near 1 (acceptance: within ~2x) even though
     /// the universe grew 100-fold.
     pub ratio_1m_1pct_vs_10k_full: f64,
+    /// Step-ns versus plan-phase worker count at the busiest grid point
+    /// (1M total, 4 % active — enough active nodes to clear the plan
+    /// pool's engagement floor). Reports are byte-identical across the
+    /// curve; only wall-clock moves.
+    pub worker_points: Vec<WorkerPoint>,
 }
 
 /// The `(nodes, active)` grid `--bench-scale` times: a total-N curve at
@@ -829,6 +870,10 @@ pub const BENCH_SCALE_GRID: &[(u64, u64)] = &[
     (1_000_000, 20_000),
     (1_000_000, 40_000),
 ];
+
+/// The `run_threads` caps the worker-count curve times, at the busiest
+/// [`BENCH_SCALE_GRID`] point (1M total, 40k active).
+pub const BENCH_SCALE_WORKER_CURVE: &[u32] = &[1, 2, 4, 8];
 
 /// Time the `O(active)` scale curves against `registry`.
 ///
@@ -886,7 +931,7 @@ pub fn evaluate_bench_scale(
             active,
             steps_per_run,
             run_ns,
-            step_ns,
+            step_ns: step_ns.all,
         });
     }
     let step_med = |nodes: u64, active: u64| {
@@ -902,12 +947,50 @@ pub fn evaluate_bench_scale(
     } else {
         f64::NAN
     };
+    // Worker-count curve: the busiest grid point again, once per
+    // `run_threads` cap. Same seeds, same rounds — the reports are
+    // byte-identical across the curve (CI pins that elsewhere); only
+    // the plan phase's wall-clock moves.
+    let (curve_nodes, curve_active) = *BENCH_SCALE_GRID
+        .last()
+        .expect("the scale grid is non-empty");
+    let mut worker_points = Vec::with_capacity(BENCH_SCALE_WORKER_CURVE.len());
+    for &threads in BENCH_SCALE_WORKER_CURVE {
+        let mut params = Params::new()
+            .with("rounds", "8")
+            .with("warmup_rounds", "2")
+            .with("updates_per_round", "4")
+            .with("copies_seeded", "6")
+            .merged_with(&opts.params);
+        params.set("nodes", curve_nodes.to_string());
+        params.set(
+            "arrival",
+            format!("burst:1000000:{}", curve_nodes - curve_active),
+        );
+        params.set("run_threads", threads.to_string());
+        let (run_ns, step_ns, steps_per_run) = bench_scenario(
+            |i| {
+                let seed = seeds[i as usize % seeds.len()];
+                let req = RunRequest::new(0.0, seed, "none", "fraction", &params);
+                registry.build("bar-gossip", &req)
+            },
+            warmup,
+            iters,
+        )?;
+        worker_points.push(WorkerPoint {
+            threads,
+            steps_per_run,
+            run_ns,
+            step_ns: step_ns.all,
+        });
+    }
     Ok(BenchScale {
         warmup,
         iters,
         seeds: seeds.len(),
         points,
         ratio_1m_1pct_vs_10k_full: ratio,
+        worker_points,
     })
 }
 
@@ -947,9 +1030,24 @@ fn render_bench_scale_json(scale: &BenchScale) -> String {
     }
     let _ = write!(
         out,
-        "],\"ratio_1m_1pct_vs_10k_full\":{:.4}}}",
+        "],\"ratio_1m_1pct_vs_10k_full\":{:.4}",
         scale.ratio_1m_1pct_vs_10k_full
     );
+    out.push_str(",\"worker_curve\":[");
+    for (i, p) in scale.worker_points.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"run_threads\":{},\"steps_per_run\":{},\"run_ns\":{},\"step_ns\":{}}}",
+            p.threads,
+            p.steps_per_run,
+            p.run_ns.to_json(),
+            p.step_ns.to_json()
+        );
+    }
+    out.push_str("]}");
     out
 }
 
@@ -991,6 +1089,33 @@ fn render_bench_scale_table(scale: &BenchScale) -> String {
         "step-ns ratio, 1M total / 1% active vs 10k total / 100% active: {:.2}",
         scale.ratio_1m_1pct_vs_10k_full
     );
+    if !scale.worker_points.is_empty() {
+        let (nodes, active) = *BENCH_SCALE_GRID.last().expect("non-empty grid");
+        let _ = writeln!(out);
+        let _ = writeln!(
+            out,
+            "# plan-phase worker curve at {nodes} total / {active} active \
+             (figures byte-identical across the curve)"
+        );
+        let _ = writeln!(out);
+        let mut t = Table::new(vec![
+            "run_threads",
+            "steps/run",
+            "step med (ns)",
+            "step p90 (ns)",
+            "run min (ns)",
+        ]);
+        for p in &scale.worker_points {
+            t.row(vec![
+                p.threads.to_string(),
+                p.steps_per_run.to_string(),
+                p.step_ns.median_ns.to_string(),
+                p.step_ns.p90_ns.to_string(),
+                p.run_ns.min_ns.to_string(),
+            ]);
+        }
+        let _ = writeln!(out, "{}", t.render());
+    }
     out
 }
 
@@ -1436,10 +1561,17 @@ mod tests {
                 step_ns: stats,
             }],
             ratio_1m_1pct_vs_10k_full: 0.59,
+            worker_points: vec![WorkerPoint {
+                threads: 1,
+                steps_per_run: 10,
+                run_ns: stats,
+                step_ns: stats,
+            }],
         };
         let table = render_bench_scale(&scale, &Options::default());
         assert!(table.contains("O(active) scale curves"), "{table}");
         assert!(table.contains("0.59"), "{table}");
+        assert!(table.contains("plan-phase worker curve"), "{table}");
         let json = render_bench_scale(
             &scale,
             &Options {
@@ -1454,6 +1586,10 @@ mod tests {
         );
         assert!(
             json.contains("\"points\":[{\"nodes\":10000,\"active\":10000"),
+            "{json}"
+        );
+        assert!(
+            json.contains("\"worker_curve\":[{\"run_threads\":1"),
             "{json}"
         );
     }

@@ -72,6 +72,52 @@ impl TimingStats {
     }
 }
 
+/// How far above the median a step sample must sit to count as a burst
+/// step (see [`StepTimings`]).
+pub const BURST_FACTOR: u64 = 8;
+
+/// Per-step statistics with the steady-state/burst split.
+///
+/// A scenario with a flash crowd (or any other single catastrophic
+/// round) has a bimodal step distribution: `bar-gossip-1m` steps in
+/// ~1 ms for nine rounds and then pays one million-node engage round of
+/// ~1 s, which drags the step *mean* three orders of magnitude away
+/// from the step *median*. Summarising that with one set of order
+/// statistics buries both modes, so the step trace is split at
+/// [`BURST_FACTOR`] × median: `warm` summarises the steady-state
+/// rounds, `burst` the outliers (absent when the distribution has no
+/// such tail — at least half of all samples always sit at or below the
+/// threshold, so `warm` is never empty).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepTimings {
+    /// Statistics over every step sample (the pre-split aggregate).
+    pub all: TimingStats,
+    /// Statistics over steady-state steps (≤ [`BURST_FACTOR`] × median).
+    pub warm: TimingStats,
+    /// Statistics over burst steps (> [`BURST_FACTOR`] × median), when
+    /// any exist.
+    pub burst: Option<TimingStats>,
+}
+
+impl StepTimings {
+    /// Summarise `samples` (sorted in place) with the warm/burst split.
+    /// Returns `None` when empty.
+    pub fn from_samples(samples: &mut [u64]) -> Option<StepTimings> {
+        let all = TimingStats::from_samples(samples)?;
+        // `samples` is sorted now; the split point is the first sample
+        // past the burst threshold.
+        let threshold = all.median_ns.saturating_mul(BURST_FACTOR);
+        let cut = samples.partition_point(|&s| s <= threshold);
+        let (warm, burst) = samples.split_at_mut(cut);
+        Some(StepTimings {
+            all,
+            warm: TimingStats::from_samples(warm)
+                .expect("the median is always at or below the burst threshold"),
+            burst: TimingStats::from_samples(burst),
+        })
+    }
+}
+
 /// The timing record of one benched `(scenario, attack)` pair.
 #[derive(Debug, Clone)]
 pub struct BenchRecord {
@@ -83,22 +129,32 @@ pub struct BenchRecord {
     pub steps_per_run: u64,
     /// Full-run wall-clock statistics (build excluded, all steps).
     pub run_ns: TimingStats,
-    /// Per-step wall-clock statistics (every step of every iteration).
-    pub step_ns: TimingStats,
+    /// Per-step wall-clock statistics (every step of every iteration),
+    /// including the warm/burst split.
+    pub step_ns: StepTimings,
 }
 
 impl BenchRecord {
     /// Serialize as a JSON object with stable keys (`scenario`/`attack`/
-    /// `steps_per_run`/`run_ns`/`step_ns`).
+    /// `steps_per_run`/`run_ns`/`step_ns`, plus `step_warm_ns` and —
+    /// when a burst tail exists — `step_burst_ns`; the perf gate reads
+    /// only `run_ns`, so the split keys are additive).
     pub fn to_json(&self) -> String {
-        format!(
-            "{{\"scenario\":{},\"attack\":{},\"steps_per_run\":{},\"run_ns\":{},\"step_ns\":{}}}",
+        let mut json = format!(
+            "{{\"scenario\":{},\"attack\":{},\"steps_per_run\":{},\"run_ns\":{},\"step_ns\":{},\"step_warm_ns\":{}",
             lotus_core::scenario::json_string(&self.scenario),
             lotus_core::scenario::json_string(&self.attack),
             self.steps_per_run,
             self.run_ns.to_json(),
-            self.step_ns.to_json()
-        )
+            self.step_ns.all.to_json(),
+            self.step_ns.warm.to_json()
+        );
+        if let Some(burst) = &self.step_ns.burst {
+            json.push_str(",\"step_burst_ns\":");
+            json.push_str(&burst.to_json());
+        }
+        json.push('}');
+        json
     }
 }
 
@@ -111,7 +167,8 @@ impl BenchRecord {
 /// statistics isolate the round loops the simulators actually spend their
 /// sweeps in.
 ///
-/// Returns `(run_stats, step_stats, steps_per_run)`.
+/// Returns `(run_stats, step_stats, steps_per_run)`; the step stats
+/// carry the warm/burst split (see [`StepTimings`]).
 ///
 /// # Errors
 ///
@@ -120,7 +177,7 @@ pub fn bench_scenario<F>(
     mut build: F,
     warmup: u32,
     iters: u32,
-) -> Result<(TimingStats, TimingStats, u64), String>
+) -> Result<(TimingStats, StepTimings, u64), String>
 where
     F: FnMut(u32) -> Result<Box<dyn DynScenario>, String>,
 {
@@ -162,7 +219,7 @@ where
         }
     }
     let run = TimingStats::from_samples(&mut run_samples).expect("iters >= 1");
-    let step = TimingStats::from_samples(&mut step_samples).expect("iters >= 1");
+    let step = StepTimings::from_samples(&mut step_samples).expect("iters >= 1");
     Ok((run, step, steps_per_run))
 }
 
@@ -229,9 +286,46 @@ mod tests {
         let (run, step, steps) = bench_scenario(|_| Ok(Box::new(Spin { left: 7 })), 1, 3).unwrap();
         assert_eq!(steps, 7, "7 step calls reach Done");
         assert_eq!(run.samples, 3);
-        assert_eq!(step.samples, 21);
+        assert_eq!(step.all.samples, 21);
+        let burst = step.burst.map_or(0, |b| b.samples);
+        assert_eq!(
+            step.warm.samples + burst,
+            21,
+            "the split partitions the trace"
+        );
         assert!(run.min_ns > 0, "a 7-step run takes measurable time");
-        assert!(run.min_ns >= step.min_ns, "a run contains its steps");
+        assert!(run.min_ns >= step.all.min_ns, "a run contains its steps");
+    }
+
+    #[test]
+    fn step_split_separates_flash_crowd_rounds() {
+        // Nine steady ~1ms rounds and one 1s flash-crowd round: the
+        // bar-gossip-1m shape that skewed the aggregate mean 100x off
+        // the median.
+        let mut samples = [vec![1_000_000u64; 9], vec![1_000_000_000]].concat();
+        let step = StepTimings::from_samples(&mut samples).unwrap();
+        assert_eq!(step.all.samples, 10);
+        assert_eq!(step.warm.samples, 9);
+        assert_eq!(
+            step.warm.mean_ns, 1_000_000,
+            "warm mean tracks the steady rounds"
+        );
+        let burst = step.burst.expect("the flash-crowd round is a burst");
+        assert_eq!(burst.samples, 1);
+        assert_eq!(burst.min_ns, 1_000_000_000);
+        assert!(
+            step.all.mean_ns > 100 * step.all.median_ns,
+            "the aggregate mean is the skewed statistic the split fixes"
+        );
+    }
+
+    #[test]
+    fn step_split_without_a_tail_has_no_burst() {
+        let mut samples: Vec<u64> = (100..110).collect();
+        let step = StepTimings::from_samples(&mut samples).unwrap();
+        assert_eq!(step.warm, step.all, "uniform traces are all warm");
+        assert!(step.burst.is_none());
+        assert!(StepTimings::from_samples(&mut []).is_none());
     }
 
     #[test]
@@ -248,12 +342,13 @@ mod tests {
     #[test]
     fn record_json_shape() {
         let stats = TimingStats::from_samples(&mut [1, 2, 3]).unwrap();
+        let step = StepTimings::from_samples(&mut [1, 2, 3, 100]).unwrap();
         let rec = BenchRecord {
             scenario: "bar-gossip".to_string(),
             attack: "none".to_string(),
             steps_per_run: 12,
             run_ns: stats,
-            step_ns: stats,
+            step_ns: step,
         };
         let j = rec.to_json();
         for key in [
@@ -262,8 +357,22 @@ mod tests {
             "\"steps_per_run\":12",
             "\"run_ns\":{\"min\":1",
             "\"step_ns\":{\"min\":1",
+            "\"step_warm_ns\":{\"min\":1",
+            "\"step_burst_ns\":{\"min\":100",
         ] {
             assert!(j.contains(key), "missing {key} in {j}");
         }
+
+        let no_burst = BenchRecord {
+            step_ns: StepTimings {
+                burst: None,
+                ..step
+            },
+            ..rec
+        };
+        assert!(
+            !no_burst.to_json().contains("step_burst_ns"),
+            "burst key is omitted when there is no tail"
+        );
     }
 }

@@ -164,6 +164,22 @@ fn flash_crowd_landing_leaves_steady_steps_alloc_free() {
 }
 
 #[test]
+fn plan_phase_at_pool_scale_is_alloc_free() {
+    // Past the plan pool's engagement floor (16384 active) the batched
+    // exchange plan runs the chunked multi-shard path. At run_threads=1
+    // it stays on the calling thread, so the whole plan/apply round —
+    // chunk tables, plan entries, shuffle, apply — must live on reused
+    // scratch. (run_threads > 1 spawns scoped threads, which allocate by
+    // nature; that the *figures* are identical across thread counts is
+    // pinned by `plan_props` in bar-gossip.)
+    assert_steady_steps_alloc_free(
+        "bar-gossip",
+        "trade",
+        &[("nodes", "20000"), ("rounds", "60"), ("run_threads", "1")],
+    );
+}
+
+#[test]
 fn scrip_multi_shard_steady_step_is_alloc_free() {
     // The scrip volunteer scan walks active shards above the cutoff.
     assert_steady_steps_alloc_free("scrip", "lotus-eater", &[("agents", "2500")]);

@@ -406,12 +406,31 @@ impl FaultState {
     /// cells. Randomness-free; counts blocked interactions.
     #[inline]
     pub fn link_ok(&mut self, a: usize, b: usize) -> bool {
-        if self.partitioned && self.cell.contains(a) != self.cell.contains(b) {
+        if self.link_up(a, b) {
+            true
+        } else {
             self.partition_blocked += 1;
             false
-        } else {
-            true
         }
+    }
+
+    /// Read-only form of [`FaultState::link_ok`]: same answer, no
+    /// blocked-interaction bookkeeping. Link state is static within a
+    /// round (the partition epoch flips at [`FaultState::begin_round`]),
+    /// so concurrent plan-phase workers may probe this freely; the
+    /// apply phase calls [`FaultState::note_partition_blocked`] at the
+    /// exact points the legacy per-edge walk would have counted.
+    #[inline]
+    pub fn link_up(&self, a: usize, b: usize) -> bool {
+        !(self.partitioned && self.cell.contains(a) != self.cell.contains(b))
+    }
+
+    /// Count one interaction blocked by the partition — the bookkeeping
+    /// half of [`FaultState::link_ok`], for callers that already know
+    /// the link is down from a plan-time [`FaultState::link_up`] probe.
+    #[inline]
+    pub fn note_partition_blocked(&mut self) {
+        self.partition_blocked += 1;
     }
 
     /// Draw the fate of one directed message `from → to`. Draws nothing

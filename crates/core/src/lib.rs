@@ -84,6 +84,7 @@ pub mod attack;
 pub mod bitset;
 pub mod defense;
 pub mod faults;
+pub mod pool;
 pub mod population;
 pub mod proptest_lite;
 pub mod report;

@@ -196,10 +196,22 @@ impl ShardMap {
     /// shards with one counter test each. This is the engine's core
     /// primitive: cost is `O(active + shards)`, not `O(n)`.
     // lint: hot-loop
-    pub fn for_each_active(&self, mut f: impl FnMut(usize)) {
+    pub fn for_each_active(&self, f: impl FnMut(usize)) {
+        self.for_each_active_in(0..self.shard_count(), f);
+    }
+
+    /// Visit the active indices of shards `shards.start..shards.end`
+    /// only, in ascending order — the seam that lets a worker pool walk
+    /// disjoint shard ranges concurrently while each range's visit
+    /// order (and hence any per-range output) stays identical to the
+    /// corresponding stretch of a full [`for_each_active`] walk.
+    // lint: hot-loop
+    pub fn for_each_active_in(&self, shards: Range<usize>, mut f: impl FnMut(usize)) {
         let words = self.active.words();
         let wps = self.shard_size / 64;
-        for (s, &count) in self.counts.iter().enumerate() {
+        let hi = shards.end.min(self.counts.len());
+        for s in shards.start..hi {
+            let count = self.counts[s];
             if count == 0 {
                 continue;
             }
@@ -214,6 +226,18 @@ impl ShardMap {
                 }
             }
         }
+    }
+
+    /// Active indices in the shard range `shards.start..shards.end`
+    /// (the sum of their cached popcounts; `O(shards)`). This is the
+    /// pre-sizing half of the partitioned-walk seam: a caller can size
+    /// per-range output slices exactly before any worker runs.
+    pub fn active_count_in(&self, shards: Range<usize>) -> usize {
+        let hi = shards.end.min(self.counts.len());
+        self.counts[shards.start.min(hi)..hi]
+            .iter()
+            .map(|&c| c as usize)
+            .sum()
     }
 
     /// Clear `out` and fill it with the active indices in ascending
@@ -343,6 +367,35 @@ mod tests {
         // Shards 0 and 1 are adjacent-active; shard 4 (256..300) clamps.
         let ranges: Vec<Range<usize>> = shards.active_ranges().collect();
         assert_eq!(ranges, vec![0..128, 256..300]);
+    }
+
+    #[test]
+    fn ranged_walk_partitions_the_full_walk() {
+        let bits = [0, 63, 64, 1023, 1024, 4095, 4999];
+        let mut shards = ShardMap::new(5000);
+        shards.load(&mask_of(5000, &bits));
+        let mut full = Vec::new();
+        shards.for_each_active(|i| full.push(i));
+        // Any split along shard boundaries concatenates back to the
+        // full walk, and the counts pre-size each piece exactly.
+        for split in 0..=shards.shard_count() {
+            let mut lo = Vec::new();
+            let mut hi = Vec::new();
+            shards.for_each_active_in(0..split, |i| lo.push(i));
+            shards.for_each_active_in(split..shards.shard_count(), |i| hi.push(i));
+            assert_eq!(lo.len(), shards.active_count_in(0..split));
+            assert_eq!(
+                hi.len(),
+                shards.active_count_in(split..shards.shard_count())
+            );
+            lo.extend_from_slice(&hi);
+            assert_eq!(lo, full, "split at shard {split}");
+        }
+        // Out-of-range ends clamp instead of panicking.
+        let mut all = Vec::new();
+        shards.for_each_active_in(0..usize::MAX, |i| all.push(i));
+        assert_eq!(all, full);
+        assert_eq!(shards.active_count_in(0..usize::MAX), full.len());
     }
 
     #[test]

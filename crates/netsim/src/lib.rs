@@ -44,6 +44,7 @@ pub mod bandwidth;
 pub mod graph;
 pub mod metrics;
 pub mod partner;
+pub mod plan;
 pub mod plot;
 pub mod rng;
 pub mod round;

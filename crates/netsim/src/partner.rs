@@ -32,7 +32,7 @@ pub enum Protocol {
 }
 
 impl Protocol {
-    fn tag(self) -> u64 {
+    pub(crate) fn tag(self) -> u64 {
         match self {
             Protocol::BalancedExchange => 1,
             Protocol::OptimisticPush => 2,
@@ -78,6 +78,11 @@ impl PartnerSchedule {
         self.n
     }
 
+    /// The mixed session seed (for the plan module's hoisted planner).
+    pub(crate) fn seed(&self) -> u64 {
+        self.seed
+    }
+
     /// Schedules always cover at least two nodes.
     pub fn is_empty(&self) -> bool {
         false
@@ -114,11 +119,14 @@ impl PartnerSchedule {
     /// yield order — bit-identical to calling
     /// [`PartnerSchedule::partner_of`] per node.
     ///
-    /// This is the shard-aware sampling path of the `O(active)` engine:
-    /// the caller walks only its active shards (ascending index order)
-    /// and the per-round and rejection-threshold mixing is hoisted out
-    /// of the per-node loop instead of being recomputed for every
-    /// initiator. Allocation-free once `out` has capacity.
+    /// This is a thin alias over the exchange-plan path (see
+    /// [`PartnerSchedule::planner`] and `crate::plan`): the same
+    /// hoisted per-round mixing the batched [`PairPlanner::fill`]
+    /// uses, emitting bare partners instead of flagged pairs for the
+    /// callers (and tests) that pin this signature. Allocation-free
+    /// once `out` has capacity.
+    ///
+    /// [`PairPlanner::fill`]: crate::plan::PairPlanner::fill
     // lint: hot-loop
     pub fn sample_active_into(
         &self,
@@ -128,26 +136,9 @@ impl PartnerSchedule {
         out: &mut Vec<NodeId>,
     ) {
         out.clear();
-        let round_h = split_mix64(self.seed ^ round.wrapping_mul(0x9E37_79B9_7F4A_7C15));
-        let tag = proto.tag();
-        let m = u64::from(self.n - 1);
-        let threshold = m.wrapping_neg() % m;
+        let planner = self.planner(round, proto);
         for node in nodes {
-            let mut h = round_h;
-            h = split_mix64(h ^ u64::from(node.0).wrapping_mul(0xC2B2_AE3D_27D4_EB4F));
-            h = split_mix64(h ^ tag);
-            let mut draw = h;
-            let r = loop {
-                if draw >= threshold {
-                    break draw % m;
-                }
-                draw = split_mix64(draw);
-            } as u32;
-            out.push(if r >= node.0 {
-                NodeId(r + 1)
-            } else {
-                NodeId(r)
-            });
+            out.push(planner.partner_of(node));
         }
     }
 

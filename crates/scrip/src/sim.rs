@@ -38,6 +38,7 @@ use lotus_core::population::Population;
 use lotus_core::satiation::Satiable;
 use lotus_core::schedule::{MetricKey, ScheduleState};
 use lotus_core::soa::ShardMap;
+use netsim::plan::{ExchangePlan, PlannedPair, READY};
 use netsim::rng::DetRng;
 use netsim::round::RoundSim;
 use netsim::{NodeId, Round};
@@ -186,10 +187,13 @@ pub struct ScripSim {
     /// Fault injection (crashes, lost deliveries, the partition); a
     /// guaranteed no-op under an inactive plan.
     faults: FaultState,
-    // Volunteer-pool scratch buffers for the allocation-free request
-    // loop (see module docs).
-    free_scratch: Vec<usize>,
-    paid_scratch: Vec<usize>,
+    // Volunteer-pool scratch batches for the allocation-free request
+    // loop (see module docs): each pool is an exchange plan whose
+    // entries pair a volunteer with the round's requester, so the
+    // requester's uniform `choose` draws the same indices it drew from
+    // the bare index lists (only the pool *length* feeds the draw).
+    free_pool: ExchangePlan,
+    paid_pool: ExchangePlan,
 }
 
 impl ScripSim {
@@ -297,8 +301,8 @@ impl ScripSim {
             satiated_rounds: 0,
             target_satiated_samples: 0,
             target_samples: 0,
-            free_scratch: Vec::with_capacity(n),
-            paid_scratch: Vec::with_capacity(n),
+            free_pool: ExchangePlan::new(),
+            paid_pool: ExchangePlan::new(),
         }
     }
 
@@ -410,11 +414,15 @@ impl ScripSim {
             return; // a crashed requester cannot request either
         }
 
-        // Volunteer pools (reused scratch buffers).
-        let mut free = std::mem::take(&mut self.free_scratch);
-        let mut paid = std::mem::take(&mut self.paid_scratch);
+        // Volunteer pools (reused scratch batches): each viable
+        // volunteer is planned against the requester, and the uniform
+        // pick below draws only from the pool length — identical draws
+        // to the bare index lists these plans replaced.
+        let mut free = std::mem::take(&mut self.free_pool);
+        let mut paid = std::mem::take(&mut self.paid_pool);
         free.clear();
         paid.clear();
+        let requested = NodeId(requester as u32);
         // Shard walk over present ∧ ¬down agents in ascending index
         // order — exactly the agents the dense scan let through to the
         // availability draw (absent and down agents drew nothing under
@@ -431,9 +439,17 @@ impl ScripSim {
                 return;
             }
             if self.altruist.contains(i) {
-                free.push(i);
+                free.push(PlannedPair {
+                    initiator: NodeId(i as u32),
+                    partner: requested,
+                    flags: READY,
+                });
             } else if self.money[i] < u64::from(self.threshold[i]) {
-                paid.push(i);
+                paid.push(PlannedPair {
+                    initiator: NodeId(i as u32),
+                    partner: requested,
+                    flags: READY,
+                });
             }
         });
         // The attacker volunteers for ordinary paid requests, undercutting
@@ -450,7 +466,8 @@ impl ScripSim {
             }
         }
 
-        let outcome = if let Some(&p) = rng.choose(&free) {
+        let outcome = if let Some(&e) = rng.choose(free.entries()) {
+            let p = e.initiator.index();
             // Free service still rides the network: a lost delivery
             // means the requester got nothing (and the altruist's effort
             // is wasted — no served credit for a unit never received).
@@ -482,7 +499,8 @@ impl ScripSim {
                 self.served_paid += 1;
             }
             true
-        } else if let Some(&p) = rng.choose(&paid) {
+        } else if let Some(&e) = rng.choose(paid.entries()) {
+            let p = e.initiator.index();
             // Payment on delivery: a lost shipment voids the sale — no
             // goods, no money movement, so the supply stays conserved.
             if self.faults.fate(p, requester) == Fate::Drop {
@@ -509,8 +527,8 @@ impl ScripSim {
         if measured && special && outcome {
             self.special_served += 1;
         }
-        self.free_scratch = free;
-        self.paid_scratch = paid;
+        self.free_pool = free;
+        self.paid_pool = paid;
     }
 
     /// Adaptive threshold update (EC'07 crash dynamics, simplified): an
