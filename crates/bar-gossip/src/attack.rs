@@ -41,6 +41,18 @@ pub enum AttackKind {
     /// indistinguishable from background loss. On a perfect network this
     /// attacker is simply honest.
     Masquerade,
+    /// Advertise-then-withhold (digest poisoning): attacker nodes
+    /// advertise a *truthful* digest of what they hold, then withhold
+    /// each update they owe with probability
+    /// [`AttackPlan::poison_rate`]. Only meaningful on the digest
+    /// substrate, where a peer learns what it is missing from the
+    /// digest leg and withholding is undetectable until the transfer
+    /// leg — and, with a bloom digest, each withheld id is
+    /// indistinguishable from a digest false positive, giving a
+    /// low-rate poisoner plausible deniability against the digest
+    /// audit. Under full-window exchange this attacker is simply
+    /// honest.
+    Poison,
 }
 
 impl AttackKind {
@@ -52,6 +64,7 @@ impl AttackKind {
             AttackKind::IdealLotusEater => "Ideal lotus-eater attack",
             AttackKind::TradeLotusEater => "Trade lotus-eater attack",
             AttackKind::Masquerade => "Fault-masquerading attack",
+            AttackKind::Poison => "Advertise-then-withhold attack",
         }
     }
 
@@ -61,6 +74,15 @@ impl AttackKind {
             self,
             AttackKind::IdealLotusEater | AttackKind::TradeLotusEater
         )
+    }
+
+    /// Whether this attacker stays protocol-obedient on the surface
+    /// (honest-looking class dispatch, responder caps respected) and
+    /// defects only covertly inside deliveries — fault-masquerading
+    /// silence, or digest-poisoned withholding. Covert attackers want
+    /// less scrutiny, not more.
+    pub fn covert(self) -> bool {
+        matches!(self, AttackKind::Masquerade | AttackKind::Poison)
     }
 }
 
@@ -87,6 +109,13 @@ pub struct AttackPlan {
     /// The default [`AttackSchedule::always`] with no rotation keeps the
     /// fixed always-on attack of Figures 1-3.
     pub schedule: AttackSchedule,
+    /// For [`AttackKind::Poison`]: the probability an attacker withholds
+    /// each individual update it owes after a truthful digest
+    /// advertisement (clamped to `[0, 1]`). `1.0` withholds everything
+    /// requested; small rates sink below the digest false-positive
+    /// floor and become fully deniable. Zero (the value every other
+    /// constructor sets) makes the poisoner honest.
+    pub poison_rate: f64,
 }
 
 impl AttackPlan {
@@ -100,6 +129,7 @@ impl AttackPlan {
             attacker_fraction: 0.0,
             satiate_fraction: 0.0,
             schedule: AttackSchedule::always(),
+            poison_rate: 0.0,
         }
     }
 
@@ -110,6 +140,7 @@ impl AttackPlan {
             attacker_fraction: attacker_fraction.clamp(0.0, 1.0),
             satiate_fraction: 0.0,
             schedule: AttackSchedule::always(),
+            poison_rate: 0.0,
         }
     }
 
@@ -120,6 +151,7 @@ impl AttackPlan {
             attacker_fraction: attacker_fraction.clamp(0.0, 1.0),
             satiate_fraction: satiate_fraction.clamp(0.0, 1.0),
             schedule: AttackSchedule::always(),
+            poison_rate: 0.0,
         }
     }
 
@@ -130,6 +162,7 @@ impl AttackPlan {
             attacker_fraction: attacker_fraction.clamp(0.0, 1.0),
             satiate_fraction: satiate_fraction.clamp(0.0, 1.0),
             schedule: AttackSchedule::always(),
+            poison_rate: 0.0,
         }
     }
 
@@ -143,6 +176,21 @@ impl AttackPlan {
             attacker_fraction: attacker_fraction.clamp(0.0, 1.0),
             satiate_fraction: 0.0,
             schedule: AttackSchedule::always(),
+            poison_rate: 0.0,
+        }
+    }
+
+    /// An advertise-then-withhold (digest-poisoning) attack: attacker
+    /// nodes advertise truthful digests but withhold each owed update
+    /// with probability `poison_rate`. Meaningful only on the digest
+    /// substrate; elsewhere the poisoner is honest.
+    pub fn poison(attacker_fraction: f64, poison_rate: f64) -> Self {
+        AttackPlan {
+            kind: AttackKind::Poison,
+            attacker_fraction: attacker_fraction.clamp(0.0, 1.0),
+            satiate_fraction: 0.0,
+            schedule: AttackSchedule::always(),
+            poison_rate: poison_rate.clamp(0.0, 1.0),
         }
     }
 
@@ -228,6 +276,20 @@ mod tests {
         assert_eq!(plan.kind.label(), "Fault-masquerading attack");
         assert_eq!(plan.attacker_count(250), 50);
         assert_eq!(plan.satiated_honest_count(250), 0);
+    }
+
+    #[test]
+    fn poison_plan_clamps_and_does_not_satiate() {
+        let plan = AttackPlan::poison(0.1, 1.5);
+        assert_eq!(plan.kind.label(), "Advertise-then-withhold attack");
+        assert!(!plan.kind.satiates());
+        assert_eq!(plan.poison_rate, 1.0);
+        assert_eq!(plan.attacker_count(250), 25);
+        assert_eq!(plan.satiated_honest_count(250), 0);
+        assert_eq!(AttackPlan::poison(0.1, -0.3).poison_rate, 0.0);
+        // Every other constructor pins the rate to zero (honest).
+        assert_eq!(AttackPlan::masquerade(0.2).poison_rate, 0.0);
+        assert_eq!(AttackPlan::none().poison_rate, 0.0);
     }
 
     #[test]

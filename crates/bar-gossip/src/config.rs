@@ -69,6 +69,49 @@ pub struct DefenseSuite {
     pub cutoff_quorum: Option<u32>,
 }
 
+/// Digest-first exchange: peers swap summaries of what they hold, then
+/// transfer only the diff (the `bar-gossip-digest` scenario).
+///
+/// `None` on [`BarGossipConfig::digest`] keeps the classic full-window
+/// balanced-exchange + optimistic-push round; `Some` replaces both
+/// phases with the two-leg digest round. Bandwidth then scales with the
+/// diff — and withholding becomes undetectable until the transfer leg,
+/// which is the surface the advertise-then-withhold
+/// ([`AttackKind::Poison`](crate::attack::AttackKind::Poison)) attack
+/// exploits.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DigestExchangeConfig {
+    /// Bloom filter width in bits (`digest_bits`; also the digest's
+    /// on-wire size, `bits/8` bytes per advertisement).
+    pub bits: u32,
+    /// Bloom probes per update id (`digest_hashes`).
+    pub hashes: u32,
+    /// Use the exact per-region summary-hash variant instead of the
+    /// bloom filter (`digest_exact`): zero false positives, so an
+    /// advertised-but-undelivered id is *proof* of withholding and the
+    /// digest audit has perfect precision — at the cost of shipping a
+    /// region hash per live round plus raw masks for divergent regions.
+    pub exact: bool,
+    /// Digest-audit defense: the probability the receiver checks each
+    /// advertised-but-undelivered id it observes and files a silence
+    /// strike on the sender (through the
+    /// [`DefenseSuite::cutoff_quorum`] machinery; `0.0` = audit off).
+    /// With a bloom digest, false positives make honest senders audit
+    /// targets too — the deniability floor the poisoner hides under.
+    pub audit: f64,
+}
+
+impl Default for DigestExchangeConfig {
+    fn default() -> Self {
+        DigestExchangeConfig {
+            bits: 1024,
+            hashes: 4,
+            exact: false,
+            audit: 0.0,
+        }
+    }
+}
+
 /// Full configuration of a BAR Gossip run.
 ///
 /// Construct via [`BarGossipConfig::builder`]; [`Default`] gives Table 1.
@@ -129,6 +172,9 @@ pub struct BarGossipConfig {
     /// nodes re-enter cold, with empty windows — unlike churned-out
     /// nodes, which keep their state while absent.
     pub faults: FaultPlan,
+    /// Digest-first exchange (default `None`: the classic full-window
+    /// round). See [`DigestExchangeConfig`].
+    pub digest: Option<DigestExchangeConfig>,
     /// Worker threads for the intra-round exchange-plan phase (`0` =
     /// auto: the `LOTUS_RUN_THREADS` env var if set, else the machine's
     /// available parallelism). Only the read-only plan fill is
@@ -156,6 +202,7 @@ impl Default for BarGossipConfig {
             churn: ChurnProfile::none(),
             arrival: ArrivalProcess::None,
             faults: FaultPlan::none(),
+            digest: None,
             run_threads: 0,
         }
     }
@@ -182,6 +229,8 @@ pub enum ConfigError {
     BadAgeBands(String),
     /// Report defense fractions out of range.
     BadReportConfig(String),
+    /// Digest exchange parameters out of range.
+    BadDigest(String),
 }
 
 impl std::fmt::Display for ConfigError {
@@ -201,6 +250,7 @@ impl std::fmt::Display for ConfigError {
             ConfigError::BadThreshold(t) => write!(f, "usability threshold {t} outside (0, 1)"),
             ConfigError::BadAgeBands(why) => write!(f, "bad age bands: {why}"),
             ConfigError::BadReportConfig(why) => write!(f, "bad report config: {why}"),
+            ConfigError::BadDigest(why) => write!(f, "bad digest config: {why}"),
         }
     }
 }
@@ -281,6 +331,26 @@ impl BarGossipConfig {
             return Err(ConfigError::BadReportConfig(
                 "cutoff quorum of 0 would cut every node immediately".into(),
             ));
+        }
+        if let Some(digest) = &self.digest {
+            if digest.bits < 64 || digest.bits > (1 << 24) {
+                return Err(ConfigError::BadDigest(format!(
+                    "digest bits {} outside 64..=2^24",
+                    digest.bits
+                )));
+            }
+            if digest.hashes == 0 || digest.hashes > 16 {
+                return Err(ConfigError::BadDigest(format!(
+                    "digest hashes {} outside 1..=16",
+                    digest.hashes
+                )));
+            }
+            if !(0.0..=1.0).contains(&digest.audit) {
+                return Err(ConfigError::BadDigest(format!(
+                    "audit rate {} outside [0, 1]",
+                    digest.audit
+                )));
+            }
         }
         Ok(())
     }
@@ -420,6 +490,13 @@ impl BarGossipConfigBuilder {
         self
     }
 
+    /// Run the two-leg digest exchange instead of the full-window round
+    /// (`None`, the default, restores the classic protocol).
+    pub fn digest(mut self, digest: Option<DigestExchangeConfig>) -> Self {
+        self.cfg.digest = digest;
+        self
+    }
+
     /// Worker threads for the plan phase (`0` = auto; see
     /// [`BarGossipConfig::run_threads`]). Figures never depend on this.
     pub fn run_threads(mut self, threads: usize) -> Self {
@@ -452,7 +529,44 @@ mod tests {
         assert_eq!(cfg.push_size, 2);
         assert_eq!(cfg.usability_threshold, 0.93);
         assert_eq!(cfg.run_threads, 0, "auto worker count by default");
+        assert!(cfg.digest.is_none(), "full-window exchange by default");
         assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn digest_config_validates() {
+        let ok = BarGossipConfig::builder()
+            .digest(Some(DigestExchangeConfig::default()))
+            .build();
+        assert!(ok.is_ok());
+        for bad in [
+            DigestExchangeConfig {
+                bits: 32,
+                ..Default::default()
+            },
+            DigestExchangeConfig {
+                bits: 1 << 25,
+                ..Default::default()
+            },
+            DigestExchangeConfig {
+                hashes: 0,
+                ..Default::default()
+            },
+            DigestExchangeConfig {
+                hashes: 17,
+                ..Default::default()
+            },
+            DigestExchangeConfig {
+                audit: 1.5,
+                ..Default::default()
+            },
+        ] {
+            let err = BarGossipConfig::builder().digest(Some(bad)).build();
+            assert!(
+                matches!(err, Err(ConfigError::BadDigest(_))),
+                "{bad:?} should fail"
+            );
+        }
     }
 
     #[test]

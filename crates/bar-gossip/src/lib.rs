@@ -22,6 +22,16 @@
 //! [`DefenseSuite`]: larger pushes (Figure 2), unbalanced exchanges
 //! (Figure 3), per-exchange rate limits and report-and-evict.
 //!
+//! A digest-based substrate ([`DigestExchangeConfig`], the
+//! `bar-gossip-digest` scenario) swaps the full-window round for a
+//! two-leg advertise-then-diff exchange over
+//! [`lotus_core::digest`] bloom filters (or exact region hashes). It
+//! hosts the **advertise-then-withhold** attack
+//! ([`AttackKind::Poison`]): a covert attacker advertises truthfully
+//! and then withholds requested updates at a tunable rate, hiding
+//! behind the digest's own false positives — plus the digest-audit
+//! defense that samples advertised-but-undelivered ids.
+//!
 //! # Example
 //!
 //! ```
@@ -54,6 +64,6 @@ pub mod sim;
 pub mod update;
 
 pub use attack::{AttackKind, AttackPlan};
-pub use config::{BarGossipConfig, DefenseSuite, ReportConfig};
+pub use config::{BarGossipConfig, DefenseSuite, DigestExchangeConfig, ReportConfig};
 pub use scrip_gossip::{ScripGossipConfig, ScripGossipReport, ScripGossipSim};
-pub use sim::{BarGossipReport, BarGossipSim, ClassCounts, ClassDelivery, NodeClass};
+pub use sim::{BarGossipReport, BarGossipSim, ClassCounts, ClassDelivery, DigestStats, NodeClass};

@@ -331,8 +331,10 @@ impl ScripGossipSim {
         {
             return false;
         }
-        self.masq_rng
-            .chance(self.cfg.base.faults.ambient_silence_rate())
+        // Round-aware rate: folds expected partition blocking in while
+        // an epoch is open (see `BarGossipSim::masquerade_silent`).
+        let rate = self.faults.ambient_silence_rate();
+        self.masq_rng.chance(rate)
     }
 
     /// Silence strike by `observer` against `partner` — see
@@ -437,10 +439,10 @@ impl ScripGossipSim {
     /// updates to targets instead of selling, and never buy.
     fn interaction(&mut self, buyer: NodeId, seller: NodeId, now: Round, cap: u32) {
         let (b, s) = (buyer.index(), seller.index());
-        // Masquerade attackers take the honest path throughout — their
-        // defection is the silence draw at the delivery step below.
-        if self.attack_active && self.plan.kind != AttackKind::Masquerade && self.nodes[s].attacker
-        {
+        // Covert (masquerade/poison) attackers take the honest path
+        // throughout — masquerade defection is the silence draw at the
+        // delivery step below; poison is digest-substrate-only.
+        if self.attack_active && !self.plan.kind.covert() && self.nodes[s].attacker {
             // Attacker seller: gift everything, free, to targets only.
             if self.plan.kind == AttackKind::TradeLotusEater && self.nodes[b].target {
                 let mut gift = std::mem::take(&mut self.want_scratch);
@@ -463,11 +465,8 @@ impl ScripGossipSim {
             // Trade attackers replenish their stock by buying like anyone
             // else would — but they pay with their own scrip, which the
             // supply bounds. (They start with the same endowment.)
-            // Masquerade attackers also buy honestly.
-            if !matches!(
-                self.plan.kind,
-                AttackKind::TradeLotusEater | AttackKind::Masquerade
-            ) {
+            // Covert attackers also buy honestly.
+            if self.plan.kind != AttackKind::TradeLotusEater && !self.plan.kind.covert() {
                 return;
             }
         }

@@ -61,13 +61,14 @@
 //! schedule-golden tests are the guardrail).
 
 use crate::attack::{AttackKind, AttackPlan};
-use crate::config::BarGossipConfig;
+use crate::config::{BarGossipConfig, DigestExchangeConfig};
 use crate::exchange::{
     balanced_exchange_into, is_excessive_service, optimistic_push_into, wants_push,
     BalancedOutcome, PushOutcome,
 };
 use crate::update::{UpdateId, WindowSet};
 use lotus_core::bitset::BitSet;
+use lotus_core::digest::{region_hash, BloomDigest};
 use lotus_core::faults::{CutStats, Fate, FaultCounters, FaultState};
 use lotus_core::pool::WorkerPool;
 use lotus_core::population::Population;
@@ -121,6 +122,51 @@ pub struct ClassCounts {
     pub attacker: u32,
 }
 
+/// Wire accounting for the two-leg digest exchange (the
+/// `bar-gossip-digest` scenario). Bytes are *attempted-send* bytes —
+/// what crossed the sender's interface, whether or not the fault layer
+/// delivered it. An update payload is modeled as
+/// [`UPDATE_WIRE_BYTES`] and a requested id as [`ID_WIRE_BYTES`];
+/// digests cost their exact advertised size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DigestStats {
+    /// Bytes spent on digest advertisements (leg 1): `bits/8` per bloom
+    /// digest, or 8 bytes per live-round region hash in exact mode.
+    pub bytes_digests: u64,
+    /// Bytes spent requesting ids (bloom mode: 8 bytes per requested
+    /// id) or reconciling divergent regions (exact mode: 8 bytes per
+    /// divergent-region mask, each way).
+    pub bytes_requests: u64,
+    /// Bytes spent shipping requested updates (leg 2).
+    pub bytes_updates: u64,
+    /// Ids requested across all exchanges.
+    pub requests: u64,
+    /// Requested ids the sender did not actually hold — bloom false
+    /// positives (zero in exact mode). The poisoner's deniability
+    /// floor: a withheld id and a false positive look identical to the
+    /// receiver.
+    pub fp_requests: u64,
+    /// Ids a poisoning attacker withheld after advertising them.
+    pub withheld: u64,
+}
+
+impl DigestStats {
+    /// Total attempted bytes on the wire across all three message
+    /// classes.
+    pub fn bytes_on_wire(&self) -> u64 {
+        self.bytes_digests + self.bytes_requests + self.bytes_updates
+    }
+
+    /// Fraction of requested ids that were bloom false positives.
+    pub fn fp_rate(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.fp_requests as f64 / self.requests as f64
+        }
+    }
+}
+
 /// Final report of a BAR Gossip run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BarGossipReport {
@@ -161,6 +207,10 @@ pub struct BarGossipReport {
     pub cuts: Option<CutStats>,
     /// Fault-injection counters; `None` when the fault plan is inactive.
     pub fault_counters: Option<FaultCounters>,
+    /// Digest-exchange wire accounting; `None` under the classic
+    /// full-window round, so pre-digest reports are unchanged by the
+    /// substrate existing.
+    pub digest: Option<DigestStats>,
 }
 
 impl BarGossipReport {
@@ -317,6 +367,45 @@ pub struct BarGossipSim {
     returned_scratch: Vec<UpdateId>,
     balanced_scratch: BalancedOutcome,
     push_scratch: PushOutcome,
+    /// Two-leg digest-exchange state; `None` runs the classic
+    /// full-window round untouched.
+    digest_state: Option<DigestState>,
+}
+
+/// Modeled wire size of one update payload, in bytes (a stream packet).
+/// The absolute value is a convention — bytes-on-wire metrics compare
+/// *across* curves sharing it, not against a real deployment.
+pub const UPDATE_WIRE_BYTES: u64 = 1024;
+
+/// Modeled wire size of one requested update id (or one region mask),
+/// in bytes.
+pub const ID_WIRE_BYTES: u64 = 8;
+
+/// Per-run state of the two-leg digest exchange (present only when
+/// [`BarGossipConfig::digest`] is set, so classic runs carry none of
+/// it). All buffers are sized at construction; the steady-state digest
+/// round allocates nothing.
+#[derive(Debug, Clone)]
+struct DigestState {
+    /// The digest knobs in force.
+    dcfg: DigestExchangeConfig,
+    /// Scratch bloom filter, rebuilt per advertisement (bloom mode).
+    bloom: BloomDigest,
+    /// Ids the initiator requests from the partner this exchange.
+    want_initiator: Vec<UpdateId>,
+    /// Ids the partner requests from the initiator this exchange.
+    want_partner: Vec<UpdateId>,
+    /// Transfer-leg delivery buffer (after poison/fp filtering).
+    deliver: Vec<UpdateId>,
+    /// The poisoning attacker's per-owed-update withhold draws. Forked
+    /// at construction (stream-invisible); drawn only when a poison
+    /// attacker answers a request, and `chance(0.0)` draws nothing.
+    poison_rng: DetRng,
+    /// The digest-audit defense's sampling draws; `audit = 0.0` draws
+    /// nothing.
+    audit_rng: DetRng,
+    /// Wire accounting for the report.
+    stats: DigestStats,
 }
 
 /// Active-node floor below which the plan phase stays on the calling
@@ -325,6 +414,13 @@ pub struct BarGossipSim {
 /// and the sequential path is what the alloc-guard suite pins as
 /// allocation-free.
 const PLAN_POOL_MIN_ACTIVE: usize = 1 << 14;
+
+/// Pack an update id into the digest key space: `round * 64 + slot`
+/// (slots are capped at 64 per round, so the packing is injective).
+#[inline]
+fn pack_id(round: Round, slot: u32) -> u64 {
+    (round << 6) | u64::from(slot)
+}
 
 fn class_idx(class: NodeClass) -> usize {
     match class {
@@ -411,6 +507,24 @@ impl BarGossipSim {
         // Everyone present at round 0 is engaged; flash-crowd nodes
         // engage when their wave lands.
         let engaged = population.present().clone();
+        // Digest-exchange state only when configured. The forks below
+        // are stream-invisible (forking never advances the parent), so
+        // classic runs are bit-identical whether or not this substrate
+        // exists. Buffers are capacity-reserved for the full live
+        // window, so the steady digest round never reallocates.
+        let digest_state = cfg.digest.map(|dcfg| {
+            let live = (cfg.updates_per_round * cfg.update_lifetime) as usize;
+            DigestState {
+                dcfg,
+                bloom: BloomDigest::new(dcfg.bits, dcfg.hashes),
+                want_initiator: Vec::with_capacity(live),
+                want_partner: Vec::with_capacity(live),
+                deliver: Vec::with_capacity(live),
+                poison_rng: rng.fork("poison"),
+                audit_rng: rng.fork("audit"),
+                stats: DigestStats::default(),
+            }
+        });
         BarGossipSim {
             full: window.clone(),
             pool: window,
@@ -466,6 +580,7 @@ impl BarGossipSim {
             returned_scratch: Vec::new(),
             balanced_scratch: BalancedOutcome::default(),
             push_scratch: PushOutcome::default(),
+            digest_state,
             cfg,
             plan,
             windows,
@@ -554,11 +669,10 @@ impl BarGossipSim {
 
     /// Honest responders serve at most `responder_cap` incoming
     /// interactions per protocol per round; attackers accept everything
-    /// — except masquerade attackers, who stay protocol-obedient to
-    /// remain indistinguishable.
+    /// — except covert (masquerade/poison) attackers, who stay
+    /// protocol-obedient to remain indistinguishable.
     fn responder_accepts(&mut self, node: NodeId, push: bool) -> bool {
-        if self.attack_active && self.plan.kind != AttackKind::Masquerade && self.is_attacker(node)
-        {
+        if self.attack_active && !self.plan.kind.covert() && self.is_attacker(node) {
             return true;
         }
         let cap = self.cfg.responder_cap.map_or(u32::MAX, |c| c);
@@ -576,11 +690,15 @@ impl BarGossipSim {
     }
 
     /// Whether `sender`'s side of this interaction goes silent: a
-    /// fault-masquerading attacker withholds at the ambient fault rate
-    /// ([`lotus_core::faults::FaultPlan::ambient_silence_rate`]), so its
-    /// defections are statistically indistinguishable from background
-    /// loss. Draws nothing for honest senders, other attack kinds, or a
-    /// zero ambient rate (`chance(0.0)` is draw-free).
+    /// fault-masquerading attacker withholds at the *round-aware*
+    /// ambient fault rate
+    /// ([`lotus_core::faults::FaultState::ambient_silence_rate`]), which
+    /// folds expected partition blocking in while an epoch is open —
+    /// matching only loss and delay would understate real ambient
+    /// silence there and make the masquerade statistically visible. Its
+    /// defections stay indistinguishable from background silence. Draws
+    /// nothing for honest senders, other attack kinds, or a zero
+    /// ambient rate (`chance(0.0)` is draw-free).
     fn masquerade_silent(&mut self, sender: NodeId) -> bool {
         if !self.attack_active
             || self.plan.kind != AttackKind::Masquerade
@@ -588,7 +706,8 @@ impl BarGossipSim {
         {
             return false;
         }
-        self.masq_rng.chance(self.cfg.faults.ambient_silence_rate())
+        let rate = self.faults.ambient_silence_rate();
+        self.masq_rng.chance(rate)
     }
 
     /// Deliver one directed batch `from → to` through the masquerade
@@ -1159,10 +1278,11 @@ impl BarGossipSim {
             }
             // While the schedule has the attack off, attacker nodes run
             // the honest protocol (the cooperate phase), so both classes
-            // collapse to honest in the dispatch below. Masquerade
-            // attackers *always* take the honest path — their defection
-            // lives inside `faulty_send`, not in the dispatch.
-            let classes = if self.attack_active && self.plan.kind != AttackKind::Masquerade {
+            // collapse to honest in the dispatch below. Covert
+            // (masquerade/poison) attackers *always* take the honest
+            // path — their defection lives inside the delivery step, not
+            // in the dispatch.
+            let classes = if self.attack_active && !self.plan.kind.covert() {
                 (self.class[v.index()], self.class[p.index()])
             } else {
                 (NodeClass::Isolated, NodeClass::Isolated)
@@ -1257,13 +1377,12 @@ impl BarGossipSim {
             }
             // Attacker-specific push behaviour only while the attack is
             // on; a cooperating attacker falls through to the honest
-            // rational-push logic below, as do masquerade attackers
-            // (whose defection lives inside `faulty_send`). Note the
+            // rational-push logic below, as do covert attackers (whose
+            // defection lives inside the delivery step). Note the
             // attacker arms are deliberately *not* gated on the link —
             // the legacy path never was (attacker pooling models an
             // out-of-band channel), and the goldens pin that.
-            if self.attack_active && self.plan.kind != AttackKind::Masquerade && self.is_attacker(v)
-            {
+            if self.attack_active && !self.plan.kind.covert() && self.is_attacker(v) {
                 if self.plan.kind == AttackKind::TradeLotusEater && (!strict || self.alive(p)) {
                     if self.class[p.index()] == NodeClass::Attacker {
                         self.attacker_sync(v, p);
@@ -1284,8 +1403,7 @@ impl BarGossipSim {
                 self.faults.note_partition_blocked();
                 continue; // partitioned apart
             }
-            if self.attack_active && self.plan.kind != AttackKind::Masquerade && self.is_attacker(p)
-            {
+            if self.attack_active && !self.plan.kind.covert() && self.is_attacker(p) {
                 if self.plan.kind == AttackKind::TradeLotusEater && self.target.contains(v.index())
                 {
                     self.attacker_gift(p, v, t, true);
@@ -1332,6 +1450,263 @@ impl BarGossipSim {
             self.push_scratch = out;
         }
         self.plan_batch = plan;
+    }
+
+    /// Phases 4+5 (digest mode): the two-leg digest exchange replaces
+    /// both classic exchange phases. Planning, shuffling, strict
+    /// rechecks and the attacker-class dispatch mirror
+    /// [`BarGossipSim::balanced_phase`] exactly — only the honest arm
+    /// differs, swapping the full-window balanced trade for an
+    /// advertise-then-diff exchange ([`BarGossipSim::digest_exchange`]).
+    /// Covert (masquerade/poison) attackers take the honest arm; their
+    /// defection lives inside the transfer leg.
+    // lint: hot-loop
+    fn digest_phase(&mut self, t: Round) {
+        netsim::round::clear_counters_for(&mut self.served_balanced, self.shards.active_ranges());
+        self.plan_phase(
+            t,
+            Protocol::BalancedExchange,
+            self.rng.fork_idx("digest-order", t),
+        );
+        let strict = self.mid_phase_removals_possible();
+        let plan = std::mem::take(&mut self.plan_batch);
+        for &e in plan.entries() {
+            if !e.is_viable() {
+                continue;
+            }
+            let (v, p) = (e.initiator, e.partner);
+            if strict && (!self.alive(v) || !self.alive(p)) {
+                continue;
+            }
+            if !e.is_linked() {
+                self.faults.note_partition_blocked();
+                continue;
+            }
+            let classes = if self.attack_active && !self.plan.kind.covert() {
+                (self.class[v.index()], self.class[p.index()])
+            } else {
+                (NodeClass::Isolated, NodeClass::Isolated)
+            };
+            match classes {
+                (NodeClass::Attacker, NodeClass::Attacker) => {
+                    if self.plan.kind == AttackKind::TradeLotusEater {
+                        self.attacker_sync(v, p);
+                    }
+                }
+                (NodeClass::Attacker, _) => {
+                    if self.plan.kind == AttackKind::TradeLotusEater
+                        && self.target.contains(p.index())
+                        && self.responder_accepts(p, false)
+                    {
+                        self.attacker_gift(v, p, t, false);
+                    }
+                }
+                (_, NodeClass::Attacker) => {
+                    if self.plan.kind == AttackKind::TradeLotusEater
+                        && self.target.contains(v.index())
+                    {
+                        self.attacker_gift(p, v, t, false);
+                    }
+                }
+                (_, _) => {
+                    if !self.responder_accepts(p, false) {
+                        continue;
+                    }
+                    self.digest_exchange(v, p, t);
+                }
+            }
+        }
+        self.plan_batch = plan;
+    }
+
+    /// One two-leg digest exchange between `v` (initiator) and `p`
+    /// (responder). Leg 1 swaps advertisements and builds each side's
+    /// request list; leg 2 ships the requested updates
+    /// ([`BarGossipSim::digest_deliver`]).
+    ///
+    /// * **Bloom mode** — each side advertises a [`BloomDigest`] of its
+    ///   whole window (`bits/8` bytes each way); the other side probes
+    ///   for its *own missing* live ids in round/slot order and requests
+    ///   the positives (8 bytes per id). No false negatives means every
+    ///   id the sender holds and the receiver needs is requested; a
+    ///   false positive wastes one request.
+    /// * **Exact mode** — the sides swap one [`region_hash`] per live
+    ///   round (8 bytes each way); divergent rounds exchange their raw
+    ///   slot masks (8 bytes each way, counted as request bytes) and
+    ///   diff exactly.
+    ///
+    /// The X9 rate limit caps each request list at build time — the
+    /// receiver knows the cap, so truncation can never read as
+    /// withholding. Held ids enter the want lists in round/slot order in
+    /// both modes, so the poison stream draws identically whichever
+    /// advertisement is in force (the delivery-equivalence golden pins
+    /// this).
+    fn digest_exchange(&mut self, v: NodeId, p: NodeId, t: Round) {
+        let mut st = self
+            .digest_state
+            .take()
+            .expect("digest_phase implies digest state");
+        let limit = self
+            .cfg
+            .defenses
+            .rate_limit
+            .map_or(usize::MAX, |c| c as usize);
+        let mut want_v = std::mem::take(&mut st.want_initiator);
+        let mut want_p = std::mem::take(&mut st.want_partner);
+        if st.dcfg.exact {
+            want_v.clear();
+            want_p.clear();
+            let start = self.windows[v.index()].start();
+            st.stats.bytes_digests += 2 * ID_WIRE_BYTES * (t - start + 1);
+            for r in start..=t {
+                let mv = self.windows[v.index()].mask(r).unwrap_or(0);
+                let mp = self.windows[p.index()].mask(r).unwrap_or(0);
+                if region_hash(r, mv) == region_hash(r, mp) {
+                    continue;
+                }
+                st.stats.bytes_requests += 2 * ID_WIRE_BYTES;
+                let mut only = mp & !mv;
+                while only != 0 {
+                    let slot = only.trailing_zeros();
+                    only &= only - 1;
+                    if want_v.len() < limit {
+                        want_v.push(UpdateId { round: r, slot });
+                    }
+                }
+                let mut only = mv & !mp;
+                while only != 0 {
+                    let slot = only.trailing_zeros();
+                    only &= only - 1;
+                    if want_p.len() < limit {
+                        want_p.push(UpdateId { round: r, slot });
+                    }
+                }
+            }
+        } else {
+            Self::bloom_wants(
+                &mut st.bloom,
+                &self.windows[p.index()],
+                &self.windows[v.index()],
+                t,
+                limit,
+                &mut want_v,
+            );
+            Self::bloom_wants(
+                &mut st.bloom,
+                &self.windows[v.index()],
+                &self.windows[p.index()],
+                t,
+                limit,
+                &mut want_p,
+            );
+            st.stats.bytes_digests += 2 * st.bloom.size_bytes();
+            st.stats.bytes_requests += ID_WIRE_BYTES * (want_v.len() + want_p.len()) as u64;
+        }
+        st.stats.requests += (want_v.len() + want_p.len()) as u64;
+        // Leg 2: each side answers the other's request list.
+        self.digest_deliver(&mut st, p, v, &want_v, t);
+        self.digest_deliver(&mut st, v, p, &want_p, t);
+        st.want_initiator = want_v;
+        st.want_partner = want_p;
+        self.digest_state = Some(st);
+    }
+
+    /// Rebuild `bloom` from `sender`'s window, then fill `want` with the
+    /// live ids `receiver` is missing that probe positive, in round/slot
+    /// order, stopping at `limit`.
+    // lint: hot-loop
+    fn bloom_wants(
+        bloom: &mut BloomDigest,
+        sender: &WindowSet,
+        receiver: &WindowSet,
+        t: Round,
+        limit: usize,
+        want: &mut Vec<UpdateId>,
+    ) {
+        want.clear();
+        bloom.clear();
+        let per_round = receiver.per_round();
+        for r in sender.start()..=t {
+            let mut bits = sender.mask(r).unwrap_or(0);
+            while bits != 0 {
+                let slot = bits.trailing_zeros();
+                bits &= bits - 1;
+                bloom.insert(pack_id(r, slot));
+            }
+        }
+        for r in receiver.start()..=t {
+            let held = receiver.mask(r).unwrap_or(0);
+            for slot in 0..per_round {
+                if held & (1u64 << slot) != 0 {
+                    continue;
+                }
+                if want.len() >= limit {
+                    return;
+                }
+                if bloom.contains(pack_id(r, slot)) {
+                    want.push(UpdateId { round: r, slot });
+                }
+            }
+        }
+    }
+
+    /// Transfer leg: `sender` answers `receiver`'s request list. A
+    /// requested id the sender lacks is a bloom false positive (exact
+    /// mode never produces one); a poisoning attacker withholds each
+    /// *held* id at [`AttackPlan::poison_rate`] — the draw happens only
+    /// for held ids, so the poison stream is advertisement-agnostic. The
+    /// digest-audit defense samples every advertised-but-undelivered id
+    /// at `audit` and files at most one silence strike per direction: to
+    /// the receiver, a false positive and a withheld id are
+    /// indistinguishable — exactly the attack's deniability claim, which
+    /// is why the defense's collateral shows up as `false_cut_rate`.
+    /// Whole-message loss of a non-empty delivery strikes as in the
+    /// balanced phase (the want was mutual knowledge).
+    // lint: hot-loop
+    fn digest_deliver(
+        &mut self,
+        st: &mut DigestState,
+        sender: NodeId,
+        receiver: NodeId,
+        want: &[UpdateId],
+        t: Round,
+    ) {
+        let mut deliver = std::mem::take(&mut st.deliver);
+        deliver.clear();
+        let poisoner =
+            self.attack_active && self.plan.kind == AttackKind::Poison && self.is_attacker(sender);
+        let mut strike = false;
+        for &id in want {
+            if !self.windows[sender.index()].contains(id) {
+                st.stats.fp_requests += 1;
+                if !strike {
+                    strike = st.audit_rng.chance(st.dcfg.audit);
+                }
+                continue;
+            }
+            if poisoner && st.poison_rng.chance(self.plan.poison_rate) {
+                st.stats.withheld += 1;
+                if !strike {
+                    strike = st.audit_rng.chance(st.dcfg.audit);
+                }
+                continue;
+            }
+            deliver.push(id);
+        }
+        st.stats.bytes_updates += UPDATE_WIRE_BYTES * deliver.len() as u64;
+        if !deliver.is_empty() {
+            if self.faulty_send(sender, receiver, deliver.len() as u64, 0) {
+                for &id in &deliver {
+                    self.windows[receiver.index()].insert(id);
+                }
+            } else {
+                self.note_silence(receiver, sender, t);
+            }
+        }
+        if strike {
+            self.note_silence(receiver, sender, t);
+        }
+        st.deliver = deliver;
     }
 
     /// Run the configured horizon and produce the report.
@@ -1446,6 +1821,7 @@ impl BarGossipSim {
             } else {
                 None
             },
+            digest: self.digest_state.as_ref().map(|d| d.stats),
         }
     }
 }
@@ -1510,8 +1886,14 @@ impl RoundSim for BarGossipSim {
             self.fed.clear();
         }
         self.ideal_forwarding();
-        self.balanced_phase(t);
-        self.push_phase(t);
+        if self.digest_state.is_some() {
+            // Digest mode: the two-leg exchange replaces both classic
+            // phases (its diff already covers what pushes would carry).
+            self.digest_phase(t);
+        } else {
+            self.balanced_phase(t);
+            self.push_phase(t);
+        }
         self.round = t + 1;
     }
 
@@ -1605,8 +1987,15 @@ impl lotus_core::scenario::Summarize for BarGossipReport {
         } else {
             f64::from(self.evictions) / f64::from(self.counts.attacker)
         };
+        // A digest run is its own registered scenario; the report knows
+        // which round shape produced it.
+        let name = if self.digest.is_some() {
+            "bar-gossip-digest"
+        } else {
+            "bar-gossip"
+        };
         let mut r = lotus_core::scenario::ScenarioReport::new(
-            "bar-gossip",
+            name,
             self.rounds,
             self.overall_delivery(),
             self.satiated_delivery(),
@@ -1640,6 +2029,14 @@ impl lotus_core::scenario::Summarize for BarGossipReport {
                 .with_metric("faults_delayed", f.delayed as f64)
                 .with_metric("faults_crashes", f.crashes as f64)
                 .with_metric("faults_partition_blocked", f.partition_blocked as f64);
+        }
+        if let Some(d) = self.digest {
+            r = r
+                .with_metric("digest_bytes_on_wire", d.bytes_on_wire() as f64)
+                .with_metric("digest_bytes_updates", d.bytes_updates as f64)
+                .with_metric("digest_fp_rate", d.fp_rate())
+                .with_metric("digest_requests", d.requests as f64)
+                .with_metric("digest_withheld", d.withheld as f64);
         }
         r
     }
@@ -2055,5 +2452,126 @@ mod tests {
             open.mean_honest_upload,
             capped.mean_honest_upload
         );
+    }
+
+    fn digest_cfg(dcfg: DigestExchangeConfig) -> BarGossipConfig {
+        let mut cfg = small_cfg();
+        cfg.digest = Some(dcfg);
+        cfg
+    }
+
+    #[test]
+    fn truthful_digest_exchange_delivers_nearly_everything() {
+        let report = BarGossipSim::new(
+            digest_cfg(DigestExchangeConfig::default()),
+            AttackPlan::none(),
+            1,
+        )
+        .run_to_report();
+        assert!(
+            report.overall_delivery() > 0.95,
+            "digest-round delivery was {}",
+            report.overall_delivery()
+        );
+        let d = report.digest.expect("digest runs report wire stats");
+        assert!(d.bytes_digests > 0 && d.bytes_updates > 0);
+        assert_eq!(d.withheld, 0, "nobody withholds without a poisoner");
+        assert!(d.fp_rate() < 0.05, "default 1024-bit digest stays sharp");
+    }
+
+    #[test]
+    fn bloom_and_exact_digests_deliver_identically() {
+        // The sim-level cut of the keystone golden: wire accounting
+        // differs by mode, delivery must not (no false negatives, and
+        // a false positive only ever wastes a request).
+        let bloom = BarGossipSim::new(
+            digest_cfg(DigestExchangeConfig::default()),
+            AttackPlan::poison(0.3, 1.0),
+            9,
+        )
+        .run_to_report();
+        let exact = BarGossipSim::new(
+            digest_cfg(DigestExchangeConfig {
+                exact: true,
+                ..DigestExchangeConfig::default()
+            }),
+            AttackPlan::poison(0.3, 1.0),
+            9,
+        )
+        .run_to_report();
+        let mut b = bloom.clone();
+        let mut e = exact.clone();
+        b.digest = None;
+        e.digest = None;
+        assert_eq!(b, e, "delivery must be advertisement-agnostic");
+        let exact_stats = exact.digest.unwrap();
+        assert_eq!(exact_stats.fp_requests, 0, "exact diffs cannot miss");
+        assert_eq!(
+            bloom.digest.unwrap().withheld,
+            exact_stats.withheld,
+            "the poison stream must draw identically in both modes"
+        );
+    }
+
+    #[test]
+    fn poison_attack_starves_via_withholding_only() {
+        let honest = BarGossipSim::new(
+            digest_cfg(DigestExchangeConfig::default()),
+            AttackPlan::poison(0.3, 0.0),
+            7,
+        )
+        .run_to_report();
+        let full = BarGossipSim::new(
+            digest_cfg(DigestExchangeConfig::default()),
+            AttackPlan::poison(0.3, 1.0),
+            7,
+        )
+        .run_to_report();
+        assert_eq!(honest.digest.unwrap().withheld, 0, "rate 0 poisons nothing");
+        assert!(honest.overall_delivery() > 0.9);
+        assert!(full.digest.unwrap().withheld > 0);
+        assert!(
+            full.isolated_delivery() < honest.isolated_delivery(),
+            "full-rate withholding must hurt: {} vs {}",
+            full.isolated_delivery(),
+            honest.isolated_delivery()
+        );
+    }
+
+    #[test]
+    fn digest_audit_cuts_poisoners() {
+        let mut cfg = digest_cfg(DigestExchangeConfig {
+            audit: 0.5,
+            ..DigestExchangeConfig::default()
+        });
+        cfg.defenses.cutoff_quorum = Some(2);
+        let report = BarGossipSim::new(cfg, AttackPlan::poison(0.3, 1.0), 5).run_to_report();
+        let cuts = report.cuts.expect("cutoff defense reports cut stats");
+        assert!(
+            cuts.attacker_cut_rate() > 0.5,
+            "auditing advertised-but-undelivered ids catches full-rate \
+             poisoners: cut rate {}",
+            cuts.attacker_cut_rate()
+        );
+    }
+
+    #[test]
+    fn digest_runs_are_deterministic_and_config_is_inert_elsewhere() {
+        let a = BarGossipSim::new(
+            digest_cfg(DigestExchangeConfig::default()),
+            AttackPlan::poison(0.2, 0.6),
+            3,
+        )
+        .run_to_report();
+        let b = BarGossipSim::new(
+            digest_cfg(DigestExchangeConfig::default()),
+            AttackPlan::poison(0.2, 0.6),
+            3,
+        )
+        .run_to_report();
+        assert_eq!(a, b);
+        // A classic run carries no digest stats at all.
+        let classic = BarGossipSim::new(small_cfg(), AttackPlan::none(), 3).run_to_report();
+        assert!(classic.digest.is_none());
     }
 }

@@ -1,0 +1,99 @@
+//! X20 — digest gossip and the advertise-then-withhold attack.
+//!
+//! Two figures over the `bar-gossip-digest` scenario (the two-leg
+//! advertise/diff/transfer round):
+//!
+//! * **Delivery** — the classic attacks (crash-free trade, fault
+//!   masquerade) next to the digest-native *poison* attacker, who
+//!   advertises truthfully and then withholds requested updates. At
+//!   `poison_rate=1.0` it starves like a crash once attackers dominate;
+//!   at a low rate it hides inside the bloom digest's false-positive
+//!   floor. The digest-audit defense (sample
+//!   advertised-but-undelivered ids, feed the silence cut-off) claws
+//!   delivery back from the full-rate poisoner.
+//! * **Bandwidth** — attempted bytes on the wire per curve. The digest
+//!   round ships only the diff, so bytes fall as the poisoner withholds
+//!   (silence is cheap) and stay flat under trade (gifts ride outside
+//!   the digest legs) — delivery and bandwidth move on different axes,
+//!   which is the attack's whole economy.
+//!
+//! Sweepable and benchable through the ordinary grammar, e.g.:
+//!
+//! ```text
+//! lotus-bench --scenario bar-gossip-digest --attack poison \
+//!     --param poison_rate=0.15 --sweep fraction --quick
+//! lotus-bench --scenario bar-gossip-digest --attack none \
+//!     --sweep digest_bits --x-values 256,512,1024,4096
+//! ```
+
+use lotus_bench::runner::run_shim;
+
+fn main() {
+    run_shim(
+        &[
+            "--scenario",
+            "bar-gossip-digest",
+            "--title",
+            "X20 — Digest gossip: advertise-then-withhold vs the classic attacks",
+            "--x-values",
+            "0,0.1,0.2,0.3,0.4,0.5,0.6,0.7,0.8,0.9",
+            "--x-label",
+            "attacker fraction",
+            "--y-label",
+            "isolated-node delivery",
+            "--param",
+            "rounds=60",
+            "--curve",
+            "none,label=no attack",
+            "--curve",
+            "trade,label=trade lotus-eater",
+            "--curve",
+            "masquerade,faults=loss:0.05,cutoff=3,label=masquerade over 5% loss (cutoff 3)",
+            "--curve",
+            "poison,label=poison: withhold every request",
+            "--curve",
+            "poison,poison_rate=0.15,label=poison: withhold 15% (deniable)",
+            "--curve",
+            "poison,audit=0.02,cutoff=3,label=poison vs digest audit (cutoff 3)",
+        ],
+        &[
+            "Gossip redundancy absorbs withholding: any honest partner fills",
+            "the diff, so the full-rate poisoner needs near-majority control",
+            "before isolated delivery cliffs — and at 15% withholding it is",
+            "both harmless and statistically hidden under the digest's own",
+            "false positives. Auditing advertised-but-undelivered ids arms the",
+            "silence cut-off against exactly this: the full-rate poisoner is",
+            "cut early and delivery recovers.",
+        ],
+    );
+    run_shim(
+        &[
+            "--scenario",
+            "bar-gossip-digest",
+            "--title",
+            "X20b — Bytes on the wire under the digest round",
+            "--x-values",
+            "0,0.1,0.2,0.3,0.4,0.5,0.6,0.7,0.8,0.9",
+            "--x-label",
+            "attacker fraction",
+            "--y-label",
+            "attempted bytes on the wire",
+            "--param",
+            "rounds=60",
+            "--curve",
+            "none,metric=digest_bytes_on_wire,label=bytes: no attack",
+            "--curve",
+            "trade,metric=digest_bytes_on_wire,label=bytes: trade lotus-eater",
+            "--curve",
+            "poison,metric=digest_bytes_on_wire,label=bytes: poison (rate 1.0)",
+        ],
+        &[
+            "The transfer leg dominates the byte bill, so wire cost tracks",
+            "useful work: the poisoner's withholding *saves* bytes while it",
+            "starves delivery (defection is cheaper than cooperation), and",
+            "trade's gifts ride outside the digest legs entirely. Digest",
+            "advertisements themselves are a flat, tunable overhead",
+            "(digest_bits/8 per exchange each way).",
+        ],
+    );
+}

@@ -110,6 +110,9 @@ pub fn attack_curve(
                 AttackPlan::trade_lotus_eater(x, AttackPlan::PAPER_SATIATE_FRACTION)
             }
             AttackKind::Masquerade => AttackPlan::masquerade(x),
+            // Full-strength withholding; use the registry's
+            // `poison_rate` param for graded curves.
+            AttackKind::Poison => AttackPlan::poison(x, 1.0),
         };
         BarGossipSim::new(cfg.clone(), plan, seed)
             .run_to_report()

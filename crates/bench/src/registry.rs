@@ -24,7 +24,7 @@
 use std::collections::BTreeMap;
 
 use bar_gossip::scrip_gossip::{ScripGossipConfig, ScripGossipSim};
-use bar_gossip::{AttackPlan, BarGossipConfig, BarGossipSim, ReportConfig};
+use bar_gossip::{AttackPlan, BarGossipConfig, BarGossipSim, DigestExchangeConfig, ReportConfig};
 use lotus_core::adaptive::{AdaptiveSpec, AttackMode, PolicyKind};
 use lotus_core::attack::{SatiateCut, TokenAttack};
 use lotus_core::faults::FaultPlan;
@@ -225,6 +225,7 @@ impl ScenarioRegistry {
         ScenarioRegistry {
             specs: vec![
                 bar_gossip_spec(),
+                bar_gossip_digest_spec(),
                 bar_gossip_1m_spec(),
                 scrip_spec(),
                 bittorrent_spec(),
@@ -747,6 +748,9 @@ fn bar_gossip_plan(req: &RunRequest<'_>) -> Result<AttackPlan, String> {
         "ideal" => AttackPlan::ideal_lotus_eater(fraction, satiate),
         "trade" => AttackPlan::trade_lotus_eater(fraction, satiate),
         "masquerade" => AttackPlan::masquerade(fraction),
+        // Only reachable through the digest spec (attack names are
+        // validated against each spec's list before build).
+        "poison" => AttackPlan::poison(fraction, req.num("poison_rate", 1.0)?),
         other => return Err(format!("unknown bar-gossip attack {other:?}")),
     };
     let timing = parse_timing(req)?;
@@ -767,6 +771,190 @@ fn bar_gossip_plan(req: &RunRequest<'_>) -> Result<AttackPlan, String> {
 
 fn build_bar_gossip(req: &RunRequest<'_>) -> Result<Box<dyn DynScenario>, String> {
     let cfg = bar_gossip_config(req)?;
+    let plan = bar_gossip_plan(req)?;
+    Ok(boxed::<BarGossipSim>(cfg, plan, req.seed))
+}
+
+/// The digest-exchange configuration of bar-gossip: the two-leg
+/// advertise-then-diff round over [`lotus_core::digest`] replaces the
+/// classic full-window exchange phases, hosting the
+/// advertise-then-withhold (`poison`) attack and the digest-audit
+/// defense alongside every classic attack.
+fn bar_gossip_digest_spec() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "bar-gossip-digest",
+        about: "bar-gossip over a two-leg digest exchange (advertise, diff, transfer)",
+        attacks: &[
+            ("none", "no attack (baseline)"),
+            ("crash", "attacker nodes go silent"),
+            ("ideal", "ideal lotus-eater: out-of-band instant forwarding"),
+            ("trade", "trade lotus-eater: in-protocol give-everything"),
+            (
+                "masquerade",
+                "plausibly-deniable defection: silence rate tracks the ambient fault rate",
+            ),
+            (
+                "poison",
+                "advertise-then-withhold: truthful digest, then withhold requested \
+                 updates at poison_rate (deniable against bloom false positives)",
+            ),
+        ],
+        params: &[
+            ("nodes", "number of nodes (Table 1: 250)"),
+            ("updates_per_round", "broadcaster batch size (Table 1: 10)"),
+            (
+                "update_lifetime",
+                "rounds before an update expires (Table 1: 10)",
+            ),
+            ("copies_seeded", "seed copies per update (Table 1: 12)"),
+            ("push_size", "optimistic push size (unused by the digest round)"),
+            ("rounds", "measured rounds"),
+            ("warmup_rounds", "warm-up rounds excluded from measurement"),
+            ("fraction", "attacker fraction when x sweeps another knob"),
+            (
+                "satiate_fraction",
+                "fraction of the system targeted for satiation (paper: 0.70)",
+            ),
+            (
+                "rotation_period",
+                "rotate the satiated set every N rounds (0 = static)",
+            ),
+            (
+                "unbalanced",
+                "obedient unbalanced exchanges (Figure 3 defense)",
+            ),
+            (
+                "rate_limit",
+                "per-direction cap on requested updates (<=0 or >=32 = uncapped)",
+            ),
+            (
+                "report_obedient",
+                "fraction of honest nodes reporting excess service (enables report-and-evict)",
+            ),
+            (
+                "report_quorum",
+                "distinct reports needed to evict (default 3)",
+            ),
+            (
+                "report_excess_slack",
+                "updates above the cap tolerated before reporting (default 1)",
+            ),
+            (
+                "cutoff",
+                "silence cut-off defense: distinct accusers needed to cut a silent node (0 = off)",
+            ),
+            (
+                "run_threads",
+                "intra-run plan-phase worker threads (0 = auto: LOTUS_RUN_THREADS, else machine parallelism; figures identical for any value)",
+            ),
+            (
+                "digest_bits",
+                "bloom digest width in bits (default 1024; wire cost bits/8 each way)",
+            ),
+            ("digest_hashes", "bloom probe count per id (default 4)"),
+            (
+                "digest_exact",
+                "advertise exact per-round region hashes instead of a bloom filter \
+                 (zero false positives; delivery is identical by construction)",
+            ),
+            (
+                "audit",
+                "digest-audit defense: sampling rate per advertised-but-undelivered \
+                 id, feeding the silence cut-off (0 = off; needs cutoff > 0 to bite)",
+            ),
+            (
+                "poison_rate",
+                "poison attack: probability a held, requested update is withheld \
+                 (default 1.0; small values hide inside the bloom false-positive rate)",
+            ),
+            FAULTS_PARAM_DOC,
+            FAULT_LOSS_DOC,
+            SCHEDULE_PARAM_DOC,
+            ADAPTIVE_PARAM_DOC,
+            ADAPTIVE_EPSILON_DOC,
+            ADAPTIVE_PHASE_DOC,
+            CHURN_LEAVE_DOC,
+            CHURN_REJOIN_DOC,
+            CHURN_PROFILE_DOC,
+            ARRIVAL_DOC,
+            ARRIVAL_SIZE_DOC,
+        ],
+        sweeps: &[
+            "rate_limit",
+            "rotation_period",
+            "report_obedient",
+            "satiate_fraction",
+            "fault_loss",
+            "cutoff",
+            "digest_bits",
+            "poison_rate",
+            "audit",
+            "churn_leave",
+            "churn_rejoin",
+            "arrival_size",
+            "adaptive_epsilon",
+            "adaptive_phase",
+        ],
+        metrics: &[
+            "isolated_delivery",
+            "satiated_delivery",
+            "attacker_coverage",
+            "evictions",
+            "evicted_fraction",
+            "junk_fraction",
+            "mean_attacker_upload",
+            "mean_honest_upload",
+            "min_node_delivery",
+            "nodes_ever_unusable",
+            "unusable_node_rounds",
+            "false_cut_rate",
+            "attacker_cut_rate",
+            "cut_precision",
+            "cut_recall",
+            "faults_dropped",
+            "faults_duplicated",
+            "faults_delayed",
+            "faults_crashes",
+            "faults_partition_blocked",
+            "digest_bytes_on_wire",
+            "digest_bytes_updates",
+            "digest_fp_rate",
+            "digest_requests",
+            "digest_withheld",
+        ],
+        default_metric: "isolated_delivery",
+        build: build_bar_gossip_digest,
+        bench_params: &[
+            ("nodes", "60"),
+            ("rounds", "12"),
+            ("warmup_rounds", "6"),
+            ("updates_per_round", "4"),
+            ("copies_seeded", "6"),
+        ],
+    }
+}
+
+fn build_bar_gossip_digest(req: &RunRequest<'_>) -> Result<Box<dyn DynScenario>, String> {
+    let mut cfg = bar_gossip_config(req)?;
+    let bits = req.num("digest_bits", 1024.0)?;
+    let hashes = req.num("digest_hashes", 4.0)?;
+    for (name, v) in [("digest_bits", bits), ("digest_hashes", hashes)] {
+        if v < 1.0 || v.fract() != 0.0 {
+            return Err(format!(
+                "parameter {name}={v} is not a positive whole number"
+            ));
+        }
+    }
+    cfg.digest = Some(DigestExchangeConfig {
+        bits: bits as u32,
+        hashes: hashes as u32,
+        exact: req.params.flag("digest_exact")?.unwrap_or(false),
+        audit: req.num("audit", 0.0)?,
+    });
+    // The builder validated the base config; revalidate for the digest
+    // block set after the fact.
+    cfg.validate()
+        .map_err(|e| format!("invalid bar-gossip-digest config: {e}"))?;
     let plan = bar_gossip_plan(req)?;
     Ok(boxed::<BarGossipSim>(cfg, plan, req.seed))
 }
@@ -1531,6 +1719,16 @@ mod tests {
         let shrink: &[(&str, &[(&str, &str)])] = &[
             (
                 "bar-gossip",
+                &[
+                    ("nodes", "40"),
+                    ("rounds", "8"),
+                    ("warmup_rounds", "4"),
+                    ("updates_per_round", "4"),
+                    ("copies_seeded", "5"),
+                ],
+            ),
+            (
+                "bar-gossip-digest",
                 &[
                     ("nodes", "40"),
                     ("rounds", "8"),

@@ -86,6 +86,25 @@ fn bar_gossip_steady_step_is_alloc_free() {
 }
 
 #[test]
+fn bar_gossip_digest_steady_step_is_alloc_free() {
+    // The two-leg digest round on its worst path: a poisoning attacker,
+    // the digest audit arming the silence cut-off, and link faults on
+    // the transfer leg. Bloom rebuilds, want-list assembly and the
+    // delivery leg must all run on the construction-time scratch (the
+    // want/deliver buffers are reserved to the live-window ceiling).
+    assert_steady_steps_alloc_free(
+        "bar-gossip-digest",
+        "poison",
+        &[
+            ("rounds", "60"),
+            ("audit", "0.05"),
+            ("cutoff", "3"),
+            ("faults", "loss:0.05"),
+        ],
+    );
+}
+
+#[test]
 fn scrip_gossip_steady_step_is_alloc_free() {
     assert_steady_steps_alloc_free("scrip-gossip", "trade", &[("rounds", "60")]);
 }

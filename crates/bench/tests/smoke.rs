@@ -77,6 +77,7 @@ fn runner_lists_every_registered_scenario() {
     let out = run_runner(&["--list"]);
     for name in [
         "bar-gossip",
+        "bar-gossip-digest",
         "scrip",
         "bittorrent",
         "token",
@@ -100,16 +101,17 @@ fn runner_list_documents_attacks_and_schedule_churn_axes() {
         assert!(out.contains(needle), "missing {needle:?} in:\n{out}");
     }
     // The schedule/churn axes appear for every substrate config that
-    // takes them (bar-gossip twice: the paper scale and the 1M scale).
+    // takes them (bar-gossip three times: the paper scale, the digest
+    // substrate and the 1M scale).
     assert_eq!(
         out.matches("schedule: --schedule always|at:<r>").count(),
-        6,
-        "six scenario configs advertise the schedule axis:\n{out}"
+        7,
+        "seven scenario configs advertise the schedule axis:\n{out}"
     );
     assert_eq!(
         out.matches("churn:   --churn <leave>[:<rejoin>]").count(),
-        6,
-        "six scenario configs advertise the churn axis:\n{out}"
+        7,
+        "seven scenario configs advertise the churn axis:\n{out}"
     );
     // The runner help documents the flags themselves.
     let help = run_runner(&["--help"]);
@@ -335,6 +337,7 @@ fn bench_mode_covers_every_scenario_by_default() {
     ]);
     for name in [
         "\"scenario\":\"bar-gossip\"",
+        "\"scenario\":\"bar-gossip-digest\"",
         "\"scenario\":\"scrip\"",
         "\"scenario\":\"bittorrent\"",
         "\"scenario\":\"token\"",

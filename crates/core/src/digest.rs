@@ -1,0 +1,234 @@
+//! Digest-exchange primitives: the summaries a digest-first gossip
+//! round trades before transferring only the diff.
+//!
+//! Full-window exchange ships every update a peer holds, so a
+//! lotus-eater's silent withholding is visible the moment a transfer
+//! round comes up short. The realistic protocol shape at scale is
+//! *advertise-then-transfer*: peers first swap a cheap summary of what
+//! they hold, then request and ship only the difference. Bandwidth
+//! scales with the diff — and withholding becomes undetectable until
+//! the transfer leg, which is exactly the surface the
+//! advertise-then-withhold (`poison`) attack exploits: advertise a
+//! truthful digest, then selectively fail to deliver what was asked.
+//!
+//! Two summary shapes are provided:
+//!
+//! * [`BloomDigest`] — a fixed-size bloom filter over packed update
+//!   ids. Probabilistic: never a false negative, false positives at a
+//!   rate set by the bits/hashes/load trade-off
+//!   ([`BloomDigest::expected_fp_rate`]). False positives read as
+//!   *advertised-but-undelivered* on the wire, which is what gives a
+//!   low-rate poisoner plausible deniability.
+//! * [`region_hash`] — an exact order-free hash of one region's
+//!   membership mask. Peers compare per-region hashes and exchange the
+//!   raw masks only for regions that differ: zero false positives, so
+//!   an audit of undelivered ids has perfect precision.
+//!
+//! Hashing is deterministic splitmix ([`netsim::rng::split_mix64`])
+//! with fixed internal seeds — the same ids produce the same digest on
+//! every machine and thread count, which the determinism gate relies
+//! on. Probe and insert are allocation-free; the only allocation is the
+//! word vector at construction.
+
+use netsim::rng::split_mix64;
+
+/// Domain-separation seed for the first bloom probe stream.
+const BLOOM_SEED_A: u64 = 0x6c6f_7475_735f_6469; // "lotus_di"
+/// Domain-separation seed for the second bloom probe stream.
+const BLOOM_SEED_B: u64 = 0x6765_7374_5f62_6c6f; // "gest_blo"
+/// Domain-separation seed for [`region_hash`].
+const REGION_SEED: u64 = 0x7265_6769_6f6e_5f68; // "region_h"
+
+/// A fixed-size bloom filter over packed `u64` update ids.
+///
+/// Double hashing (Kirsch–Mitzenmacher): two splitmix streams `h1`,
+/// `h2 | 1` generate the `k` probe positions `h1 + i·h2 mod m`, so a
+/// probe costs two mixes regardless of `hashes`. Membership never
+/// false-negatives; [`BloomDigest::expected_fp_rate`] estimates the
+/// false-positive rate from the realized fill ratio.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BloomDigest {
+    words: Vec<u64>,
+    bits: u32,
+    hashes: u32,
+    inserted: u32,
+}
+
+impl BloomDigest {
+    /// An empty digest of `bits` filter bits probed `hashes` times per
+    /// key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` or `hashes` is zero (configs are validated
+    /// upstream; this is the last line of defense).
+    pub fn new(bits: u32, hashes: u32) -> Self {
+        assert!(bits > 0, "bloom digest wants at least one bit");
+        assert!(hashes > 0, "bloom digest wants at least one hash");
+        BloomDigest {
+            words: vec![0; (bits as usize).div_ceil(64)],
+            bits,
+            hashes,
+            inserted: 0,
+        }
+    }
+
+    /// Filter width in bits (the `digest_bits` knob).
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Probes per key (the `digest_hashes` knob).
+    pub fn hashes(&self) -> u32 {
+        self.hashes
+    }
+
+    /// Keys inserted since the last [`BloomDigest::clear`].
+    pub fn inserted(&self) -> u32 {
+        self.inserted
+    }
+
+    /// Size of this digest on the wire, in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        u64::from(self.bits).div_ceil(8)
+    }
+
+    /// Reset to empty without releasing the word storage.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+        self.inserted = 0;
+    }
+
+    /// The two probe-stream bases for `key`.
+    #[inline]
+    fn probe_bases(key: u64) -> (u64, u64) {
+        let h1 = split_mix64(key ^ BLOOM_SEED_A);
+        let h2 = split_mix64(key ^ BLOOM_SEED_B) | 1;
+        (h1, h2)
+    }
+
+    /// Insert a packed update id.
+    // lint: hot-loop
+    #[inline]
+    pub fn insert(&mut self, key: u64) {
+        let (h1, h2) = Self::probe_bases(key);
+        for i in 0..u64::from(self.hashes) {
+            let bit = (h1.wrapping_add(i.wrapping_mul(h2)) % u64::from(self.bits)) as usize;
+            self.words[bit / 64] |= 1u64 << (bit % 64);
+        }
+        self.inserted += 1;
+    }
+
+    /// Whether `key` may be in the set. `true` for every inserted key
+    /// (no false negatives); spuriously `true` for an absent key at the
+    /// false-positive rate.
+    // lint: hot-loop
+    #[inline]
+    pub fn contains(&self, key: u64) -> bool {
+        let (h1, h2) = Self::probe_bases(key);
+        for i in 0..u64::from(self.hashes) {
+            let bit = (h1.wrapping_add(i.wrapping_mul(h2)) % u64::from(self.bits)) as usize;
+            if self.words[bit / 64] & (1u64 << (bit % 64)) == 0 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Fraction of filter bits currently set.
+    pub fn fill_ratio(&self) -> f64 {
+        // Tail bits beyond `bits` in the last word are never set, so a
+        // straight popcount over the words is exact.
+        let set: u32 = self.words.iter().map(|w| w.count_ones()).sum();
+        f64::from(set) / f64::from(self.bits)
+    }
+
+    /// Expected false-positive rate at the current fill: a probe of an
+    /// absent key hits `hashes` independent set bits with probability
+    /// `fill_ratio ^ hashes`.
+    pub fn expected_fp_rate(&self) -> f64 {
+        self.fill_ratio().powi(self.hashes as i32)
+    }
+}
+
+/// Exact order-free summary of one region's membership mask: equal
+/// masks hash equal, different masks hash different (up to a 64-bit
+/// splitmix collision). Peers compare per-region hashes and exchange
+/// raw masks only for regions whose hashes differ — the exact
+/// (zero-false-positive) alternative to [`BloomDigest`].
+#[inline]
+pub fn region_hash(region: u64, mask: u64) -> u64 {
+    split_mix64(split_mix64(region ^ REGION_SEED) ^ mask)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inserted_keys_are_always_found() {
+        let mut d = BloomDigest::new(256, 4);
+        for key in 0..64u64 {
+            d.insert(key * 977);
+        }
+        for key in 0..64u64 {
+            assert!(d.contains(key * 977));
+        }
+        assert_eq!(d.inserted(), 64);
+    }
+
+    #[test]
+    fn clear_resets_to_empty_without_reallocating() {
+        let mut d = BloomDigest::new(128, 3);
+        d.insert(7);
+        assert!(d.contains(7));
+        d.clear();
+        assert!(!d.contains(7));
+        assert_eq!(d.inserted(), 0);
+        assert_eq!(d.fill_ratio(), 0.0);
+    }
+
+    #[test]
+    fn digests_are_deterministic_and_order_free() {
+        let mut a = BloomDigest::new(512, 5);
+        let mut b = BloomDigest::new(512, 5);
+        for key in 0..40u64 {
+            a.insert(key);
+        }
+        for key in (0..40u64).rev() {
+            b.insert(key);
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fill_and_fp_estimates_behave() {
+        let mut d = BloomDigest::new(1024, 4);
+        assert_eq!(d.expected_fp_rate(), 0.0);
+        for key in 0..100u64 {
+            d.insert(key);
+        }
+        assert!(d.fill_ratio() > 0.0 && d.fill_ratio() < 1.0);
+        assert!(d.expected_fp_rate() < d.fill_ratio());
+        assert_eq!(d.size_bytes(), 128);
+        assert_eq!(BloomDigest::new(100, 2).size_bytes(), 13);
+    }
+
+    #[test]
+    fn non_multiple_of_64_widths_stay_in_range() {
+        let mut d = BloomDigest::new(67, 8);
+        for key in 0..200u64 {
+            d.insert(key);
+            assert!(d.contains(key));
+        }
+        assert!(d.fill_ratio() <= 1.0);
+    }
+
+    #[test]
+    fn region_hash_separates_masks_and_regions() {
+        assert_eq!(region_hash(3, 0b1011), region_hash(3, 0b1011));
+        assert_ne!(region_hash(3, 0b1011), region_hash(3, 0b1010));
+        assert_ne!(region_hash(3, 0b1011), region_hash(4, 0b1011));
+        assert_ne!(region_hash(0, 0), region_hash(1, 0));
+    }
+}

@@ -146,12 +146,43 @@ impl FaultPlan {
         self.has_message_faults() || self.has_crashes() || self.has_partition()
     }
 
-    /// The ambient silence rate an observer sees on an honest link: the
-    /// probability a given message simply fails to arrive this round
-    /// (loss, or a delay hold). This is the rate a fault-masquerading
-    /// defector matches to stay statistically camouflaged.
+    /// The ambient silence rate an observer sees on an honest link
+    /// outside any partition epoch: the probability a given message
+    /// simply fails to arrive this round (loss, or a delay hold). This
+    /// is the rate a fault-masquerading defector matches to stay
+    /// statistically camouflaged while the network is whole; during a
+    /// partition epoch the camouflage rate is
+    /// [`FaultPlan::ambient_silence_rate_during`] instead.
     pub fn ambient_silence_rate(&self) -> f64 {
         self.loss + (1.0 - self.loss) * self.delay
+    }
+
+    /// Expected probability that a uniformly random pair straddles the
+    /// partition cells while the epoch is in force. Each node lands in
+    /// the minority cell independently with probability
+    /// `partition_frac`, so a pair is cross-cell (and its exchange is
+    /// silently blocked) with probability `2f(1 - f)`.
+    pub fn partition_cross_cell_rate(&self) -> f64 {
+        2.0 * self.partition_frac * (1.0 - self.partition_frac)
+    }
+
+    /// The ambient silence rate an observer sees on an honest link,
+    /// folding in expected partition blocking when a partition epoch is
+    /// currently in force. Loss, delay holds, and cross-cell blocking
+    /// compose as independent survival terms:
+    /// `1 - (1-loss)(1-delay)(1-block)` where `block` is
+    /// [`FaultPlan::partition_cross_cell_rate`] during the epoch and 0
+    /// outside it. This is the rate a fault-masquerading defector
+    /// matches each round; matching only loss and delay would
+    /// understate ambient silence during partition epochs and make the
+    /// masquerade statistically visible there.
+    pub fn ambient_silence_rate_during(&self, partitioned: bool) -> f64 {
+        let base = self.ambient_silence_rate();
+        if partitioned {
+            base + (1.0 - base) * self.partition_cross_cell_rate()
+        } else {
+            base
+        }
     }
 
     /// Replace the loss rate (the `fault_loss` sweep axis), clamped to
@@ -162,8 +193,9 @@ impl FaultPlan {
     }
 
     /// Parse the `lotus-bench --faults` grammar: `none`, or one or more
-    /// `/`-separated components (later components of the same kind
-    /// override earlier ones):
+    /// `/`-separated components. Each kind may appear at most once;
+    /// repeating a kind (`loss:0.1/loss:0.2`) is rejected rather than
+    /// silently last-wins, so a typo cannot shadow an earlier rate:
     ///
     /// ```text
     /// loss:<p>                      drop each message with prob. <p>
@@ -182,10 +214,30 @@ impl FaultPlan {
             return Ok(FaultPlan::none());
         }
         let mut plan = FaultPlan::none();
+        // One bit per known kind, in the grammar order loss / dup /
+        // delay / crash / partition; unknown kinds error below anyway.
+        let mut seen_kinds = 0u8;
         for part in spec.split('/') {
             let (head, rest) = part.split_once(':').ok_or_else(|| {
                 format!("fault plan {spec:?}: component {part:?} wants <kind>:<args>")
             })?;
+            let kind_bit = match head {
+                "loss" => Some(0u8),
+                "dup" => Some(1),
+                "delay" => Some(2),
+                "crash" => Some(3),
+                "partition" => Some(4),
+                _ => None,
+            };
+            if let Some(bit) = kind_bit {
+                if seen_kinds & (1 << bit) != 0 {
+                    return Err(format!(
+                        "fault plan {spec:?}: duplicate {head} component (each fault kind may \
+                         appear at most once)"
+                    ));
+                }
+                seen_kinds |= 1 << bit;
+            }
             let fields: Vec<&str> = rest.split(':').collect();
             let prob = |what: &str, v: &str| -> Result<f64, String> {
                 let p = v
@@ -374,6 +426,17 @@ impl FaultState {
     /// Whether the partition is currently in force.
     pub fn is_partitioned(&self) -> bool {
         self.partitioned
+    }
+
+    /// The ambient silence rate an observer sees on an honest link
+    /// *this round*: [`FaultPlan::ambient_silence_rate_during`]
+    /// evaluated at the current partition state. A fault-masquerading
+    /// defector draws against this round-aware rate so its silence
+    /// statistics track real ambient silence through partition epochs
+    /// instead of understating them.
+    #[inline]
+    pub fn ambient_silence_rate(&self) -> f64 {
+        self.plan.ambient_silence_rate_during(self.partitioned)
     }
 
     /// The minority partition cell (empty unless a partition epoch has
@@ -636,6 +699,11 @@ mod tests {
             "partition:x:5:0.5",
             "flood:0.5",
             "loss:0.1//dup:0.1",
+            "loss:0.1/loss:0.2",
+            "dup:0/dup:0",
+            "delay:0.1/loss:0.2/delay:0.1",
+            "crash:0.1:0.2/crash:0.1:0.2",
+            "partition:1:2:0.5/partition:3:4:0.1",
         ] {
             assert!(FaultPlan::parse(bad).is_err(), "{bad:?} should fail");
         }
@@ -851,8 +919,55 @@ mod tests {
     }
 
     #[test]
-    fn later_components_override_earlier_ones() {
-        let p = FaultPlan::parse("loss:0.1/loss:0.3").unwrap();
-        assert_eq!(p.loss, 0.3);
+    fn duplicate_kinds_are_rejected_not_last_wins() {
+        // Regression: this used to parse with the later rate silently
+        // winning, so a typo could shadow an earlier component.
+        let err = FaultPlan::parse("loss:0.1/loss:0.3").unwrap_err();
+        assert!(err.contains("duplicate loss"), "got {err:?}");
+        let err = FaultPlan::parse("crash:0.1:0.2/crash:0.3:0.4").unwrap_err();
+        assert!(err.contains("duplicate crash"), "got {err:?}");
+        // Distinct kinds still compose freely.
+        let p = FaultPlan::parse("loss:0.1/dup:0.2/delay:0.3/crash:0.01:0.5/partition:5:10:0.4");
+        assert!(p.is_ok());
+    }
+
+    #[test]
+    fn ambient_silence_rate_folds_partition_blocking_during_epochs() {
+        let p = FaultPlan::parse("loss:0.1/delay:0.2/partition:5:10:0.3").unwrap();
+        let base = 0.1 + 0.9 * 0.2;
+        // Outside the epoch the rate is exactly the loss/delay
+        // composition (bit-identical with the legacy accessor, so
+        // partition-free masquerade streams are unperturbed).
+        assert_eq!(
+            p.ambient_silence_rate_during(false),
+            p.ambient_silence_rate()
+        );
+        // During the epoch, expected cross-cell blocking (2f(1-f))
+        // composes in as an independent survival term.
+        let block = 2.0 * 0.3 * 0.7;
+        let during = p.ambient_silence_rate_during(true);
+        assert!((during - (base + (1.0 - base) * block)).abs() < 1e-12);
+        assert!(during > p.ambient_silence_rate());
+        // No partition configured: both states agree.
+        let q = FaultPlan::parse("loss:0.25").unwrap();
+        assert_eq!(q.ambient_silence_rate_during(true), 0.25);
+    }
+
+    #[test]
+    fn fault_state_ambient_rate_tracks_the_partition_epoch() {
+        let plan = FaultPlan::parse("loss:0.1/partition:3:4:0.5").unwrap();
+        let mut f = FaultState::new(64, plan, &DetRng::seed_from(9));
+        for t in 0..12 {
+            f.begin_round(t);
+            let expect = plan.ambient_silence_rate_during(f.is_partitioned());
+            assert_eq!(f.ambient_silence_rate(), expect, "round {t}");
+            if (3..7).contains(&t) {
+                assert!(f.is_partitioned(), "round {t} is inside the epoch");
+                assert!(f.ambient_silence_rate() > plan.ambient_silence_rate());
+            } else {
+                assert!(!f.is_partitioned(), "round {t} is outside the epoch");
+                assert_eq!(f.ambient_silence_rate(), plan.ambient_silence_rate());
+            }
+        }
     }
 }

@@ -31,6 +31,13 @@
 //!   [`FaultState`](faults::FaultState)), the realistic-network
 //!   dimension that lets defection hide inside the background fault
 //!   rate;
+//! * [`digest`] — the digest-exchange substrate primitives: a
+//!   fixed-size bloom filter over update ids
+//!   ([`BloomDigest`](digest::BloomDigest)) and an exact per-region
+//!   summary hash ([`region_hash`](digest::region_hash)), the two
+//!   summaries a digest-first gossip round trades before transferring
+//!   only the diff — the surface the advertise-then-withhold attack
+//!   poisons;
 //! * [`soa`] — the sharded struct-of-arrays activity index
 //!   ([`ShardMap`](soa::ShardMap)): fixed-size shards over the node
 //!   index space with cached activity popcounts, so round loops cost
@@ -83,6 +90,7 @@ pub mod alloc_guard;
 pub mod attack;
 pub mod bitset;
 pub mod defense;
+pub mod digest;
 pub mod faults;
 pub mod pool;
 pub mod population;

@@ -35,6 +35,7 @@ fn curve(kind: AttackKind, xs: &[f64]) -> netsim::metrics::Series {
             AttackKind::IdealLotusEater => AttackPlan::ideal_lotus_eater(x, 0.70),
             AttackKind::TradeLotusEater => AttackPlan::trade_lotus_eater(x, 0.70),
             AttackKind::Masquerade => AttackPlan::masquerade(x),
+            AttackKind::Poison => AttackPlan::poison(x, 1.0),
         };
         BarGossipSim::new(cfg.clone(), plan, seed)
             .run_to_report()
